@@ -1,0 +1,63 @@
+//! Criterion bench of the behavioural longest-prefix-match engines across
+//! table sizes — the host-speed counterpart of the `scaling` binary's
+//! cycle-accurate sweep, and the crossover evidence for the paper's claim
+//! that table organisation dominates router performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taco_core::benchmark_routes;
+use taco_routing::{
+    BalancedTreeTable, CamTable, LpmTable, SequentialTable, TrieTable,
+};
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpm_lookup");
+    for &n in &[16usize, 64, 256] {
+        let routes = benchmark_routes(n);
+        let probes: Vec<_> = routes.iter().map(|r| r.prefix().addr()).collect();
+        let seq = SequentialTable::from_routes(routes.iter().copied());
+        let tree = BalancedTreeTable::from_routes(routes.iter().copied());
+        let cam = CamTable::from_routes(routes.iter().copied());
+        let trie = TrieTable::from_routes(routes.iter().copied());
+
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| probes.iter().map(|a| seq.lookup(a).steps()).sum::<u32>())
+        });
+        group.bench_with_input(BenchmarkId::new("balanced_tree", n), &n, |b, _| {
+            b.iter(|| probes.iter().map(|a| tree.lookup(a).steps()).sum::<u32>())
+        });
+        group.bench_with_input(BenchmarkId::new("cam", n), &n, |b, _| {
+            b.iter(|| probes.iter().map(|a| cam.lookup(a).steps()).sum::<u32>())
+        });
+        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
+            b.iter(|| probes.iter().map(|a| trie.lookup(a).steps()).sum::<u32>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_update");
+    group.sample_size(20);
+    let routes = benchmark_routes(100);
+    let extra = benchmark_routes(101)[100];
+    // The paper: tree "insertion and deletion operations become much more
+    // complex" — measure exactly that asymmetry.
+    group.bench_function("sequential_insert_remove", |b| {
+        let mut t = SequentialTable::from_routes(routes.iter().copied());
+        b.iter(|| {
+            t.insert(extra);
+            t.remove(&extra.prefix());
+        })
+    });
+    group.bench_function("balanced_tree_insert_remove", |b| {
+        let mut t = BalancedTreeTable::from_routes(routes.iter().copied());
+        b.iter(|| {
+            t.insert(extra);
+            t.remove(&extra.prefix());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_update);
+criterion_main!(benches);

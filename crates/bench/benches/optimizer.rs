@@ -1,0 +1,55 @@
+//! Criterion bench of the Fig. 3 code-optimization pipeline: move-level
+//! optimization plus list scheduling onto 1- and 3-bus machines, for both
+//! the tiny Fig. 3 expression and the real forwarding microcode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taco_isa::{opt, schedule, CodeBuilder, FuKind, MachineConfig, MoveSeq};
+use taco_router::microcode::{sequential_program, tree_program, MicrocodeOptions};
+
+/// The paper's Fig. 3 expression `a = (b*2 + c)/4`.
+fn fig3() -> MoveSeq {
+    let mut b = CodeBuilder::new();
+    let shl = b.alloc(FuKind::Shifter);
+    let add = b.alloc(FuKind::Counter);
+    b.mv(1u32, shl.port("amount"));
+    b.mv(b.reg(0), shl.port("tshl"));
+    b.mv(shl.port("r"), add.port("tset"));
+    b.mv(b.reg(1), add.port("tadd"));
+    b.mv(2u32, shl.port("amount"));
+    b.mv(add.port("r"), shl.port("tshr"));
+    b.mv(shl.port("r"), b.reg(2));
+    b.finish()
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    let subjects: Vec<(&str, MoveSeq)> = vec![
+        ("fig3", fig3()),
+        ("seq_fwd_100", sequential_program(100, &MicrocodeOptions::default())),
+        ("tree_fwd", tree_program(&MicrocodeOptions::default())),
+    ];
+    for (name, seq) in &subjects {
+        for buses in [1u8, 3] {
+            let config = MachineConfig::new(buses);
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{buses}bus")),
+                &config,
+                |b, config| b.iter(|| schedule(seq, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    c.bench_function("optimize_seq_fwd_100", |b| {
+        let seq = sequential_program(100, &MicrocodeOptions::default());
+        b.iter(|| {
+            let mut s = seq.clone();
+            opt::optimize(&mut s)
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedule, bench_optimize);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench of raw simulator throughput: host time per simulated
+//! cycle — the quantity behind the paper's "fast turn-around time" claim
+//! (how quickly one architecture instance can be evaluated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taco_ipv6::{Datagram, NextHeader};
+use taco_isa::{asm, MachineConfig};
+use taco_router::cycle::CycleRouter;
+use taco_router::microcode::MicrocodeOptions;
+use taco_routing::{PortId, SequentialTable};
+use taco_sim::Processor;
+
+fn counting_loop(iters: u32) -> Processor {
+    let mut prog = asm::parse(&format!(
+        "0 -> cnt0.tset | {iters} -> cnt0.stop\nloop: 1 -> cnt0.tinc\n!cnt0.done @loop -> nc0.pc\n"
+    ))
+    .expect("valid asm");
+    prog.resolve_labels().expect("labels defined");
+    Processor::new(MachineConfig::three_bus_one_fu(), prog).expect("valid program")
+}
+
+fn bench_raw_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_cycles");
+    let iters = 10_000u32;
+    group.throughput(Throughput::Elements(u64::from(iters) * 2));
+    group.bench_function("counting_loop", |b| {
+        b.iter(|| {
+            let mut cpu = counting_loop(iters);
+            cpu.run(u64::from(iters) * 3).expect("loop terminates")
+        })
+    });
+    group.finish();
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_forwarding");
+    group.sample_size(20);
+    let routes = taco_core::benchmark_routes(64);
+    let table = SequentialTable::from_routes(routes.iter().copied());
+    let dgram = Datagram::builder(
+        "2001:db8:ffff::1".parse().expect("valid"),
+        routes[32].prefix().addr(),
+    )
+    .hop_limit(64)
+    .payload(NextHeader::Udp, vec![0u8; 64])
+    .build();
+    for buses in [1u8, 3] {
+        group.bench_with_input(BenchmarkId::new("seq64", format!("{buses}bus")), &buses, |b, &buses| {
+            b.iter(|| {
+                let mut r = CycleRouter::sequential(
+                    &MachineConfig::new(buses),
+                    &table,
+                    &MicrocodeOptions::default(),
+                )
+                .expect("valid microcode");
+                r.enqueue(PortId(0), &dgram).expect("fits");
+                r.run(10_000_000).expect("terminates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_cycles, bench_forwarding);
+criterion_main!(benches);

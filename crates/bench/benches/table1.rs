@@ -1,0 +1,29 @@
+//! Criterion bench over the Table 1 evaluation pipeline: one measurement
+//! per paper cell (reduced table size to keep wall time sane — the printed
+//! table itself comes from the `table1` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taco_core::{evaluate, ArchConfig, LineRate};
+use taco_routing::TableKind;
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cell");
+    group.sample_size(10);
+    for kind in TableKind::PAPER_KINDS {
+        for config in [
+            ArchConfig::one_bus_one_fu(kind),
+            ArchConfig::three_bus_one_fu(kind),
+            ArchConfig::three_bus_three_fu(kind),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(config.label()),
+                &config,
+                |b, config| b.iter(|| evaluate(config, LineRate::TEN_GBE, 16)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

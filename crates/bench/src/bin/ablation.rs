@@ -1,0 +1,137 @@
+//! Ablation of the sequential-scan microcode's design choices (DESIGN.md
+//! §5): the lane-unroll factor and the screening-word selection.
+//!
+//! * **unroll** — how many entries one scan block screens with distinct
+//!   virtual Matcher/Counter instances.  More lanes help exactly when the
+//!   machine has the buses/FUs to overlap them.
+//! * **screen word** — which 32-bit address word the screening pass
+//!   compares.  Real tables cluster under a shared global prefix, so
+//!   screening on word 0 false-positives on every entry and degrades the
+//!   scan to full 128-bit verification.
+//!
+//! ```text
+//! cargo run -p taco-bench --release --bin ablation
+//! ```
+
+use taco_core::benchmark_routes;
+use taco_ipv6::{Datagram, NextHeader};
+use taco_isa::MachineConfig;
+use taco_router::microcode::{choose_screen_word, sequential_program, MicrocodeOptions};
+use taco_router::{layout, TrafficGen};
+use taco_routing::{PortId, Route, SequentialTable};
+
+const ENTRIES: usize = 64;
+
+/// A table whose entries all share their first 32 address bits — the shape
+/// of a real provider table, and the worst case for word-0 screening.
+fn clustered_routes() -> Vec<Route> {
+    (0..ENTRIES as u16)
+        .map(|i| {
+            Route::new(
+                format!("2001:db8:{i:x}::/48").parse().expect("valid"),
+                "fe80::1".parse().expect("valid"),
+                PortId(i % 4),
+                1,
+            )
+        })
+        .collect()
+}
+
+fn measure(config: &MachineConfig, routes: &[Route], opts: &MicrocodeOptions) -> u64 {
+    // Build the router by hand so the ablation controls the exact options
+    // (CycleRouter::sequential would re-tune the screen word).
+    let table = SequentialTable::from_routes(routes.iter().copied());
+    let mut image = layout::serialize_sequential(&table);
+    taco_router::microcode::pad_sequential_image(&mut image, opts.unroll);
+    let padded = image.len() / layout::SEQ_ENTRY_WORDS as usize;
+    let seq = sequential_program(padded, opts);
+
+    let mut program = taco_isa::schedule(&seq, config);
+    program.resolve_labels().expect("labels defined");
+    let mut cpu = taco_sim::Processor::new(config.clone(), program).expect("valid program");
+    cpu.memory_mut().load(layout::TABLE_BASE, &image).expect("image fits");
+
+    let mut gen = TrafficGen::new(0x0DA7A, 4);
+    let deepest = *table.entries().last().expect("non-empty");
+    for _ in 0..8 {
+        let d = Datagram::builder(
+            "2001:db8:ffff::1".parse().expect("valid"),
+            gen.addr_in(&deepest.prefix()),
+        )
+        .hop_limit(64)
+        .payload(NextHeader::Udp, vec![0u8; 32])
+        .build();
+        let words = layout::datagram_to_words(&d);
+        let addr = layout::dgram_slot(0);
+        cpu.memory_mut().load(addr, &words).expect("fits");
+        cpu.push_input(addr, 0);
+    }
+    cpu.run(50_000_000).expect("halts").cycles / 8
+}
+
+fn main() {
+    let diverse = benchmark_routes(ENTRIES);
+    let clustered = clustered_routes();
+    let best = |routes: &[Route]| {
+        choose_screen_word(&SequentialTable::from_routes(routes.iter().copied()))
+    };
+    println!("sequential-scan ablation, {ENTRIES} entries, worst-case traffic");
+    println!();
+
+    println!(
+        "— unroll factor (diverse table, screen word {}) —",
+        best(&diverse)
+    );
+    println!("{:<22} {:>8} {:>8} {:>8}", r"config \ unroll", 1, 2, 3);
+    for config in [
+        MachineConfig::one_bus_one_fu(),
+        MachineConfig::three_bus_one_fu(),
+        MachineConfig::three_bus_three_fu(),
+    ] {
+        print!("{:<22}", config.label());
+        for unroll in 1..=3u8 {
+            let opts =
+                MicrocodeOptions { unroll, screen_word: best(&diverse), halt_when_idle: true };
+            print!(" {:>8}", measure(&config, &diverse, &opts));
+        }
+        println!();
+    }
+
+    println!();
+    println!("— screening word (unroll 3, 3BUS/1FU) —");
+    println!("{:<30} {:>8} {:>8} {:>8} {:>8}  {:>6}", r"table \ word", 0, 1, 2, 3, "auto");
+    for (name, routes) in [("diverse (random /16-/64)", &diverse), ("clustered (2001:db8::/32)", &clustered)] {
+        print!("{name:<30}");
+        for word in 0..4u8 {
+            let opts = MicrocodeOptions { unroll: 3, screen_word: word, halt_when_idle: true };
+            print!(" {:>8}", measure(&MachineConfig::three_bus_one_fu(), routes, &opts));
+        }
+        println!("  {:>6}", best(routes));
+    }
+    println!();
+    println!("on a clustered table every prefix shares address word 0, so screening");
+    println!("on it false-positives on every entry and the scan pays the full 128-bit");
+    println!("verify; the auto-chooser picks the most discriminating word per table.");
+
+    println!();
+    println!("— memory ports (diverse table, unroll 3) —");
+    println!("(probing EXPERIMENTS.md deviation D1: with >1 memory word per cycle,");
+    println!(" does FU replication finally pay, as the paper's numbers imply?)");
+    println!("{:<26} {:>8} {:>8} {:>8}", r"config \ mmu ports", 1, 2, 3);
+    for (name, base) in [
+        ("3BUS/1FU", MachineConfig::three_bus_one_fu()),
+        ("3bus/3CNT,3CMP,3M", MachineConfig::three_bus_three_fu()),
+        ("6bus/3CNT,3CMP,3M", MachineConfig::new(6)
+            .with_fu_count(taco_isa::FuKind::Counter, 3)
+            .with_fu_count(taco_isa::FuKind::Comparator, 3)
+            .with_fu_count(taco_isa::FuKind::Matcher, 3)),
+    ] {
+        print!("{name:<26}");
+        for ports in 1..=3u8 {
+            let config = base.clone().with_fu_count(taco_isa::FuKind::Mmu, ports);
+            let opts = MicrocodeOptions { unroll: 3, screen_word: best(&diverse), halt_when_idle: true };
+            print!(" {:>8}", measure(&config, &diverse, &opts));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,76 @@
+//! The automated design-space exploration the paper lists as future work:
+//! sweep buses × FU replication × routing-table organisation, evaluate each
+//! instance, filter by power/area constraints and print the ranking.
+//!
+//! ```text
+//! cargo run -p taco-bench --release --bin dse [max_power_w] [max_area_mm2]
+//! ```
+
+use taco_core::{explore, table1, Constraints, LineRate, SweepSpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_power_w: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let max_area_mm2: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50.0);
+    let constraints = Constraints { max_power_w, max_area_mm2 };
+    let spec = SweepSpec::default();
+
+    println!(
+        "design-space exploration: {} buses x {} replications x {} table kinds, {} entries",
+        spec.buses.len(),
+        spec.replication.len(),
+        spec.kinds.len(),
+        spec.entries
+    );
+    println!(
+        "constraints: power <= {max_power_w} W, area <= {max_area_mm2} mm2, target {}",
+        LineRate::TEN_GBE
+    );
+    println!();
+
+    let ex = explore(&spec, LineRate::TEN_GBE, &constraints);
+
+    println!("all {} evaluated instances:", ex.all.len());
+    print!("{}", table1::render(&ex.all));
+    println!();
+
+    if ex.admitted.is_empty() {
+        println!("no instance satisfies the constraints");
+        return;
+    }
+    println!("{} instances satisfy the constraints; by ascending power:", ex.admitted.len());
+    for (rank, &i) in ex.admitted.iter().enumerate().take(10) {
+        let r = &ex.all[i];
+        let e = r.estimate.feasible().expect("admitted implies feasible");
+        println!(
+            "  #{:<2} {:<38} {:>10} {:>8.2} mm2 {:>8.3} W",
+            rank + 1,
+            r.config.label(),
+            table1::format_frequency(r.required_frequency_hz),
+            e.area_mm2,
+            e.power_w
+        );
+    }
+    let best = ex.best().expect("non-empty admitted set");
+    println!();
+    println!("suggested configuration: {}", best.config.label());
+
+    // The replication heuristic of the paper's future-work tool: where does
+    // the winning configuration's microcode put its trigger pressure?
+    let opts = taco_router::microcode::MicrocodeOptions::default();
+    let seq = match best.config.table {
+        taco_routing::TableKind::Sequential => {
+            taco_router::microcode::sequential_program(spec.entries, &opts)
+        }
+        taco_routing::TableKind::BalancedTree => taco_router::microcode::tree_program(&opts),
+        taco_routing::TableKind::Trie => taco_router::microcode::trie_program(&opts),
+        taco_routing::TableKind::Cam => taco_router::microcode::cam_program(&opts),
+    };
+    let program = taco_isa::schedule(&seq, &best.config.machine);
+    let mut pressure: Vec<(taco_isa::FuKind, usize)> =
+        program.fu_pressure().into_iter().collect();
+    pressure.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    let summary: Vec<String> =
+        pressure.iter().take(4).map(|(k, n)| format!("{k} x{n}")).collect();
+    println!("static FU trigger pressure (replication candidates first): {}", summary.join(", "));
+}

@@ -1,0 +1,41 @@
+//! The scaling ablation behind Table 1: cycles per forwarded datagram as a
+//! function of routing-table size, for each routing-table organisation and
+//! architecture configuration.  This is the curve that explains *why* the
+//! sequential organisation's required clock explodes while the CAM's stays
+//! flat.
+//!
+//! ```text
+//! cargo run -p taco-bench --release --bin scaling
+//! ```
+
+use taco_bench::SCALING_SIZES;
+use taco_core::{scaling_sweep, ArchConfig, RoutingTableKind};
+use taco_routing::TableKind;
+
+fn main() {
+    println!("cycles per datagram vs routing-table size (cycle-accurate simulation)");
+    println!();
+    let mut kinds = TableKind::PAPER_KINDS.to_vec();
+    kinds.push(TableKind::Trie); // the software baseline, as a fourth series
+    for kind in kinds {
+        println!("== {kind} ==");
+        print!("{:<22}", "config \\ entries");
+        for n in SCALING_SIZES {
+            print!("{n:>9}");
+        }
+        println!();
+        for config in [
+            ArchConfig::one_bus_one_fu(kind),
+            ArchConfig::three_bus_one_fu(kind),
+            ArchConfig::three_bus_three_fu(kind),
+        ] {
+            print!("{:<22}", config.machine.label());
+            for (_, cycles) in scaling_sweep(&config, &SCALING_SIZES) {
+                print!("{cycles:>9.0}");
+            }
+            println!();
+        }
+        println!();
+    }
+    let _: RoutingTableKind = TableKind::Trie; // same enum, two names
+}

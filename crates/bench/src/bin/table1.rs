@@ -1,0 +1,37 @@
+//! Regenerates the paper's Table 1: estimated minimum clock frequencies,
+//! bus utilisation, processor areas and average power consumption for the
+//! nine routing-table × architecture configurations.
+//!
+//! ```text
+//! cargo run -p taco-bench --release --bin table1 [entries] [packet_bytes] [--csv]
+//! ```
+
+use taco_core::{table1, LineRate};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    let mut args = args.into_iter();
+    let entries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let packet_bytes: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1040);
+    let rate = LineRate::new(10e9, packet_bytes);
+
+    if csv {
+        print!("{}", table1::to_csv(&table1::table1(rate, entries)));
+        return;
+    }
+
+    println!("Table 1 — 10 Gbps line rate, {entries}-entry routing table, {rate}");
+    println!("(CAM rows exclude the external CAM chip, as in the paper; its");
+    println!(" ~1.75 W average is reported separately in EXPERIMENTS.md)");
+    println!();
+    let reports = table1::table1(rate, entries);
+    print!("{}", table1::render(&reports));
+
+    println!();
+    println!("paper's corresponding \"Required speed\" column:");
+    println!("  sequential    : 6 GHz / 2 GHz / 1 GHz");
+    println!("  balanced tree : 1.2 GHz / 600 MHz / 250 MHz");
+    println!("  CAM           : 118 MHz / 40 MHz / 35 MHz");
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness for the TACO IPv6 reproduction.
+//!
+//! This crate carries no library code of its own — it exists for its
+//! binaries and Criterion benches:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `cargo run -p taco-bench --release --bin table1` | the paper's Table 1 |
+//! | `cargo run -p taco-bench --release --bin scaling` | cycles vs table size (the structure behind Table 1) |
+//! | `cargo run -p taco-bench --release --bin dse` | the automated design-space exploration (paper's future work) |
+//! | `cargo run -p taco-bench --release --bin ablation` | sequential-scan microcode tunables (unroll, screening word) |
+//! | `cargo run -p taco-bench --release --bin sensitivity` | required clock vs packet-size assumption |
+//! | `cargo run -p taco-bench --release --bin report` | a live markdown reproduction report with a paper-claim checklist |
+//! | `cargo bench -p taco-bench --bench table1` | per-cell evaluation latency |
+//! | `cargo bench -p taco-bench --bench lookup_scaling` | behavioural LPM engines across table sizes |
+//! | `cargo bench -p taco-bench --bench optimizer` | the Fig. 3 schedule pipeline |
+//! | `cargo bench -p taco-bench --bench simulator` | raw simulator throughput |
+
+/// The routing-table sizes the scaling targets sweep.
+pub const SCALING_SIZES: [usize; 6] = [4, 16, 32, 64, 128, 256];

@@ -1,0 +1,322 @@
+//! The fast-evaluation pipeline: simulate, derive the required clock,
+//! estimate physics — the paper's co-analysis of the SystemC and Matlab
+//! models.
+
+use taco_estimate::{Estimate, Estimator, ExternalCam};
+use taco_ipv6::{Datagram, NextHeader};
+use taco_router::cycle::CycleRouter;
+use taco_router::microcode::MicrocodeOptions;
+use taco_router::traffic::TrafficGen;
+use taco_routing::cam::CamSpec;
+use taco_routing::{BalancedTreeTable, CamTable, PortId, Route, SequentialTable, TableKind};
+
+use crate::arch::ArchConfig;
+use crate::rate::LineRate;
+
+/// Number of measurement datagrams per evaluation (amortises the once-off
+/// envelope of a batch run).
+const MEASURE_DATAGRAMS: usize = 8;
+
+/// Simulation watchdog per evaluation.
+const CYCLE_BUDGET: u64 = 50_000_000;
+
+/// The co-analysis result for one architecture instance — one cell of
+/// Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// The evaluated instance.
+    pub config: ArchConfig,
+    /// The line-rate target the requirement was computed against.
+    pub line_rate: LineRate,
+    /// Routing-table size used for the measurement.
+    pub table_entries: usize,
+    /// Measured cycles per forwarded datagram (worst-case-biased workload).
+    pub cycles_per_datagram: f64,
+    /// Dynamic bus utilisation observed during the measurement (Table 1's
+    /// "Bus util." column).
+    pub bus_utilization: f64,
+    /// Minimum clock frequency to sustain the line rate.
+    pub required_frequency_hz: f64,
+    /// RTU (CAM) search latency in cycles at that frequency (1 for the
+    /// microcoded table organisations, which do not use the RTU).
+    pub rtu_latency_cycles: u32,
+    /// Encoded program-image size in bits (instruction store + literal
+    /// pool), as charged to the area estimate.
+    pub program_bits: u64,
+    /// Physical estimate at the required frequency ("NA" above the
+    /// technology ceiling).
+    pub estimate: Estimate,
+}
+
+impl EvalReport {
+    /// `true` when the required clock is achievable in the technology.
+    pub fn is_feasible(&self) -> bool {
+        self.estimate.is_feasible()
+    }
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.0} cycles/datagram, bus util {:.0}%, needs {} for {} -> {}",
+            self.config,
+            self.cycles_per_datagram,
+            self.bus_utilization * 100.0,
+            crate::table1::format_frequency(self.required_frequency_hz),
+            self.line_rate,
+            self.estimate
+        )
+    }
+}
+
+/// Builds the deterministic benchmark routing table used by every
+/// evaluation: `entries` prefixes of mixed length under a shared global
+/// prefix (which is what makes the sequential screen pass earn its keep),
+/// with no default route so misses are possible.
+pub fn benchmark_routes(entries: usize) -> Vec<Route> {
+    let mut gen = TrafficGen::new(0x7AC0, 4);
+    gen.table(entries, false)
+}
+
+/// The measurement workload: every datagram's destination matches the entry
+/// the sequential scan reaches *last*, so each organisation is charged its
+/// worst case — the "required speed" of Table 1 must *guarantee* line rate,
+/// not merely sustain it on friendly traffic.
+fn measurement_datagrams(routes: &[Route]) -> Vec<Datagram> {
+    let mut gen = TrafficGen::new(0x0DA7A, 4);
+    let table = SequentialTable::from_routes(routes.iter().copied());
+    let deepest = *table.entries().last().expect("non-empty table");
+    (0..MEASURE_DATAGRAMS)
+        .map(|_| {
+            let dst = gen.addr_in(&deepest.prefix());
+            Datagram::builder("2001:db8:ffff::1".parse().expect("valid"), dst)
+                .hop_limit(64)
+                .payload(NextHeader::Udp, vec![0u8; 32])
+                .build()
+        })
+        .collect()
+}
+
+/// Builds the cycle router for `config` over `routes`, with `rtu_latency`
+/// for the CAM case.
+fn build_router(config: &ArchConfig, routes: &[Route], rtu_latency: u32) -> CycleRouter {
+    let opts = MicrocodeOptions::default();
+    match config.table {
+        TableKind::Sequential => {
+            let table = SequentialTable::from_routes(routes.iter().copied());
+            CycleRouter::sequential(&config.machine, &table, &opts)
+        }
+        TableKind::BalancedTree => {
+            let table = BalancedTreeTable::from_routes(routes.iter().copied());
+            CycleRouter::tree(&config.machine, &table, &opts)
+        }
+        TableKind::Trie => {
+            let table = taco_routing::TrieTable::from_routes(routes.iter().copied());
+            CycleRouter::trie(&config.machine, &table, &opts)
+        }
+        TableKind::Cam => {
+            let table = CamTable::from_routes(routes.iter().copied());
+            CycleRouter::cam(&config.machine, table, rtu_latency, &opts)
+        }
+    }
+    .expect("generated microcode always validates")
+}
+
+/// Measures cycles per datagram and bus utilisation for one configuration.
+fn measure(config: &ArchConfig, routes: &[Route], rtu_latency: u32) -> (f64, f64) {
+    let mut router = build_router(config, routes, rtu_latency);
+    for d in measurement_datagrams(routes) {
+        router.enqueue(PortId(0), &d).expect("measurement datagrams fit the buffer");
+    }
+    let stats = router.run(CYCLE_BUDGET).expect("measurement run completes");
+    let n = router.forwarded().len().max(1);
+    (stats.cycles as f64 / n as f64, stats.bus_utilization())
+}
+
+/// Evaluates one architecture instance against a line-rate target — the
+/// paper's per-cell methodology.
+///
+/// For the CAM organisation the RTU latency depends on the clock and the
+/// clock depends on the measured cycles (which include RTU stalls), so the
+/// evaluation iterates the pair to a fixed point; it converges in a few
+/// rounds because the latency is quantised to whole cycles.
+///
+/// # Examples
+///
+/// ```
+/// use taco_core::{evaluate, ArchConfig, LineRate, RoutingTableKind};
+///
+/// let report = evaluate(
+///     &ArchConfig::three_bus_one_fu(RoutingTableKind::Cam),
+///     LineRate::TEN_GBE,
+///     100,
+/// );
+/// assert!(report.is_feasible());
+/// assert!(report.required_frequency_hz < 200e6); // tens of MHz, as in the paper
+/// ```
+pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) -> EvalReport {
+    let routes = benchmark_routes(table_entries);
+    let cam_spec = CamSpec::paper_default();
+
+    let mut rtu_latency = 1u32;
+    let (cycles, util, freq) = loop {
+        let (cycles, util) = measure(config, &routes, rtu_latency);
+        let freq = line_rate.required_frequency_hz(cycles);
+        if config.table != TableKind::Cam {
+            break (cycles, util, freq);
+        }
+        let next = cam_spec.search_cycles(freq) as u32;
+        if next == rtu_latency {
+            break (cycles, util, freq);
+        }
+        rtu_latency = next;
+    };
+
+    // Charge the program store for the actual microcode image.
+    let router = build_router(config, &routes, rtu_latency);
+    let program_bits = taco_isa::encode(router.processor().program(), &config.machine)
+        .map(|e| e.total_bits())
+        .unwrap_or(0);
+
+    let mut estimator = Estimator::new().with_program_bits(program_bits);
+    if config.table == TableKind::Cam {
+        estimator = estimator.with_cam(ExternalCam::micron_harmony());
+    }
+    let estimate = estimator.estimate(&config.machine, freq);
+
+    EvalReport {
+        config: config.clone(),
+        line_rate,
+        table_entries,
+        cycles_per_datagram: cycles,
+        bus_utilization: util,
+        required_frequency_hz: freq,
+        rtu_latency_cycles: rtu_latency,
+        program_bits,
+        estimate,
+    }
+}
+
+/// Measures only the cycles-per-datagram of a configuration at a given
+/// table size (used by the scaling ablation, where no line-rate conversion
+/// is wanted).
+pub fn cycles_per_datagram(config: &ArchConfig, table_entries: usize) -> f64 {
+    let routes = benchmark_routes(table_entries);
+    measure(config, &routes, 2).0
+}
+
+/// The inverse analysis: the highest line rate (bits per second) this
+/// configuration can guarantee when clocked at the technology ceiling,
+/// assuming `packet_bytes` per packet on the wire.
+///
+/// This answers the designer's converse question — "the clock is whatever
+/// the library gives me; what wire speed does that buy?" — and locates the
+/// crossovers of the paper's Table 1 from the other side.
+pub fn max_sustainable_rate_bps(
+    config: &ArchConfig,
+    table_entries: usize,
+    packet_bytes: u32,
+) -> f64 {
+    let routes = benchmark_routes(table_entries);
+    let f_max = Estimator::new().max_frequency_hz() * 0.999; // just under NA
+    let rtu_latency = CamSpec::paper_default().search_cycles(f_max) as u32;
+    let (cycles, _) = measure(config, &routes, rtu_latency);
+    (f_max / cycles) * 8.0 * f64::from(packet_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_routes_deterministic_and_sized() {
+        let a = benchmark_routes(50);
+        let b = benchmark_routes(50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn report_display_reads_as_a_sentence() {
+        let r = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        let text = r.to_string();
+        assert!(text.contains("cam 3BUS/1FU"), "{text}");
+        assert!(text.contains("cycles/datagram"), "{text}");
+        assert!(text.contains("mm2"), "{text}");
+    }
+
+    #[test]
+    fn sequential_needs_infeasible_clock_at_10g() {
+        let r = evaluate(
+            &ArchConfig::one_bus_one_fu(TableKind::Sequential),
+            LineRate::TEN_GBE,
+            100,
+        );
+        assert!(!r.is_feasible(), "sequential 1-bus must be NA: {}", r.required_frequency_hz);
+        assert!(r.required_frequency_hz > 1.5e9);
+    }
+
+    #[test]
+    fn tree_is_roughly_logarithmic_and_feasible() {
+        let r = evaluate(
+            &ArchConfig::three_bus_one_fu(TableKind::BalancedTree),
+            LineRate::TEN_GBE,
+            100,
+        );
+        assert!(r.is_feasible(), "tree 3-bus should fit 0.18um: {}", r.required_frequency_hz);
+        assert!(r.required_frequency_hz < 1e9);
+    }
+
+    #[test]
+    fn cam_needs_only_tens_of_mhz() {
+        let r = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
+        assert!(r.is_feasible());
+        assert!(r.required_frequency_hz < 150e6, "{}", r.required_frequency_hz);
+        assert!(r.rtu_latency_cycles >= 1);
+        // The external CAM is attached to the estimate.
+        let est = r.estimate.feasible().unwrap();
+        assert!(est.cam.is_some());
+        assert!(est.total_power_w() > est.power_w);
+    }
+
+    #[test]
+    fn inverse_analysis_agrees_with_forward_analysis() {
+        // A configuration whose required clock is feasible must sustain at
+        // least the target rate when clocked at the ceiling, and vice versa.
+        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        let fwd = evaluate(&config, LineRate::TEN_GBE, 64);
+        let max_rate = max_sustainable_rate_bps(&config, 64, LineRate::TEN_GBE.packet_bytes);
+        assert!(fwd.is_feasible());
+        assert!(max_rate > LineRate::TEN_GBE.bits_per_second, "{max_rate}");
+
+        let slow = ArchConfig::one_bus_one_fu(TableKind::Sequential);
+        let slow_max = max_sustainable_rate_bps(&slow, 64, 84);
+        assert!(
+            slow_max < LineRate::TEN_GBE_MIN_FRAMES.bits_per_second,
+            "sequential cannot do min-frame 10G: {slow_max}"
+        );
+    }
+
+    #[test]
+    fn buses_lower_the_required_clock() {
+        let one = evaluate(&ArchConfig::one_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
+        let three = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
+        assert!(
+            three.required_frequency_hz < 0.7 * one.required_frequency_hz,
+            "3 buses should cut the clock substantially: {} vs {}",
+            one.required_frequency_hz,
+            three.required_frequency_hz
+        );
+    }
+
+    #[test]
+    fn ordering_matches_the_paper() {
+        // For every machine configuration: sequential > tree > cam.
+        let seq = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Sequential), LineRate::TEN_GBE, 100);
+        let tree = evaluate(&ArchConfig::three_bus_one_fu(TableKind::BalancedTree), LineRate::TEN_GBE, 100);
+        let cam = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
+        assert!(seq.required_frequency_hz > tree.required_frequency_hz);
+        assert!(tree.required_frequency_hz > cam.required_frequency_hz);
+    }
+}

@@ -1,0 +1,178 @@
+//! Automated design-space exploration.
+//!
+//! "Our future work includes … a tool that automates the design space
+//! exploration phase, which based on some heuristics will suggest good
+//! solutions, with respect to performance requirements and physical
+//! constraints."  This module implements that tool: sweep an architecture
+//! grid, evaluate every instance with the same simulate-then-estimate
+//! pipeline, filter by the designer's constraints, and rank what survives.
+
+use taco_routing::TableKind;
+
+use crate::arch::ArchConfig;
+use crate::evaluate::{cycles_per_datagram, evaluate, EvalReport};
+use crate::rate::LineRate;
+
+/// Designer-imposed physical constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// Maximum processor power, watts (the external CAM is budgeted
+    /// separately, as in the paper).
+    pub max_power_w: f64,
+    /// Maximum processor area, mm².
+    pub max_area_mm2: f64,
+}
+
+impl Default for Constraints {
+    /// A 0.18 µm-era embedded budget: 2 W, 50 mm².
+    fn default() -> Self {
+        Constraints { max_power_w: 2.0, max_area_mm2: 50.0 }
+    }
+}
+
+impl Constraints {
+    /// Returns `true` if `report` fits the constraints (infeasible clocks
+    /// never fit).
+    pub fn admits(&self, report: &EvalReport) -> bool {
+        match report.estimate.feasible() {
+            Some(e) => e.power_w <= self.max_power_w && e.area_mm2 <= self.max_area_mm2,
+            None => false,
+        }
+    }
+}
+
+/// The exploration grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Bus counts to try.
+    pub buses: Vec<u8>,
+    /// Replication factors for the replicable units (CNT/CMP/M together).
+    pub replication: Vec<u8>,
+    /// Table organisations to try.
+    pub kinds: Vec<TableKind>,
+    /// Routing-table size.
+    pub entries: usize,
+}
+
+impl Default for SweepSpec {
+    /// The paper's neighbourhood: 1–4 buses, 1–3× replication, all three
+    /// table organisations, 100 entries.
+    fn default() -> Self {
+        SweepSpec {
+            buses: vec![1, 2, 3, 4],
+            replication: vec![1, 2, 3],
+            kinds: TableKind::PAPER_KINDS.to_vec(),
+            entries: 100,
+        }
+    }
+}
+
+/// The ranked outcome of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exploration {
+    /// Every evaluated instance, in sweep order.
+    pub all: Vec<EvalReport>,
+    /// Indices (into `all`) of the instances admitted by the constraints,
+    /// sorted by ascending processor power (the paper's tie-breaker after
+    /// feasibility).
+    pub admitted: Vec<usize>,
+}
+
+impl Exploration {
+    /// The best admitted instance, if any survived.
+    pub fn best(&self) -> Option<&EvalReport> {
+        self.admitted.first().map(|&i| &self.all[i])
+    }
+}
+
+/// Runs the sweep: evaluate every grid point, filter, rank.
+pub fn explore(spec: &SweepSpec, line_rate: LineRate, constraints: &Constraints) -> Exploration {
+    let mut all = Vec::new();
+    for &kind in &spec.kinds {
+        for &buses in &spec.buses {
+            for &repl in &spec.replication {
+                let config = ArchConfig::with_replication(kind, buses, repl);
+                all.push(evaluate(&config, line_rate, spec.entries));
+            }
+        }
+    }
+    let mut admitted: Vec<usize> =
+        (0..all.len()).filter(|&i| constraints.admits(&all[i])).collect();
+    admitted.sort_by(|&a, &b| {
+        let pa = all[a].estimate.feasible().expect("admitted implies feasible").power_w;
+        let pb = all[b].estimate.feasible().expect("admitted implies feasible").power_w;
+        pa.partial_cmp(&pb).expect("power is finite")
+    });
+    Exploration { all, admitted }
+}
+
+/// The scaling ablation behind Table 1: cycles per datagram as a function
+/// of routing-table size, for one configuration.  Returns `(size, cycles)`
+/// pairs.
+pub fn scaling_sweep(config: &ArchConfig, sizes: &[usize]) -> Vec<(usize, f64)> {
+    sizes.iter().map(|&n| (n, cycles_per_datagram(config, n))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_isa::MachineConfig;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            buses: vec![1, 3],
+            replication: vec![1],
+            kinds: vec![TableKind::Cam, TableKind::BalancedTree],
+            entries: 8,
+        }
+    }
+
+    #[test]
+    fn explore_ranks_by_power() {
+        let ex = explore(&small_spec(), LineRate::TEN_GBE, &Constraints::default());
+        assert_eq!(ex.all.len(), 4);
+        assert!(!ex.admitted.is_empty(), "something must fit a 2 W budget");
+        let powers: Vec<f64> = ex
+            .admitted
+            .iter()
+            .map(|&i| ex.all[i].estimate.feasible().unwrap().power_w)
+            .collect();
+        assert!(powers.windows(2).all(|w| w[0] <= w[1]), "{powers:?}");
+        assert!(ex.best().is_some());
+    }
+
+    #[test]
+    fn impossible_constraints_admit_nothing() {
+        let constraints = Constraints { max_power_w: 1e-9, max_area_mm2: 1e-9 };
+        let ex = explore(&small_spec(), LineRate::TEN_GBE, &constraints);
+        assert!(ex.admitted.is_empty());
+        assert!(ex.best().is_none());
+    }
+
+    #[test]
+    fn scaling_sweep_is_monotonic_for_sequential() {
+        let config = ArchConfig::new(MachineConfig::one_bus_one_fu(), TableKind::Sequential);
+        let points = scaling_sweep(&config, &[8, 32]);
+        assert_eq!(points.len(), 2);
+        assert!(points[1].1 > points[0].1 * 2.0, "{points:?}");
+    }
+
+    #[test]
+    fn scaling_sweep_is_flat_for_cam() {
+        let config = ArchConfig::new(MachineConfig::three_bus_one_fu(), TableKind::Cam);
+        let points = scaling_sweep(&config, &[8, 64]);
+        let ratio = points[1].1 / points[0].1;
+        assert!(ratio < 1.2, "cam cost must not scale with table size: {points:?}");
+    }
+
+    #[test]
+    fn constraints_reject_infeasible() {
+        let report = evaluate(
+            &ArchConfig::one_bus_one_fu(TableKind::Sequential),
+            LineRate::TEN_GBE_MIN_FRAMES,
+            64,
+        );
+        assert!(!report.is_feasible());
+        assert!(!Constraints::default().admits(&report));
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Fast evaluation of protocol processor architectures — the paper's
+//! primary contribution.
+//!
+//! "By simulating and estimating different architectural configurations at
+//! the system-level we obtained a fast turn-around time for finding
+//! well-suited configurations to match the target application and its
+//! constraints."  This crate is that methodology, end to end:
+//!
+//! 1. [`ArchConfig`] names an architecture instance: a TTA machine
+//!    configuration × a routing-table organisation;
+//! 2. [`evaluate()`](evaluate()) runs the cycle-accurate router for the instance
+//!    (`taco-router` + `taco-sim`), converts measured cycles-per-datagram
+//!    into the minimum clock for a [`LineRate`] target, and feeds that
+//!    clock to the physical estimator (`taco-estimate`) — producing an
+//!    [`EvalReport`] with required speed, bus utilisation, area, power and
+//!    feasibility;
+//! 3. [`table1()`](table1()) evaluates the paper's nine cells and [`table1::render`]
+//!    prints them in the paper's layout;
+//! 4. [`explore`] automates the design-space sweep the paper lists as
+//!    future work: grid × constraints → ranked surviving configurations.
+//!
+//! # Examples
+//!
+//! ```
+//! use taco_core::{evaluate, ArchConfig, LineRate, RoutingTableKind};
+//!
+//! // The paper's headline finding, reproduced in four lines: a CAM-backed
+//! // routing table turns an impossible clock requirement into tens of MHz.
+//! let seq = evaluate(&ArchConfig::one_bus_one_fu(RoutingTableKind::Sequential),
+//!                    LineRate::TEN_GBE, 100);
+//! let cam = evaluate(&ArchConfig::three_bus_one_fu(RoutingTableKind::Cam),
+//!                    LineRate::TEN_GBE, 100);
+//! assert!(!seq.is_feasible());
+//! assert!(cam.is_feasible());
+//! assert!(cam.required_frequency_hz < seq.required_frequency_hz / 10.0);
+//! ```
+
+pub mod arch;
+pub mod evaluate;
+pub mod explorer;
+pub mod rate;
+pub mod table1;
+
+pub use arch::{ArchConfig, RoutingTableKind};
+pub use evaluate::{
+    benchmark_routes, cycles_per_datagram, evaluate, max_sustainable_rate_bps, EvalReport,
+};
+pub use explorer::{explore, scaling_sweep, Constraints, Exploration, SweepSpec};
+pub use rate::LineRate;
+pub use table1::table1;

@@ -1,0 +1,405 @@
+//! IPv6 extension headers (RFC 2460 §4).
+//!
+//! The paper copies *entire* datagrams into processor memory precisely
+//! because "in IPv6 the IP header can be accompanied by a variable number of
+//! extension headers that also have to be taken into consideration".  This
+//! module models the headers a router can meet: hop-by-hop options,
+//! destination options, the routing header and the fragment header.
+
+use crate::error::ParseError;
+use crate::header::NextHeader;
+
+/// A hop-by-hop or destination options header.
+///
+/// Options are stored as raw TLV bytes; the router does not interpret them,
+/// it only needs to skip the header (and, for hop-by-hop, acknowledge that it
+/// looked).  On the wire the header is always padded to a multiple of 8
+/// bytes; `OptionsHeader` encoding inserts PadN options as needed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptionsHeader {
+    /// Raw option TLVs (excluding the 2-byte header prologue and any final
+    /// padding).
+    pub options: Vec<u8>,
+}
+
+impl OptionsHeader {
+    /// Creates an empty options header (it will be wire-encoded as 8 bytes of
+    /// padding).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wire length including padding: smallest multiple of 8 covering the
+    /// 2-byte prologue plus the options.
+    pub fn wire_len(&self) -> usize {
+        (2 + self.options.len()).div_ceil(8) * 8
+    }
+
+    fn encode(&self, next: u8, out: &mut Vec<u8>) {
+        let len = self.wire_len();
+        out.push(next);
+        out.push((len / 8 - 1) as u8);
+        out.extend_from_slice(&self.options);
+        let pad = len - 2 - self.options.len();
+        match pad {
+            0 => {}
+            1 => out.push(0), // Pad1
+            n => {
+                // PadN: type 1, length n-2, zero body.
+                out.push(1);
+                out.push((n - 2) as u8);
+                out.extend(std::iter::repeat(0).take(n - 2));
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, u8, usize), ParseError> {
+        if bytes.len() < 2 {
+            return Err(ParseError::Truncated { what: "options header", needed: 2, got: bytes.len() });
+        }
+        let next = bytes[0];
+        let len = (usize::from(bytes[1]) + 1) * 8;
+        if bytes.len() < len {
+            return Err(ParseError::Truncated { what: "options header", needed: len, got: bytes.len() });
+        }
+        let mut options = bytes[2..len].to_vec();
+        if let Some(end) = Self::last_non_pad_end(&options) {
+            options.truncate(end);
+        }
+        Ok((OptionsHeader { options }, next, len))
+    }
+
+    /// Walks the TLV list and returns the byte offset just past the last
+    /// non-padding option, or `None` if the bytes are not well-formed TLVs
+    /// (in which case they are kept verbatim).
+    fn last_non_pad_end(options: &[u8]) -> Option<usize> {
+        let mut i = 0usize;
+        let mut end = 0usize;
+        while i < options.len() {
+            match options[i] {
+                0 => i += 1, // Pad1
+                ty => {
+                    let len = *options.get(i + 1)? as usize;
+                    if i + 2 + len > options.len() {
+                        return None;
+                    }
+                    i += 2 + len;
+                    if ty != 1 {
+                        end = i; // not PadN: real payload extends here
+                    }
+                }
+            }
+        }
+        Some(end)
+    }
+}
+
+/// A type 0 routing header (RFC 2460 §4.4), carrying a list of intermediate
+/// addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RoutingHeader {
+    /// Routing type (0 for the classic source route).
+    pub routing_type: u8,
+    /// Number of listed nodes still to be visited.
+    pub segments_left: u8,
+    /// The 16-byte addresses, stored raw.
+    pub addresses: Vec<[u8; 16]>,
+}
+
+impl RoutingHeader {
+    /// Wire length: 8-byte prologue plus 16 bytes per address.
+    pub fn wire_len(&self) -> usize {
+        8 + 16 * self.addresses.len()
+    }
+
+    fn encode(&self, next: u8, out: &mut Vec<u8>) {
+        out.push(next);
+        out.push((2 * self.addresses.len()) as u8);
+        out.push(self.routing_type);
+        out.push(self.segments_left);
+        out.extend_from_slice(&[0u8; 4]); // reserved
+        for a in &self.addresses {
+            out.extend_from_slice(a);
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, u8, usize), ParseError> {
+        if bytes.len() < 8 {
+            return Err(ParseError::Truncated { what: "routing header", needed: 8, got: bytes.len() });
+        }
+        let next = bytes[0];
+        let ext_len = usize::from(bytes[1]);
+        let len = 8 + ext_len * 8;
+        if bytes.len() < len {
+            return Err(ParseError::Truncated { what: "routing header", needed: len, got: bytes.len() });
+        }
+        if ext_len % 2 != 0 {
+            return Err(ParseError::BadField { field: "routing hdr ext len", value: ext_len as u64 });
+        }
+        let mut addresses = Vec::with_capacity(ext_len / 2);
+        for i in 0..ext_len / 2 {
+            let mut a = [0u8; 16];
+            a.copy_from_slice(&bytes[8 + i * 16..8 + (i + 1) * 16]);
+            addresses.push(a);
+        }
+        Ok((
+            RoutingHeader { routing_type: bytes[2], segments_left: bytes[3], addresses },
+            next,
+            len,
+        ))
+    }
+}
+
+/// A fragment header (RFC 2460 §4.5).
+///
+/// The paper's line cards reassemble fragments, but a router still forwards
+/// foreign fragments unchanged, so the codec must understand the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FragmentHeader {
+    /// Offset of this fragment in 8-byte units.
+    pub offset: u16,
+    /// More-fragments flag.
+    pub more: bool,
+    /// Identification value shared by all fragments of a packet.
+    pub id: u32,
+}
+
+impl FragmentHeader {
+    /// Wire length: always 8 bytes.
+    pub const LEN: usize = 8;
+
+    fn encode(&self, next: u8, out: &mut Vec<u8>) {
+        out.push(next);
+        out.push(0); // reserved
+        let off_flags = (self.offset << 3) | u16::from(self.more);
+        out.extend_from_slice(&off_flags.to_be_bytes());
+        out.extend_from_slice(&self.id.to_be_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, u8, usize), ParseError> {
+        if bytes.len() < Self::LEN {
+            return Err(ParseError::Truncated { what: "fragment header", needed: Self::LEN, got: bytes.len() });
+        }
+        let next = bytes[0];
+        let off_flags = u16::from_be_bytes([bytes[2], bytes[3]]);
+        Ok((
+            FragmentHeader {
+                offset: off_flags >> 3,
+                more: off_flags & 1 == 1,
+                id: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            },
+            next,
+            Self::LEN,
+        ))
+    }
+}
+
+/// One parsed extension header together with its kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtensionHeader {
+    /// Hop-by-hop options (next-header value 0).
+    HopByHop(OptionsHeader),
+    /// Destination options (next-header value 60).
+    DestinationOptions(OptionsHeader),
+    /// Routing header (next-header value 43).
+    Routing(RoutingHeader),
+    /// Fragment header (next-header value 44).
+    Fragment(FragmentHeader),
+}
+
+impl ExtensionHeader {
+    /// The [`NextHeader`] value that introduces this header.
+    pub fn kind(&self) -> NextHeader {
+        match self {
+            ExtensionHeader::HopByHop(_) => NextHeader::HopByHop,
+            ExtensionHeader::DestinationOptions(_) => NextHeader::DestinationOptions,
+            ExtensionHeader::Routing(_) => NextHeader::Routing,
+            ExtensionHeader::Fragment(_) => NextHeader::Fragment,
+        }
+    }
+
+    /// Wire length of this header including padding.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            ExtensionHeader::HopByHop(o) | ExtensionHeader::DestinationOptions(o) => o.wire_len(),
+            ExtensionHeader::Routing(r) => r.wire_len(),
+            ExtensionHeader::Fragment(_) => FragmentHeader::LEN,
+        }
+    }
+
+    /// Encodes this header, writing `next` as its next-header field.
+    pub(crate) fn encode(&self, next: u8, out: &mut Vec<u8>) {
+        match self {
+            ExtensionHeader::HopByHop(o) | ExtensionHeader::DestinationOptions(o) => {
+                o.encode(next, out)
+            }
+            ExtensionHeader::Routing(r) => r.encode(next, out),
+            ExtensionHeader::Fragment(fh) => fh.encode(next, out),
+        }
+    }
+}
+
+/// Walks an extension-header chain starting with header type `first`.
+///
+/// Returns the parsed chain, the next-header value of the upper-layer
+/// protocol, and the byte offset at which the upper-layer payload starts.
+///
+/// # Errors
+///
+/// Propagates truncation and malformed-length errors from the individual
+/// header codecs.
+pub fn parse_chain(
+    first: NextHeader,
+    bytes: &[u8],
+) -> Result<(Vec<ExtensionHeader>, NextHeader, usize), ParseError> {
+    let mut chain = Vec::new();
+    let mut kind = first;
+    let mut offset = 0usize;
+    while kind.is_extension() {
+        let rest = &bytes[offset..];
+        let (hdr, next, len) = match kind {
+            NextHeader::HopByHop => {
+                let (o, n, l) = OptionsHeader::decode(rest)?;
+                (ExtensionHeader::HopByHop(o), n, l)
+            }
+            NextHeader::DestinationOptions => {
+                let (o, n, l) = OptionsHeader::decode(rest)?;
+                (ExtensionHeader::DestinationOptions(o), n, l)
+            }
+            NextHeader::Routing => {
+                let (r, n, l) = RoutingHeader::decode(rest)?;
+                (ExtensionHeader::Routing(r), n, l)
+            }
+            NextHeader::Fragment => {
+                let (fh, n, l) = FragmentHeader::decode(rest)?;
+                (ExtensionHeader::Fragment(fh), n, l)
+            }
+            _ => unreachable!("is_extension() guards the match"),
+        };
+        chain.push(hdr);
+        kind = NextHeader::from(next);
+        offset += len;
+    }
+    Ok((chain, kind, offset))
+}
+
+/// Encodes a chain of extension headers followed by upper-layer protocol
+/// `last`, returning the bytes and the next-header value to put in the fixed
+/// IPv6 header.
+pub fn encode_chain(chain: &[ExtensionHeader], last: NextHeader) -> (Vec<u8>, NextHeader) {
+    if chain.is_empty() {
+        return (Vec::new(), last);
+    }
+    let mut out = Vec::new();
+    for (i, hdr) in chain.iter().enumerate() {
+        let next: u8 = if i + 1 < chain.len() {
+            chain[i + 1].kind().into()
+        } else {
+            last.into()
+        };
+        hdr.encode(next, &mut out);
+    }
+    (out, chain[0].kind())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_options_header_is_8_bytes() {
+        let o = OptionsHeader::new();
+        assert_eq!(o.wire_len(), 8);
+        let mut buf = Vec::new();
+        o.encode(17, &mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf[0], 17);
+        assert_eq!(buf[1], 0);
+    }
+
+    #[test]
+    fn options_round_trip_with_padding() {
+        for n in 0..20 {
+            let o = OptionsHeader { options: (0..n).map(|i| i as u8 | 0x80).collect() };
+            let mut buf = Vec::new();
+            o.encode(58, &mut buf);
+            assert_eq!(buf.len() % 8, 0);
+            let (dec, next, len) = OptionsHeader::decode(&buf).unwrap();
+            assert_eq!(next, 58);
+            assert_eq!(len, buf.len());
+            // Decoded options include padding bytes; the prefix must match.
+            assert_eq!(&dec.options[..o.options.len()], &o.options[..]);
+        }
+    }
+
+    #[test]
+    fn routing_header_round_trip() {
+        let r = RoutingHeader {
+            routing_type: 0,
+            segments_left: 2,
+            addresses: vec![[1u8; 16], [2u8; 16]],
+        };
+        let mut buf = Vec::new();
+        r.encode(6, &mut buf);
+        assert_eq!(buf.len(), r.wire_len());
+        let (dec, next, len) = RoutingHeader::decode(&buf).unwrap();
+        assert_eq!((dec, next, len), (r, 6, 40));
+    }
+
+    #[test]
+    fn fragment_header_round_trip() {
+        let fh = FragmentHeader { offset: 185, more: true, id: 0xdead_beef };
+        let mut buf = Vec::new();
+        fh.encode(17, &mut buf);
+        let (dec, next, len) = FragmentHeader::decode(&buf).unwrap();
+        assert_eq!((dec, next, len), (fh, 17, 8));
+    }
+
+    #[test]
+    fn chain_round_trip() {
+        let chain = vec![
+            ExtensionHeader::HopByHop(OptionsHeader::new()),
+            ExtensionHeader::Routing(RoutingHeader {
+                routing_type: 0,
+                segments_left: 1,
+                addresses: vec![[9u8; 16]],
+            }),
+            ExtensionHeader::Fragment(FragmentHeader { offset: 0, more: false, id: 7 }),
+        ];
+        let (bytes, first) = encode_chain(&chain, NextHeader::Udp);
+        assert_eq!(first, NextHeader::HopByHop);
+        let (parsed, upper, consumed) = parse_chain(first, &bytes).unwrap();
+        assert_eq!(parsed, chain);
+        assert_eq!(upper, NextHeader::Udp);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn empty_chain() {
+        let (bytes, first) = encode_chain(&[], NextHeader::Icmpv6);
+        assert!(bytes.is_empty());
+        assert_eq!(first, NextHeader::Icmpv6);
+        let (parsed, upper, consumed) = parse_chain(first, &[]).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(upper, NextHeader::Icmpv6);
+        assert_eq!(consumed, 0);
+    }
+
+    #[test]
+    fn truncated_chain_errors() {
+        let chain = vec![ExtensionHeader::HopByHop(OptionsHeader::new())];
+        let (bytes, first) = encode_chain(&chain, NextHeader::Udp);
+        let err = parse_chain(first, &bytes[..4]).unwrap_err();
+        assert!(matches!(err, ParseError::Truncated { .. }));
+    }
+
+    #[test]
+    fn odd_routing_length_rejected() {
+        let mut buf = vec![17u8, 1, 0, 0, 0, 0, 0, 0];
+        buf.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            RoutingHeader::decode(&buf),
+            Err(ParseError::BadField { field: "routing hdr ext len", .. })
+        ));
+    }
+}

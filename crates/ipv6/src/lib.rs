@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! IPv6 packet substrate for the TACO protocol-processor evaluation framework.
+//!
+//! The paper's router receives *fully assembled, decapsulated IPv6 datagrams*
+//! from its line cards, validates them, performs a longest-prefix-match
+//! routing lookup, rewrites the hop limit and forwards them.  It also
+//! terminates RIPng (RFC 2080) control traffic carried over UDP.  This crate
+//! implements everything the router needs to see on the wire:
+//!
+//! * [`Ipv6Address`] / [`Ipv6Prefix`] — 128-bit addresses and CIDR prefixes
+//!   with the bit-level accessors the longest-prefix-match engines need;
+//! * [`Ipv6Header`] and the extension-header chain ([`exthdr`]) — parse and
+//!   build, including the variable-length chains that motivated the paper's
+//!   decision to copy whole datagrams into processor memory;
+//! * [`Datagram`] — a full packet with builder-style construction;
+//! * [`checksum`] — the RFC 1071 Internet checksum and the IPv6 pseudo-header
+//!   sum used by UDP and ICMPv6 (the TACO `Checksum` functional unit computes
+//!   exactly this);
+//! * [`udp::UdpDatagram`] and [`icmpv6`] messages;
+//! * [`ripng`] — the RIPng message codec used by the routing engine.
+//!
+//! # Examples
+//!
+//! Build a minimal UDP-over-IPv6 datagram and parse it back:
+//!
+//! ```
+//! use taco_ipv6::{Datagram, Ipv6Address, NextHeader};
+//!
+//! # fn main() -> Result<(), taco_ipv6::ParseError> {
+//! let src: Ipv6Address = "2001:db8::1".parse()?;
+//! let dst: Ipv6Address = "2001:db8::2".parse()?;
+//! let dgram = Datagram::builder(src, dst)
+//!     .hop_limit(64)
+//!     .payload(NextHeader::UDP, vec![0u8; 8])
+//!     .build();
+//! let bytes = dgram.to_bytes();
+//! let parsed = Datagram::parse(&bytes)?;
+//! assert_eq!(parsed.header().dst, dst);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod addr;
+pub mod checksum;
+pub mod error;
+pub mod exthdr;
+pub mod header;
+pub mod icmpv6;
+pub mod packet;
+pub mod prefix;
+pub mod ripng;
+pub mod udp;
+
+pub use addr::Ipv6Address;
+pub use error::ParseError;
+pub use exthdr::{ExtensionHeader, FragmentHeader, OptionsHeader, RoutingHeader};
+pub use header::{Ipv6Header, NextHeader};
+pub use packet::{Datagram, DatagramBuilder};
+pub use prefix::Ipv6Prefix;

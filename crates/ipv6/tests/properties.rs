@@ -1,0 +1,96 @@
+//! Crate-local property tests for the address/prefix algebra the
+//! longest-prefix-match engines are built on.
+
+use proptest::prelude::*;
+
+use taco_ipv6::{Ipv6Address, Ipv6Prefix};
+
+fn arb_addr() -> impl Strategy<Value = Ipv6Address> {
+    any::<[u8; 16]>().prop_map(Ipv6Address::new)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Ipv6Prefix> {
+    (arb_addr(), 0u8..=128)
+        .prop_map(|(a, len)| Ipv6Prefix::new(a, len).expect("len in range"))
+}
+
+proptest! {
+    #[test]
+    fn words_and_segments_round_trip(a in arb_addr()) {
+        prop_assert_eq!(Ipv6Address::from_words(a.to_words()), a);
+        prop_assert_eq!(Ipv6Address::from_segments(a.to_segments()), a);
+    }
+
+    #[test]
+    fn bit_accessors_agree_with_words(a in arb_addr(), bit in 0u8..128) {
+        let words = a.to_words();
+        let w = words[usize::from(bit) / 32];
+        let expect = (w >> (31 - u32::from(bit) % 32)) & 1 == 1;
+        prop_assert_eq!(a.bit(bit), expect);
+    }
+
+    #[test]
+    fn with_bit_is_idempotent_and_invertible(a in arb_addr(), bit in 0u8..128, v in any::<bool>()) {
+        let set = a.with_bit(bit, v);
+        prop_assert_eq!(set.bit(bit), v);
+        prop_assert_eq!(set.with_bit(bit, v), set);
+        prop_assert_eq!(set.with_bit(bit, a.bit(bit)), a);
+    }
+
+    #[test]
+    fn common_prefix_len_is_symmetric_and_bounded(a in arb_addr(), b in arb_addr()) {
+        let ab = a.common_prefix_len(&b);
+        prop_assert_eq!(ab, b.common_prefix_len(&a));
+        prop_assert!(ab <= 128);
+        // The claimed common bits really are common.
+        for bit in 0..ab {
+            prop_assert_eq!(a.bit(bit), b.bit(bit));
+        }
+        // And the next bit (if any) differs.
+        if ab < 128 {
+            prop_assert_ne!(a.bit(ab), b.bit(ab));
+        }
+    }
+
+    #[test]
+    fn truncated_matches_mask_words(a in arb_addr(), len in 0u8..=128) {
+        let p = Ipv6Prefix::new(a, len).expect("in range");
+        let mask = p.mask_words();
+        let t = a.truncated(len).to_words();
+        let aw = a.to_words();
+        for i in 0..4 {
+            prop_assert_eq!(t[i], aw[i] & mask[i]);
+        }
+    }
+
+    #[test]
+    fn prefix_contains_its_own_addresses(p in arb_prefix(), noise in any::<[u8; 16]>()) {
+        // Fill host bits with noise: the result must stay inside.
+        let mut a = p.addr();
+        for bit in p.len()..128 {
+            a = a.with_bit(bit, noise[usize::from(bit) / 8] & (1 << (bit % 8)) != 0);
+        }
+        prop_assert!(p.contains(&a));
+        // Canonicalisation: re-deriving the prefix from any member gives p.
+        prop_assert_eq!(Ipv6Prefix::new(a, p.len()).expect("in range"), p);
+    }
+
+    #[test]
+    fn covers_is_a_partial_order(p in arb_prefix(), q in arb_prefix()) {
+        prop_assert!(p.covers(&p));
+        if p.covers(&q) && q.covers(&p) {
+            prop_assert_eq!(p, q);
+        }
+        // covers implies contains of the network address.
+        if p.covers(&q) {
+            prop_assert!(p.contains(&q.addr()));
+            prop_assert!(p.len() <= q.len());
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(p in arb_prefix(), a in arb_addr()) {
+        prop_assert_eq!(p.to_string().parse::<Ipv6Prefix>().expect("parses"), p);
+        prop_assert_eq!(a.to_string().parse::<Ipv6Address>().expect("parses"), a);
+    }
+}

@@ -1,0 +1,461 @@
+//! The cycle-accurate router: microcode + simulator + table image.
+//!
+//! [`CycleRouter`] packages everything needed to *measure* a configuration:
+//! it schedules the forwarding microcode for a [`MachineConfig`], loads the
+//! routing-table image into simulated data memory, feeds datagrams through
+//! the iPPU and reads forwarded datagrams back from the oPPU.  The
+//! resulting cycle counts are the raw material of the paper's Table 1.
+
+use taco_ipv6::Datagram;
+use taco_isa::{opt, schedule, MachineConfig, MoveSeq};
+use taco_routing::{BalancedTreeTable, CamTable, LpmTable, PortId, TableKind};
+use taco_sim::{Processor, RtuBackend, RtuConfig, RtuResult, SimError, SimStats};
+
+use crate::layout::{
+    datagram_to_words, dgram_slot, serialize_sequential, serialize_tree, words_to_bytes,
+    DGRAM_SLOT_WORDS, TABLE_BASE,
+};
+use crate::microcode::{
+    cam_program, pad_sequential_image, sequential_program, tree_program, MicrocodeOptions,
+};
+
+/// The Routing Table Unit backend that wraps the CAM model: keys are the
+/// four destination-address words, answers carry the output interface.
+#[derive(Debug)]
+pub struct CamBackend(pub CamTable);
+
+impl RtuBackend for CamBackend {
+    fn lookup(&self, key: [u32; 4]) -> Option<RtuResult> {
+        let addr = taco_ipv6::Ipv6Address::from_words(key);
+        self.0.lookup(&addr).into_route().map(|r| RtuResult {
+            iface: u32::from(r.interface().0),
+            handle: 0,
+        })
+    }
+}
+
+/// A ready-to-run cycle-accurate router instance.
+#[derive(Debug)]
+pub struct CycleRouter {
+    kind: TableKind,
+    processor: Processor,
+    slots: Vec<(u32, usize)>,
+}
+
+impl CycleRouter {
+    /// Builds a router whose table is scanned **sequentially** in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors (they indicate microcode
+    /// bugs, not user error) and fails if the table image does not fit the
+    /// memory map.
+    pub fn sequential(
+        config: &MachineConfig,
+        table: &taco_routing::SequentialTable,
+        opts: &MicrocodeOptions,
+    ) -> Result<Self, SimError> {
+        let mut image = serialize_sequential(table);
+        pad_sequential_image(&mut image, opts.unroll);
+        let padded_entries = image.len() / crate::layout::SEQ_ENTRY_WORDS as usize;
+        let tuned = MicrocodeOptions {
+            screen_word: crate::microcode::choose_screen_word(table),
+            ..*opts
+        };
+        let seq = sequential_program(padded_entries, &tuned);
+        Self::build(TableKind::Sequential, config, seq, image, None)
+    }
+
+    /// Builds a router over the **balanced-tree** image.
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::sequential`].
+    pub fn tree(
+        config: &MachineConfig,
+        table: &BalancedTreeTable,
+        opts: &MicrocodeOptions,
+    ) -> Result<Self, SimError> {
+        let image = serialize_tree(table);
+        let seq = tree_program(opts);
+        Self::build(TableKind::BalancedTree, config, seq, image, None)
+    }
+
+    /// Builds a router over the **unibit-trie** image — the software
+    /// baseline whose probe count tracks prefix depth rather than table
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::sequential`].
+    pub fn trie(
+        config: &MachineConfig,
+        table: &taco_routing::TrieTable,
+        opts: &MicrocodeOptions,
+    ) -> Result<Self, SimError> {
+        let image = crate::layout::serialize_trie(table);
+        let seq = crate::microcode::trie_program(opts);
+        Self::build(TableKind::Trie, config, seq, image, None)
+    }
+
+    /// Builds a router whose lookups go to a **CAM-backed RTU** with the
+    /// given search latency in cycles (`ceil(40 ns × f_clk)` for the
+    /// paper's part — see [`CamSpec::search_cycles`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::sequential`].
+    ///
+    /// [`CamSpec::search_cycles`]: taco_routing::cam::CamSpec::search_cycles
+    pub fn cam(
+        config: &MachineConfig,
+        table: CamTable,
+        rtu_latency: u32,
+        opts: &MicrocodeOptions,
+    ) -> Result<Self, SimError> {
+        let seq = cam_program(opts);
+        let rtu = RtuConfig::new(Box::new(CamBackend(table))).with_latency(rtu_latency);
+        Self::build(TableKind::Cam, config, seq, Vec::new(), Some(rtu))
+    }
+
+    fn build(
+        kind: TableKind,
+        config: &MachineConfig,
+        mut seq: MoveSeq,
+        image: Vec<u32>,
+        rtu: Option<RtuConfig>,
+    ) -> Result<Self, SimError> {
+        opt::optimize(&mut seq);
+        let mut program = schedule(&seq, config);
+        program
+            .resolve_labels()
+            .map_err(SimError::UnresolvedLabel)?;
+        debug_assert_eq!(
+            taco_isa::validate_schedule(&program, config),
+            Ok(()),
+            "generated {kind} microcode failed structural validation"
+        );
+        let mut processor = Processor::new(config.clone(), program)?;
+        processor.memory_mut().load(TABLE_BASE, &image)?;
+        if let Some(rtu) = rtu {
+            processor.set_rtu(rtu);
+        }
+        Ok(CycleRouter { kind, processor, slots: Vec::new() })
+    }
+
+    /// The table organisation this instance implements.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// The underlying simulator, for fine-grained inspection.
+    pub fn processor(&self) -> &Processor {
+        &self.processor
+    }
+
+    /// Copies `datagram` into the next buffer slot and queues it at the
+    /// iPPU as having arrived on `port`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the buffer area is exhausted (or the datagram exceeds a
+    /// slot) — enqueue at most ~100 datagrams per run.
+    pub fn enqueue(&mut self, port: PortId, datagram: &Datagram) -> Result<(), SimError> {
+        let slot = self.slots.len() as u32;
+        let addr = dgram_slot(slot);
+        let words = datagram_to_words(datagram);
+        if words.len() as u32 > DGRAM_SLOT_WORDS {
+            return Err(SimError::MemoryOutOfBounds {
+                addr: addr + words.len() as u32,
+                size: self.processor.memory().size(),
+            });
+        }
+        self.processor.memory_mut().load(addr, &words)?;
+        self.processor.push_input(addr, u32::from(port.0));
+        self.slots.push((addr, datagram.wire_len()));
+        Ok(())
+    }
+
+    /// Runs until the program halts (batch mode drains the input queue and
+    /// stops), returning the collected statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults and the watchdog.
+    pub fn run(&mut self, budget: u64) -> Result<SimStats, SimError> {
+        self.processor.run(budget)
+    }
+
+    /// Forwarded datagrams in emission order, parsed back out of data
+    /// memory, as `(output port, datagram)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microcode emitted a pointer that was never enqueued or
+    /// corrupted a datagram beyond parsing — both are simulator-level bugs
+    /// that tests must surface loudly.
+    pub fn forwarded(&self) -> Vec<(PortId, Datagram)> {
+        self.processor
+            .outputs()
+            .iter()
+            .map(|&(ptr, iface)| {
+                let &(addr, byte_len) = self
+                    .slots
+                    .iter()
+                    .find(|(a, _)| *a == ptr)
+                    .unwrap_or_else(|| panic!("oppu emitted unknown pointer {ptr:#x}"));
+                let words = self
+                    .processor
+                    .memory()
+                    .read_block(addr, byte_len.div_ceil(4) as u32)
+                    .expect("slot fits memory");
+                let bytes = words_to_bytes(words, byte_len);
+                let datagram = Datagram::parse(&bytes).expect("forwarded datagram reparses");
+                (PortId(iface as u16), datagram)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_ipv6::NextHeader;
+    use taco_routing::{Route, SequentialTable};
+
+    fn route(p: &str, port: u16) -> Route {
+        Route::new(p.parse().unwrap(), "fe80::1".parse().unwrap(), PortId(port), 1)
+    }
+
+    fn dgram(dst: &str, hl: u8) -> Datagram {
+        Datagram::builder("2001:db8:99::1".parse().unwrap(), dst.parse().unwrap())
+            .hop_limit(hl)
+            .payload(NextHeader::Udp, vec![0xab; 16])
+            .build()
+    }
+
+    fn seq_router(config: MachineConfig) -> CycleRouter {
+        let table = SequentialTable::from_routes([
+            route("2001:db8::/32", 1),
+            route("2001:db8:aa::/48", 2),
+            route("::/0", 3),
+        ]);
+        CycleRouter::sequential(&config, &table, &MicrocodeOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn sequential_forwards_longest_match() {
+        let mut r = seq_router(MachineConfig::three_bus_one_fu());
+        r.enqueue(PortId(0), &dgram("2001:db8:aa::5", 64)).unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8:bb::5", 64)).unwrap();
+        r.enqueue(PortId(0), &dgram("9999::1", 64)).unwrap();
+        r.run(1_000_000).unwrap();
+        let out = r.forwarded();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, PortId(2));
+        assert_eq!(out[1].0, PortId(1));
+        assert_eq!(out[2].0, PortId(3));
+        // Hop limits decremented in memory.
+        assert!(out.iter().all(|(_, d)| d.header().hop_limit == 63));
+    }
+
+    #[test]
+    fn sequential_drops_hop_limit_expired() {
+        let mut r = seq_router(MachineConfig::three_bus_one_fu());
+        r.enqueue(PortId(0), &dgram("2001:db8::5", 1)).unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8::5", 0)).unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8::5", 2)).unwrap();
+        r.run(1_000_000).unwrap();
+        let out = r.forwarded();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.header().hop_limit, 1);
+    }
+
+    #[test]
+    fn sequential_miss_drops() {
+        let table = SequentialTable::from_routes([route("2001:db8::/32", 1)]);
+        let mut r = CycleRouter::sequential(
+            &MachineConfig::three_bus_one_fu(),
+            &table,
+            &MicrocodeOptions::default(),
+        )
+        .unwrap();
+        r.enqueue(PortId(0), &dgram("9999::1", 64)).unwrap();
+        r.run(1_000_000).unwrap();
+        assert!(r.forwarded().is_empty());
+    }
+
+    #[test]
+    fn tree_forwards_longest_match() {
+        let table = BalancedTreeTable::from_routes([
+            route("2001:db8::/32", 1),
+            route("2001:db8:aa::/48", 2),
+            route("::/0", 3),
+        ]);
+        let mut r = CycleRouter::tree(
+            &MachineConfig::three_bus_one_fu(),
+            &table,
+            &MicrocodeOptions::default(),
+        )
+        .unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8:aa::5", 64)).unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8:bb::5", 64)).unwrap();
+        r.enqueue(PortId(0), &dgram("9999::1", 64)).unwrap();
+        r.run(1_000_000).unwrap();
+        let ports: Vec<u16> = r.forwarded().iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ports, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn trie_forwards_longest_match() {
+        let table = taco_routing::TrieTable::from_routes([
+            route("2001:db8::/32", 1),
+            route("2001:db8:aa::/48", 2),
+            route("::/0", 3),
+        ]);
+        let mut r = CycleRouter::trie(
+            &MachineConfig::three_bus_one_fu(),
+            &table,
+            &MicrocodeOptions::default(),
+        )
+        .unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8:aa::5", 64)).unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8:bb::5", 64)).unwrap();
+        r.enqueue(PortId(0), &dgram("9999::1", 64)).unwrap();
+        r.run(10_000_000).unwrap();
+        let ports: Vec<u16> = r.forwarded().iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ports, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn trie_handles_host_route_and_miss() {
+        let table = taco_routing::TrieTable::from_routes([
+            route("2001:db8::7/128", 5),
+        ]);
+        let mut r = CycleRouter::trie(
+            &MachineConfig::three_bus_one_fu(),
+            &table,
+            &MicrocodeOptions::default(),
+        )
+        .unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8::7", 64)).unwrap(); // exact /128 hit
+        r.enqueue(PortId(0), &dgram("2001:db8::8", 64)).unwrap(); // miss
+        r.run(10_000_000).unwrap();
+        let ports: Vec<u16> = r.forwarded().iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ports, vec![5]);
+    }
+
+    #[test]
+    fn trie_cost_tracks_prefix_depth_not_size() {
+        let cost = |routes: Vec<taco_routing::Route>| -> u64 {
+            let table = taco_routing::TrieTable::from_routes(routes);
+            let mut r = CycleRouter::trie(
+                &MachineConfig::one_bus_one_fu(),
+                &table,
+                &MicrocodeOptions::default(),
+            )
+            .unwrap();
+            r.enqueue(PortId(0), &dgram("2001:db8:1::9", 64)).unwrap();
+            r.run(10_000_000).unwrap().cycles
+        };
+        // Same /48 depth, 4 vs 64 entries: near-identical cost.
+        let small = cost((0..4u16).map(|i| route(&format!("2001:db8:{i:x}::/48"), i)).collect());
+        let large = cost((0..64u16).map(|i| route(&format!("2001:db8:{i:x}::/48"), i)).collect());
+        let ratio = large as f64 / small as f64;
+        assert!(ratio < 1.15, "trie cost must track depth, not size: {small} vs {large}");
+    }
+
+    #[test]
+    fn cam_forwards_and_stalls() {
+        let table = CamTable::from_routes([route("2001:db8::/32", 1), route("::/0", 3)]);
+        let mut r = CycleRouter::cam(
+            &MachineConfig::three_bus_one_fu(),
+            table,
+            8,
+            &MicrocodeOptions::default(),
+        )
+        .unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8::5", 64)).unwrap();
+        let stats = r.run(1_000_000).unwrap();
+        assert_eq!(r.forwarded()[0].0, PortId(1));
+        assert!(stats.stall_cycles > 0, "cam latency should stall: {stats}");
+    }
+
+    #[test]
+    fn per_datagram_cost_is_linear_in_table_size_for_sequential() {
+        let cost = |n: usize| -> u64 {
+            let table = SequentialTable::from_routes(
+                (0..n as u16).map(|i| route(&format!("2001:db8:{i:x}::/48"), i)),
+            );
+            let mut r = CycleRouter::sequential(
+                &MachineConfig::one_bus_one_fu(),
+                &table,
+                &MicrocodeOptions::default(),
+            )
+            .unwrap();
+            // Worst case: no entry matches.
+            r.enqueue(PortId(0), &dgram("9999::1", 64)).unwrap();
+            r.run(10_000_000).unwrap().cycles
+        };
+        let c25 = cost(25);
+        let c100 = cost(100);
+        let ratio = c100 as f64 / c25 as f64;
+        assert!((3.0..5.0).contains(&ratio), "expected ~4x, got {ratio} ({c25} vs {c100})");
+    }
+
+    #[test]
+    fn tree_cost_is_logarithmic() {
+        let cost = |n: usize| -> u64 {
+            let table = BalancedTreeTable::from_routes(
+                (0..n as u16).map(|i| route(&format!("2001:db8:{i:x}::/48"), i)),
+            );
+            let mut r = CycleRouter::tree(
+                &MachineConfig::one_bus_one_fu(),
+                &table,
+                &MicrocodeOptions::default(),
+            )
+            .unwrap();
+            r.enqueue(PortId(0), &dgram("9999::1", 64)).unwrap();
+            r.run(10_000_000).unwrap().cycles
+        };
+        let c25 = cost(25);
+        let c100 = cost(100);
+        // log2(201)/log2(51) ≈ 1.35 — nowhere near the 4x of a linear scan.
+        assert!(
+            (c100 as f64) < 1.8 * c25 as f64,
+            "tree should be logarithmic: {c25} vs {c100}"
+        );
+    }
+
+    #[test]
+    fn empty_tables_drop_everything_on_all_engines() {
+        let config = MachineConfig::three_bus_one_fu();
+        let opts = MicrocodeOptions::default();
+        let d = dgram("2001:db8::1", 64);
+        let mut routers: Vec<CycleRouter> = vec![
+            CycleRouter::sequential(&config, &SequentialTable::new(), &opts).unwrap(),
+            CycleRouter::tree(&config, &BalancedTreeTable::new(), &opts).unwrap(),
+            CycleRouter::trie(&config, &taco_routing::TrieTable::new(), &opts).unwrap(),
+            CycleRouter::cam(&config, CamTable::new(), 2, &opts).unwrap(),
+        ];
+        for r in &mut routers {
+            r.enqueue(PortId(0), &d).unwrap();
+            r.run(1_000_000).unwrap_or_else(|e| panic!("{:?} hung: {e}", r.kind()));
+            assert!(r.forwarded().is_empty(), "{:?}", r.kind());
+        }
+    }
+
+    #[test]
+    fn more_buses_forward_in_fewer_cycles() {
+        let run = |config: MachineConfig| -> u64 {
+            let mut r = seq_router(config);
+            r.enqueue(PortId(0), &dgram("2001:db8:aa::5", 64)).unwrap();
+            r.run(10_000_000).unwrap().cycles
+        };
+        let one = run(MachineConfig::one_bus_one_fu());
+        let three = run(MachineConfig::three_bus_one_fu());
+        let wide = run(MachineConfig::three_bus_three_fu());
+        assert!(three < one, "3 buses ({three}) must beat 1 bus ({one})");
+        assert!(wide <= three, "3 FUs ({wide}) must not lose to 1 FU ({three})");
+    }
+}

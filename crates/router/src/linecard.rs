@@ -1,0 +1,148 @@
+//! Line-card models.
+//!
+//! "Each network card contains a set of independent input and output
+//! registers that can be read and written by the processor.  The line cards
+//! deal with implementing the protocol and its specific tasks, provide
+//! fully assembled decapsulated IPv6 datagrams to the processor, take care
+//! of fragmentation and encapsulation of outgoing datagrams, and also
+//! resolve ARP/RARP requests."
+//!
+//! The paper treats line cards as commercial black boxes (Intel IFX18103,
+//! Cisco GigE); [`LineCard`] models exactly the visible behaviour: an input
+//! queue of complete datagrams and an output buffer, with an MTU check on
+//! ingress.
+
+use std::collections::VecDeque;
+
+use taco_ipv6::Datagram;
+use taco_routing::PortId;
+
+/// Default Ethernet MTU in bytes.
+pub const DEFAULT_MTU: usize = 1500;
+
+/// One line card: a router port with input and output buffers.
+#[derive(Debug, Clone, Default)]
+pub struct LineCard {
+    port: PortId,
+    mtu: usize,
+    input: VecDeque<Datagram>,
+    output: Vec<Datagram>,
+    dropped_oversize: u64,
+}
+
+impl LineCard {
+    /// Creates a line card for `port` with the default Ethernet MTU.
+    pub fn new(port: PortId) -> Self {
+        LineCard { port, mtu: DEFAULT_MTU, ..LineCard::default() }
+    }
+
+    /// Creates a line card with an explicit MTU.
+    pub fn with_mtu(port: PortId, mtu: usize) -> Self {
+        LineCard { port, mtu, ..LineCard::default() }
+    }
+
+    /// The port this card serves.
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// The configured MTU in bytes.
+    pub fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    /// A frame arrives from the wire.  Oversize datagrams are dropped (the
+    /// real card would never have reassembled them); returns `true` if the
+    /// datagram was queued.
+    pub fn receive(&mut self, datagram: Datagram) -> bool {
+        if datagram.wire_len() > self.mtu {
+            self.dropped_oversize += 1;
+            return false;
+        }
+        self.input.push_back(datagram);
+        true
+    }
+
+    /// The processor polls the input buffer (the iPPU's scan).
+    pub fn poll_input(&mut self) -> Option<Datagram> {
+        self.input.pop_front()
+    }
+
+    /// Number of datagrams waiting in the input buffer.
+    pub fn pending(&self) -> usize {
+        self.input.len()
+    }
+
+    /// The processor writes a finished datagram to the output buffer (the
+    /// oPPU's drain).
+    pub fn transmit(&mut self, datagram: Datagram) {
+        self.output.push(datagram);
+    }
+
+    /// Datagrams the card has put on the wire so far.
+    pub fn transmitted(&self) -> &[Datagram] {
+        &self.output
+    }
+
+    /// Removes and returns everything transmitted so far.
+    pub fn drain_transmitted(&mut self) -> Vec<Datagram> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Oversize datagrams rejected at ingress.
+    pub fn dropped_oversize(&self) -> u64 {
+        self.dropped_oversize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_ipv6::NextHeader;
+
+    fn dgram(payload: usize) -> Datagram {
+        Datagram::builder("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+            .payload(NextHeader::Udp, vec![0u8; payload])
+            .build()
+    }
+
+    #[test]
+    fn fifo_input_order() {
+        let mut lc = LineCard::new(PortId(0));
+        let a = dgram(1);
+        let b = dgram(2);
+        lc.receive(a.clone());
+        lc.receive(b.clone());
+        assert_eq!(lc.pending(), 2);
+        assert_eq!(lc.poll_input(), Some(a));
+        assert_eq!(lc.poll_input(), Some(b));
+        assert_eq!(lc.poll_input(), None);
+    }
+
+    #[test]
+    fn oversize_dropped() {
+        let mut lc = LineCard::with_mtu(PortId(1), 100);
+        assert!(!lc.receive(dgram(200)));
+        assert!(lc.receive(dgram(10)));
+        assert_eq!(lc.dropped_oversize(), 1);
+        assert_eq!(lc.pending(), 1);
+    }
+
+    #[test]
+    fn transmit_accumulates_and_drains() {
+        let mut lc = LineCard::new(PortId(2));
+        lc.transmit(dgram(1));
+        lc.transmit(dgram(2));
+        assert_eq!(lc.transmitted().len(), 2);
+        let all = lc.drain_transmitted();
+        assert_eq!(all.len(), 2);
+        assert!(lc.transmitted().is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let lc = LineCard::new(PortId(3));
+        assert_eq!(lc.port(), PortId(3));
+        assert_eq!(lc.mtu(), DEFAULT_MTU);
+    }
+}

@@ -1,0 +1,246 @@
+//! Synthetic workload generation.
+//!
+//! The paper evaluated against the 10 Gbps line-rate requirement with a
+//! ≤100-entry routing table; real traces are not available, so this module
+//! generates the equivalent synthetic inputs: random-but-reproducible
+//! routing tables, destination addresses that hit or miss them, forwarding
+//! datagrams, and RIPng control traffic — everything the routers (both
+//! cycle-accurate and behavioural) consume.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use taco_ipv6::ripng::{Command, RipngPacket, RouteEntry};
+use taco_ipv6::{Datagram, Ipv6Address, Ipv6Prefix, NextHeader};
+use taco_routing::{PortId, Route};
+
+/// A deterministic workload generator (seeded [`SmallRng`]).
+#[derive(Debug, Clone)]
+pub struct TrafficGen {
+    rng: SmallRng,
+    ports: u16,
+}
+
+impl TrafficGen {
+    /// Creates a generator with `ports` router ports and a fixed `seed`.
+    pub fn new(seed: u64, ports: u16) -> Self {
+        TrafficGen { rng: SmallRng::seed_from_u64(seed), ports: ports.max(1) }
+    }
+
+    /// A random global-unicast prefix with length in `16..=64` (multiples
+    /// of 4, like real allocations).
+    pub fn prefix(&mut self) -> Ipv6Prefix {
+        let len = self.rng.gen_range(4..=16) * 4;
+        let mut octets = [0u8; 16];
+        self.rng.fill(&mut octets);
+        octets[0] = 0x20 | (octets[0] & 0x0f); // 2000::/4 global unicast
+        Ipv6Prefix::new(Ipv6Address::new(octets), len).expect("len <= 64")
+    }
+
+    /// A random routing table of `n` distinct prefixes (plus an optional
+    /// default route), with next hops on random ports.
+    pub fn table(&mut self, n: usize, with_default: bool) -> Vec<Route> {
+        let mut routes = Vec::with_capacity(n + 1);
+        let mut seen = std::collections::BTreeSet::new();
+        while routes.len() < n {
+            let p = self.prefix();
+            if !seen.insert(p) {
+                continue;
+            }
+            routes.push(Route::new(
+                p,
+                self.link_local(),
+                PortId(self.rng.gen_range(0..self.ports)),
+                self.rng.gen_range(1..=8),
+            ));
+        }
+        if with_default {
+            routes.push(Route::new(
+                Ipv6Prefix::DEFAULT_ROUTE,
+                self.link_local(),
+                PortId(self.rng.gen_range(0..self.ports)),
+                15,
+            ));
+        }
+        routes
+    }
+
+    /// A random link-local address (`fe80::/64` host part).
+    pub fn link_local(&mut self) -> Ipv6Address {
+        let mut octets = [0u8; 16];
+        self.rng.fill(&mut octets[8..]);
+        octets[0] = 0xfe;
+        octets[1] = 0x80;
+        for b in &mut octets[2..8] {
+            *b = 0;
+        }
+        Ipv6Address::new(octets)
+    }
+
+    /// An address inside `prefix` (random host bits).
+    pub fn addr_in(&mut self, prefix: &Ipv6Prefix) -> Ipv6Address {
+        let mut addr = prefix.addr();
+        for bit in prefix.len()..128 {
+            addr = addr.with_bit(bit, self.rng.gen_bool(0.5));
+        }
+        addr
+    }
+
+    /// A destination drawn from `routes` with probability `hit_ratio`,
+    /// otherwise a (very likely) unrouted address in `4000::/4`.
+    pub fn destination(&mut self, routes: &[Route], hit_ratio: f64) -> Ipv6Address {
+        if !routes.is_empty() && self.rng.gen_bool(hit_ratio.clamp(0.0, 1.0)) {
+            let r = routes[self.rng.gen_range(0..routes.len())];
+            self.addr_in(&r.prefix())
+        } else {
+            let mut octets = [0u8; 16];
+            self.rng.fill(&mut octets);
+            octets[0] = 0x40 | (octets[0] & 0x0f);
+            Ipv6Address::new(octets)
+        }
+    }
+
+    /// A forwarding datagram to `dst` with `payload_len` payload bytes.
+    pub fn datagram(&mut self, dst: Ipv6Address, payload_len: usize) -> Datagram {
+        let mut src = [0u8; 16];
+        self.rng.fill(&mut src);
+        src[0] = 0x20;
+        Datagram::builder(Ipv6Address::new(src), dst)
+            .hop_limit(self.rng.gen_range(2..=255))
+            .flow_label(self.rng.gen_range(0..1 << 20))
+            .payload(NextHeader::Udp, vec![0u8; payload_len])
+            .build()
+    }
+
+    /// A batch of `k` forwarding datagrams over `routes` as
+    /// `(arrival port, datagram)` pairs.
+    pub fn forwarding_workload(
+        &mut self,
+        routes: &[Route],
+        k: usize,
+        hit_ratio: f64,
+        payload_len: usize,
+    ) -> Vec<(PortId, Datagram)> {
+        (0..k)
+            .map(|_| {
+                let dst = self.destination(routes, hit_ratio);
+                let port = PortId(self.rng.gen_range(0..self.ports));
+                (port, self.datagram(dst, payload_len))
+            })
+            .collect()
+    }
+
+    /// A RIPng response advertising `routes` (as a neighbour would), ready
+    /// to wrap in UDP.
+    pub fn ripng_response(&mut self, routes: &[Route]) -> RipngPacket {
+        RipngPacket {
+            command: Command::Response,
+            entries: routes
+                .iter()
+                .map(|r| RouteEntry::new(r.prefix(), r.route_tag(), r.metric().clamp(1, 15)))
+                .collect(),
+        }
+    }
+}
+
+/// Wraps a RIPng packet in UDP/IPv6 multicast to `ff02::9`, as RIPng
+/// updates travel on the wire (RFC 2080 §2.5.1).
+pub fn ripng_datagram(from: Ipv6Address, packet: &RipngPacket) -> Datagram {
+    let udp = taco_ipv6::udp::UdpDatagram::new(
+        taco_ipv6::ripng::PORT,
+        taco_ipv6::ripng::PORT,
+        packet.to_bytes(),
+        &from,
+        &Ipv6Address::ALL_RIPNG_ROUTERS,
+    );
+    Datagram::builder(from, Ipv6Address::ALL_RIPNG_ROUTERS)
+        .hop_limit(255)
+        .payload(NextHeader::Udp, udp.to_bytes())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_routing::{LpmTable, SequentialTable};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t1 = TrafficGen::new(7, 4).table(20, true);
+        let t2 = TrafficGen::new(7, 4).table(20, true);
+        assert_eq!(t1, t2);
+        let t3 = TrafficGen::new(8, 4).table(20, true);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn table_has_requested_size_and_distinct_prefixes() {
+        let routes = TrafficGen::new(1, 4).table(50, false);
+        assert_eq!(routes.len(), 50);
+        let mut prefixes: Vec<_> = routes.iter().map(|r| r.prefix()).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), 50);
+        assert!(routes.iter().all(|r| (16..=64).contains(&r.prefix().len())));
+    }
+
+    #[test]
+    fn addr_in_respects_prefix() {
+        let mut g = TrafficGen::new(2, 4);
+        for _ in 0..50 {
+            let p = g.prefix();
+            let a = g.addr_in(&p);
+            assert!(p.contains(&a), "{a} not in {p}");
+        }
+    }
+
+    #[test]
+    fn hit_ratio_extremes() {
+        let mut g = TrafficGen::new(3, 4);
+        let routes = g.table(20, false);
+        let table = SequentialTable::from_routes(routes.iter().copied());
+        for _ in 0..30 {
+            let hit = g.destination(&routes, 1.0);
+            assert!(table.lookup(&hit).is_hit(), "{hit}");
+            let miss = g.destination(&routes, 0.0);
+            assert!(!table.lookup(&miss).is_hit(), "{miss}");
+        }
+    }
+
+    #[test]
+    fn workload_shape() {
+        let mut g = TrafficGen::new(4, 4);
+        let routes = g.table(10, true);
+        let wl = g.forwarding_workload(&routes, 25, 0.9, 64);
+        assert_eq!(wl.len(), 25);
+        assert!(wl.iter().all(|(p, _)| p.0 < 4));
+        assert!(wl.iter().all(|(_, d)| d.payload().len() == 64));
+        assert!(wl.iter().all(|(_, d)| d.header().hop_limit >= 2));
+    }
+
+    #[test]
+    fn link_local_shape() {
+        let mut g = TrafficGen::new(5, 4);
+        for _ in 0..10 {
+            assert!(g.link_local().is_link_local());
+        }
+    }
+
+    #[test]
+    fn ripng_datagram_parses_back() {
+        let mut g = TrafficGen::new(6, 4);
+        let routes = g.table(5, false);
+        let pkt = g.ripng_response(&routes);
+        let from = g.link_local();
+        let d = ripng_datagram(from, &pkt);
+        assert_eq!(d.header().dst, Ipv6Address::ALL_RIPNG_ROUTERS);
+        let udp = taco_ipv6::udp::UdpDatagram::parse(
+            d.payload(),
+            &from,
+            &Ipv6Address::ALL_RIPNG_ROUTERS,
+        )
+        .unwrap();
+        assert_eq!(udp.header().dst_port, taco_ipv6::ripng::PORT);
+        assert_eq!(RipngPacket::parse(udp.data()).unwrap(), pkt);
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Routing-table substrate for the TACO IPv6 router.
+//!
+//! The paper's central design question is *how to implement the routing
+//! table*, because "the Routing Table implementation is the most important
+//! aspect of a router's performance".  Three organisations are evaluated:
+//!
+//! * [`SequentialTable`] — entries organised sequentially in a cache memory;
+//!   linear search time (the paper's first case);
+//! * [`BalancedTreeTable`] — a balanced search tree over prefix ranges;
+//!   logarithmic search time at the price of "much more complex" insertion
+//!   and deletion (the paper's second case);
+//! * [`CamTable`] — a 136-bit-wide content-addressable memory paired with an
+//!   SRAM, searching in a fixed ~40 ns regardless of table size (the paper's
+//!   third case);
+//!
+//! plus a [`TrieTable`] binary-trie baseline for cross-checking, since every
+//! engine must produce identical longest-prefix-match answers.
+//!
+//! All engines implement [`LpmTable`] and report the number of elementary
+//! probes each lookup performed ([`Lookup::steps`]); the cycle-accurate
+//! router charges processor cycles per probe, which is where Table 1's
+//! frequency requirements come from.
+//!
+//! The crate also contains the [`ripng`] routing engine (RFC 2080): timers,
+//! split horizon with poisoned reverse, triggered updates — the control
+//! plane that populates the tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use taco_routing::{LpmTable, PortId, Route, SequentialTable};
+//!
+//! # fn main() -> Result<(), taco_ipv6::ParseError> {
+//! let mut table = SequentialTable::new();
+//! table.insert(Route::new("2001:db8::/32".parse()?, "fe80::1".parse()?, PortId(1), 1));
+//! table.insert(Route::new("2001:db8:aa::/48".parse()?, "fe80::2".parse()?, PortId(2), 1));
+//!
+//! let hit = table.lookup(&"2001:db8:aa::77".parse()?);
+//! assert_eq!(hit.route().unwrap().interface(), PortId(2)); // longest match wins
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cam;
+pub mod clock;
+pub mod ripng;
+pub mod route;
+pub mod sequential;
+pub mod table;
+pub mod tree;
+pub mod trie;
+
+pub use cam::CamTable;
+pub use clock::SimTime;
+pub use route::{PortId, Route};
+pub use sequential::SequentialTable;
+pub use table::{Lookup, LpmTable, TableKind};
+pub use tree::BalancedTreeTable;
+pub use trie::TrieTable;

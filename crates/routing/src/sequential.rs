@@ -1,0 +1,217 @@
+//! The sequential routing table: the paper's first case.
+//!
+//! "As the first case we implemented the routing table using a cache memory
+//! in which the entries are organized sequentially."  Search time is linear
+//! in the number of entries, which is why this organisation demands a 6 GHz
+//! clock in the single-bus configuration of Table 1.
+
+use taco_ipv6::{Ipv6Address, Ipv6Prefix};
+
+use crate::route::Route;
+use crate::table::{Lookup, LpmTable, TableKind};
+
+/// A linear-scan longest-prefix-match table.
+///
+/// Entries are kept sorted by descending prefix length (ties broken by
+/// prefix order), so the *first* matching entry during a scan is the longest
+/// match and the scan can stop there — exactly the strategy the router
+/// microcode uses when it walks the table in data memory with the Counter /
+/// Masker / Matcher functional units.
+///
+/// # Examples
+///
+/// ```
+/// use taco_routing::{LpmTable, PortId, Route, SequentialTable};
+///
+/// # fn main() -> Result<(), taco_ipv6::ParseError> {
+/// let mut t = SequentialTable::new();
+/// t.insert(Route::new("::/0".parse()?, "fe80::9".parse()?, PortId(9), 15));
+/// t.insert(Route::new("2001:db8::/32".parse()?, "fe80::1".parse()?, PortId(1), 1));
+///
+/// // The /32 is scanned before the default route.
+/// let hit = t.lookup(&"2001:db8::5".parse()?);
+/// assert_eq!(hit.steps(), 1);
+/// let miss_to_default = t.lookup(&"9999::1".parse()?);
+/// assert_eq!(miss_to_default.route().unwrap().interface(), PortId(9));
+/// assert_eq!(miss_to_default.steps(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequentialTable {
+    /// Sorted by descending prefix length, then by prefix.
+    entries: Vec<Route>,
+}
+
+impl SequentialTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table from an iterator of routes (later duplicates replace
+    /// earlier ones, as with repeated [`LpmTable::insert`] calls).
+    pub fn from_routes<I: IntoIterator<Item = Route>>(routes: I) -> Self {
+        let mut t = Self::new();
+        for r in routes {
+            t.insert(r);
+        }
+        t
+    }
+
+    /// The entries in scan order (longest prefixes first) — the order in
+    /// which the router lays the table out in data memory.
+    pub fn entries(&self) -> &[Route] {
+        &self.entries
+    }
+
+    fn position(&self, prefix: &Ipv6Prefix) -> Result<usize, usize> {
+        self.entries.binary_search_by(|r| {
+            // Descending length, then ascending prefix.
+            prefix
+                .len()
+                .cmp(&r.prefix().len())
+                .then_with(|| r.prefix().cmp(prefix))
+        })
+    }
+}
+
+impl LpmTable for SequentialTable {
+    fn kind(&self) -> TableKind {
+        TableKind::Sequential
+    }
+
+    fn insert(&mut self, route: Route) -> Option<Route> {
+        match self.position(&route.prefix()) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i], route)),
+            Err(i) => {
+                self.entries.insert(i, route);
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, prefix: &Ipv6Prefix) -> Option<Route> {
+        match self.position(prefix) {
+            Ok(i) => Some(self.entries.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    fn lookup(&self, addr: &Ipv6Address) -> Lookup {
+        for (i, r) in self.entries.iter().enumerate() {
+            if r.prefix().contains(addr) {
+                return Lookup::hit(*r, (i + 1) as u32);
+            }
+        }
+        Lookup::miss(self.entries.len() as u32)
+    }
+
+    fn get(&self, prefix: &Ipv6Prefix) -> Option<Route> {
+        self.position(prefix).ok().map(|i| self.entries[i])
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn routes(&self) -> Vec<Route> {
+        self.entries.clone()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl FromIterator<Route> for SequentialTable {
+    fn from_iter<I: IntoIterator<Item = Route>>(iter: I) -> Self {
+        Self::from_routes(iter)
+    }
+}
+
+impl Extend<Route> for SequentialTable {
+    fn extend<I: IntoIterator<Item = Route>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::PortId;
+
+    fn r(p: &str, port: u16) -> Route {
+        Route::new(p.parse().unwrap(), "fe80::1".parse().unwrap(), PortId(port), 1)
+    }
+
+    fn a(s: &str) -> Ipv6Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_table_misses_with_zero_steps() {
+        let t = SequentialTable::new();
+        let l = t.lookup(&a("::1"));
+        assert!(!l.is_hit());
+        assert_eq!(l.steps(), 0);
+    }
+
+    #[test]
+    fn longest_match_wins_regardless_of_insert_order() {
+        let mut t = SequentialTable::new();
+        t.insert(r("2001:db8::/32", 1));
+        t.insert(r("2001:db8:1::/48", 2));
+        t.insert(r("::/0", 0));
+        assert_eq!(t.lookup(&a("2001:db8:1::9")).route().unwrap().interface(), PortId(2));
+        assert_eq!(t.lookup(&a("2001:db8:2::9")).route().unwrap().interface(), PortId(1));
+        assert_eq!(t.lookup(&a("abcd::1")).route().unwrap().interface(), PortId(0));
+    }
+
+    #[test]
+    fn steps_count_scanned_entries() {
+        let t = SequentialTable::from_routes((0..10).map(|i| {
+            r(&format!("2001:db8:{i:x}::/48"), i)
+        }));
+        // All /48s: scan order is prefix order, so 2001:db8:0:: is first.
+        assert_eq!(t.lookup(&a("2001:db8:0::1")).steps(), 1);
+        assert_eq!(t.lookup(&a("2001:db8:9::1")).steps(), 10);
+        assert_eq!(t.lookup(&a("ffff::1")).steps(), 10); // miss scans all
+    }
+
+    #[test]
+    fn insert_replaces_same_prefix() {
+        let mut t = SequentialTable::new();
+        assert_eq!(t.insert(r("2001:db8::/32", 1)), None);
+        let old = t.insert(r("2001:db8::/32", 7));
+        assert_eq!(old.unwrap().interface(), PortId(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&"2001:db8::/32".parse().unwrap()).unwrap().interface(), PortId(7));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = SequentialTable::from_routes([r("2001:db8::/32", 1), r("::/0", 0)]);
+        assert_eq!(t.remove(&"2001:db8::/32".parse().unwrap()).unwrap().interface(), PortId(1));
+        assert_eq!(t.remove(&"2001:db8::/32".parse().unwrap()), None);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn scan_order_is_longest_first() {
+        let t = SequentialTable::from_routes([r("::/0", 0), r("2001:db8::/32", 1), r("2001:db8:1::/48", 2)]);
+        let lens: Vec<u8> = t.entries().iter().map(|e| e.prefix().len()).collect();
+        assert_eq!(lens, vec![48, 32, 0]);
+    }
+
+    #[test]
+    fn kind_and_collect() {
+        let t: SequentialTable = [r("::/0", 0)].into_iter().collect();
+        assert_eq!(t.kind(), TableKind::Sequential);
+        assert_eq!(t.routes().len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! The longest-prefix-match table abstraction shared by every engine.
+
+use std::fmt;
+
+use taco_ipv6::{Ipv6Address, Ipv6Prefix};
+
+use crate::route::Route;
+
+/// Which routing-table organisation an engine implements.
+///
+/// These are the three alternatives of the paper's Table 1 plus the trie
+/// baseline used for cross-checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// Entries laid out sequentially in a cache memory; linear scan.
+    Sequential,
+    /// Balanced search tree over prefix ranges; logarithmic search.
+    BalancedTree,
+    /// Content-addressable memory + SRAM; constant-time search.
+    Cam,
+    /// Bitwise binary trie (reference baseline, not in the paper's table).
+    Trie,
+}
+
+impl TableKind {
+    /// All kinds evaluated in the paper's Table 1, in row order.
+    pub const PAPER_KINDS: [TableKind; 3] =
+        [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam];
+}
+
+impl fmt::Display for TableKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableKind::Sequential => write!(f, "sequential"),
+            TableKind::BalancedTree => write!(f, "balanced-tree"),
+            TableKind::Cam => write!(f, "cam"),
+            TableKind::Trie => write!(f, "trie"),
+        }
+    }
+}
+
+/// The outcome of one lookup: the matched route (if any) and how many
+/// elementary probes the engine made to find it.
+///
+/// "Probes" are the engine's natural unit of work — entries scanned for the
+/// sequential table, nodes visited for trees and tries, always 1 for the
+/// CAM.  The cycle-accurate router multiplies probes by a per-kind cycle
+/// cost, which is what turns table organisation into required clock
+/// frequency in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    route: Option<Route>,
+    steps: u32,
+}
+
+impl Lookup {
+    /// A lookup that found `route` after `steps` probes.
+    pub fn hit(route: Route, steps: u32) -> Self {
+        Lookup { route: Some(route), steps }
+    }
+
+    /// A lookup that found nothing after `steps` probes.
+    pub fn miss(steps: u32) -> Self {
+        Lookup { route: None, steps }
+    }
+
+    /// The matched route, or `None` if no prefix covers the address.
+    pub fn route(&self) -> Option<&Route> {
+        self.route.as_ref()
+    }
+
+    /// Consumes the lookup, returning the matched route.
+    pub fn into_route(self) -> Option<Route> {
+        self.route
+    }
+
+    /// Number of elementary probes performed.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Returns `true` if a route was found.
+    pub fn is_hit(&self) -> bool {
+        self.route.is_some()
+    }
+}
+
+/// A longest-prefix-match forwarding table.
+///
+/// Inserting a route whose prefix is already present replaces it (and
+/// returns the previous route).  Lookups return the route with the longest
+/// prefix containing the address.
+pub trait LpmTable {
+    /// The organisation this engine implements.
+    fn kind(&self) -> TableKind;
+
+    /// Inserts `route`, returning the route it replaced if its prefix was
+    /// already present.
+    fn insert(&mut self, route: Route) -> Option<Route>;
+
+    /// Removes the route for exactly `prefix`, returning it if present.
+    fn remove(&mut self, prefix: &Ipv6Prefix) -> Option<Route>;
+
+    /// Longest-prefix-match lookup.
+    fn lookup(&self, addr: &Ipv6Address) -> Lookup;
+
+    /// Returns the route stored for exactly `prefix`, if any.
+    fn get(&self, prefix: &Ipv6Prefix) -> Option<Route>;
+
+    /// Number of routes in the table.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the table holds no routes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All routes, in an engine-defined order.
+    fn routes(&self) -> Vec<Route>;
+
+    /// Removes every route.
+    fn clear(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::PortId;
+
+    #[test]
+    fn lookup_constructors() {
+        let r = Route::new(
+            "2001:db8::/32".parse().unwrap(),
+            "fe80::1".parse().unwrap(),
+            PortId(0),
+            1,
+        );
+        let hit = Lookup::hit(r, 5);
+        assert!(hit.is_hit());
+        assert_eq!(hit.steps(), 5);
+        assert_eq!(hit.into_route(), Some(r));
+
+        let miss = Lookup::miss(100);
+        assert!(!miss.is_hit());
+        assert_eq!(miss.route(), None);
+        assert_eq!(miss.steps(), 100);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TableKind::Sequential.to_string(), "sequential");
+        assert_eq!(TableKind::BalancedTree.to_string(), "balanced-tree");
+        assert_eq!(TableKind::Cam.to_string(), "cam");
+        assert_eq!(TableKind::Trie.to_string(), "trie");
+    }
+
+    #[test]
+    fn paper_kinds_order() {
+        assert_eq!(
+            TableKind::PAPER_KINDS,
+            [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam]
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! A bitwise binary trie — the reference longest-prefix-match baseline.
+//!
+//! The paper's Table 1 evaluates sequential, balanced-tree and CAM
+//! organisations; the trie is the textbook software alternative ("software
+//! based algorithms" in the paper's related-work discussion) and serves two
+//! purposes here: a cross-check oracle for the other engines, and a fourth
+//! data point for the scaling ablation (its probe count is bounded by the
+//! longest stored prefix length, not by the table size).
+
+use taco_ipv6::{Ipv6Address, Ipv6Prefix};
+
+use crate::route::Route;
+use crate::table::{Lookup, LpmTable, TableKind};
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: [Option<usize>; 2],
+    route: Option<Route>,
+}
+
+/// A binary (unibit) trie over prefix bits.
+///
+/// Nodes live in an arena; child pointers are indices.  Freed nodes are not
+/// reclaimed (the table is small and long-lived), but removal clears routes
+/// correctly.
+///
+/// # Examples
+///
+/// ```
+/// use taco_routing::{LpmTable, PortId, Route, TrieTable};
+///
+/// # fn main() -> Result<(), taco_ipv6::ParseError> {
+/// let mut t = TrieTable::new();
+/// t.insert(Route::new("2001:db8::/32".parse()?, "fe80::1".parse()?, PortId(1), 1));
+/// let l = t.lookup(&"2001:db8::42".parse()?);
+/// assert!(l.is_hit());
+/// assert_eq!(l.steps(), 33); // root + one node per prefix bit
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrieTable {
+    nodes: Vec<Node>,
+    len: usize,
+}
+
+impl Default for TrieTable {
+    fn default() -> Self {
+        TrieTable { nodes: vec![Node::default()], len: 0 }
+    }
+}
+
+impl TrieTable {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trie from an iterator of routes.
+    pub fn from_routes<I: IntoIterator<Item = Route>>(routes: I) -> Self {
+        let mut t = Self::new();
+        for r in routes {
+            t.insert(r);
+        }
+        t
+    }
+
+    /// Total number of trie nodes currently allocated (a size metric for
+    /// the scaling ablation).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Flattened view of the node arena for serialisation into processor
+    /// memory: `(left child, right child, route)` per node, indexed by
+    /// arena position (the root is node 0).
+    pub fn flat_nodes(
+        &self,
+    ) -> impl Iterator<Item = (Option<usize>, Option<usize>, Option<&Route>)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.children[0], n.children[1], n.route.as_ref()))
+    }
+
+    fn walk(&self, prefix: &Ipv6Prefix) -> Option<usize> {
+        let mut idx = 0usize;
+        for bit in 0..prefix.len() {
+            let b = prefix.addr().bit(bit) as usize;
+            idx = self.nodes[idx].children[b]?;
+        }
+        Some(idx)
+    }
+}
+
+impl LpmTable for TrieTable {
+    fn kind(&self) -> TableKind {
+        TableKind::Trie
+    }
+
+    fn insert(&mut self, route: Route) -> Option<Route> {
+        let prefix = route.prefix();
+        let mut idx = 0usize;
+        for bit in 0..prefix.len() {
+            let b = prefix.addr().bit(bit) as usize;
+            idx = match self.nodes[idx].children[b] {
+                Some(c) => c,
+                None => {
+                    self.nodes.push(Node::default());
+                    let c = self.nodes.len() - 1;
+                    self.nodes[idx].children[b] = Some(c);
+                    c
+                }
+            };
+        }
+        let old = self.nodes[idx].route.replace(route);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, prefix: &Ipv6Prefix) -> Option<Route> {
+        let idx = self.walk(prefix)?;
+        let old = self.nodes[idx].route.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    fn lookup(&self, addr: &Ipv6Address) -> Lookup {
+        let mut idx = 0usize;
+        let mut steps = 1u32; // the root is probed too
+        let mut best = self.nodes[0].route;
+        for bit in 0..128u8 {
+            let b = addr.bit(bit) as usize;
+            match self.nodes[idx].children[b] {
+                Some(c) => {
+                    idx = c;
+                    steps += 1;
+                    if self.nodes[idx].route.is_some() {
+                        best = self.nodes[idx].route;
+                    }
+                }
+                None => break,
+            }
+        }
+        match best {
+            Some(r) => Lookup::hit(r, steps),
+            None => Lookup::miss(steps),
+        }
+    }
+
+    fn get(&self, prefix: &Ipv6Prefix) -> Option<Route> {
+        self.walk(prefix).and_then(|i| self.nodes[i].route)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn routes(&self) -> Vec<Route> {
+        self.nodes.iter().filter_map(|n| n.route).collect()
+    }
+
+    fn clear(&mut self) {
+        self.nodes = vec![Node::default()];
+        self.len = 0;
+    }
+}
+
+impl FromIterator<Route> for TrieTable {
+    fn from_iter<I: IntoIterator<Item = Route>>(iter: I) -> Self {
+        Self::from_routes(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::PortId;
+
+    fn r(p: &str, port: u16) -> Route {
+        Route::new(p.parse().unwrap(), "fe80::1".parse().unwrap(), PortId(port), 1)
+    }
+
+    fn a(s: &str) -> Ipv6Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_misses() {
+        let t = TrieTable::new();
+        let l = t.lookup(&a("::1"));
+        assert!(!l.is_hit());
+        assert_eq!(l.steps(), 1);
+    }
+
+    #[test]
+    fn longest_match() {
+        let t = TrieTable::from_routes([
+            r("::/0", 0),
+            r("2001:db8::/32", 1),
+            r("2001:db8:1::/48", 2),
+        ]);
+        assert_eq!(t.lookup(&a("2001:db8:1::9")).route().unwrap().interface(), PortId(2));
+        assert_eq!(t.lookup(&a("2001:db8:2::9")).route().unwrap().interface(), PortId(1));
+        assert_eq!(t.lookup(&a("abcd::")).route().unwrap().interface(), PortId(0));
+    }
+
+    #[test]
+    fn default_route_at_root() {
+        let t = TrieTable::from_routes([r("::/0", 3)]);
+        let l = t.lookup(&a("1234::1"));
+        assert_eq!(l.route().unwrap().interface(), PortId(3));
+        assert_eq!(l.steps(), 1);
+    }
+
+    #[test]
+    fn steps_bounded_by_prefix_depth() {
+        let t = TrieTable::from_routes([r("2001:db8::/32", 1)]);
+        let l = t.lookup(&a("2001:db8::1"));
+        // Walks 32 prefix bits then stops (no deeper children).
+        assert_eq!(l.steps(), 33);
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut t = TrieTable::new();
+        assert!(t.insert(r("2001:db8::/32", 1)).is_none());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.insert(r("2001:db8::/32", 2)).unwrap().interface(), PortId(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(&"2001:db8::/32".parse().unwrap()).unwrap().interface(), PortId(2));
+        assert_eq!(t.len(), 0);
+        assert!(t.remove(&"2001:db8::/32".parse().unwrap()).is_none());
+        assert!(!t.lookup(&a("2001:db8::1")).is_hit());
+    }
+
+    #[test]
+    fn get_exact_only() {
+        let t = TrieTable::from_routes([r("2001:db8::/32", 1)]);
+        assert!(t.get(&"2001:db8::/32".parse().unwrap()).is_some());
+        assert!(t.get(&"2001:db8::/33".parse().unwrap()).is_none());
+        assert!(t.get(&"2001:db8::/31".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn node_count_grows_with_prefix_bits() {
+        let mut t = TrieTable::new();
+        assert_eq!(t.node_count(), 1);
+        t.insert(r("8000::/1", 1));
+        assert_eq!(t.node_count(), 2);
+        t.insert(r("8000::/2", 2)); // shares the first branch
+        assert_eq!(t.node_count(), 3);
+    }
+
+    #[test]
+    fn routes_collects_all() {
+        let t = TrieTable::from_routes([r("::/0", 0), r("8000::/1", 1)]);
+        assert_eq!(t.routes().len(), 2);
+    }
+}

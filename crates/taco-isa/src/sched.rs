@@ -1,0 +1,454 @@
+//! The TACO code optimizer: bus scheduling and FU instance allocation.
+//!
+//! "Code optimization for TACO processors reduces in fact to well-known bus
+//! scheduling and registry allocation problems.  We have to schedule move
+//! instructions on the buses and to allocate registers to the operands of
+//! the instructions."  (Paper, §3 and Fig. 3.)
+//!
+//! [`schedule`] turns a linear [`MoveSeq`] (the *non-optimized* one-move-
+//! per-instruction form) into a packed [`Program`] for a concrete
+//! [`MachineConfig`]:
+//!
+//! 1. **FU allocation** — virtual FU instances used by the code generator
+//!    are folded onto the physical instances (`virtual index mod physical
+//!    count`), so the same source code speeds up when the architecture gets
+//!    more Matchers/Counters/Comparators;
+//! 2. **list scheduling** — moves are packed into instruction words, at most
+//!    one move per bus per cycle, honouring the TTA hazard rules below.
+//!
+//! Hazard model (all TACO FUs have single-cycle latency):
+//!
+//! | hazard | rule |
+//! |---|---|
+//! | trigger → result read | ≥ 1 cycle later |
+//! | trigger → guard use   | ≥ 1 cycle later |
+//! | operand write → trigger | same cycle allowed |
+//! | trigger → operand rewrite | ≥ 1 cycle later (operands latch at trigger) |
+//! | trigger → trigger (same FU) | ≥ 1 cycle later |
+//! | result read → retrigger | same cycle allowed |
+//! | register write → read | ≥ 1 cycle later |
+//! | write → write (same port) | ≥ 1 cycle later |
+//! | any move → control transfer | jump is the last cycle of its block |
+//!
+//! Scheduling is per basic block; blocks end at labels and after control
+//! transfers, and never exchange moves.
+
+use std::collections::BTreeMap;
+
+use crate::fu::{FuRef, PortDir};
+use crate::machine::MachineConfig;
+use crate::program::{Instruction, Move, MoveSeq, PortRef, Program, Source};
+
+/// Schedules `seq` onto the buses and FUs of `config`.
+///
+/// The returned program preserves the sequential semantics of `seq` (this is
+/// checked by cross-simulation property tests in `taco-sim`).  Labels are
+/// carried over, remapped to the instruction index where their block starts;
+/// label sources are left unresolved so the caller can still inspect them.
+pub fn schedule(seq: &MoveSeq, config: &MachineConfig) -> Program {
+    let folded = fold_virtual_fus(seq, config);
+    let starts = block_starts(&folded);
+
+    let mut program = Program::new();
+    let mut move_to_instr: BTreeMap<usize, usize> = BTreeMap::new();
+
+    for (bi, &start) in starts.iter().enumerate() {
+        let end = starts.get(bi + 1).copied().unwrap_or(folded.moves.len());
+        let base = program.instructions.len();
+        move_to_instr.insert(start, base);
+        let block = &folded.moves[start..end];
+        program
+            .instructions
+            .extend(schedule_block(block, config.buses()));
+    }
+
+    // Labels: a label at move index i maps to the instruction index where
+    // that block begins (labels always sit on block boundaries).
+    for (name, &mi) in &folded.labels {
+        let target = move_to_instr
+            .get(&mi)
+            .copied()
+            .unwrap_or(program.instructions.len());
+        program.labels.insert(name.clone(), target);
+    }
+    program
+}
+
+/// Maps every virtual FU index onto a physical instance of `config`.
+fn fold_virtual_fus(seq: &MoveSeq, config: &MachineConfig) -> MoveSeq {
+    let fold = |fu: FuRef| -> FuRef {
+        FuRef::new(fu.kind, fu.index % config.fu_count(fu.kind))
+    };
+    let mut out = seq.clone();
+    for mv in &mut out.moves {
+        mv.dst.fu = fold(mv.dst.fu);
+        if let Source::Port(p) = &mut mv.src {
+            p.fu = fold(p.fu);
+        }
+        if let Some(g) = &mut mv.guard {
+            g.fu = fold(g.fu);
+        }
+    }
+    out
+}
+
+/// Indices at which basic blocks begin: move 0, every label position, and
+/// the move after each control transfer.
+fn block_starts(seq: &MoveSeq) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for &pos in seq.labels.values() {
+        if pos < seq.moves.len() {
+            starts.push(pos);
+        }
+    }
+    for (i, mv) in seq.moves.iter().enumerate() {
+        if mv.is_control_transfer() && i + 1 < seq.moves.len() {
+            starts.push(i + 1);
+        }
+    }
+    starts.sort_unstable();
+    starts.dedup();
+    starts
+}
+
+/// Dependence-edge accumulator state for one basic block.
+#[derive(Default)]
+struct HazardState {
+    /// FU → local index of its latest trigger.
+    last_trigger: BTreeMap<FuRef, usize>,
+    /// Port → local index of its latest write.
+    last_write: BTreeMap<PortRef, usize>,
+    /// Port → reads since its last write (for write-after-read).
+    reads_since_write: BTreeMap<PortRef, Vec<usize>>,
+    /// FU → result reads since its last trigger (for retrigger WAR).
+    result_reads: BTreeMap<FuRef, Vec<usize>>,
+    /// FU → guard uses since its last trigger.
+    guard_reads: BTreeMap<FuRef, Vec<usize>>,
+}
+
+/// List-schedules one basic block onto `buses` buses.
+fn schedule_block(block: &[Move], buses: u8) -> Vec<Instruction> {
+    if block.is_empty() {
+        return Vec::new();
+    }
+    let buses = usize::from(buses);
+    // edges[j] = (i, delay): move j must start >= cycle(i) + delay.
+    let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); block.len()];
+    let mut st = HazardState::default();
+
+    for (j, mv) in block.iter().enumerate() {
+        let dep = |edges: &mut Vec<Vec<(usize, u32)>>, i: usize, d: u32| edges[j].push((i, d));
+
+        // --- source side -------------------------------------------------
+        if let Source::Port(p) = &mv.src {
+            match p.dir() {
+                PortDir::Result => {
+                    if let Some(&i) = st.last_trigger.get(&p.fu) {
+                        dep(&mut edges, i, 1);
+                    }
+                    st.result_reads.entry(p.fu).or_default().push(j);
+                }
+                PortDir::Both => {
+                    if let Some(&i) = st.last_write.get(p) {
+                        dep(&mut edges, i, 1);
+                    }
+                }
+                // Parser/builder forbid reading operand/trigger ports.
+                PortDir::Operand | PortDir::Trigger => {}
+            }
+            st.reads_since_write.entry(*p).or_default().push(j);
+        }
+
+        // --- guard -------------------------------------------------------
+        if let Some(g) = &mv.guard {
+            if let Some(&i) = st.last_trigger.get(&g.fu) {
+                dep(&mut edges, i, 1);
+            }
+            st.guard_reads.entry(g.fu).or_default().push(j);
+        }
+
+        // --- destination side ---------------------------------------------
+        let dst = mv.dst;
+        match dst.dir() {
+            PortDir::Both => {
+                if let Some(&i) = st.last_write.get(&dst) {
+                    dep(&mut edges, i, 1); // WAW
+                }
+                for &i in st.reads_since_write.get(&dst).into_iter().flatten() {
+                    if i != j {
+                        dep(&mut edges, i, 0); // WAR: write may share the read's cycle
+                    }
+                }
+            }
+            PortDir::Operand => {
+                if let Some(&i) = st.last_trigger.get(&dst.fu) {
+                    dep(&mut edges, i, 1); // operands latch at trigger
+                }
+                if let Some(&i) = st.last_write.get(&dst) {
+                    dep(&mut edges, i, 1);
+                }
+            }
+            PortDir::Trigger => {
+                // Operands must be written no later than the trigger cycle.
+                for port in dst.fu.kind.ports() {
+                    if port.dir == PortDir::Operand {
+                        let p = PortRef { fu: dst.fu, port: port.name };
+                        if let Some(&i) = st.last_write.get(&p) {
+                            dep(&mut edges, i, 0);
+                        }
+                    }
+                }
+                if let Some(&i) = st.last_trigger.get(&dst.fu) {
+                    dep(&mut edges, i, 1); // serialize triggers
+                }
+                for &i in st.result_reads.get(&dst.fu).into_iter().flatten() {
+                    if i != j {
+                        dep(&mut edges, i, 0); // result consumed before overwrite
+                    }
+                }
+                for &i in st.guard_reads.get(&dst.fu).into_iter().flatten() {
+                    if i != j {
+                        dep(&mut edges, i, 0);
+                    }
+                }
+                st.last_trigger.insert(dst.fu, j);
+                st.result_reads.remove(&dst.fu);
+                st.guard_reads.remove(&dst.fu);
+            }
+            PortDir::Result => unreachable!("result ports are not writable"),
+        }
+        st.last_write.insert(dst, j);
+        st.reads_since_write.remove(&dst);
+    }
+
+    // A control transfer ends the block: every earlier move must be placed
+    // no later than the jump's cycle.
+    if block.last().is_some_and(Move::is_control_transfer) {
+        let j = block.len() - 1;
+        for i in 0..j {
+            edges[j].push((i, 0));
+        }
+    }
+
+    // Greedy placement in program order.
+    let mut cycle_of = vec![0usize; block.len()];
+    let mut bus_load: Vec<usize> = Vec::new();
+    for (j, _) in block.iter().enumerate() {
+        let mut earliest = 0usize;
+        for &(i, d) in &edges[j] {
+            earliest = earliest.max(cycle_of[i] + d as usize);
+        }
+        let mut c = earliest;
+        loop {
+            if bus_load.len() <= c {
+                bus_load.resize(c + 1, 0);
+            }
+            if bus_load[c] < buses {
+                break;
+            }
+            c += 1;
+        }
+        bus_load[c] += 1;
+        cycle_of[j] = c;
+    }
+
+    let n_cycles = cycle_of.iter().max().map_or(0, |m| m + 1);
+    let mut instructions = vec![Instruction::empty(buses as u8); n_cycles];
+    for (j, mv) in block.iter().enumerate() {
+        let ins = &mut instructions[cycle_of[j]];
+        let slot = ins
+            .slots
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("bus load accounting guarantees a free slot");
+        *slot = Some(mv.clone());
+    }
+    instructions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CodeBuilder;
+    use crate::fu::FuKind;
+
+    /// Fig. 3's expression `a = (b*2 + c)/4` as TACO moves: shift-left for
+    /// the multiply, counter-add for the sum, shift-right for the divide.
+    fn fig3_moves() -> MoveSeq {
+        let mut b = CodeBuilder::new();
+        let shl = b.alloc(FuKind::Shifter);
+        let cnt = b.alloc(FuKind::Counter);
+        // b is in r0, c in r1; result goes to r2.
+        b.mv(1u32, shl.port("amount"));
+        b.mv(b.reg(0), shl.port("tshl")); // r5 = b * 2
+        b.mv(shl.port("r"), cnt.port("tset"));
+        b.mv(b.reg(1), cnt.port("tadd")); // r6 = r5 + c
+        b.mv(2u32, shl.port("amount"));
+        b.mv(cnt.port("r"), shl.port("tshr")); // r7 = r6 / 4
+        b.mv(shl.port("r"), b.reg(2));
+        b.finish()
+    }
+
+    #[test]
+    fn one_bus_schedule_is_sequential_length() {
+        let seq = fig3_moves();
+        let prog = schedule(&seq, &MachineConfig::one_bus_one_fu());
+        // One bus: one move per cycle, no packing possible.
+        assert_eq!(prog.instructions.len(), seq.len());
+        assert_eq!(prog.move_count(), seq.len());
+    }
+
+    #[test]
+    fn more_buses_shorten_the_schedule() {
+        let seq = fig3_moves();
+        let one = schedule(&seq, &MachineConfig::one_bus_one_fu()).instructions.len();
+        let three = schedule(&seq, &MachineConfig::three_bus_one_fu()).instructions.len();
+        assert!(three < one, "3-bus ({three}) should beat 1-bus ({one})");
+        assert_eq!(
+            schedule(&seq, &MachineConfig::three_bus_one_fu()).move_count(),
+            seq.len()
+        );
+    }
+
+    #[test]
+    fn result_read_is_one_cycle_after_trigger() {
+        let mut b = CodeBuilder::new();
+        let cnt = b.fu(FuKind::Counter, 0);
+        b.mv(5u32, cnt.port("tset"));
+        b.mv(cnt.port("r"), b.reg(0));
+        let prog = schedule(&b.finish(), &MachineConfig::new(4));
+        // The read cannot share the trigger's cycle.
+        assert_eq!(prog.instructions.len(), 2);
+    }
+
+    #[test]
+    fn operand_and_trigger_may_share_a_cycle() {
+        let mut b = CodeBuilder::new();
+        let sh = b.fu(FuKind::Shifter, 0);
+        b.mv(1u32, sh.port("amount"));
+        b.mv(4u32, sh.port("tshl"));
+        let prog = schedule(&b.finish(), &MachineConfig::new(4));
+        assert_eq!(prog.instructions.len(), 1);
+        assert_eq!(prog.instructions[0].move_count(), 2);
+    }
+
+    #[test]
+    fn operand_rewrite_waits_for_trigger_to_latch() {
+        let mut b = CodeBuilder::new();
+        let sh = b.fu(FuKind::Shifter, 0);
+        b.mv(1u32, sh.port("amount"));
+        b.mv(4u32, sh.port("tshl"));
+        b.mv(2u32, sh.port("amount")); // for a later op; must not corrupt the first
+        let prog = schedule(&b.finish(), &MachineConfig::new(4));
+        assert_eq!(prog.instructions.len(), 2);
+    }
+
+    #[test]
+    fn independent_fus_run_in_parallel() {
+        let mut b = CodeBuilder::new();
+        let c0 = b.fu(FuKind::Counter, 0);
+        let c1 = b.fu(FuKind::Counter, 1);
+        let c2 = b.fu(FuKind::Counter, 2);
+        b.mv(1u32, c0.port("tset"));
+        b.mv(2u32, c1.port("tset"));
+        b.mv(3u32, c2.port("tset"));
+        // Three physical counters: all three triggers fit in one cycle.
+        let wide = schedule(&b.clone().finish(), &MachineConfig::three_bus_three_fu());
+        assert_eq!(wide.instructions.len(), 1);
+        // One physical counter: virtual 0,1,2 all fold to instance 0 and
+        // serialize.
+        let narrow = schedule(&b.finish(), &MachineConfig::three_bus_one_fu());
+        assert_eq!(narrow.instructions.len(), 3);
+    }
+
+    #[test]
+    fn guard_waits_for_its_trigger() {
+        let mut b = CodeBuilder::new();
+        let cmp = b.fu(FuKind::Comparator, 0);
+        b.mv(7u32, cmp.port("refv"));
+        b.mv(7u32, cmp.port("t"));
+        b.mv_if(cmp.guard("eq"), 1u32, b.reg(0));
+        let prog = schedule(&b.finish(), &MachineConfig::new(4));
+        // refv+t in cycle 0; the guarded move must wait for the eq bit.
+        assert_eq!(prog.instructions.len(), 2);
+    }
+
+    #[test]
+    fn jump_is_last_cycle_of_its_block() {
+        let mut b = CodeBuilder::new();
+        b.label("top");
+        let cnt = b.fu(FuKind::Counter, 0);
+        b.mv(1u32, cnt.port("tinc"));
+        b.mv(2u32, b.reg(0));
+        b.mv(3u32, b.reg(1));
+        b.jump("top");
+        let prog = schedule(&b.finish(), &MachineConfig::new(4));
+        let last = prog.instructions.last().unwrap();
+        assert!(last.moves().any(|m| m.is_control_transfer()));
+        assert_eq!(prog.labels["top"], 0);
+    }
+
+    #[test]
+    fn labels_split_blocks_and_remap() {
+        let mut b = CodeBuilder::new();
+        b.mv(1u32, b.reg(0));
+        b.mv(2u32, b.reg(1));
+        b.label("middle");
+        b.mv(3u32, b.reg(2));
+        b.jump("middle");
+        let prog = schedule(&b.finish(), &MachineConfig::new(4));
+        // Block 1 (two independent reg writes) packs into 1 instruction;
+        // "middle" points at the next instruction.
+        assert_eq!(prog.labels["middle"], 1);
+    }
+
+    #[test]
+    fn trailing_label_maps_past_the_end() {
+        let mut b = CodeBuilder::new();
+        b.mv(1u32, b.reg(0));
+        b.label("end");
+        let prog = schedule(&b.finish(), &MachineConfig::new(2));
+        assert_eq!(prog.labels["end"], prog.instructions.len());
+    }
+
+    #[test]
+    fn same_register_writes_keep_order() {
+        let mut b = CodeBuilder::new();
+        b.mv(1u32, b.reg(0));
+        b.mv(2u32, b.reg(0));
+        let prog = schedule(&b.finish(), &MachineConfig::new(4));
+        assert_eq!(prog.instructions.len(), 2);
+        // Final value must be from the second write.
+        let last = prog.instructions[1].slots[0].as_ref().unwrap();
+        assert_eq!(last.src, Source::Imm(2));
+    }
+
+    #[test]
+    fn register_read_after_write_waits_a_cycle() {
+        let mut b = CodeBuilder::new();
+        b.mv(1u32, b.reg(0));
+        b.mv(b.reg(0), b.reg(1));
+        let prog = schedule(&b.finish(), &MachineConfig::new(4));
+        assert_eq!(prog.instructions.len(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_schedules_to_nothing() {
+        let prog = schedule(&MoveSeq::new(), &MachineConfig::default());
+        assert!(prog.instructions.is_empty());
+    }
+
+    #[test]
+    fn bus_capacity_limits_parallelism() {
+        let mut b = CodeBuilder::new();
+        // Six fully independent register writes.
+        for i in 0..6 {
+            b.mv(u32::from(i), b.reg(i));
+        }
+        let seq = b.finish();
+        assert_eq!(schedule(&seq, &MachineConfig::new(1)).instructions.len(), 6);
+        assert_eq!(schedule(&seq, &MachineConfig::new(2)).instructions.len(), 3);
+        assert_eq!(schedule(&seq, &MachineConfig::new(3)).instructions.len(), 2);
+        assert_eq!(schedule(&seq, &MachineConfig::new(6)).instructions.len(), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Independent structural validation of scheduled programs.
+//!
+//! [`validate_schedule`] re-checks a packed [`Program`] against every rule
+//! that is *statically provable*, without sharing code with the scheduler:
+//! instruction width vs bus count, FU instance existence, double writes to
+//! one port in one cycle, double triggers of one FU in one cycle, double
+//! program-counter writes, and resolved jump targets within the program.
+//!
+//! Timing rules (result/guard visible one cycle after the trigger) are
+//! deliberately **not** checked here: reading a result or guard in the same
+//! cycle as a trigger of its FU is legal TTA behaviour — the read phase
+//! observes the *previous* value, and idioms like `cnt0.r -> cnt0.tadd`
+//! depend on it.  Whether a same-cycle read wanted the old or the new value
+//! is intent, not structure; the semantic oracle for that is the
+//! cross-simulation property test (`optimizer_semantics`), which compares
+//! architectural outcomes between the unscheduled and scheduled programs.
+
+use std::fmt;
+
+use crate::fu::{FuKind, FuRef};
+use crate::machine::MachineConfig;
+use crate::program::{PortRef, Program, Source};
+
+/// One provable rule violation in a scheduled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleViolation {
+    /// An instruction carries more slots than the machine has buses.
+    TooWide {
+        /// Offending instruction index.
+        instruction: usize,
+    },
+    /// A move references an FU instance the configuration lacks.
+    MissingFu {
+        /// Offending instruction index.
+        instruction: usize,
+        /// The reference.
+        fu: FuRef,
+    },
+    /// Two moves in one instruction write the same port.
+    PortConflict {
+        /// Offending instruction index.
+        instruction: usize,
+        /// The doubly-written port.
+        port: PortRef,
+    },
+    /// Two moves write the program counter in the same cycle.
+    DoublePcWrite {
+        /// Offending instruction index.
+        instruction: usize,
+    },
+    /// A resolved jump immediate targets past the end of the program
+    /// (targets equal to the length are a clean halt and therefore legal).
+    JumpOutOfRange {
+        /// Offending instruction index.
+        instruction: usize,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// Two triggers fire on the same FU in the same cycle.
+    DoubleTrigger {
+        /// Offending instruction index.
+        instruction: usize,
+        /// The doubly-triggered FU.
+        fu: FuRef,
+    },
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::TooWide { instruction } => {
+                write!(f, "instruction {instruction} is wider than the bus count")
+            }
+            ScheduleViolation::MissingFu { instruction, fu } => {
+                write!(f, "instruction {instruction} references missing unit {fu}")
+            }
+            ScheduleViolation::PortConflict { instruction, port } => {
+                write!(f, "instruction {instruction} writes {port} twice")
+            }
+            ScheduleViolation::DoublePcWrite { instruction } => {
+                write!(f, "instruction {instruction} writes the program counter twice")
+            }
+            ScheduleViolation::JumpOutOfRange { instruction, target } => {
+                write!(f, "instruction {instruction} jumps to {target}, past the program end")
+            }
+            ScheduleViolation::DoubleTrigger { instruction, fu } => {
+                write!(f, "instruction {instruction} triggers {fu} twice")
+            }
+        }
+    }
+}
+
+/// Validates a scheduled program against `config`.
+///
+/// # Errors
+///
+/// Returns every violation found (empty-vec results are never returned —
+/// a clean program yields `Ok(())`).
+pub fn validate_schedule(
+    prog: &Program,
+    config: &MachineConfig,
+) -> Result<(), Vec<ScheduleViolation>> {
+    let mut violations = Vec::new();
+    let len = prog.instructions.len();
+
+    for (idx, ins) in prog.instructions.iter().enumerate() {
+        if ins.slots.len() > usize::from(config.buses()) {
+            violations.push(ScheduleViolation::TooWide { instruction: idx });
+        }
+
+        let moves: Vec<_> = ins.moves().collect();
+
+        // Per-instruction structural checks.
+        let mut written: Vec<PortRef> = Vec::new();
+        let mut triggered: Vec<FuRef> = Vec::new();
+        for mv in &moves {
+            let mut check_fu = |fu: FuRef| {
+                if fu.index >= config.fu_count(fu.kind) {
+                    violations.push(ScheduleViolation::MissingFu { instruction: idx, fu });
+                }
+            };
+            check_fu(mv.dst.fu);
+            if let Source::Port(p) = &mv.src {
+                check_fu(p.fu);
+            }
+            if let Some(g) = &mv.guard {
+                check_fu(g.fu);
+            }
+
+            if written.contains(&mv.dst) {
+                violations.push(if mv.dst.fu.kind == FuKind::Nc {
+                    ScheduleViolation::DoublePcWrite { instruction: idx }
+                } else {
+                    ScheduleViolation::PortConflict { instruction: idx, port: mv.dst }
+                });
+            }
+            written.push(mv.dst);
+            if mv.dst.is_trigger() && mv.dst.fu.kind != FuKind::Nc {
+                if triggered.contains(&mv.dst.fu) {
+                    violations
+                        .push(ScheduleViolation::DoubleTrigger { instruction: idx, fu: mv.dst.fu });
+                }
+                triggered.push(mv.dst.fu);
+            }
+
+            // Resolved jumps must land inside the program (or exactly at
+            // its end, which halts cleanly).
+            if mv.is_control_transfer() {
+                if let Source::Imm(target) = mv.src {
+                    if (target as usize) > len {
+                        violations.push(ScheduleViolation::JumpOutOfRange {
+                            instruction: idx,
+                            target,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CodeBuilder;
+    use crate::fu::FuKind;
+    use crate::program::{Instruction, Move};
+    use crate::sched::schedule;
+
+    fn cnt_port(name: &str) -> PortRef {
+        PortRef::new(FuKind::Counter, 0, name)
+    }
+
+    #[test]
+    fn scheduler_output_validates() {
+        let mut b = CodeBuilder::new();
+        let cnt = b.fu(FuKind::Counter, 0);
+        let cmp = b.fu(FuKind::Comparator, 0);
+        b.mv(0u32, cnt.port("tset"));
+        b.mv(5u32, cnt.port("stop"));
+        b.label("loop");
+        b.mv(1u32, cnt.port("tinc"));
+        b.mv(cnt.port("r"), cmp.port("t"));
+        b.jump_unless(cnt.guard("done"), "loop");
+        let seq = b.finish();
+        for buses in 1..=4u8 {
+            let config = MachineConfig::new(buses);
+            let prog = schedule(&seq, &config);
+            assert_eq!(validate_schedule(&prog, &config), Ok(()), "{buses} buses");
+        }
+    }
+
+    #[test]
+    fn same_cycle_old_value_reads_are_legal() {
+        // Reading a result (or guard) in the trigger's own cycle observes
+        // the previous value — legal TTA behaviour, not a violation.
+        let mut prog = Program::new();
+        let trig = Move::new(1u32, cnt_port("tinc"));
+        let read = Move::new(Source::Port(cnt_port("r")), PortRef::new(FuKind::Regs, 0, "r0"));
+        let guarded = Move::new(1u32, PortRef::new(FuKind::Regs, 0, "r1"))
+            .with_guard(crate::program::Guard::new(FuKind::Counter, 0, "done", false));
+        prog.instructions.push(Instruction { slots: vec![Some(trig), Some(read), Some(guarded)] });
+        assert_eq!(validate_schedule(&prog, &MachineConfig::new(3)), Ok(()));
+    }
+
+    #[test]
+    fn detects_double_pc_write_and_bad_jump() {
+        let mut prog = Program::new();
+        let pc = || PortRef::new(FuKind::Nc, 0, "pc");
+        prog.instructions.push(Instruction {
+            slots: vec![Some(Move::new(0u32, pc())), Some(Move::new(9u32, pc()))],
+        });
+        let err = validate_schedule(&prog, &MachineConfig::new(2)).unwrap_err();
+        assert!(err.iter().any(|v| matches!(v, ScheduleViolation::DoublePcWrite { .. })), "{err:?}");
+        assert!(
+            err.iter().any(|v| matches!(v, ScheduleViolation::JumpOutOfRange { target: 9, .. })),
+            "{err:?}"
+        );
+        // Jump to exactly len (1) is a clean halt: build a fresh program.
+        let mut ok = Program::new();
+        ok.instructions.push(Instruction::single(Move::new(1u32, pc()), 1));
+        assert_eq!(validate_schedule(&ok, &MachineConfig::new(1)), Ok(()));
+    }
+
+    #[test]
+    fn detects_double_trigger_and_port_conflict() {
+        let mut prog = Program::new();
+        prog.instructions.push(Instruction {
+            slots: vec![
+                Some(Move::new(1u32, cnt_port("tinc"))),
+                Some(Move::new(2u32, cnt_port("tadd"))),
+            ],
+        });
+        prog.instructions.push(Instruction {
+            slots: vec![
+                Some(Move::new(1u32, PortRef::new(FuKind::Regs, 0, "r1"))),
+                Some(Move::new(2u32, PortRef::new(FuKind::Regs, 0, "r1"))),
+            ],
+        });
+        let err = validate_schedule(&prog, &MachineConfig::new(2)).unwrap_err();
+        assert!(err.iter().any(|v| matches!(v, ScheduleViolation::DoubleTrigger { .. })));
+        assert!(err.iter().any(|v| matches!(v, ScheduleViolation::PortConflict { .. })));
+    }
+
+    #[test]
+    fn detects_width_and_missing_fu() {
+        let mut prog = Program::new();
+        prog.instructions.push(Instruction {
+            slots: vec![
+                Some(Move::new(1u32, PortRef::new(FuKind::Regs, 0, "r0"))),
+                Some(Move::new(1u32, PortRef::new(FuKind::Matcher, 2, "mask"))),
+            ],
+        });
+        let err = validate_schedule(&prog, &MachineConfig::new(1)).unwrap_err();
+        assert!(err.iter().any(|v| matches!(v, ScheduleViolation::TooWide { .. })));
+        assert!(err.iter().any(|v| matches!(v, ScheduleViolation::MissingFu { .. })));
+    }
+
+    #[test]
+    fn looping_scheduled_code_validates() {
+        let mut b = CodeBuilder::new();
+        let cnt = b.fu(FuKind::Counter, 0);
+        b.mv(1u32, cnt.port("tinc"));
+        b.label("join");
+        b.mv(cnt.port("r"), b.reg(0));
+        b.jump("join");
+        let seq = b.finish();
+        let config = MachineConfig::new(1);
+        let mut prog = schedule(&seq, &config);
+        prog.resolve_labels().expect("labels defined");
+        assert_eq!(validate_schedule(&prog, &config), Ok(()));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = ScheduleViolation::DoubleTrigger {
+            instruction: 3,
+            fu: FuRef::new(FuKind::Counter, 0),
+        };
+        assert!(v.to_string().contains("triggers cnt0 twice"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Word-addressed data memory.
+//!
+//! The paper's router transfers *entire datagrams* into the processor's main
+//! memory; this module is that memory.  TACO has a 32-bit datapath, so the
+//! memory is an array of 32-bit words addressed by word index.
+
+use crate::error::SimError;
+
+/// Data memory: a flat array of 32-bit words.
+///
+/// # Examples
+///
+/// ```
+/// use taco_sim::DataMemory;
+///
+/// # fn main() -> Result<(), taco_sim::SimError> {
+/// let mut mem = DataMemory::new(1024);
+/// mem.write(0x10, 0xdead_beef)?;
+/// assert_eq!(mem.read(0x10)?, 0xdead_beef);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataMemory {
+    words: Vec<u32>,
+}
+
+impl DataMemory {
+    /// Creates a zeroed memory of `size` words.
+    pub fn new(size: u32) -> Self {
+        DataMemory { words: vec![0; size as usize] }
+    }
+
+    /// Memory size in words.
+    pub fn size(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfBounds`] if `addr` is outside memory.
+    pub fn read(&self, addr: u32) -> Result<u32, SimError> {
+        self.words
+            .get(addr as usize)
+            .copied()
+            .ok_or(SimError::MemoryOutOfBounds { addr, size: self.size() })
+    }
+
+    /// Writes `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfBounds`] if `addr` is outside memory.
+    pub fn write(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let size = self.size();
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(SimError::MemoryOutOfBounds { addr, size }),
+        }
+    }
+
+    /// Copies `data` into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfBounds`] if the block does not fit.
+    pub fn load(&mut self, addr: u32, data: &[u32]) -> Result<(), SimError> {
+        let start = addr as usize;
+        let end = start.checked_add(data.len());
+        match end {
+            Some(end) if end <= self.words.len() => {
+                self.words[start..end].copy_from_slice(data);
+                Ok(())
+            }
+            _ => Err(SimError::MemoryOutOfBounds {
+                addr: addr.saturating_add(data.len() as u32),
+                size: self.size(),
+            }),
+        }
+    }
+
+    /// Reads `len` words starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfBounds`] if the block does not fit.
+    pub fn read_block(&self, addr: u32, len: u32) -> Result<&[u32], SimError> {
+        let start = addr as usize;
+        let end = start.checked_add(len as usize);
+        match end {
+            Some(end) if end <= self.words.len() => Ok(&self.words[start..end]),
+            _ => Err(SimError::MemoryOutOfBounds {
+                addr: addr.saturating_add(len),
+                size: self.size(),
+            }),
+        }
+    }
+
+    /// A view of the whole memory.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = DataMemory::new(16);
+        m.write(3, 77).unwrap();
+        assert_eq!(m.read(3).unwrap(), 77);
+        assert_eq!(m.read(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = DataMemory::new(4);
+        assert!(matches!(m.read(4), Err(SimError::MemoryOutOfBounds { addr: 4, size: 4 })));
+        assert!(m.write(100, 0).is_err());
+    }
+
+    #[test]
+    fn block_load_and_read() {
+        let mut m = DataMemory::new(8);
+        m.load(2, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_block(2, 3).unwrap(), &[1, 2, 3]);
+        assert!(m.load(6, &[1, 2, 3]).is_err());
+        assert!(m.read_block(7, 2).is_err());
+    }
+
+    #[test]
+    fn overflowing_block_does_not_panic() {
+        let mut m = DataMemory::new(8);
+        assert!(m.load(u32::MAX, &[1]).is_err());
+        assert!(m.read_block(u32::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn size_and_slice() {
+        let m = DataMemory::new(32);
+        assert_eq!(m.size(), 32);
+        assert_eq!(m.as_slice().len(), 32);
+    }
+}

@@ -1,0 +1,945 @@
+//! The cycle-accurate TACO processor model.
+//!
+//! [`Processor`] executes a scheduled [`Program`] against a
+//! [`MachineConfig`] exactly one instruction word per cycle:
+//!
+//! 1. **read phase** — every occupied bus slot evaluates its guard against
+//!    the FU state at the start of the cycle and, if it passes, samples its
+//!    source (results latched in earlier cycles, register values, or an
+//!    immediate);
+//! 2. **write phase** — operand and register writes land, then triggers
+//!    fire (each TACO FU completes its operation within the cycle, so its
+//!    result and guard bits are visible from the next cycle on);
+//! 3. **PC update** — a move into `nc0.pc` redirects control; otherwise the
+//!    PC advances.  Falling off the end of the program (or jumping exactly
+//!    to `len`) halts cleanly.
+//!
+//! The only multi-cycle citizen is the Routing Table Unit: its backend (a
+//! CAM in the paper's third case) answers after a configurable latency, and
+//! any read of an RTU result or guard before the latency has elapsed stalls
+//! the whole processor — the hardware interlock that lets the same
+//! microcode run at any clock/CAM-latency ratio.
+
+use std::collections::VecDeque;
+
+use taco_isa::{FuKind, FuRef, Instruction, MachineConfig, PortDir, PortRef, Program, Source};
+
+use crate::error::SimError;
+use crate::memory::DataMemory;
+use crate::rtu::{RtuConfig, RtuResult};
+use crate::stats::SimStats;
+use crate::units::DatapathFu;
+
+/// Outcome of a single [`Processor::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction executed.
+    Executed,
+    /// The processor stalled waiting for the RTU.
+    Stalled,
+    /// The program has halted; no state changed.
+    Halted,
+}
+
+#[derive(Debug, Default)]
+struct MmuState {
+    addr: u32,
+    r: u32,
+}
+
+#[derive(Debug, Default)]
+struct RtuState {
+    k: [u32; 3],
+    iface: u32,
+    nh: u32,
+    hit: bool,
+    ready_at: u64,
+    config: RtuConfig,
+}
+
+/// A simulated TACO processor.
+///
+/// # Examples
+///
+/// Assemble and run a loop that counts to five:
+///
+/// ```
+/// use taco_isa::{asm, MachineConfig};
+/// use taco_sim::Processor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut prog = asm::parse(
+///     "        0 -> cnt0.tset | 5 -> cnt0.stop\n\
+///      loop:   1 -> cnt0.tinc\n\
+///              !cnt0.done @loop -> nc0.pc\n",
+/// )?;
+/// prog.resolve_labels().map_err(|l| format!("undefined label {l}"))?;
+/// let mut cpu = Processor::new(MachineConfig::three_bus_one_fu(), prog)?;
+/// let stats = cpu.run(1_000)?;
+/// assert_eq!(cpu.fu_result(taco_isa::FuKind::Counter, 0, "r")?, 5);
+/// assert!(stats.cycles > 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Processor {
+    config: MachineConfig,
+    program: Program,
+    pc: usize,
+    halted: bool,
+    cycle: u64,
+    datapath: Vec<(FuRef, DatapathFu)>,
+    regs: [u32; 16],
+    mem: DataMemory,
+    mmus: Vec<MmuState>,
+    rtu: RtuState,
+    ippu_queue: VecDeque<(u32, u32)>,
+    ippu_ptr: u32,
+    ippu_iface: u32,
+    oppu_iface: u32,
+    oppu_out: Vec<(u32, u32)>,
+    liu_table: Vec<u32>,
+    stats: SimStats,
+    trace: Option<Trace>,
+}
+
+/// A bounded execution trace (see [`Processor::enable_trace`]).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    limit: usize,
+    lines: Vec<String>,
+    truncated: bool,
+}
+
+impl Trace {
+    /// The recorded lines, one per executed (or stalled) cycle, oldest
+    /// first.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Returns `true` if the run outlived the trace buffer.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    fn record(&mut self, line: String) {
+        if self.lines.len() < self.limit {
+            self.lines.push(line);
+        } else {
+            self.truncated = true;
+        }
+    }
+}
+
+/// Default data memory size in 32-bit words (256 KiB).
+pub const DEFAULT_MEMORY_WORDS: u32 = 65_536;
+
+impl Processor {
+    /// Builds a processor for `config` loaded with `program`, with
+    /// [`DEFAULT_MEMORY_WORDS`] of data memory.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnresolvedLabel`] if the program still contains label
+    ///   sources;
+    /// * [`SimError::TooManySlots`] if an instruction is wider than the bus
+    ///   count;
+    /// * [`SimError::InvalidFuIndex`] if the program references FU instances
+    ///   the configuration lacks.
+    pub fn new(config: MachineConfig, program: Program) -> Result<Self, SimError> {
+        Self::with_memory(config, program, DEFAULT_MEMORY_WORDS)
+    }
+
+    /// Like [`Processor::new`] with an explicit memory size in words.
+    ///
+    /// # Errors
+    ///
+    /// See [`Processor::new`].
+    pub fn with_memory(
+        config: MachineConfig,
+        program: Program,
+        memory_words: u32,
+    ) -> Result<Self, SimError> {
+        validate(&config, &program)?;
+        let config_mmu_ports = config.fu_count(FuKind::Mmu);
+        let mut datapath = Vec::new();
+        for kind in FuKind::ALL {
+            let make: Option<fn() -> DatapathFu> = match kind {
+                FuKind::Matcher => Some(DatapathFu::new_matcher),
+                FuKind::Comparator => Some(DatapathFu::new_comparator),
+                FuKind::Counter => Some(DatapathFu::new_counter),
+                FuKind::Checksum => Some(DatapathFu::new_checksum),
+                FuKind::Shifter => Some(DatapathFu::new_shifter),
+                FuKind::Masker => Some(DatapathFu::new_masker),
+                _ => None,
+            };
+            if let Some(make) = make {
+                for i in 0..config.fu_count(kind) {
+                    datapath.push((FuRef::new(kind, i), make()));
+                }
+            }
+        }
+        datapath.push((FuRef::new(FuKind::Liu, 0), DatapathFu::new_liu(Vec::new())));
+        let stats = SimStats { buses: config.buses(), ..SimStats::default() };
+        Ok(Processor {
+            config,
+            program,
+            pc: 0,
+            halted: false,
+            cycle: 0,
+            datapath,
+            regs: [0; 16],
+            mem: DataMemory::new(memory_words),
+            mmus: (0..config_mmu_ports).map(|_| MmuState::default()).collect(),
+            rtu: RtuState::default(),
+            ippu_queue: VecDeque::new(),
+            ippu_ptr: 0,
+            ippu_iface: 0,
+            oppu_iface: 0,
+            oppu_out: Vec::new(),
+            liu_table: Vec::new(),
+            stats,
+            trace: None,
+        })
+    }
+
+    /// The architecture this processor instantiates.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Data memory (read side).
+    pub fn memory(&self) -> &DataMemory {
+        &self.mem
+    }
+
+    /// Data memory (write side) — for loading datagrams and tables before a
+    /// run, as the paper's iPPU does.
+    pub fn memory_mut(&mut self) -> &mut DataMemory {
+        &mut self.mem
+    }
+
+    /// Installs the Routing Table Unit's backend and latency.
+    pub fn set_rtu(&mut self, config: RtuConfig) {
+        self.rtu.config = config;
+    }
+
+    /// Sets the Local Information Unit contents (the router's own
+    /// addresses, port count, …).
+    pub fn set_local_info(&mut self, table: Vec<u32>) {
+        self.liu_table = table.clone();
+        if let DatapathFu::Liu { table: t, .. } = self.datapath_mut(FuRef::new(FuKind::Liu, 0)) {
+            *t = table;
+        }
+    }
+
+    /// Queues a pending datagram `(memory pointer, input interface)` at the
+    /// iPPU, as a line card would.
+    pub fn push_input(&mut self, ptr: u32, iface: u32) {
+        self.ippu_queue.push_back((ptr, iface));
+    }
+
+    /// Number of datagrams still waiting at the iPPU.
+    pub fn pending_inputs(&self) -> usize {
+        self.ippu_queue.len()
+    }
+
+    /// Datagrams emitted through the oPPU as `(memory pointer, output
+    /// interface)` pairs, in emission order.
+    pub fn outputs(&self) -> &[(u32, u32)] {
+        &self.oppu_out
+    }
+
+    /// Removes and returns all oPPU output.
+    pub fn drain_outputs(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.oppu_out)
+    }
+
+    /// Current value of general-purpose register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    pub fn reg(&self, i: u8) -> u32 {
+        self.regs[usize::from(i)]
+    }
+
+    /// Sets general-purpose register `i` (test and setup convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    pub fn set_reg(&mut self, i: u8, v: u32) {
+        self.regs[usize::from(i)] = v;
+    }
+
+    /// Reads an FU result register by kind/instance/port, for assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFuIndex`] for instances the configuration
+    /// lacks.
+    pub fn fu_result(&self, kind: FuKind, index: u8, port: &str) -> Result<u32, SimError> {
+        let fu = FuRef::new(kind, index);
+        match kind {
+            FuKind::Mmu => Ok(self.mmus[usize::from(index)].r),
+            FuKind::Rtu => Ok(match port {
+                "iface" => self.rtu.iface,
+                _ => self.rtu.nh,
+            }),
+            FuKind::Ippu => Ok(match port {
+                "ptr" => self.ippu_ptr,
+                _ => self.ippu_iface,
+            }),
+            _ => self
+                .datapath_ref(fu)
+                .map(|d| d.read_result(port))
+                .ok_or(SimError::InvalidFuIndex { fu, available: self.config.fu_count(kind) }),
+        }
+    }
+
+    /// Samples a guard signal, for assertions.
+    pub fn guard_value(&self, kind: FuKind, index: u8, signal: &str) -> bool {
+        self.guard_bit(FuRef::new(kind, index), signal)
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Returns `true` once the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Turns on execution tracing: every subsequent cycle appends one line
+    /// (`c<cycle> pc=<pc>: <executed moves>` with `~` marking squashed
+    /// guards and `<stall>` marking RTU stalls), up to `limit` lines.
+    pub fn enable_trace(&mut self, limit: usize) {
+        self.trace = Some(Trace { limit, ..Trace::default() });
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn datapath_ref(&self, fu: FuRef) -> Option<&DatapathFu> {
+        self.datapath.iter().find(|(f, _)| *f == fu).map(|(_, d)| d)
+    }
+
+    fn datapath_mut(&mut self, fu: FuRef) -> &mut DatapathFu {
+        self.datapath
+            .iter_mut()
+            .find(|(f, _)| *f == fu)
+            .map(|(_, d)| d)
+            .expect("validated at construction")
+    }
+
+    fn guard_bit(&self, fu: FuRef, signal: &str) -> bool {
+        match fu.kind {
+            FuKind::Rtu => self.rtu.hit,
+            FuKind::Ippu => !self.ippu_queue.is_empty(),
+            _ => self.datapath_ref(fu).map(|d| d.guard(signal)).unwrap_or(false),
+        }
+    }
+
+    fn read_port(&self, p: PortRef) -> u32 {
+        match p.fu.kind {
+            FuKind::Regs => {
+                let idx: usize = p.port[1..].parse().expect("validated register name");
+                self.regs[idx]
+            }
+            FuKind::Mmu => self.mmus[usize::from(p.fu.index)].r,
+            FuKind::Rtu => match p.port {
+                "iface" => self.rtu.iface,
+                _ => self.rtu.nh,
+            },
+            FuKind::Ippu => match p.port {
+                "ptr" => self.ippu_ptr,
+                _ => self.ippu_iface,
+            },
+            FuKind::Liu => self
+                .datapath_ref(p.fu)
+                .map(|d| d.read_result(p.port))
+                .unwrap_or(0),
+            _ => self
+                .datapath_ref(p.fu)
+                .map(|d| d.read_result(p.port))
+                .expect("validated at construction"),
+        }
+    }
+
+    /// Returns `true` if the instruction must stall for the RTU this cycle.
+    fn must_stall(&self, ins: &Instruction) -> bool {
+        if self.cycle >= self.rtu.ready_at {
+            return false;
+        }
+        ins.moves().any(|m| {
+            let reads_rtu =
+                matches!(&m.src, Source::Port(p) if p.fu.kind == FuKind::Rtu);
+            let guards_rtu = m.guard.as_ref().is_some_and(|g| g.fu.kind == FuKind::Rtu);
+            reads_rtu || guards_rtu
+        })
+    }
+
+    /// Executes one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults, port/PC write conflicts and out-of-range
+    /// jumps.
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        if self.halted {
+            return Ok(StepOutcome::Halted);
+        }
+        if self.pc >= self.program.instructions.len() {
+            self.halted = true;
+            return Ok(StepOutcome::Halted);
+        }
+        let ins = self.program.instructions[self.pc].clone();
+
+        if self.must_stall(&ins) {
+            if let Some(t) = &mut self.trace {
+                t.record(format!("c{:04} pc={:03}: <stall: rtu busy>", self.cycle, self.pc));
+            }
+            self.cycle += 1;
+            self.stats.cycles += 1;
+            self.stats.stall_cycles += 1;
+            return Ok(StepOutcome::Stalled);
+        }
+
+        // --- read phase ---------------------------------------------------
+        struct PendingWrite {
+            dst: PortRef,
+            value: u32,
+        }
+        let mut trace_line = self
+            .trace
+            .as_ref()
+            .map(|_| format!("c{:04} pc={:03}:", self.cycle, self.pc));
+        let mut writes: Vec<PendingWrite> = Vec::new();
+        for mv in ins.moves() {
+            let pass = match &mv.guard {
+                None => true,
+                Some(g) => self.guard_bit(g.fu, g.signal) != g.negate,
+            };
+            if let Some(line) = &mut trace_line {
+                line.push_str(&format!(" {}{}{}", if pass { "" } else { "~" }, mv, ";"));
+            }
+            if !pass {
+                self.stats.moves_squashed += 1;
+                continue;
+            }
+            let value = match &mv.src {
+                Source::Imm(v) => *v,
+                Source::Port(p) => self.read_port(*p),
+                Source::Label(l) => return Err(SimError::UnresolvedLabel(l.clone())),
+            };
+            self.stats.moves_executed += 1;
+            writes.push(PendingWrite { dst: mv.dst, value });
+        }
+
+        // Conflict detection.
+        for (i, w) in writes.iter().enumerate() {
+            if writes[..i].iter().any(|e| e.dst == w.dst) {
+                return Err(if w.dst.fu.kind == FuKind::Nc {
+                    SimError::DoublePcWrite { cycle: self.cycle }
+                } else {
+                    SimError::PortConflict { port: w.dst, cycle: self.cycle }
+                });
+            }
+        }
+
+        // --- write phase: operands and registers first, then triggers -----
+        let mut jump: Option<u32> = None;
+        for w in writes.iter().filter(|w| !w.dst.is_trigger()) {
+            self.write_plain(w.dst, w.value);
+        }
+        for w in writes.iter().filter(|w| w.dst.is_trigger()) {
+            if w.dst.fu.kind == FuKind::Nc {
+                jump = Some(w.value);
+            } else {
+                self.fire_trigger(w.dst, w.value)?;
+                *self.stats.fu_triggers.entry(w.dst.fu.kind).or_insert(0) += 1;
+                *self.stats.fu_instance_triggers.entry(w.dst.fu).or_insert(0) += 1;
+            }
+        }
+
+        if let (Some(t), Some(line)) = (&mut self.trace, trace_line) {
+            t.record(line);
+        }
+
+        // --- PC update -----------------------------------------------------
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        let len = self.program.instructions.len();
+        match jump {
+            Some(t) if (t as usize) < len => self.pc = t as usize,
+            Some(t) if t as usize == len => self.halted = true,
+            Some(t) => return Err(SimError::JumpOutOfRange { target: t, len }),
+            None => {
+                self.pc += 1;
+                if self.pc >= len {
+                    self.halted = true;
+                }
+            }
+        }
+        Ok(StepOutcome::Executed)
+    }
+
+    fn write_plain(&mut self, dst: PortRef, value: u32) {
+        match dst.fu.kind {
+            FuKind::Regs => {
+                let idx: usize = dst.port[1..].parse().expect("validated register name");
+                self.regs[idx] = value;
+            }
+            FuKind::Mmu => self.mmus[usize::from(dst.fu.index)].addr = value,
+            FuKind::Rtu => {
+                let i = match dst.port {
+                    "k0" => 0,
+                    "k1" => 1,
+                    _ => 2,
+                };
+                self.rtu.k[i] = value;
+            }
+            FuKind::Oppu => self.oppu_iface = value,
+            _ => self.datapath_mut(dst.fu).write_operand(dst.port, value),
+        }
+    }
+
+    fn fire_trigger(&mut self, dst: PortRef, value: u32) -> Result<(), SimError> {
+        match dst.fu.kind {
+            FuKind::Mmu => {
+                let port_index = usize::from(dst.fu.index);
+                let addr = self.mmus[port_index].addr;
+                match dst.port {
+                    "tread" => {
+                        self.mmus[port_index].r = self.mem.read(addr)?;
+                    }
+                    _ => {
+                        self.mem.write(addr, value)?;
+                    }
+                }
+            }
+            FuKind::Rtu => {
+                let key = [self.rtu.k[0], self.rtu.k[1], self.rtu.k[2], value];
+                match self.rtu.config.backend.lookup(key) {
+                    Some(RtuResult { iface, handle }) => {
+                        self.rtu.iface = iface;
+                        self.rtu.nh = handle;
+                        self.rtu.hit = true;
+                    }
+                    None => {
+                        self.rtu.iface = u32::MAX;
+                        self.rtu.nh = 0;
+                        self.rtu.hit = false;
+                    }
+                }
+                self.rtu.ready_at = self.cycle + u64::from(self.rtu.config.latency);
+            }
+            FuKind::Ippu => {
+                if let Some((ptr, iface)) = self.ippu_queue.pop_front() {
+                    self.ippu_ptr = ptr;
+                    self.ippu_iface = iface;
+                }
+            }
+            FuKind::Oppu => {
+                self.oppu_out.push((value, self.oppu_iface));
+            }
+            _ => self.datapath_mut(dst.fu).trigger(dst.port, value),
+        }
+        Ok(())
+    }
+
+    /// Runs until the program halts.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Processor::step`] can raise, plus
+    /// [`SimError::Watchdog`] if the program has not halted within `budget`
+    /// cycles.
+    pub fn run(&mut self, budget: u64) -> Result<SimStats, SimError> {
+        let start = self.cycle;
+        while !self.halted {
+            if self.cycle - start >= budget {
+                return Err(SimError::Watchdog { budget });
+            }
+            self.step()?;
+        }
+        Ok(self.stats.clone())
+    }
+}
+
+/// Validates `program` against `config` (slot widths, FU instance indices,
+/// resolved labels, port directions).
+fn validate(config: &MachineConfig, program: &Program) -> Result<(), SimError> {
+    for (idx, ins) in program.instructions.iter().enumerate() {
+        if ins.slots.len() > usize::from(config.buses()) {
+            return Err(SimError::TooManySlots {
+                instruction: idx,
+                slots: ins.slots.len(),
+                buses: config.buses(),
+            });
+        }
+        for mv in ins.moves() {
+            let check = |fu: FuRef| -> Result<(), SimError> {
+                let available = config.fu_count(fu.kind);
+                if fu.index >= available {
+                    return Err(SimError::InvalidFuIndex { fu, available });
+                }
+                Ok(())
+            };
+            check(mv.dst.fu)?;
+            if let Source::Port(p) = &mv.src {
+                check(p.fu)?;
+                debug_assert!(p.dir() != PortDir::Operand && p.dir() != PortDir::Trigger);
+            }
+            if let Some(g) = &mv.guard {
+                check(g.fu)?;
+            }
+            if let Source::Label(l) = &mv.src {
+                return Err(SimError::UnresolvedLabel(l.clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_isa::asm;
+
+    fn load(text: &str, config: MachineConfig) -> Processor {
+        let mut prog = asm::parse(text).unwrap();
+        prog.resolve_labels().unwrap();
+        Processor::new(config, prog).unwrap()
+    }
+
+    #[test]
+    fn straight_line_immediates() {
+        let mut p = load("7 -> regs0.r0\n9 -> regs0.r1\n", MachineConfig::new(1));
+        p.run(10).unwrap();
+        assert_eq!((p.reg(0), p.reg(1)), (7, 9));
+        assert_eq!(p.cycles(), 2);
+        assert!(p.is_halted());
+    }
+
+    #[test]
+    fn counting_loop_terminates() {
+        let mut p = load(
+            "0 -> cnt0.tset | 5 -> cnt0.stop\nloop: 1 -> cnt0.tinc\n!cnt0.done @loop -> nc0.pc\n",
+            MachineConfig::new(3),
+        );
+        let stats = p.run(100).unwrap();
+        assert_eq!(p.fu_result(FuKind::Counter, 0, "r").unwrap(), 5);
+        // 1 setup + 5 × (inc + branch) cycles.
+        assert_eq!(stats.cycles, 11);
+        assert_eq!(stats.triggers(FuKind::Counter), 6);
+    }
+
+    #[test]
+    fn result_visible_next_cycle_not_same() {
+        // Trigger and read packed into one instruction on different buses:
+        // the read sees the *old* result.
+        let mut p = load("9 -> cnt0.tset | cnt0.r -> regs0.r0\n", MachineConfig::new(2));
+        p.run(10).unwrap();
+        assert_eq!(p.reg(0), 0); // old value
+        assert_eq!(p.fu_result(FuKind::Counter, 0, "r").unwrap(), 9);
+    }
+
+    #[test]
+    fn guard_sees_state_from_cycle_start() {
+        // cnt set to stop value and guarded move in the same cycle: the
+        // guard must not see the new count yet.
+        let mut p = load(
+            "3 -> cnt0.stop\n3 -> cnt0.tset | ?cnt0.done 1 -> regs0.r0\n?cnt0.done 2 -> regs0.r1\n",
+            MachineConfig::new(2),
+        );
+        p.run(10).unwrap();
+        assert_eq!(p.reg(0), 0); // squashed: done was still false
+        assert_eq!(p.reg(1), 2); // one cycle later it is true
+        assert_eq!(p.stats().moves_squashed, 1);
+    }
+
+    #[test]
+    fn memory_read_write_via_mmu() {
+        let mut p = load(
+            "16 -> mmu0.addr\n77 -> mmu0.twrite\n16 -> mmu0.addr\n0 -> mmu0.tread\nmmu0.r -> regs0.r2\n",
+            MachineConfig::new(1),
+        );
+        p.run(10).unwrap();
+        assert_eq!(p.reg(2), 77);
+        assert_eq!(p.memory().read(16).unwrap(), 77);
+    }
+
+    #[test]
+    fn memory_fault_surfaces() {
+        let mut prog = asm::parse("0 -> mmu0.tread\n").unwrap();
+        prog.resolve_labels().unwrap();
+        let mut p = Processor::with_memory(MachineConfig::new(1), prog, 0).unwrap();
+        assert!(matches!(p.run(10), Err(SimError::MemoryOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn ippu_and_oppu_flow() {
+        let mut p = load(
+            "0 -> ippu0.tpop\nippu0.iface -> oppu0.iface\nippu0.ptr -> oppu0.t\n",
+            MachineConfig::new(1),
+        );
+        p.push_input(0x100, 2);
+        assert_eq!(p.pending_inputs(), 1);
+        p.run(10).unwrap();
+        assert_eq!(p.outputs(), &[(0x100, 2)]);
+        assert_eq!(p.pending_inputs(), 0);
+    }
+
+    #[test]
+    fn ippu_pending_guard() {
+        let mut p = load(
+            "?ippu0.pending 1 -> regs0.r0\n0 -> ippu0.tpop\n?ippu0.pending 1 -> regs0.r1\n",
+            MachineConfig::new(1),
+        );
+        p.push_input(0x40, 0);
+        p.run(10).unwrap();
+        assert_eq!(p.reg(0), 1); // something was pending
+        assert_eq!(p.reg(1), 0); // queue drained
+    }
+
+    #[test]
+    fn rtu_lookup_with_stall() {
+        use crate::rtu::{MapRtu, RtuResult};
+        let mut backend = MapRtu::new();
+        backend.insert([1, 2, 3, 4], RtuResult { iface: 9, handle: 1 });
+        let mut p = load(
+            "1 -> rtu0.k0\n2 -> rtu0.k1\n3 -> rtu0.k2\n4 -> rtu0.t\nrtu0.iface -> regs0.r0\n",
+            MachineConfig::new(1),
+        );
+        p.set_rtu(RtuConfig::new(Box::new(backend)).with_latency(5));
+        let stats = p.run(100).unwrap();
+        assert_eq!(p.reg(0), 9);
+        assert!(p.guard_value(FuKind::Rtu, 0, "hit"));
+        // Trigger at cycle 3 (0-based), ready at 3+5=8; the read would have
+        // been cycle 4, so it stalls 4 cycles.
+        assert_eq!(stats.stall_cycles, 4);
+    }
+
+    #[test]
+    fn rtu_miss_clears_hit() {
+        let mut p = load("4 -> rtu0.t\n?rtu0.hit 1 -> regs0.r0\n", MachineConfig::new(1));
+        p.run(10).unwrap();
+        assert_eq!(p.reg(0), 0);
+        assert_eq!(p.fu_result(FuKind::Rtu, 0, "iface").unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn liu_serves_local_info() {
+        let mut p = load("1 -> liu0.t\nliu0.r -> regs0.r0\n", MachineConfig::new(1));
+        p.set_local_info(vec![0x11, 0x22, 0x33]);
+        p.run(10).unwrap();
+        assert_eq!(p.reg(0), 0x22);
+    }
+
+    #[test]
+    fn jump_to_len_halts_cleanly() {
+        let mut p = load("2 -> nc0.pc\n1 -> regs0.r0\n", MachineConfig::new(1));
+        p.run(10).unwrap();
+        assert_eq!(p.reg(0), 0); // skipped
+        assert!(p.is_halted());
+    }
+
+    #[test]
+    fn jump_past_len_is_error() {
+        let mut p = load("3 -> nc0.pc\n", MachineConfig::new(1));
+        assert!(matches!(p.run(10), Err(SimError::JumpOutOfRange { target: 3, len: 1 })));
+    }
+
+    #[test]
+    fn watchdog_fires_on_infinite_loop() {
+        let mut p = load("loop: @loop -> nc0.pc\n", MachineConfig::new(1));
+        assert_eq!(p.run(50), Err(SimError::Watchdog { budget: 50 }));
+    }
+
+    #[test]
+    fn port_conflict_detected() {
+        let mut p = load("1 -> regs0.r0 | 2 -> regs0.r0\n", MachineConfig::new(2));
+        assert!(matches!(p.run(10), Err(SimError::PortConflict { .. })));
+    }
+
+    #[test]
+    fn double_pc_write_detected() {
+        let mut p = load("0 -> nc0.pc | 0 -> nc0.pc\n", MachineConfig::new(2));
+        assert!(matches!(p.run(10), Err(SimError::DoublePcWrite { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_missing_fu() {
+        let prog = asm::parse("1 -> mtch2.t\n").unwrap();
+        assert!(matches!(
+            Processor::new(MachineConfig::new(1), prog),
+            Err(SimError::InvalidFuIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_wide_instruction() {
+        let prog = asm::parse("1 -> regs0.r0 | 2 -> regs0.r1\n").unwrap();
+        assert!(matches!(
+            Processor::new(MachineConfig::new(1), prog),
+            Err(SimError::TooManySlots { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_unresolved_labels() {
+        let prog = asm::parse("@nowhere -> nc0.pc\n").unwrap();
+        assert!(matches!(
+            Processor::new(MachineConfig::new(1), prog),
+            Err(SimError::UnresolvedLabel(_))
+        ));
+    }
+
+    #[test]
+    fn bus_utilization_reported() {
+        let mut p = load("1 -> regs0.r0 | 2 -> regs0.r1\n3 -> regs0.r2\n", MachineConfig::new(2));
+        let stats = p.run(10).unwrap();
+        // 3 moves over 2 cycles × 2 buses.
+        assert!((stats.bus_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checksum_unit_through_program() {
+        let mut p = load(
+            "0 -> csum0.tclr\n0x00010203 -> csum0.tadd\ncsum0.r -> regs0.r0\n",
+            MachineConfig::new(1),
+        );
+        p.run(10).unwrap();
+        assert_eq!(p.reg(0), (!(0x0001u32 + 0x0203) & 0xffff));
+    }
+}
+
+#[cfg(test)]
+mod multiport_memory_tests {
+    use super::*;
+    use taco_isa::asm;
+
+    #[test]
+    fn two_memory_ports_share_one_array() {
+        let mut prog = asm::parse(
+            "16 -> mmu0.addr | 17 -> mmu1.addr
+             7 -> mmu0.twrite | 9 -> mmu1.twrite
+             17 -> mmu0.addr | 16 -> mmu1.addr
+             0 -> mmu0.tread | 0 -> mmu1.tread
+             mmu0.r -> regs0.r0 | mmu1.r -> regs0.r1
+",
+        )
+        .unwrap();
+        prog.resolve_labels().unwrap();
+        let config = MachineConfig::new(2).with_fu_count(FuKind::Mmu, 2);
+        let mut p = Processor::new(config, prog).unwrap();
+        p.run(100).unwrap();
+        // Cross-read: each port sees what the other wrote.
+        assert_eq!(p.reg(0), 9);
+        assert_eq!(p.reg(1), 7);
+        assert_eq!(p.memory().read(16).unwrap(), 7);
+        assert_eq!(p.memory().read(17).unwrap(), 9);
+    }
+
+    #[test]
+    fn second_port_requires_configuration() {
+        let prog = asm::parse("1 -> mmu1.addr
+").unwrap();
+        assert!(matches!(
+            Processor::new(MachineConfig::new(1), prog),
+            Err(SimError::InvalidFuIndex { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use taco_isa::asm;
+
+    #[test]
+    fn identical_runs_produce_identical_state_and_stats() {
+        let text = "0 -> cnt0.tset | 9 -> cnt0.stop
+                    loop: 1 -> cnt0.tinc | cnt0.r -> regs0.r1
+                    !cnt0.done @loop -> nc0.pc
+                    cnt0.r -> regs0.r0
+";
+        let run = || {
+            let mut prog = asm::parse(text).unwrap();
+            prog.resolve_labels().unwrap();
+            let mut p = Processor::new(MachineConfig::new(3), prog).unwrap();
+            p.push_input(0x99, 1);
+            p.run(1_000).unwrap();
+            (p.stats().clone(), p.reg(0), p.reg(1), p.pending_inputs())
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use taco_isa::asm;
+
+    #[test]
+    fn trace_records_moves_squashes_and_stalls() {
+        let mut prog = asm::parse(
+            "1 -> rtu0.t\n\
+             ?rtu0.hit 1 -> regs0.r0 | !rtu0.hit 2 -> regs0.r1\n",
+        )
+        .unwrap();
+        prog.resolve_labels().unwrap();
+        let mut p = Processor::new(MachineConfig::new(2), prog).unwrap();
+        p.set_rtu(crate::rtu::RtuConfig::default().with_latency(3));
+        p.enable_trace(100);
+        p.run(100).unwrap();
+        let trace = p.trace().unwrap();
+        let text = trace.lines().join("\n");
+        assert!(text.contains("rtu0.t"), "{text}");
+        assert!(text.contains("<stall"), "{text}");
+        assert!(text.contains("~?rtu0.hit"), "{text}"); // squashed hit-guarded move
+        assert!(!trace.is_truncated());
+    }
+
+    #[test]
+    fn trace_respects_its_limit() {
+        let mut prog = asm::parse("loop: 1 -> cnt0.tinc\n@loop -> nc0.pc\n").unwrap();
+        prog.resolve_labels().unwrap();
+        let mut p = Processor::new(MachineConfig::new(1), prog).unwrap();
+        p.enable_trace(5);
+        assert!(matches!(p.run(50), Err(SimError::Watchdog { .. })));
+        let trace = p.trace().unwrap();
+        assert_eq!(trace.lines().len(), 5);
+        assert!(trace.is_truncated());
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let mut prog = asm::parse("1 -> regs0.r0\n").unwrap();
+        prog.resolve_labels().unwrap();
+        let p = Processor::new(MachineConfig::new(1), prog).unwrap();
+        assert!(p.trace().is_none());
+    }
+}

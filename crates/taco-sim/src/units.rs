@@ -1,0 +1,331 @@
+//! Behavioural models of the pure-datapath functional units.
+//!
+//! These are the units whose behaviour is a function of their own registers
+//! only: Matcher, Comparator, Counter, Checksum, Shifter, Masker and the
+//! Local Information Unit.  Units with external state (MMU → data memory,
+//! RTU → routing table, iPPU/oPPU → line-card queues, the register file and
+//! the network controller) are modelled directly in
+//! [`processor`](crate::processor).
+//!
+//! All units follow the TACO contract: operands are plain registers, a write
+//! to a trigger register performs the whole operation in one cycle, and the
+//! result register plus any guard bits are readable from the next cycle on
+//! (the simulator's read-then-write cycle structure enforces the timing).
+
+/// State of one datapath FU instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatapathFu {
+    /// Bitstring match under a mask: `match` ⇔ `(t & mask) == (refv & mask)`.
+    Matcher {
+        /// Mask operand.
+        mask: u32,
+        /// Reference operand.
+        refv: u32,
+        /// Pass-through of the last triggered datum.
+        r: u32,
+        /// Guard bit latched at trigger.
+        matched: bool,
+    },
+    /// Magnitude comparison of the triggered datum against `refv`.
+    Comparator {
+        /// Reference operand.
+        refv: u32,
+        /// Pass-through of the last triggered datum.
+        r: u32,
+        /// `t == refv`, latched at trigger.
+        eq: bool,
+        /// `t < refv` (unsigned), latched at trigger.
+        lt: bool,
+        /// `t > refv` (unsigned), latched at trigger.
+        gt: bool,
+    },
+    /// Set / increment / decrement / add / subtract, with a `stop`
+    /// comparand; `done` and `zero` track the current count combinationally
+    /// (the paper's "counting … from a start value to a stop value").
+    Counter {
+        /// Stop comparand for the `done` guard.
+        stop: u32,
+        /// The count register.
+        r: u32,
+    },
+    /// One's-complement Internet-checksum accumulator (RFC 1071), fed 32-bit
+    /// words; `r` reads back the folded, complemented 16-bit checksum.
+    Checksum {
+        /// Unfolded running sum.
+        sum: u32,
+    },
+    /// Logical shifter; `tshl` also serves as multiply-by-2ⁿ and `tshr` as
+    /// divide-by-2ⁿ, as the paper notes.
+    Shifter {
+        /// Shift distance operand (mod 32).
+        amount: u32,
+        /// Result register.
+        r: u32,
+    },
+    /// Bitfield insert: `r = (t & !mask) | (value & mask)`.
+    Masker {
+        /// Which bits to replace.
+        mask: u32,
+        /// Replacement bits.
+        value: u32,
+        /// Result register.
+        r: u32,
+    },
+    /// Local Information Unit: a small ROM of router-local words (own
+    /// addresses, port count, …) indexed by the trigger datum.
+    Liu {
+        /// The configured words.
+        table: Vec<u32>,
+        /// Result register.
+        r: u32,
+    },
+}
+
+impl DatapathFu {
+    /// Fresh power-on state for a unit of the given kind-specific variant.
+    pub fn new_matcher() -> Self {
+        DatapathFu::Matcher { mask: 0, refv: 0, r: 0, matched: false }
+    }
+
+    /// Fresh comparator state.
+    pub fn new_comparator() -> Self {
+        DatapathFu::Comparator { refv: 0, r: 0, eq: false, lt: false, gt: false }
+    }
+
+    /// Fresh counter state.
+    pub fn new_counter() -> Self {
+        DatapathFu::Counter { stop: 0, r: 0 }
+    }
+
+    /// Fresh checksum state.
+    pub fn new_checksum() -> Self {
+        DatapathFu::Checksum { sum: 0 }
+    }
+
+    /// Fresh shifter state.
+    pub fn new_shifter() -> Self {
+        DatapathFu::Shifter { amount: 0, r: 0 }
+    }
+
+    /// Fresh masker state.
+    pub fn new_masker() -> Self {
+        DatapathFu::Masker { mask: 0, value: 0, r: 0 }
+    }
+
+    /// Fresh LIU state with the given contents.
+    pub fn new_liu(table: Vec<u32>) -> Self {
+        DatapathFu::Liu { table, r: 0 }
+    }
+
+    /// Writes an operand register.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a port name the unit does not have — the processor
+    /// validates programs before running, so this indicates an internal bug.
+    pub fn write_operand(&mut self, port: &str, v: u32) {
+        match (self, port) {
+            (DatapathFu::Matcher { mask, .. }, "mask") => *mask = v,
+            (DatapathFu::Matcher { refv, .. }, "refv") => *refv = v,
+            (DatapathFu::Comparator { refv, .. }, "refv") => *refv = v,
+            (DatapathFu::Counter { stop, .. }, "stop") => *stop = v,
+            (DatapathFu::Shifter { amount, .. }, "amount") => *amount = v,
+            (DatapathFu::Masker { mask, .. }, "mask") => *mask = v,
+            (DatapathFu::Masker { value, .. }, "value") => *value = v,
+            (fu, port) => panic!("no operand port {port:?} on {fu:?}"),
+        }
+    }
+
+    /// Fires a trigger port with datum `v`, performing the operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a port name the unit does not have (see
+    /// [`DatapathFu::write_operand`]).
+    pub fn trigger(&mut self, port: &str, v: u32) {
+        match (self, port) {
+            (DatapathFu::Matcher { mask, refv, r, matched }, "t") => {
+                *r = v;
+                *matched = (v & *mask) == (*refv & *mask);
+            }
+            (DatapathFu::Comparator { refv, r, eq, lt, gt }, "t") => {
+                *r = v;
+                *eq = v == *refv;
+                *lt = v < *refv;
+                *gt = v > *refv;
+            }
+            (DatapathFu::Counter { r, .. }, trig) => match trig {
+                "tset" => *r = v,
+                "tinc" => *r = r.wrapping_add(1),
+                "tdec" => *r = r.wrapping_sub(1),
+                "tadd" => *r = r.wrapping_add(v),
+                "tsub" => *r = r.wrapping_sub(v),
+                other => panic!("no trigger port {other:?} on a counter"),
+            },
+            (DatapathFu::Checksum { sum }, "tclr") => *sum = 0,
+            (DatapathFu::Checksum { sum }, "tadd") => {
+                *sum += (v >> 16) + (v & 0xffff);
+            }
+            (DatapathFu::Shifter { amount, r }, "tshl") => *r = v << (*amount & 31),
+            (DatapathFu::Shifter { amount, r }, "tshr") => *r = v >> (*amount & 31),
+            (DatapathFu::Masker { mask, value, r }, "t") => {
+                *r = (v & !*mask) | (*value & *mask);
+            }
+            (DatapathFu::Liu { table, r }, "t") => {
+                *r = table.get(v as usize).copied().unwrap_or(0);
+            }
+            (fu, port) => panic!("no trigger port {port:?} on {fu:?}"),
+        }
+    }
+
+    /// Reads a result register.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a port name the unit does not have (see
+    /// [`DatapathFu::write_operand`]).
+    pub fn read_result(&self, port: &str) -> u32 {
+        match (self, port) {
+            (DatapathFu::Matcher { r, .. }, "r")
+            | (DatapathFu::Comparator { r, .. }, "r")
+            | (DatapathFu::Counter { r, .. }, "r")
+            | (DatapathFu::Shifter { r, .. }, "r")
+            | (DatapathFu::Masker { r, .. }, "r")
+            | (DatapathFu::Liu { r, .. }, "r") => *r,
+            (DatapathFu::Checksum { sum }, "r") => {
+                let mut s = *sum;
+                while s > 0xffff {
+                    s = (s & 0xffff) + (s >> 16);
+                }
+                !s & 0xffff
+            }
+            (fu, port) => panic!("no result port {port:?} on {fu:?}"),
+        }
+    }
+
+    /// Samples a guard signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a signal the unit does not drive (see
+    /// [`DatapathFu::write_operand`]).
+    pub fn guard(&self, signal: &str) -> bool {
+        match (self, signal) {
+            (DatapathFu::Matcher { matched, .. }, "match") => *matched,
+            (DatapathFu::Comparator { eq, .. }, "eq") => *eq,
+            (DatapathFu::Comparator { lt, .. }, "lt") => *lt,
+            (DatapathFu::Comparator { gt, .. }, "gt") => *gt,
+            (DatapathFu::Counter { r, stop }, "done") => r == stop,
+            (DatapathFu::Counter { r, .. }, "zero") => *r == 0,
+            (fu, signal) => panic!("no guard signal {signal:?} on {fu:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matcher_respects_mask() {
+        let mut m = DatapathFu::new_matcher();
+        m.write_operand("mask", 0xffff_0000);
+        m.write_operand("refv", 0x2001_0db8);
+        m.trigger("t", 0x2001_ffff);
+        assert!(m.guard("match")); // only upper half compared
+        assert_eq!(m.read_result("r"), 0x2001_ffff);
+        m.trigger("t", 0x2002_0db8);
+        assert!(!m.guard("match"));
+    }
+
+    #[test]
+    fn comparator_latches_relations() {
+        let mut c = DatapathFu::new_comparator();
+        c.write_operand("refv", 100);
+        c.trigger("t", 100);
+        assert!(c.guard("eq") && !c.guard("lt") && !c.guard("gt"));
+        c.trigger("t", 99);
+        assert!(!c.guard("eq") && c.guard("lt"));
+        c.trigger("t", 101);
+        assert!(c.guard("gt"));
+        // Rewriting refv does not change latched guards.
+        c.write_operand("refv", 0);
+        assert!(c.guard("gt"));
+    }
+
+    #[test]
+    fn counter_operations_and_guards() {
+        let mut c = DatapathFu::new_counter();
+        c.write_operand("stop", 3);
+        c.trigger("tset", 0);
+        assert!(c.guard("zero") && !c.guard("done"));
+        c.trigger("tinc", 0);
+        c.trigger("tinc", 0);
+        c.trigger("tinc", 0);
+        assert!(c.guard("done"));
+        assert_eq!(c.read_result("r"), 3);
+        c.trigger("tadd", 10);
+        assert_eq!(c.read_result("r"), 13);
+        c.trigger("tsub", 13);
+        assert!(c.guard("zero"));
+        c.trigger("tdec", 0);
+        assert_eq!(c.read_result("r"), u32::MAX); // wrapping
+    }
+
+    #[test]
+    fn checksum_matches_reference_implementation() {
+        let mut c = DatapathFu::new_checksum();
+        c.trigger("tclr", 0);
+        c.trigger("tadd", 0x0001_f203);
+        c.trigger("tadd", 0xf4f5_f6f7);
+        // RFC 1071 worked example folds to 0xddf2 before complement.
+        assert_eq!(c.read_result("r"), (!0xddf2u16) as u32);
+        c.trigger("tclr", 0);
+        assert_eq!(c.read_result("r"), 0xffff);
+    }
+
+    #[test]
+    fn shifter_multiplies_and_divides() {
+        let mut s = DatapathFu::new_shifter();
+        s.write_operand("amount", 1);
+        s.trigger("tshl", 21);
+        assert_eq!(s.read_result("r"), 42);
+        s.write_operand("amount", 2);
+        s.trigger("tshr", 44);
+        assert_eq!(s.read_result("r"), 11);
+        // Shift distances wrap at 32.
+        s.write_operand("amount", 33);
+        s.trigger("tshl", 1);
+        assert_eq!(s.read_result("r"), 2);
+    }
+
+    #[test]
+    fn masker_inserts_bitfield() {
+        let mut m = DatapathFu::new_masker();
+        m.write_operand("mask", 0x0000_ff00);
+        m.write_operand("value", 0x0000_4200);
+        m.trigger("t", 0x1234_5678);
+        assert_eq!(m.read_result("r"), 0x1234_4278);
+    }
+
+    #[test]
+    fn liu_reads_table() {
+        let mut l = DatapathFu::new_liu(vec![0xaaaa, 0xbbbb]);
+        l.trigger("t", 1);
+        assert_eq!(l.read_result("r"), 0xbbbb);
+        l.trigger("t", 99); // out of range reads zero
+        assert_eq!(l.read_result("r"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no trigger port")]
+    fn wrong_trigger_panics() {
+        DatapathFu::new_checksum().trigger("t", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no guard signal")]
+    fn wrong_guard_panics() {
+        let _ = DatapathFu::new_shifter().guard("match");
+    }
+}

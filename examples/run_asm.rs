@@ -1,0 +1,77 @@
+//! A miniature TACO toolchain driver: assemble a `.tasm` file, optionally
+//! re-schedule it for a wider machine, execute it cycle-accurately and dump
+//! the architectural state.
+//!
+//! ```text
+//! cargo run --example run_asm -- [path/to/prog.tasm] [buses] [r0=N r1=N …]
+//! ```
+//!
+//! With no arguments it runs the bundled Euclid's-GCD program
+//! (`examples/programs/gcd.tasm`) with `r0=91, r1=35` on a 2-bus machine.
+
+use taco::isa::{asm, schedule, validate_schedule, MachineConfig, MoveSeq};
+use taco::sim::Processor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "examples/programs/gcd.tasm".to_string());
+    let buses: u8 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let mut regs: Vec<(u8, u32)> = vec![(0, 91), (1, 35)];
+    for spec in args {
+        if let Some((r, v)) = spec.split_once('=') {
+            let r: u8 = r.trim_start_matches('r').parse()?;
+            regs.retain(|(i, _)| *i != r);
+            regs.push((r, v.parse()?));
+        }
+    }
+
+    let text = std::fs::read_to_string(&path)?;
+    let parsed = asm::parse(&text)?;
+    println!("{path}: {} instructions as written", parsed.instructions.len());
+
+    // Treat the parsed program as a linear move sequence and re-schedule it
+    // for the requested machine (one move per written slot).
+    let mut seq = MoveSeq::new();
+    let mut label_at: Vec<(usize, String)> =
+        parsed.labels.iter().map(|(n, i)| (*i, n.clone())).collect();
+    label_at.sort();
+    let mut li = 0;
+    for (idx, ins) in parsed.instructions.iter().enumerate() {
+        while li < label_at.len() && label_at[li].0 == idx {
+            seq.define_label(label_at[li].1.clone());
+            li += 1;
+        }
+        for mv in ins.moves() {
+            seq.push(mv.clone());
+        }
+    }
+    while li < label_at.len() {
+        seq.define_label(label_at[li].1.clone());
+        li += 1;
+    }
+
+    let config = MachineConfig::new(buses);
+    let mut prog = schedule(&seq, &config);
+    prog.resolve_labels().map_err(|l| format!("undefined label {l}"))?;
+    validate_schedule(&prog, &config).map_err(|v| format!("invalid schedule: {v:?}"))?;
+    println!("scheduled for {config}: {} instructions", prog.instructions.len());
+    println!("{}", asm::disassemble(&prog));
+
+    let mut cpu = Processor::new(config, prog)?;
+    for &(r, v) in &regs {
+        cpu.set_reg(r, v);
+        println!("  r{r} = {v}");
+    }
+    let stats = cpu.run(1_000_000)?;
+    println!("ran: {stats}");
+    print!("registers:");
+    for r in 0..16u8 {
+        if cpu.reg(r) != 0 {
+            print!("  r{r}={}", cpu.reg(r));
+        }
+    }
+    println!();
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! Property tests: every wire codec round-trips — IPv6 datagrams (with
+//! extension headers), UDP, ICMPv6, RIPng, the memory word packing, and the
+//! TACO assembly format.
+
+use proptest::prelude::*;
+
+use taco::ipv6::exthdr::{FragmentHeader, OptionsHeader, RoutingHeader};
+use taco::ipv6::ripng::{Command, RipngPacket, RouteEntry};
+use taco::ipv6::udp::UdpDatagram;
+use taco::ipv6::{
+    checksum, Datagram, ExtensionHeader, Ipv6Address, Ipv6Prefix, NextHeader,
+};
+use taco::isa::asm;
+use taco::router::layout::{datagram_to_words, words_to_bytes};
+
+fn arb_addr() -> impl Strategy<Value = Ipv6Address> {
+    any::<[u8; 16]>().prop_map(Ipv6Address::new)
+}
+
+fn arb_ext() -> impl Strategy<Value = ExtensionHeader> {
+    prop_oneof![
+        // Options bodies must be valid TLVs for canonical round-tripping;
+        // encode each as a single experimental option (type 0x3e).
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(|body| {
+            let mut tlv = vec![0x3e, body.len() as u8];
+            tlv.extend(body);
+            ExtensionHeader::HopByHop(OptionsHeader { options: tlv })
+        }),
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(|body| {
+            let mut tlv = vec![0x3e, body.len() as u8];
+            tlv.extend(body);
+            ExtensionHeader::DestinationOptions(OptionsHeader { options: tlv })
+        }),
+        (any::<u8>(), prop::collection::vec(any::<[u8; 16]>(), 0..3)).prop_map(
+            |(segments_left, addresses)| {
+                ExtensionHeader::Routing(RoutingHeader {
+                    routing_type: 0,
+                    segments_left,
+                    addresses,
+                })
+            }
+        ),
+        (0u16..8192, any::<bool>(), any::<u32>()).prop_map(|(offset, more, id)| {
+            ExtensionHeader::Fragment(FragmentHeader { offset, more, id })
+        }),
+    ]
+}
+
+fn arb_datagram() -> impl Strategy<Value = Datagram> {
+    (
+        arb_addr(),
+        arb_addr(),
+        any::<u8>(),
+        0u32..(1 << 20),
+        any::<u8>(),
+        prop::collection::vec(arb_ext(), 0..3),
+        prop::collection::vec(any::<u8>(), 0..128),
+    )
+        .prop_map(|(src, dst, tc, fl, hl, exts, payload)| {
+            let mut b = Datagram::builder(src, dst)
+                .traffic_class(tc)
+                .flow_label(fl)
+                .hop_limit(hl);
+            for e in exts {
+                b = b.extension(e);
+            }
+            b.payload(NextHeader::Udp, payload).build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn datagram_bytes_round_trip(d in arb_datagram()) {
+        let bytes = d.to_bytes();
+        prop_assert_eq!(Datagram::parse(&bytes).expect("reparse"), d);
+    }
+
+    #[test]
+    fn datagram_word_packing_round_trips(d in arb_datagram()) {
+        let words = datagram_to_words(&d);
+        let bytes = words_to_bytes(&words, d.wire_len());
+        prop_assert_eq!(Datagram::parse(&bytes).expect("reparse"), d);
+    }
+
+    #[test]
+    fn udp_round_trips_and_verifies(
+        src in arb_addr(), dst in arb_addr(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        data in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let dgram = UdpDatagram::new(sport, dport, data, &src, &dst);
+        let parsed = UdpDatagram::parse(&dgram.to_bytes(), &src, &dst).expect("verify");
+        prop_assert_eq!(parsed, dgram);
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_corruption(
+        mut data in prop::collection::vec(any::<u8>(), 2..64),
+        flip in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        if data.len() % 2 == 1 {
+            data.push(0); // protocols pad to a 16-bit boundary before summing
+        }
+        let c = checksum::checksum(&data);
+        let mut buf = data.clone();
+        buf.extend_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(checksum::checksum(&buf), 0);
+        let i = flip.index(buf.len());
+        buf[i] ^= 1 << bit;
+        prop_assert_ne!(checksum::checksum(&buf), 0, "corruption at byte {} undetected", i);
+    }
+
+    #[test]
+    fn ripng_round_trips(
+        cmd in prop_oneof![Just(Command::Request), Just(Command::Response)],
+        entries in prop::collection::vec(
+            (any::<[u8; 16]>(), 0u8..=128, any::<u16>(), 1u8..=16),
+            0..25,
+        ),
+    ) {
+        let pkt = RipngPacket {
+            command: cmd,
+            entries: entries
+                .into_iter()
+                .map(|(a, len, tag, metric)| {
+                    let p = Ipv6Prefix::new(Ipv6Address::new(a), len).expect("valid");
+                    RouteEntry::new(p, tag, metric)
+                })
+                .collect(),
+        };
+        prop_assert_eq!(RipngPacket::parse(&pkt.to_bytes()).expect("reparse"), pkt);
+    }
+
+    #[test]
+    fn asm_print_parse_round_trips(
+        imms in prop::collection::vec(any::<u32>(), 1..12),
+        buses in 1u8..4,
+    ) {
+        // Build a small but structurally varied program from the immediates.
+        let mut text = String::from("start:\n");
+        for (i, v) in imms.iter().enumerate() {
+            match i % 4 {
+                0 => text.push_str(&format!("{v} -> cnt0.tset | {v} -> cnt1.stop\n")),
+                1 => text.push_str(&format!("0x{v:x} -> mask0.mask | ... \n")),
+                2 => text.push_str("?cnt0.done cnt0.r -> regs0.r3\n"),
+                _ => text.push_str("!cnt1.zero @start -> nc0.pc\n"),
+            }
+        }
+        let prog = asm::parse(&text).expect("generated text parses");
+        let printed = asm::print(&prog);
+        let reparsed = asm::parse(&printed).expect("printed text parses");
+        prop_assert_eq!(reparsed, prog);
+        let _ = buses;
+    }
+}

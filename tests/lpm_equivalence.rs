@@ -1,0 +1,107 @@
+//! Property test: the four longest-prefix-match engines (sequential scan,
+//! balanced tree, CAM, trie) are observationally identical — same matched
+//! prefix for every address, on arbitrary route sets, through arbitrary
+//! insert/remove histories.
+
+use proptest::prelude::*;
+
+use taco::ipv6::{Ipv6Address, Ipv6Prefix};
+use taco::routing::{
+    BalancedTreeTable, CamTable, LpmTable, PortId, Route, SequentialTable, TrieTable,
+};
+
+fn arb_prefix() -> impl Strategy<Value = Ipv6Prefix> {
+    (any::<[u8; 16]>(), 0u8..=128).prop_map(|(octets, len)| {
+        Ipv6Prefix::new(Ipv6Address::new(octets), len).expect("len <= 128")
+    })
+}
+
+fn arb_route() -> impl Strategy<Value = Route> {
+    (arb_prefix(), 0u16..8, 1u8..=15).prop_map(|(p, port, metric)| {
+        Route::new(p, Ipv6Address::LOOPBACK, PortId(port), metric)
+    })
+}
+
+fn arb_addr() -> impl Strategy<Value = Ipv6Address> {
+    any::<[u8; 16]>().prop_map(Ipv6Address::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_engines_agree_on_lookups(
+        routes in prop::collection::vec(arb_route(), 0..40),
+        seed_routes in prop::collection::vec(arb_route(), 1..40),
+        probes in prop::collection::vec(any::<prop::sample::Index>(), 1..20),
+        noise in any::<[u8; 16]>(),
+    ) {
+        let all: Vec<Route> = routes.iter().chain(&seed_routes).copied().collect();
+        let seq = SequentialTable::from_routes(all.iter().copied());
+        let tree = BalancedTreeTable::from_routes(all.iter().copied());
+        let cam = CamTable::from_routes(all.iter().copied());
+        let trie = TrieTable::from_routes(all.iter().copied());
+
+        prop_assert_eq!(seq.len(), tree.len());
+        prop_assert_eq!(seq.len(), cam.len());
+        prop_assert_eq!(seq.len(), trie.len());
+
+        for idx in probes {
+            // Probe both a route-interior address and a perturbed one.
+            let base = all[idx.index(all.len())].prefix();
+            let mut addr = base.addr();
+            for bit in base.len()..128 {
+                addr = addr.with_bit(bit, noise[usize::from(bit) / 8] & (1 << (bit % 8)) != 0);
+            }
+            for probe in [addr, Ipv6Address::new(noise)] {
+                let expect = seq.lookup(&probe).into_route().map(|r| r.prefix());
+                prop_assert_eq!(tree.lookup(&probe).into_route().map(|r| r.prefix()), expect,
+                    "tree disagrees at {}", probe);
+                prop_assert_eq!(cam.lookup(&probe).into_route().map(|r| r.prefix()), expect,
+                    "cam disagrees at {}", probe);
+                prop_assert_eq!(trie.lookup(&probe).into_route().map(|r| r.prefix()), expect,
+                    "trie disagrees at {}", probe);
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_after_removals(
+        routes in prop::collection::vec(arb_route(), 2..30),
+        remove in prop::collection::vec(any::<prop::sample::Index>(), 1..10),
+        probe in arb_addr(),
+    ) {
+        let mut seq = SequentialTable::from_routes(routes.iter().copied());
+        let mut tree = BalancedTreeTable::from_routes(routes.iter().copied());
+        let mut cam = CamTable::from_routes(routes.iter().copied());
+        let mut trie = TrieTable::from_routes(routes.iter().copied());
+
+        for idx in remove {
+            let p = routes[idx.index(routes.len())].prefix();
+            let a = seq.remove(&p).map(|r| r.prefix());
+            prop_assert_eq!(tree.remove(&p).map(|r| r.prefix()), a);
+            prop_assert_eq!(cam.remove(&p).map(|r| r.prefix()), a);
+            prop_assert_eq!(trie.remove(&p).map(|r| r.prefix()), a);
+        }
+        let expect = seq.lookup(&probe).into_route().map(|r| r.prefix());
+        prop_assert_eq!(tree.lookup(&probe).into_route().map(|r| r.prefix()), expect);
+        prop_assert_eq!(cam.lookup(&probe).into_route().map(|r| r.prefix()), expect);
+        prop_assert_eq!(trie.lookup(&probe).into_route().map(|r| r.prefix()), expect);
+    }
+
+    #[test]
+    fn replacement_semantics_agree(route in arb_route(), port2 in 0u16..8) {
+        let updated = Route::new(route.prefix(), route.next_hop(), PortId(port2), route.metric());
+        let mut seq = SequentialTable::new();
+        let mut tree = BalancedTreeTable::new();
+        let mut cam = CamTable::new();
+        let mut trie = TrieTable::new();
+        for t in [&mut seq as &mut dyn LpmTable, &mut tree, &mut cam, &mut trie] {
+            prop_assert!(t.insert(route).is_none());
+            let old = t.insert(updated);
+            prop_assert_eq!(old.map(|r| r.interface()), Some(route.interface()));
+            prop_assert_eq!(t.len(), 1);
+            prop_assert_eq!(t.get(&route.prefix()).map(|r| r.interface()), Some(PortId(port2)));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Property test: the optimizer + scheduler preserve program semantics.
+//!
+//! Random straight-line TTA programs (built from fold-safe operation
+//! templates over virtual FU instances) are executed two ways:
+//!
+//! * the *reference*: unscheduled, one move per instruction, on a machine
+//!   wide enough that no virtual instance folds;
+//! * the *subject*: bypassed, dead-move-eliminated and list-scheduled onto
+//!   a random configuration (1–4 buses, 1–3× FU replication).
+//!
+//! The architectural outcome — all sixteen registers and the touched
+//! memory words — must be identical.
+
+use proptest::prelude::*;
+
+use taco::isa::{optimize, schedule, validate_schedule, CodeBuilder, FuKind, MachineConfig, MoveSeq, Program};
+use taco::sim::Processor;
+
+/// One fold-safe operation template.
+#[derive(Debug, Clone)]
+enum Op {
+    LoadImm { reg: u8, value: u32 },
+    CounterAdd { fu: u8, base: u8, add: u32, out: u8 },
+    Shift { fu: u8, amount: u32, left: bool, src: u8, out: u8 },
+    MaskInsert { fu: u8, mask: u32, value: u32, src: u8, out: u8 },
+    MatchSelect { fu: u8, mask: u32, refv: u32, probe: u8, hit: u32, miss: u32, out: u8 },
+    CompareSelect { fu: u8, refv: u32, probe: u8, if_lt: u32, out: u8 },
+    MemRoundTrip { addr: u32, src: u8, out: u8 },
+    ChecksumWord { src: u8, out: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let reg = || 0u8..8;
+    let fu = || 0u8..3;
+    prop_oneof![
+        (reg(), any::<u32>()).prop_map(|(reg, value)| Op::LoadImm { reg, value }),
+        (fu(), reg(), any::<u32>(), reg())
+            .prop_map(|(fu, base, add, out)| Op::CounterAdd { fu, base, add, out }),
+        (fu(), 0u32..32, any::<bool>(), reg(), reg())
+            .prop_map(|(fu, amount, left, src, out)| Op::Shift { fu, amount, left, src, out }),
+        (fu(), any::<u32>(), any::<u32>(), reg(), reg())
+            .prop_map(|(fu, mask, value, src, out)| Op::MaskInsert { fu, mask, value, src, out }),
+        (fu(), any::<u32>(), any::<u32>(), reg(), any::<u32>(), any::<u32>(), reg()).prop_map(
+            |(fu, mask, refv, probe, hit, miss, out)| Op::MatchSelect {
+                fu, mask, refv, probe, hit, miss, out
+            }
+        ),
+        (fu(), any::<u32>(), reg(), any::<u32>(), reg())
+            .prop_map(|(fu, refv, probe, if_lt, out)| Op::CompareSelect { fu, refv, probe, if_lt, out }),
+        (0u32..64, reg(), reg()).prop_map(|(addr, src, out)| Op::MemRoundTrip { addr, src, out }),
+        (reg(), reg()).prop_map(|(src, out)| Op::ChecksumWord { src, out }),
+    ]
+}
+
+/// Emits one template as an atomic def-use chain (fold-safe by
+/// construction).
+fn emit(b: &mut CodeBuilder, op: &Op) {
+    match *op {
+        Op::LoadImm { reg, value } => b.mv(value, b.reg(reg)),
+        Op::CounterAdd { fu, base, add, out } => {
+            let c = b.fu(FuKind::Counter, fu);
+            b.mv(b.reg(base), c.port("tset"));
+            b.mv(add, c.port("tadd"));
+            b.mv(c.port("r"), b.reg(out));
+        }
+        Op::Shift { fu, amount, left, src, out } => {
+            let s = b.fu(FuKind::Shifter, 0); // shifter is a singleton by default
+            let _ = fu;
+            b.mv(amount, s.port("amount"));
+            b.mv(b.reg(src), s.port(if left { "tshl" } else { "tshr" }));
+            b.mv(s.port("r"), b.reg(out));
+        }
+        Op::MaskInsert { fu, mask, value, src, out } => {
+            let m = b.fu(FuKind::Masker, 0);
+            let _ = fu;
+            b.mv(mask, m.port("mask"));
+            b.mv(value, m.port("value"));
+            b.mv(b.reg(src), m.port("t"));
+            b.mv(m.port("r"), b.reg(out));
+        }
+        Op::MatchSelect { fu, mask, refv, probe, hit, miss, out } => {
+            let m = b.fu(FuKind::Matcher, fu);
+            b.mv(mask, m.port("mask"));
+            b.mv(refv, m.port("refv"));
+            b.mv(b.reg(probe), m.port("t"));
+            b.mv_if(m.guard("match"), hit, b.reg(out));
+            b.mv_unless(m.guard("match"), miss, b.reg(out));
+        }
+        Op::CompareSelect { fu, refv, probe, if_lt, out } => {
+            let c = b.fu(FuKind::Comparator, fu);
+            b.mv(refv, c.port("refv"));
+            b.mv(b.reg(probe), c.port("t"));
+            b.mv_if(c.guard("lt"), if_lt, b.reg(out));
+        }
+        Op::MemRoundTrip { addr, src, out } => {
+            let mmu = b.fu(FuKind::Mmu, 0);
+            b.mv(addr, mmu.port("addr"));
+            b.mv(b.reg(src), mmu.port("twrite"));
+            b.mv(addr, mmu.port("addr"));
+            b.mv(0u32, mmu.port("tread"));
+            b.mv(mmu.port("r"), b.reg(out));
+        }
+        Op::ChecksumWord { src, out } => {
+            let cs = b.fu(FuKind::Checksum, 0);
+            b.mv(0u32, cs.port("tclr"));
+            b.mv(b.reg(src), cs.port("tadd"));
+            b.mv(cs.port("r"), b.reg(out));
+        }
+    }
+}
+
+fn build(ops: &[Op]) -> MoveSeq {
+    let mut b = CodeBuilder::new();
+    for op in ops {
+        emit(&mut b, op);
+    }
+    b.finish()
+}
+
+/// A machine wide enough that virtual instances 0..3 exist physically.
+fn wide_machine() -> MachineConfig {
+    MachineConfig::new(1)
+        .with_fu_count(FuKind::Counter, 3)
+        .with_fu_count(FuKind::Comparator, 3)
+        .with_fu_count(FuKind::Matcher, 3)
+}
+
+fn run(config: MachineConfig, program: Program) -> ([u32; 16], Vec<u32>) {
+    let mut program = program;
+    program.resolve_labels().expect("straight-line code");
+    let mut cpu = Processor::new(config, program).expect("valid program");
+    cpu.run(100_000).expect("straight-line code halts");
+    let regs = std::array::from_fn(|i| cpu.reg(i as u8));
+    let mem = cpu.memory().read_block(0, 64).expect("in range").to_vec();
+    (regs, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scheduling_preserves_architectural_state(
+        ops in prop::collection::vec(arb_op(), 1..20),
+        buses in 1u8..=4,
+        replication in 1u8..=3,
+    ) {
+        let seq = build(&ops);
+        let reference = run(
+            wide_machine(),
+            Program::from_moves(&seq, 1),
+        );
+
+        let mut machine = MachineConfig::new(buses);
+        if replication > 1 {
+            for kind in FuKind::REPLICABLE {
+                machine = machine.with_fu_count(kind, replication);
+            }
+        }
+        let mut optimized = seq.clone();
+        optimize(&mut optimized);
+        let subject = run(machine.clone(), schedule(&optimized, &machine));
+
+        prop_assert_eq!(reference.0, subject.0, "registers diverged on {}", machine);
+        prop_assert_eq!(reference.1, subject.1, "memory diverged on {}", machine);
+    }
+
+    #[test]
+    fn scheduler_output_passes_structural_validation(
+        ops in prop::collection::vec(arb_op(), 1..25),
+        buses in 1u8..=4,
+        replication in 1u8..=3,
+    ) {
+        let seq = build(&ops);
+        let mut machine = MachineConfig::new(buses);
+        if replication > 1 {
+            for kind in FuKind::REPLICABLE {
+                machine = machine.with_fu_count(kind, replication);
+            }
+        }
+        let prog = schedule(&seq, &machine);
+        prop_assert_eq!(validate_schedule(&prog, &machine), Ok(()));
+    }
+
+    #[test]
+    fn encoding_round_trips_scheduled_programs(
+        ops in prop::collection::vec(arb_op(), 1..20),
+        buses in 1u8..=4,
+    ) {
+        use taco::isa::{decode, encode};
+        let seq = build(&ops);
+        let machine = MachineConfig::new(buses);
+        let mut prog = schedule(&seq, &machine);
+        prog.resolve_labels().expect("no labels in straight-line code");
+        let enc = encode(&prog, &machine).expect("encodes");
+        let dec = decode(&enc, &machine).expect("decodes");
+        prop_assert_eq!(dec.instructions, prog.instructions);
+        // A packed slot is narrow: the paper's "mostly addresses" word.
+        prop_assert!(enc.slot_bits <= 32, "{}", enc.slot_bits);
+    }
+
+    #[test]
+    fn scheduling_never_lengthens_the_program(
+        ops in prop::collection::vec(arb_op(), 1..20),
+        buses in 1u8..=4,
+    ) {
+        let seq = build(&ops);
+        let machine = MachineConfig::new(buses);
+        let scheduled = schedule(&seq, &machine);
+        prop_assert!(scheduled.instructions.len() <= seq.len());
+        prop_assert_eq!(scheduled.move_count(), seq.len());
+    }
+}
