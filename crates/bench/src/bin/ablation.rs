@@ -12,8 +12,15 @@
 //! ```text
 //! cargo run -p taco-bench --release --bin ablation
 //! ```
+//!
+//! Every cell is an independent cycle-accurate run, so each grid is
+//! measured in parallel on the `taco-core` worker pool (`TACO_THREADS`
+//! overrides the worker count); cells print in grid order regardless of
+//! completion order.
 
-use taco_core::benchmark_routes;
+use std::time::Instant;
+
+use taco_core::{benchmark_routes, pool};
 use taco_ipv6::{Datagram, NextHeader};
 use taco_isa::MachineConfig;
 use taco_router::microcode::{choose_screen_word, sequential_program, MicrocodeOptions};
@@ -69,6 +76,21 @@ fn measure(config: &MachineConfig, routes: &[Route], opts: &MicrocodeOptions) ->
     cpu.run(50_000_000).expect("halts").cycles / 8
 }
 
+/// Measures a grid of `(config, routes, opts)` cells in parallel, in grid
+/// order, with one stderr progress line per grid.
+fn measure_grid(label: &str, cells: &[(MachineConfig, &[Route], MicrocodeOptions)]) -> Vec<u64> {
+    let threads = pool::default_threads();
+    let started = Instant::now();
+    let results =
+        pool::ordered_map(cells, threads, |_, (config, routes, opts)| measure(config, routes, opts));
+    eprintln!(
+        "{label}: {} cells on {threads} worker thread(s), {:.1} ms",
+        cells.len(),
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    results
+}
+
 fn main() {
     let diverse = benchmark_routes(ENTRIES);
     let clustered = clustered_routes();
@@ -83,16 +105,28 @@ fn main() {
         best(&diverse)
     );
     println!("{:<22} {:>8} {:>8} {:>8}", r"config \ unroll", 1, 2, 3);
-    for config in [
+    let configs = [
         MachineConfig::one_bus_one_fu(),
         MachineConfig::three_bus_one_fu(),
         MachineConfig::three_bus_three_fu(),
-    ] {
-        print!("{:<22}", config.label());
-        for unroll in 1..=3u8 {
-            let opts =
-                MicrocodeOptions { unroll, screen_word: best(&diverse), halt_when_idle: true };
-            print!(" {:>8}", measure(&config, &diverse, &opts));
+    ];
+    let unroll_cells: Vec<(MachineConfig, &[Route], MicrocodeOptions)> = configs
+        .iter()
+        .flat_map(|config| {
+            (1..=3u8).map(|unroll| {
+                let opts = MicrocodeOptions {
+                    unroll,
+                    screen_word: best(&diverse),
+                    halt_when_idle: true,
+                };
+                (config.clone(), diverse.as_slice(), opts)
+            })
+        })
+        .collect();
+    for (row, chunk) in measure_grid("unroll grid", &unroll_cells).chunks(3).enumerate() {
+        print!("{:<22}", configs[row].label());
+        for cycles in chunk {
+            print!(" {cycles:>8}");
         }
         println!();
     }
@@ -100,11 +134,23 @@ fn main() {
     println!();
     println!("— screening word (unroll 3, 3BUS/1FU) —");
     println!("{:<30} {:>8} {:>8} {:>8} {:>8}  {:>6}", r"table \ word", 0, 1, 2, 3, "auto");
-    for (name, routes) in [("diverse (random /16-/64)", &diverse), ("clustered (2001:db8::/32)", &clustered)] {
+    let tables: [(&str, &[Route]); 2] =
+        [("diverse (random /16-/64)", &diverse), ("clustered (2001:db8::/32)", &clustered)];
+    let screen_cells: Vec<(MachineConfig, &[Route], MicrocodeOptions)> = tables
+        .iter()
+        .flat_map(|&(_, routes)| {
+            (0..4u8).map(move |word| {
+                let opts =
+                    MicrocodeOptions { unroll: 3, screen_word: word, halt_when_idle: true };
+                (MachineConfig::three_bus_one_fu(), routes, opts)
+            })
+        })
+        .collect();
+    for (row, chunk) in measure_grid("screen-word grid", &screen_cells).chunks(4).enumerate() {
+        let (name, routes) = tables[row];
         print!("{name:<30}");
-        for word in 0..4u8 {
-            let opts = MicrocodeOptions { unroll: 3, screen_word: word, halt_when_idle: true };
-            print!(" {:>8}", measure(&MachineConfig::three_bus_one_fu(), routes, &opts));
+        for cycles in chunk {
+            print!(" {cycles:>8}");
         }
         println!("  {:>6}", best(routes));
     }
@@ -118,19 +164,32 @@ fn main() {
     println!("(probing EXPERIMENTS.md deviation D1: with >1 memory word per cycle,");
     println!(" does FU replication finally pay, as the paper's numbers imply?)");
     println!("{:<26} {:>8} {:>8} {:>8}", r"config \ mmu ports", 1, 2, 3);
-    for (name, base) in [
+    let bases = [
         ("3BUS/1FU", MachineConfig::three_bus_one_fu()),
         ("3bus/3CNT,3CMP,3M", MachineConfig::three_bus_three_fu()),
         ("6bus/3CNT,3CMP,3M", MachineConfig::new(6)
             .with_fu_count(taco_isa::FuKind::Counter, 3)
             .with_fu_count(taco_isa::FuKind::Comparator, 3)
             .with_fu_count(taco_isa::FuKind::Matcher, 3)),
-    ] {
-        print!("{name:<26}");
-        for ports in 1..=3u8 {
-            let config = base.clone().with_fu_count(taco_isa::FuKind::Mmu, ports);
-            let opts = MicrocodeOptions { unroll: 3, screen_word: best(&diverse), halt_when_idle: true };
-            print!(" {:>8}", measure(&config, &diverse, &opts));
+    ];
+    let port_cells: Vec<(MachineConfig, &[Route], MicrocodeOptions)> = bases
+        .iter()
+        .flat_map(|(_, base)| {
+            (1..=3u8).map(|ports| {
+                let config = base.clone().with_fu_count(taco_isa::FuKind::Mmu, ports);
+                let opts = MicrocodeOptions {
+                    unroll: 3,
+                    screen_word: best(&diverse),
+                    halt_when_idle: true,
+                };
+                (config, diverse.as_slice(), opts)
+            })
+        })
+        .collect();
+    for (row, chunk) in measure_grid("memory-port grid", &port_cells).chunks(3).enumerate() {
+        print!("{:<26}", bases[row].0);
+        for cycles in chunk {
+            print!(" {cycles:>8}");
         }
         println!();
     }

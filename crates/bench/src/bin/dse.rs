@@ -3,13 +3,23 @@
 //! instance, filter by power/area constraints and print the ranking.
 //!
 //! ```text
-//! cargo run -p taco-bench --release --bin dse [max_power_w] [max_area_mm2]
+//! cargo run -p taco-bench --release --bin dse [max_power_w] [max_area_mm2] [--stats]
 //! ```
+//!
+//! The sweep fans out across all cores (`TACO_THREADS` overrides) through
+//! the process-global evaluation cache, with per-point progress on stderr;
+//! `--stats` appends each point's raw simulator counters as JSON.
 
-use taco_core::{explore, table1, Constraints, LineRate, SweepSpec};
+use taco_core::{
+    explore_with, pool, table1, Constraints, EvalCache, ExploreOptions, LineRate, StderrProgress,
+    SweepSpec,
+};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats = args.iter().any(|a| a == "--stats");
+    args.retain(|a| a != "--stats");
+    let mut args = args.into_iter();
     let max_power_w: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
     let max_area_mm2: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50.0);
     let constraints = Constraints { max_power_w, max_area_mm2 };
@@ -28,7 +38,23 @@ fn main() {
     );
     println!();
 
-    let ex = explore(&spec, LineRate::TEN_GBE, &constraints);
+    let threads = pool::default_threads();
+    eprintln!("sweeping on {threads} worker thread(s) (set {} to override)", pool::THREADS_ENV);
+    let observer =
+        if stats { StderrProgress::verbose() } else { StderrProgress::new() };
+    let cache = EvalCache::global();
+    let ex = explore_with(
+        &spec,
+        LineRate::TEN_GBE,
+        &constraints,
+        &ExploreOptions { threads, cache: Some(cache), observer: &observer },
+    );
+    eprintln!(
+        "evaluation cache: {} hits, {} misses, {} points stored",
+        cache.hits(),
+        cache.misses(),
+        cache.len()
+    );
 
     println!("all {} evaluated instances:", ex.all.len());
     print!("{}", table1::render(&ex.all));

@@ -7,14 +7,26 @@
 //! ```text
 //! cargo run -p taco-bench --release --bin scaling
 //! ```
+//!
+//! Each series' sizes are simulated in parallel (`TACO_THREADS`
+//! overrides the worker count) and memoised in the process-global
+//! evaluation cache, so re-running a series within one process is free.
+
+use std::time::Instant;
 
 use taco_bench::SCALING_SIZES;
-use taco_core::{scaling_sweep, ArchConfig, RoutingTableKind};
+use taco_core::{pool, scaling_sweep, ArchConfig, EvalCache, RoutingTableKind};
 use taco_routing::TableKind;
 
 fn main() {
     println!("cycles per datagram vs routing-table size (cycle-accurate simulation)");
     println!();
+    eprintln!(
+        "sweeping {} sizes per series on {} worker thread(s) (set {} to override)",
+        SCALING_SIZES.len(),
+        pool::default_threads(),
+        pool::THREADS_ENV
+    );
     let mut kinds = TableKind::PAPER_KINDS.to_vec();
     kinds.push(TableKind::Trie); // the software baseline, as a fourth series
     for kind in kinds {
@@ -29,13 +41,17 @@ fn main() {
             ArchConfig::three_bus_one_fu(kind),
             ArchConfig::three_bus_three_fu(kind),
         ] {
+            let started = Instant::now();
             print!("{:<22}", config.machine.label());
             for (_, cycles) in scaling_sweep(&config, &SCALING_SIZES) {
                 print!("{cycles:>9.0}");
             }
             println!();
+            eprintln!("  {:<20} {:>8.1} ms", config.label(), started.elapsed().as_secs_f64() * 1e3);
         }
         println!();
     }
+    let cache = EvalCache::global();
+    eprintln!("evaluation cache: {} hits, {} misses", cache.hits(), cache.misses());
     let _: RoutingTableKind = TableKind::Trie; // same enum, two names
 }

@@ -11,7 +11,11 @@
 //! cargo run -p taco-bench --release --bin sensitivity
 //! ```
 
-use taco_core::{evaluate, ArchConfig, LineRate};
+use std::time::Instant;
+
+use taco_core::{
+    ArchConfig, EvalCache, LineRate, PointRecord, StderrProgress, SweepObserver,
+};
 use taco_estimate::Estimator;
 use taco_routing::TableKind;
 
@@ -29,14 +33,25 @@ fn main() {
     }
     println!();
 
-    for kind in TableKind::PAPER_KINDS {
+    let cache = EvalCache::global();
+    let observer = StderrProgress::new();
+    for (i, kind) in TableKind::PAPER_KINDS.into_iter().enumerate() {
         // One simulation per kind: cycles are rate-independent, so evaluate
-        // once and rescale.
-        let base = evaluate(
+        // once (memoised in the process-global cache) and rescale.
+        let started = Instant::now();
+        let (base, cache_hit) = cache.evaluate_recorded(
             &ArchConfig::three_bus_one_fu(kind),
             LineRate::new(10e9, PACKET_BYTES[0]),
             entries,
         );
+        observer.on_point(&PointRecord {
+            index: i,
+            total: TableKind::PAPER_KINDS.len(),
+            report: &base,
+            cache_hit,
+            wall: started.elapsed(),
+            stats_json: base.stats.to_json(),
+        });
         print!("{:<16}", kind.to_string());
         for bytes in PACKET_BYTES {
             let f = LineRate::new(10e9, bytes)

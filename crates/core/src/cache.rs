@@ -1,0 +1,223 @@
+//! Memoisation of architecture evaluations.
+//!
+//! One [`evaluate()`](crate::evaluate::evaluate) call runs a cycle-accurate
+//! simulation, so sweep throughput — not single-run accuracy — is what
+//! limits design-space exploration at scale.  Every evaluation is a pure
+//! function of `(ArchConfig, table size, line rate)`: the benchmark routes,
+//! the measurement traffic and the simulator are all deterministic.  That
+//! makes the result safely memoisable, and repeated points across
+//! [`explore()`](crate::explorer::explore),
+//! [`scaling_sweep()`](crate::explorer::scaling_sweep) and the bench
+//! binaries evaluate exactly once per process.
+//!
+//! The cache is a mutexed map, not a lock-free structure: the lock is held
+//! only for lookups and inserts (microseconds), never across a simulation
+//! (milliseconds to seconds), so contention is negligible next to the work
+//! being saved.  Two threads racing on the *same* missing key may both
+//! simulate it — the loser's insert simply overwrites with an identical
+//! value, which is benign and keeps the hot path lock-free during compute.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::arch::ArchConfig;
+use crate::evaluate::{cycles_per_datagram, evaluate, EvalReport};
+use crate::rate::LineRate;
+
+/// Full evaluation key: the architecture instance, the routing-table size
+/// and the line-rate target (whose `f64` component is keyed by bit
+/// pattern — line rates are constructed from literals, not arithmetic, so
+/// bitwise equality is the right notion here).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EvalKey {
+    config: ArchConfig,
+    entries: usize,
+    rate_bits: u64,
+    packet_bytes: u32,
+}
+
+impl EvalKey {
+    fn new(config: &ArchConfig, line_rate: LineRate, entries: usize) -> Self {
+        EvalKey {
+            config: config.clone(),
+            entries,
+            rate_bits: line_rate.bits_per_second.to_bits(),
+            packet_bytes: line_rate.packet_bytes,
+        }
+    }
+}
+
+/// A keyed memo of evaluation results, shareable across threads.
+///
+/// Most callers want [`EvalCache::global()`] — the process-wide instance
+/// the sweep entry points use — but a fresh [`EvalCache::new()`] gives
+/// tests and long-running services an isolated lifetime they control.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    reports: Mutex<HashMap<EvalKey, EvalReport>>,
+    cycles: Mutex<HashMap<(ArchConfig, usize), f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// The process-wide cache shared by [`explore()`](crate::explorer::explore),
+    /// [`scaling_sweep()`](crate::explorer::scaling_sweep),
+    /// [`table1()`](crate::table1::table1) and the bench binaries.
+    pub fn global() -> &'static EvalCache {
+        static GLOBAL: OnceLock<EvalCache> = OnceLock::new();
+        GLOBAL.get_or_init(EvalCache::new)
+    }
+
+    /// Memoised [`evaluate()`]: returns the cached report for this exact
+    /// point if one exists, otherwise evaluates (without holding the lock)
+    /// and stores the result.
+    pub fn evaluate(&self, config: &ArchConfig, line_rate: LineRate, entries: usize) -> EvalReport {
+        self.evaluate_recorded(config, line_rate, entries).0
+    }
+
+    /// [`EvalCache::evaluate`], also reporting whether the result came from
+    /// the cache (`true` = hit) — the flag sweep observers record.
+    pub fn evaluate_recorded(
+        &self,
+        config: &ArchConfig,
+        line_rate: LineRate,
+        entries: usize,
+    ) -> (EvalReport, bool) {
+        let key = EvalKey::new(config, line_rate, entries);
+        if let Some(report) = self.reports.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (report.clone(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = evaluate(config, line_rate, entries);
+        self.reports.lock().expect("cache lock").insert(key, report.clone());
+        (report, false)
+    }
+
+    /// Memoised [`cycles_per_datagram()`] (the scaling ablation's
+    /// rate-independent measurement), with the same hit flag.
+    pub fn cycles_recorded(&self, config: &ArchConfig, entries: usize) -> (f64, bool) {
+        let key = (config.clone(), entries);
+        if let Some(&cycles) = self.cycles.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (cycles, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let cycles = cycles_per_datagram(config, entries);
+        self.cycles.lock().expect("cache lock").insert(key, cycles);
+        (cycles, false)
+    }
+
+    /// Lookups answered from the map since creation (or [`Self::reset_counters`]).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to simulate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct points stored (full reports + cycles-only).
+    pub fn len(&self) -> usize {
+        self.reports.lock().expect("cache lock").len()
+            + self.cycles.lock().expect("cache lock").len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every stored result (counters are kept; pair with
+    /// [`Self::reset_counters`] for a full reset).
+    pub fn clear(&self) {
+        self.reports.lock().expect("cache lock").clear();
+        self.cycles.lock().expect("cache lock").clear();
+    }
+
+    /// Zeroes the hit/miss counters.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_routing::TableKind;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = EvalCache::new();
+        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        assert!(cache.is_empty());
+
+        let (first, hit1) = cache.evaluate_recorded(&config, LineRate::TEN_GBE, 8);
+        assert!(!hit1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let (second, hit2) = cache.evaluate_recorded(&config, LineRate::TEN_GBE, 8);
+        assert!(hit2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = EvalCache::new();
+        let cam = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        let tree = ArchConfig::three_bus_one_fu(TableKind::BalancedTree);
+
+        let a = cache.evaluate(&cam, LineRate::TEN_GBE, 8);
+        let b = cache.evaluate(&tree, LineRate::TEN_GBE, 8);
+        let c = cache.evaluate(&cam, LineRate::GIGE, 8);
+        let d = cache.evaluate(&cam, LineRate::TEN_GBE, 16);
+        assert_eq!(cache.misses(), 4, "four distinct points");
+        assert_ne!(a.config, b.config);
+        assert_ne!(a.line_rate, c.line_rate);
+        assert_ne!(a.table_entries, d.table_entries);
+    }
+
+    #[test]
+    fn cycles_cache_is_separate_and_hit_counted() {
+        let cache = EvalCache::new();
+        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        let (cy1, hit1) = cache.cycles_recorded(&config, 8);
+        let (cy2, hit2) = cache.cycles_recorded(&config, 8);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(cy1, cy2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let cache = EvalCache::new();
+        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        cache.evaluate(&config, LineRate::TEN_GBE, 8);
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.reset_counters();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        // After clearing, the same point misses again.
+        let (_, hit) = cache.evaluate_recorded(&config, LineRate::TEN_GBE, 8);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn global_cache_is_one_instance() {
+        let a = EvalCache::global() as *const EvalCache;
+        let b = EvalCache::global() as *const EvalCache;
+        assert_eq!(a, b);
+    }
+}

@@ -9,6 +9,7 @@ use taco_router::microcode::MicrocodeOptions;
 use taco_router::traffic::TrafficGen;
 use taco_routing::cam::CamSpec;
 use taco_routing::{BalancedTreeTable, CamTable, PortId, Route, SequentialTable, TableKind};
+use taco_sim::SimStats;
 
 use crate::arch::ArchConfig;
 use crate::rate::LineRate;
@@ -46,6 +47,11 @@ pub struct EvalReport {
     /// Physical estimate at the required frequency ("NA" above the
     /// technology ceiling).
     pub estimate: Estimate,
+    /// Raw simulator counters from the measurement run (the final
+    /// fixed-point iteration for the CAM organisation) — the "performance
+    /// data" the paper reads off its SystemC model, kept so sweep
+    /// observers can serialise it per design point.
+    pub stats: SimStats,
 }
 
 impl EvalReport {
@@ -123,15 +129,16 @@ fn build_router(config: &ArchConfig, routes: &[Route], rtu_latency: u32) -> Cycl
     .expect("generated microcode always validates")
 }
 
-/// Measures cycles per datagram and bus utilisation for one configuration.
-fn measure(config: &ArchConfig, routes: &[Route], rtu_latency: u32) -> (f64, f64) {
+/// Measures cycles per datagram and bus utilisation for one configuration,
+/// returning the raw simulator counters alongside.
+fn measure(config: &ArchConfig, routes: &[Route], rtu_latency: u32) -> (f64, f64, SimStats) {
     let mut router = build_router(config, routes, rtu_latency);
     for d in measurement_datagrams(routes) {
         router.enqueue(PortId(0), &d).expect("measurement datagrams fit the buffer");
     }
     let stats = router.run(CYCLE_BUDGET).expect("measurement run completes");
     let n = router.forwarded().len().max(1);
-    (stats.cycles as f64 / n as f64, stats.bus_utilization())
+    (stats.cycles as f64 / n as f64, stats.bus_utilization(), stats)
 }
 
 /// Evaluates one architecture instance against a line-rate target — the
@@ -160,15 +167,15 @@ pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) 
     let cam_spec = CamSpec::paper_default();
 
     let mut rtu_latency = 1u32;
-    let (cycles, util, freq) = loop {
-        let (cycles, util) = measure(config, &routes, rtu_latency);
+    let (cycles, util, freq, stats) = loop {
+        let (cycles, util, stats) = measure(config, &routes, rtu_latency);
         let freq = line_rate.required_frequency_hz(cycles);
         if config.table != TableKind::Cam {
-            break (cycles, util, freq);
+            break (cycles, util, freq, stats);
         }
         let next = cam_spec.search_cycles(freq) as u32;
         if next == rtu_latency {
-            break (cycles, util, freq);
+            break (cycles, util, freq, stats);
         }
         rtu_latency = next;
     };
@@ -195,6 +202,7 @@ pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) 
         rtu_latency_cycles: rtu_latency,
         program_bits,
         estimate,
+        stats,
     }
 }
 
@@ -204,6 +212,20 @@ pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) 
 pub fn cycles_per_datagram(config: &ArchConfig, table_entries: usize) -> f64 {
     let routes = benchmark_routes(table_entries);
     measure(config, &routes, 2).0
+}
+
+#[cfg(test)]
+mod stats_field_tests {
+    use super::*;
+
+    #[test]
+    fn report_carries_the_measurement_counters() {
+        let r = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        assert!(r.stats.cycles > 0);
+        assert!((r.stats.bus_utilization() - r.bus_utilization).abs() < 1e-12);
+        let json = r.stats.to_json();
+        assert!(json.contains("\"cycles\":"), "{json}");
+    }
 }
 
 /// The inverse analysis: the highest line rate (bits per second) this
@@ -221,7 +243,7 @@ pub fn max_sustainable_rate_bps(
     let routes = benchmark_routes(table_entries);
     let f_max = Estimator::new().max_frequency_hz() * 0.999; // just under NA
     let rtu_latency = CamSpec::paper_default().search_cycles(f_max) as u32;
-    let (cycles, _) = measure(config, &routes, rtu_latency);
+    let (cycles, _, _) = measure(config, &routes, rtu_latency);
     (f_max / cycles) * 8.0 * f64::from(packet_bytes)
 }
 

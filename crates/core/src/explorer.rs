@@ -7,10 +7,16 @@
 //! grid, evaluate every instance with the same simulate-then-estimate
 //! pipeline, filter by the designer's constraints, and rank what survives.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
 use taco_routing::TableKind;
 
 use crate::arch::ArchConfig;
+use crate::cache::EvalCache;
 use crate::evaluate::{cycles_per_datagram, evaluate, EvalReport};
+use crate::observer::{PointRecord, Silent, SweepObserver, SweepSummary};
+use crate::pool;
 use crate::rate::LineRate;
 
 /// Designer-imposed physical constraints.
@@ -74,7 +80,9 @@ pub struct Exploration {
     pub all: Vec<EvalReport>,
     /// Indices (into `all`) of the instances admitted by the constraints,
     /// sorted by ascending processor power (the paper's tie-breaker after
-    /// feasibility).
+    /// feasibility), then ascending area, then sweep index — a total
+    /// order, so equal-power configurations rank reproducibly across runs
+    /// and platforms.
     pub admitted: Vec<usize>,
 }
 
@@ -85,32 +93,153 @@ impl Exploration {
     }
 }
 
-/// Runs the sweep: evaluate every grid point, filter, rank.
-pub fn explore(spec: &SweepSpec, line_rate: LineRate, constraints: &Constraints) -> Exploration {
-    let mut all = Vec::new();
+/// Knobs for a sweep run: parallelism, memoisation and observability.
+///
+/// The [`Default`] is what the public entry points use — all cores (or
+/// `TACO_THREADS`), the process-global [`EvalCache`], no output.
+#[derive(Clone, Copy)]
+pub struct ExploreOptions<'a> {
+    /// Worker threads for the grid fan-out (`1` = serial, inline).
+    pub threads: usize,
+    /// Evaluation memo to consult and fill; `None` evaluates every point
+    /// from scratch.
+    pub cache: Option<&'a EvalCache>,
+    /// Progress sink (per point + summary).
+    pub observer: &'a dyn SweepObserver,
+}
+
+impl Default for ExploreOptions<'_> {
+    fn default() -> Self {
+        ExploreOptions {
+            threads: pool::default_threads(),
+            cache: Some(EvalCache::global()),
+            observer: &Silent,
+        }
+    }
+}
+
+/// The sweep grid of `spec`, in sweep order (kinds × buses × replication,
+/// innermost last) — the order `Exploration::all` is laid out in.
+pub fn grid(spec: &SweepSpec) -> Vec<ArchConfig> {
+    let mut configs =
+        Vec::with_capacity(spec.kinds.len() * spec.buses.len() * spec.replication.len());
     for &kind in &spec.kinds {
         for &buses in &spec.buses {
             for &repl in &spec.replication {
-                let config = ArchConfig::with_replication(kind, buses, repl);
-                all.push(evaluate(&config, line_rate, spec.entries));
+                configs.push(ArchConfig::with_replication(kind, buses, repl));
             }
         }
     }
+    configs
+}
+
+/// Filters and ranks: admitted indices ordered by (power, area, sweep
+/// index) — a deterministic total order.
+fn rank(all: &[EvalReport], constraints: &Constraints) -> Vec<usize> {
     let mut admitted: Vec<usize> =
         (0..all.len()).filter(|&i| constraints.admits(&all[i])).collect();
-    admitted.sort_by(|&a, &b| {
-        let pa = all[a].estimate.feasible().expect("admitted implies feasible").power_w;
-        let pb = all[b].estimate.feasible().expect("admitted implies feasible").power_w;
-        pa.partial_cmp(&pb).expect("power is finite")
+    admitted.sort_unstable_by(|&a, &b| {
+        let ea = all[a].estimate.feasible().expect("admitted implies feasible");
+        let eb = all[b].estimate.feasible().expect("admitted implies feasible");
+        ea.power_w
+            .total_cmp(&eb.power_w)
+            .then(ea.area_mm2.total_cmp(&eb.area_mm2))
+            .then(a.cmp(&b))
     });
+    admitted
+}
+
+/// Runs the sweep: evaluate every grid point, filter, rank.
+///
+/// Points are fanned out across all cores (override with the
+/// `TACO_THREADS` environment variable) and answered from the
+/// process-global [`EvalCache`] where possible; results land by sweep
+/// index, so the outcome is identical to the serial sweep — see
+/// [`explore_serial`] and the `parallel_matches_serial` equivalence test.
+pub fn explore(spec: &SweepSpec, line_rate: LineRate, constraints: &Constraints) -> Exploration {
+    explore_with(spec, line_rate, constraints, &ExploreOptions::default())
+}
+
+/// [`explore`] with explicit [`ExploreOptions`].
+pub fn explore_with(
+    spec: &SweepSpec,
+    line_rate: LineRate,
+    constraints: &Constraints,
+    opts: &ExploreOptions<'_>,
+) -> Exploration {
+    let started = Instant::now();
+    let configs = grid(spec);
+    let total = configs.len();
+    let sweep_hits = AtomicUsize::new(0);
+
+    let all: Vec<EvalReport> = pool::ordered_map(&configs, opts.threads, |index, config| {
+        let point_started = Instant::now();
+        let (report, cache_hit) = match opts.cache {
+            Some(cache) => cache.evaluate_recorded(config, line_rate, spec.entries),
+            None => (evaluate(config, line_rate, spec.entries), false),
+        };
+        if cache_hit {
+            sweep_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        opts.observer.on_point(&PointRecord {
+            index,
+            total,
+            report: &report,
+            cache_hit,
+            wall: point_started.elapsed(),
+            stats_json: report.stats.to_json(),
+        });
+        report
+    });
+
+    let admitted = rank(&all, constraints);
+    opts.observer.on_summary(&SweepSummary {
+        points: total,
+        cache_hits: sweep_hits.load(Ordering::Relaxed),
+        admitted: admitted.len(),
+        wall_ms: started.elapsed().as_millis(),
+    });
+    Exploration { all, admitted }
+}
+
+/// The reference implementation: one thread, no cache, no observer — the
+/// loop the parallel sweep must be byte-identical to.
+pub fn explore_serial(
+    spec: &SweepSpec,
+    line_rate: LineRate,
+    constraints: &Constraints,
+) -> Exploration {
+    let all: Vec<EvalReport> =
+        grid(spec).iter().map(|config| evaluate(config, line_rate, spec.entries)).collect();
+    let admitted = rank(&all, constraints);
     Exploration { all, admitted }
 }
 
 /// The scaling ablation behind Table 1: cycles per datagram as a function
 /// of routing-table size, for one configuration.  Returns `(size, cycles)`
 /// pairs.
+///
+/// Sizes are measured in parallel and memoised in the global [`EvalCache`]
+/// (the measurement is line-rate independent, so it is keyed on
+/// configuration × size only).
 pub fn scaling_sweep(config: &ArchConfig, sizes: &[usize]) -> Vec<(usize, f64)> {
-    sizes.iter().map(|&n| (n, cycles_per_datagram(config, n))).collect()
+    scaling_sweep_with(config, sizes, &ExploreOptions::default())
+}
+
+/// [`scaling_sweep`] with explicit threads/cache (the observer is unused:
+/// cycles-only points carry no [`EvalReport`] to record).
+pub fn scaling_sweep_with(
+    config: &ArchConfig,
+    sizes: &[usize],
+    opts: &ExploreOptions<'_>,
+) -> Vec<(usize, f64)> {
+    pool::ordered_map(sizes, opts.threads, |_, &n| {
+        let cycles = match opts.cache {
+            Some(cache) => cache.cycles_recorded(config, n).0,
+            None => cycles_per_datagram(config, n),
+        };
+        (n, cycles)
+    })
 }
 
 #[cfg(test)]

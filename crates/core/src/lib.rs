@@ -38,15 +38,23 @@
 //! ```
 
 pub mod arch;
+pub mod cache;
 pub mod evaluate;
 pub mod explorer;
+pub mod observer;
+pub mod pool;
 pub mod rate;
 pub mod table1;
 
 pub use arch::{ArchConfig, RoutingTableKind};
+pub use cache::EvalCache;
 pub use evaluate::{
     benchmark_routes, cycles_per_datagram, evaluate, max_sustainable_rate_bps, EvalReport,
 };
-pub use explorer::{explore, scaling_sweep, Constraints, Exploration, SweepSpec};
+pub use explorer::{
+    explore, explore_serial, explore_with, grid, scaling_sweep, scaling_sweep_with, Constraints,
+    Exploration, ExploreOptions, SweepSpec,
+};
+pub use observer::{PointRecord, Silent, StderrProgress, SweepObserver, SweepSummary};
 pub use rate::LineRate;
 pub use table1::table1;

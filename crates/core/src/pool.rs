@@ -1,0 +1,140 @@
+//! A `std`-only scoped worker pool with deterministic result ordering.
+//!
+//! The design-space explorer fans independent grid points out across
+//! cores.  Two properties matter more than raw speed:
+//!
+//! * **no external dependencies** — the workspace must build in an
+//!   offline environment, so this is `std::thread::scope` plus two
+//!   atomics, not rayon;
+//! * **deterministic output order** — results land by *input index*, not
+//!   completion order, so a parallel sweep is byte-identical to the
+//!   serial one and `Exploration::all` keeps the sweep-order contract.
+//!
+//! Work is distributed dynamically (an atomic cursor), which keeps cores
+//! busy even though grid points vary wildly in cost (a 1-bus sequential
+//! scan simulates ~50× longer than a 3-bus CAM lookup).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (`0` or unparsable
+/// values fall back to the detected parallelism).
+pub const THREADS_ENV: &str = "TACO_THREADS";
+
+/// The worker count used by the high-level sweep entry points: the
+/// `TACO_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    threads_from(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Pure core of [`default_threads`], separated for testing.
+fn threads_from(var: Option<&str>) -> usize {
+    if let Some(n) = var.and_then(|v| v.trim().parse::<usize>().ok()) {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `threads` worker threads and returns
+/// the results **in input order**.
+///
+/// `f` receives `(index, &item)`.  With `threads <= 1` (or fewer than two
+/// items) the items are processed inline on the caller's thread — the
+/// degenerate case is exactly the serial loop, with no thread spawned.
+///
+/// Panics in `f` propagate to the caller once all workers have joined
+/// (the guarantee `std::thread::scope` provides).
+pub fn ordered_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                collected.lock().expect("no worker panics while holding").append(&mut local);
+            });
+        }
+    });
+
+    let mut tagged = collected.into_inner().expect("workers joined");
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_land_in_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        // Uneven per-item cost: make late items finish first.
+        let out = ordered_map(&items, 8, |i, &x| {
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = ordered_map(&items, 1, |i, &x| x.wrapping_mul(i as u64 + 1));
+        let parallel = ordered_map(&items, 6, |i, &x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(ordered_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(ordered_map(&[42], 4, |_, &x| x), vec![42]);
+        assert_eq!(ordered_map(&[1, 2, 3], 0, |_, &x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = ordered_map(&[10, 20], 16, |i, &x| x + i);
+        assert_eq!(out, vec![10, 21]);
+    }
+
+    #[test]
+    fn env_override_parsing() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 12 ")), 12);
+        // Invalid or non-positive values fall back to autodetection (>= 1).
+        assert!(threads_from(Some("0")) >= 1);
+        assert!(threads_from(Some("not-a-number")) >= 1);
+        assert!(threads_from(None) >= 1);
+    }
+
+    #[test]
+    fn captures_state_by_reference() {
+        let table: Vec<u64> = (0..32).map(|i| i * i).collect();
+        let out = ordered_map(&table, 4, |i, _| table[i] + 1);
+        assert_eq!(out[31], 31 * 31 + 1);
+    }
+}

@@ -5,7 +5,8 @@ use std::fmt::Write as _;
 use taco_estimate::Estimate;
 
 use crate::arch::ArchConfig;
-use crate::evaluate::{evaluate, EvalReport};
+use crate::cache::EvalCache;
+use crate::evaluate::EvalReport;
 use crate::rate::LineRate;
 
 /// Evaluates all nine cells of the paper's Table 1 (three routing-table
@@ -14,10 +15,15 @@ use crate::rate::LineRate;
 ///
 /// `entries` is the routing-table size (the paper's constraint is "a
 /// maximum size of 100 entries").
+///
+/// Cells are answered from the process-global [`EvalCache`]: the nine
+/// Table 1 points are a subset of the default exploration grid, so a
+/// sweep that already ran in this process makes this call (nearly) free.
 pub fn table1(line_rate: LineRate, entries: usize) -> Vec<EvalReport> {
+    let cache = EvalCache::global();
     ArchConfig::table1_cells()
         .iter()
-        .map(|c| evaluate(c, line_rate, entries))
+        .map(|c| cache.evaluate(c, line_rate, entries))
         .collect()
 }
 

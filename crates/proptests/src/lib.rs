@@ -1,0 +1,6 @@
+//! Carrier package for the property-test suites (`tests/`, behind the
+//! `proptest` feature) and the Criterion micro-benches (`benches/`).
+//!
+//! This package is excluded from the workspace because its dependencies
+//! come from the registry and the workspace must resolve offline; see the
+//! manifest header and `scripts/verify.sh`.

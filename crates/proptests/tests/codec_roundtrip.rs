@@ -2,6 +2,8 @@
 //! extension headers), UDP, ICMPv6, RIPng, the memory word packing, and the
 //! TACO assembly format.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use taco::ipv6::exthdr::{FragmentHeader, OptionsHeader, RoutingHeader};

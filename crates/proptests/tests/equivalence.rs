@@ -7,6 +7,8 @@
 //! memory layout, microcode generation, the optimizer, the scheduler and
 //! the simulator all have to agree with fifty lines of plain Rust.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use taco::ipv6::{Datagram, Ipv6Address, NextHeader};

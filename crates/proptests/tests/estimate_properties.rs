@@ -1,0 +1,62 @@
+//! Property tests for the physical-estimation model, extracted from
+//! `taco-estimate/src/model.rs` so the workspace itself carries no
+//! proptest dependency (see the manifest header of this package).
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+
+use taco_estimate::Estimator;
+use taco_isa::{FuKind, MachineConfig};
+
+fn arb_config() -> impl Strategy<Value = MachineConfig> {
+    (1u8..=4, 1u8..=3).prop_map(|(buses, repl)| {
+        let mut m = MachineConfig::new(buses);
+        if repl > 1 {
+            for kind in FuKind::REPLICABLE {
+                m = m.with_fu_count(kind, repl);
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn power_and_area_monotone_in_frequency(
+        config in arb_config(),
+        f_lo in 1e6f64..5e8,
+        delta in 1e6f64..4e8,
+    ) {
+        let est = Estimator::new();
+        let lo = est.estimate(&config, f_lo).feasible().cloned()
+            .expect("below ceiling");
+        let hi = est.estimate(&config, f_lo + delta).feasible().cloned()
+            .expect("below ceiling");
+        prop_assert!(hi.power_w > lo.power_w);
+        prop_assert!(hi.area_mm2 >= lo.area_mm2);
+        prop_assert!(hi.sizing_factor >= lo.sizing_factor);
+    }
+
+    #[test]
+    fn bigger_machines_cost_more(
+        buses in 1u8..=3,
+        f in 1e7f64..8e8,
+    ) {
+        let est = Estimator::new();
+        let small = est.estimate(&MachineConfig::new(buses), f)
+            .feasible().cloned().expect("feasible");
+        let big_cfg = MachineConfig::new(buses + 1)
+            .with_fu_count(FuKind::Matcher, 3);
+        let big = est.estimate(&big_cfg, f).feasible().cloned().expect("feasible");
+        prop_assert!(big.area_mm2 > small.area_mm2);
+        prop_assert!(big.power_w > small.power_w);
+    }
+
+    #[test]
+    fn feasibility_is_a_threshold(config in arb_config(), f in 1e6f64..4e9) {
+        let est = Estimator::new();
+        let feasible = est.estimate(&config, f).is_feasible();
+        prop_assert_eq!(feasible, f < est.max_frequency_hz());
+    }
+}

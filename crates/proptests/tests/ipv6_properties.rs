@@ -1,6 +1,8 @@
 //! Crate-local property tests for the address/prefix algebra the
 //! longest-prefix-match engines are built on.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use taco_ipv6::{Ipv6Address, Ipv6Prefix};

@@ -3,6 +3,8 @@
 //! prefix for every address, on arbitrary route sets, through arbitrary
 //! insert/remove histories.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use taco::ipv6::{Ipv6Address, Ipv6Prefix};

@@ -11,6 +11,8 @@
 //! The architectural outcome — all sixteen registers and the touched
 //! memory words — must be identical.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use taco::isa::{optimize, schedule, validate_schedule, CodeBuilder, FuKind, MachineConfig, MoveSeq, Program};

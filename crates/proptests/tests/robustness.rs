@@ -4,6 +4,8 @@
 //! "attacker-controlled bytes cause a panic" is a vulnerability class this
 //! file keeps extinct.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use taco::ipv6::icmpv6::Icmpv6Message;

@@ -52,6 +52,7 @@ pub mod layout;
 pub mod linecard;
 pub mod microcode;
 pub mod reference;
+pub mod rng;
 pub mod router;
 pub mod traffic;
 
@@ -59,5 +60,6 @@ pub use cycle::{CamBackend, CycleRouter};
 pub use linecard::LineCard;
 pub use microcode::MicrocodeOptions;
 pub use reference::{DropReason, ForwardDecision, ForwardingStats, ReferenceRouter};
+pub use rng::SplitMix64;
 pub use router::{Router, TickReport};
 pub use traffic::{ripng_datagram, TrafficGen};

@@ -1,0 +1,190 @@
+//! Minimal deterministic pseudo-random number generation.
+//!
+//! The workload generator needs reproducible randomness, not cryptographic
+//! or statistical sophistication — and it must build with **no external
+//! dependencies**, because the repository's tier-1 verification runs in an
+//! offline environment where registry crates cannot be resolved.  This
+//! module is the in-tree replacement for the `rand` crate: a SplitMix64
+//! generator (Steele, Lea & Flood, "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014) with the handful of derived samplers the
+//! traffic generator uses.
+//!
+//! SplitMix64 is a good fit here: one `u64` of state, equidistributed
+//! output for every seed (including 0), and a trivially auditable
+//! xorshift-multiply finalizer.
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// Identical seeds produce identical streams on every platform — the
+/// property every test and benchmark in this repository relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly distributed bits (the high half of a step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `buf` with uniformly distributed bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// A uniform value in `0..n` (Lemire's unbiased multiply-shift method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(n);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(n);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform value in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "inverted range");
+        match hi - lo {
+            u64::MAX => self.next_u64(),
+            span => lo + self.below(span + 1),
+        }
+    }
+
+    /// A uniform float in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+
+    /// `true` with probability `p` (clamped to `0.0..=1.0`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Reference output of splitmix64 for seed 1234567, per the public
+        // domain implementation by Sebastiano Vigna.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut rng = SplitMix64::new(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..300 {
+            let v = rng.range_inclusive(4, 16);
+            assert!((4..=16).contains(&v));
+            lo_seen |= v == 4;
+            hi_seen |= v == 16;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn full_range_does_not_overflow() {
+        let mut rng = SplitMix64::new(3);
+        let _ = rng.range_inclusive(0, u64::MAX);
+    }
+
+    #[test]
+    fn unit_floats_and_chance_extremes() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..100 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f), "{f}");
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SplitMix64::new(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut again = [0u8; 13];
+        SplitMix64::new(5).fill_bytes(&mut again);
+        assert_eq!(buf, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_rejected() {
+        SplitMix64::new(1).below(0);
+    }
+}

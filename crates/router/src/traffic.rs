@@ -7,32 +7,31 @@
 //! datagrams, and RIPng control traffic — everything the routers (both
 //! cycle-accurate and behavioural) consume.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use taco_ipv6::ripng::{Command, RipngPacket, RouteEntry};
 use taco_ipv6::{Datagram, Ipv6Address, Ipv6Prefix, NextHeader};
 use taco_routing::{PortId, Route};
 
-/// A deterministic workload generator (seeded [`SmallRng`]).
+use crate::rng::SplitMix64;
+
+/// A deterministic workload generator (seeded in-tree [`SplitMix64`]).
 #[derive(Debug, Clone)]
 pub struct TrafficGen {
-    rng: SmallRng,
+    rng: SplitMix64,
     ports: u16,
 }
 
 impl TrafficGen {
     /// Creates a generator with `ports` router ports and a fixed `seed`.
     pub fn new(seed: u64, ports: u16) -> Self {
-        TrafficGen { rng: SmallRng::seed_from_u64(seed), ports: ports.max(1) }
+        TrafficGen { rng: SplitMix64::new(seed), ports: ports.max(1) }
     }
 
     /// A random global-unicast prefix with length in `16..=64` (multiples
     /// of 4, like real allocations).
     pub fn prefix(&mut self) -> Ipv6Prefix {
-        let len = self.rng.gen_range(4..=16) * 4;
+        let len = (self.rng.range_inclusive(4, 16) * 4) as u8;
         let mut octets = [0u8; 16];
-        self.rng.fill(&mut octets);
+        self.rng.fill_bytes(&mut octets);
         octets[0] = 0x20 | (octets[0] & 0x0f); // 2000::/4 global unicast
         Ipv6Prefix::new(Ipv6Address::new(octets), len).expect("len <= 64")
     }
@@ -50,15 +49,15 @@ impl TrafficGen {
             routes.push(Route::new(
                 p,
                 self.link_local(),
-                PortId(self.rng.gen_range(0..self.ports)),
-                self.rng.gen_range(1..=8),
+                PortId(self.rng.below(u64::from(self.ports)) as u16),
+                self.rng.range_inclusive(1, 8) as u8,
             ));
         }
         if with_default {
             routes.push(Route::new(
                 Ipv6Prefix::DEFAULT_ROUTE,
                 self.link_local(),
-                PortId(self.rng.gen_range(0..self.ports)),
+                PortId(self.rng.below(u64::from(self.ports)) as u16),
                 15,
             ));
         }
@@ -68,7 +67,7 @@ impl TrafficGen {
     /// A random link-local address (`fe80::/64` host part).
     pub fn link_local(&mut self) -> Ipv6Address {
         let mut octets = [0u8; 16];
-        self.rng.fill(&mut octets[8..]);
+        self.rng.fill_bytes(&mut octets[8..]);
         octets[0] = 0xfe;
         octets[1] = 0x80;
         for b in &mut octets[2..8] {
@@ -81,7 +80,7 @@ impl TrafficGen {
     pub fn addr_in(&mut self, prefix: &Ipv6Prefix) -> Ipv6Address {
         let mut addr = prefix.addr();
         for bit in prefix.len()..128 {
-            addr = addr.with_bit(bit, self.rng.gen_bool(0.5));
+            addr = addr.with_bit(bit, self.rng.chance(0.5));
         }
         addr
     }
@@ -89,12 +88,12 @@ impl TrafficGen {
     /// A destination drawn from `routes` with probability `hit_ratio`,
     /// otherwise a (very likely) unrouted address in `4000::/4`.
     pub fn destination(&mut self, routes: &[Route], hit_ratio: f64) -> Ipv6Address {
-        if !routes.is_empty() && self.rng.gen_bool(hit_ratio.clamp(0.0, 1.0)) {
-            let r = routes[self.rng.gen_range(0..routes.len())];
+        if !routes.is_empty() && self.rng.chance(hit_ratio) {
+            let r = routes[self.rng.below(routes.len() as u64) as usize];
             self.addr_in(&r.prefix())
         } else {
             let mut octets = [0u8; 16];
-            self.rng.fill(&mut octets);
+            self.rng.fill_bytes(&mut octets);
             octets[0] = 0x40 | (octets[0] & 0x0f);
             Ipv6Address::new(octets)
         }
@@ -103,11 +102,11 @@ impl TrafficGen {
     /// A forwarding datagram to `dst` with `payload_len` payload bytes.
     pub fn datagram(&mut self, dst: Ipv6Address, payload_len: usize) -> Datagram {
         let mut src = [0u8; 16];
-        self.rng.fill(&mut src);
+        self.rng.fill_bytes(&mut src);
         src[0] = 0x20;
         Datagram::builder(Ipv6Address::new(src), dst)
-            .hop_limit(self.rng.gen_range(2..=255))
-            .flow_label(self.rng.gen_range(0..1 << 20))
+            .hop_limit(self.rng.range_inclusive(2, 255) as u8)
+            .flow_label(self.rng.below(1 << 20) as u32)
             .payload(NextHeader::Udp, vec![0u8; payload_len])
             .build()
     }
@@ -124,7 +123,7 @@ impl TrafficGen {
         (0..k)
             .map(|_| {
                 let dst = self.destination(routes, hit_ratio);
-                let port = PortId(self.rng.gen_range(0..self.ports));
+                let port = PortId(self.rng.below(u64::from(self.ports)) as u16);
                 (port, self.datagram(dst, payload_len))
             })
             .collect()

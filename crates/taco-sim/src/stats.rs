@@ -60,6 +60,45 @@ impl SimStats {
         }
         self.fu_instance_triggers.get(&fu).copied().unwrap_or(0) as f64 / self.cycles as f64
     }
+
+    /// Serialises the counters as one line of JSON (hand-rolled — the
+    /// workspace builds offline and carries no serde dependency).
+    ///
+    /// Trigger maps are emitted in `BTreeMap` order, so the output is
+    /// byte-stable for a given run.  This is the record format the sweep
+    /// observer (`taco-core`) attaches to every evaluated design point.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"cycles\":{},\"stall_cycles\":{},\"moves_executed\":{},\
+             \"moves_squashed\":{},\"buses\":{},\"bus_utilization\":{:.6}",
+            self.cycles,
+            self.stall_cycles,
+            self.moves_executed,
+            self.moves_squashed,
+            self.buses,
+            self.bus_utilization(),
+        );
+        out.push_str(",\"fu_triggers\":{");
+        for (i, (kind, n)) in self.fu_triggers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{kind}\":{n}");
+        }
+        out.push_str("},\"fu_instance_triggers\":{");
+        for (i, (fu, n)) in self.fu_instance_triggers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{fu}\":{n}");
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 impl fmt::Display for SimStats {
@@ -122,5 +161,35 @@ mod tests {
     fn display_mentions_cycles() {
         let s = SimStats { cycles: 7, buses: 1, ..SimStats::default() };
         assert!(s.to_string().contains("7 cycles"));
+    }
+
+    #[test]
+    fn json_is_stable_and_complete() {
+        let mut s = SimStats {
+            cycles: 10,
+            stall_cycles: 2,
+            moves_executed: 12,
+            moves_squashed: 3,
+            buses: 3,
+            ..SimStats::default()
+        };
+        s.fu_triggers.insert(FuKind::Matcher, 5);
+        s.fu_instance_triggers.insert(FuRef::new(FuKind::Matcher, 0), 5);
+        let json = s.to_json();
+        assert_eq!(json, s.clone().to_json(), "stable");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"cycles\":10"), "{json}");
+        assert!(json.contains("\"bus_utilization\":0.500000"), "{json}");
+        assert!(json.contains("\"fu_triggers\":{\"Matcher\":5}"), "{json}");
+        assert!(json.contains(":5}"), "{json}");
+        // No pretty-printing: the record must stay a single line.
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn empty_stats_serialise_to_empty_maps() {
+        let json = SimStats::default().to_json();
+        assert!(json.contains("\"fu_triggers\":{}"), "{json}");
+        assert!(json.contains("\"fu_instance_triggers\":{}"), "{json}");
     }
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the taco workspace.
+#
+# The main workspace has zero registry dependencies, so the tier-1 gate
+# runs fully offline.  When the crates.io registry is reachable we
+# additionally build/test the workspace-excluded crates/proptests package
+# (proptest property suites + Criterion benches), which is the only place
+# registry dependencies are allowed — see the dependency policy in
+# README.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: offline build + tests =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo
+echo "== tier-1 passed =="
+
+# The proptests package needs the registry; probe with a cheap fetch and
+# skip gracefully when the network is unavailable (the common case in
+# hermetic CI containers).
+if cargo fetch --manifest-path crates/proptests/Cargo.toml >/dev/null 2>&1; then
+    echo
+    echo "== registry reachable: proptest feature build + property tests =="
+    cargo test -q --manifest-path crates/proptests/Cargo.toml --features proptest
+    echo "== building Criterion benches (no run) =="
+    cargo bench --manifest-path crates/proptests/Cargo.toml --no-run
+else
+    echo
+    echo "== registry unreachable: skipping crates/proptests (expected offline) =="
+fi
