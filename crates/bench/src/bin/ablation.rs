@@ -81,8 +81,9 @@ fn measure(config: &MachineConfig, routes: &[Route], opts: &MicrocodeOptions) ->
 fn measure_grid(label: &str, cells: &[(MachineConfig, &[Route], MicrocodeOptions)]) -> Vec<u64> {
     let threads = pool::default_threads();
     let started = Instant::now();
-    let results =
-        pool::ordered_map(cells, threads, |_, (config, routes, opts)| measure(config, routes, opts));
+    let results = pool::ordered_map(cells, threads, |_, (config, routes, opts)| {
+        measure(config, routes, opts)
+    });
     eprintln!(
         "{label}: {} cells on {threads} worker thread(s), {:.1} ms",
         cells.len(),
@@ -100,10 +101,7 @@ fn main() {
     println!("sequential-scan ablation, {ENTRIES} entries, worst-case traffic");
     println!();
 
-    println!(
-        "— unroll factor (diverse table, screen word {}) —",
-        best(&diverse)
-    );
+    println!("— unroll factor (diverse table, screen word {}) —", best(&diverse));
     println!("{:<22} {:>8} {:>8} {:>8}", r"config \ unroll", 1, 2, 3);
     let configs = [
         MachineConfig::one_bus_one_fu(),
@@ -114,11 +112,8 @@ fn main() {
         .iter()
         .flat_map(|config| {
             (1..=3u8).map(|unroll| {
-                let opts = MicrocodeOptions {
-                    unroll,
-                    screen_word: best(&diverse),
-                    halt_when_idle: true,
-                };
+                let opts =
+                    MicrocodeOptions { unroll, screen_word: best(&diverse), halt_when_idle: true };
                 (config.clone(), diverse.as_slice(), opts)
             })
         })
@@ -140,8 +135,7 @@ fn main() {
         .iter()
         .flat_map(|&(_, routes)| {
             (0..4u8).map(move |word| {
-                let opts =
-                    MicrocodeOptions { unroll: 3, screen_word: word, halt_when_idle: true };
+                let opts = MicrocodeOptions { unroll: 3, screen_word: word, halt_when_idle: true };
                 (MachineConfig::three_bus_one_fu(), routes, opts)
             })
         })
@@ -167,10 +161,13 @@ fn main() {
     let bases = [
         ("3BUS/1FU", MachineConfig::three_bus_one_fu()),
         ("3bus/3CNT,3CMP,3M", MachineConfig::three_bus_three_fu()),
-        ("6bus/3CNT,3CMP,3M", MachineConfig::new(6)
-            .with_fu_count(taco_isa::FuKind::Counter, 3)
-            .with_fu_count(taco_isa::FuKind::Comparator, 3)
-            .with_fu_count(taco_isa::FuKind::Matcher, 3)),
+        (
+            "6bus/3CNT,3CMP,3M",
+            MachineConfig::new(6)
+                .with_fu_count(taco_isa::FuKind::Counter, 3)
+                .with_fu_count(taco_isa::FuKind::Comparator, 3)
+                .with_fu_count(taco_isa::FuKind::Matcher, 3),
+        ),
     ];
     let port_cells: Vec<(MachineConfig, &[Route], MicrocodeOptions)> = bases
         .iter()

@@ -3,27 +3,58 @@
 //! instance, filter by power/area constraints and print the ranking.
 //!
 //! ```text
-//! cargo run -p taco-bench --release --bin dse [max_power_w] [max_area_mm2] [--stats]
+//! cargo run -p taco-bench --release --bin dse \
+//!     [max_power_w] [max_area_mm2] [--stats] [--scenario NAME] [--max-drops N]
 //! ```
 //!
 //! The sweep fans out across all cores (`TACO_THREADS` overrides) through
 //! the process-global evaluation cache, with per-point progress on stderr;
 //! `--stats` appends each point's raw simulator counters as JSON.
+//! `--scenario` replays a named behavioural workload (`steady-forward`,
+//! `burst-overload`, `ripng-convergence`, `table-churn`) on every grid
+//! point, and `--max-drops` disqualifies instances whose scenario dropped
+//! more than N datagrams.
 
 use taco_core::{
     explore_with, pool, table1, Constraints, EvalCache, ExploreOptions, LineRate, StderrProgress,
-    SweepSpec,
+    SweepSpec, Workload,
 };
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stats = args.iter().any(|a| a == "--stats");
     args.retain(|a| a != "--stats");
+    let workload = flag_value(&mut args, "--scenario").map(|name| {
+        Workload::by_name(&name).unwrap_or_else(|| {
+            eprintln!("unknown scenario {name:?}; try one of:");
+            for w in Workload::builtin() {
+                eprintln!("  {}", w.name());
+            }
+            std::process::exit(2);
+        })
+    });
+    let max_scenario_drops = flag_value(&mut args, "--max-drops").map(|n| {
+        n.parse().unwrap_or_else(|_| {
+            eprintln!("--max-drops needs an integer, got {n:?}");
+            std::process::exit(2);
+        })
+    });
     let mut args = args.into_iter();
     let max_power_w: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
     let max_area_mm2: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50.0);
-    let constraints = Constraints { max_power_w, max_area_mm2 };
-    let spec = SweepSpec::default();
+    let constraints = Constraints { max_power_w, max_area_mm2, max_scenario_drops };
+    let spec = SweepSpec { workload, ..SweepSpec::default() };
 
     println!(
         "design-space exploration: {} buses x {} replications x {} table kinds, {} entries",
@@ -36,12 +67,17 @@ fn main() {
         "constraints: power <= {max_power_w} W, area <= {max_area_mm2} mm2, target {}",
         LineRate::TEN_GBE
     );
+    if let Some(w) = &spec.workload {
+        match constraints.max_scenario_drops {
+            Some(n) => println!("scenario: {} (seed {:#x}), <= {n} drops", w.name(), w.seed()),
+            None => println!("scenario: {} (seed {:#x})", w.name(), w.seed()),
+        }
+    }
     println!();
 
     let threads = pool::default_threads();
     eprintln!("sweeping on {threads} worker thread(s) (set {} to override)", pool::THREADS_ENV);
-    let observer =
-        if stats { StderrProgress::verbose() } else { StderrProgress::new() };
+    let observer = if stats { StderrProgress::verbose() } else { StderrProgress::new() };
     let cache = EvalCache::global();
     let ex = explore_with(
         &spec,
@@ -68,8 +104,12 @@ fn main() {
     for (rank, &i) in ex.admitted.iter().enumerate().take(10) {
         let r = &ex.all[i];
         let e = r.estimate.feasible().expect("admitted implies feasible");
+        let drops = match &r.scenario {
+            Some(s) => format!(" {:>8} drops", s.dropped()),
+            None => String::new(),
+        };
         println!(
-            "  #{:<2} {:<38} {:>10} {:>8.2} mm2 {:>8.3} W",
+            "  #{:<2} {:<38} {:>10} {:>8.2} mm2 {:>8.3} W{drops}",
             rank + 1,
             r.config.label(),
             table1::format_frequency(r.required_frequency_hz),
@@ -93,10 +133,8 @@ fn main() {
         taco_routing::TableKind::Cam => taco_router::microcode::cam_program(&opts),
     };
     let program = taco_isa::schedule(&seq, &best.config.machine);
-    let mut pressure: Vec<(taco_isa::FuKind, usize)> =
-        program.fu_pressure().into_iter().collect();
+    let mut pressure: Vec<(taco_isa::FuKind, usize)> = program.fu_pressure().into_iter().collect();
     pressure.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
-    let summary: Vec<String> =
-        pressure.iter().take(4).map(|(k, n)| format!("{k} x{n}")).collect();
+    let summary: Vec<String> = pressure.iter().take(4).map(|(k, n)| format!("{k} x{n}")).collect();
     println!("static FU trigger pressure (replication candidates first): {}", summary.join(", "));
 }

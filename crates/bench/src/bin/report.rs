@@ -94,10 +94,7 @@ fn main() {
             f(TableKind::Cam, 1) / f(TableKind::Cam, 2) < 1.25,
             "extra FUs barely help the CAM row (paper's conclusion)".into(),
         ),
-        (
-            !t[0].is_feasible(),
-            "sequential 1-bus is NA on 0.18 um".into(),
-        ),
+        (!t[0].is_feasible(), "sequential 1-bus is NA on 0.18 um".into()),
         (
             t[7].is_feasible() && f(TableKind::Cam, 1) < 150e6,
             "CAM 3-bus runs at tens of MHz".into(),

@@ -1,0 +1,104 @@
+//! Behavioural scenario sweep: every built-in workload replayed over the
+//! paper's three routing-table organisations.
+//!
+//! ```text
+//! cargo run -p taco-bench --release --bin scenarios [seed] [--json]
+//! ```
+//!
+//! Each run is fully deterministic in the printed seed: the grid is fanned
+//! out over the worker pool (`TACO_THREADS` overrides) and then re-run
+//! serially, and the two passes must agree byte-for-byte — the bin fails
+//! loudly if they ever diverge.  `--json` prints one `ScenarioMetrics`
+//! JSON line per cell instead of the table.
+
+use taco_core::pool;
+use taco_routing::TableKind;
+use taco_workload::{run_scenario, ScenarioConfig, ScenarioMetrics, Workload, DEFAULT_SEED};
+
+/// Per-tick service budget for the standalone sweep; kept fixed (rather
+/// than derived from a cycle measurement, as `EvalRequest::workload` does)
+/// so this bin isolates the *scenario* behaviour of the table kinds.
+const SERVICE_PER_TICK: u32 = 24;
+
+/// Input-buffer bound per line card, in datagrams.
+const QUEUE_CAPACITY: u32 = 48;
+
+fn sweep(seed: u64, threads: usize) -> Vec<ScenarioMetrics> {
+    let cells: Vec<(Workload, TableKind)> = Workload::builtin()
+        .into_iter()
+        .map(|w| w.with_seed(seed))
+        .flat_map(|w| TableKind::PAPER_KINDS.into_iter().map(move |kind| (w, kind)))
+        .collect();
+    pool::ordered_map(&cells, threads, |_, (workload, kind)| {
+        let config = ScenarioConfig::new(*kind)
+            .service_per_tick(SERVICE_PER_TICK)
+            .queue_capacity(QUEUE_CAPACITY);
+        run_scenario(workload, &config)
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let seed: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+
+    let threads = pool::default_threads();
+    eprintln!(
+        "scenario sweep: {} workloads x {} kinds, seed {seed:#x}, {threads} worker thread(s)",
+        Workload::builtin().len(),
+        TableKind::PAPER_KINDS.len(),
+    );
+
+    let parallel = sweep(seed, threads);
+    let serial = sweep(seed, 1);
+    let agree = parallel.iter().zip(&serial).all(|(a, b)| a.to_json() == b.to_json());
+    assert!(agree, "parallel sweep diverged from the serial reference");
+    eprintln!("parallel == serial: ok ({} cells)", parallel.len());
+
+    if json {
+        for m in &parallel {
+            println!("{}", m.to_json());
+        }
+        return;
+    }
+
+    println!(
+        "{:<18} {:<14} {:>8} {:>9} {:>8} {:>7} {:>9} {:>8} {:>11}",
+        "scenario",
+        "table",
+        "offered",
+        "forwarded",
+        "dropped",
+        "queue",
+        "lat(avg)",
+        "updates",
+        "thru/tick"
+    );
+    let mut last = "";
+    for m in &parallel {
+        let name = if m.scenario == last {
+            ""
+        } else {
+            last = m.scenario;
+            m.scenario
+        };
+        println!(
+            "{:<18} {:<14} {:>8} {:>9} {:>8} {:>7} {:>9} {:>8} {:>11}",
+            name,
+            m.kind.to_string(),
+            m.offered,
+            m.forwarded,
+            m.dropped(),
+            m.max_queue_depth,
+            format!("{:.1}", m.latency.mean_milli() as f64 / 1e3),
+            m.table_updates,
+            format!("{:.2}", m.throughput_milli as f64 / 1e3),
+        );
+    }
+    println!();
+    println!(
+        "service {SERVICE_PER_TICK}/tick, queue capacity {QUEUE_CAPACITY}; \
+         rerun with the same seed for byte-identical metrics"
+    );
+}

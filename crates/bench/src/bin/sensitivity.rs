@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use taco_core::{
-    ArchConfig, EvalCache, LineRate, PointRecord, StderrProgress, SweepObserver,
+    ArchConfig, EvalCache, EvalRequest, LineRate, PointRecord, StderrProgress, SweepObserver,
 };
 use taco_estimate::Estimator;
 use taco_routing::TableKind;
@@ -25,7 +25,10 @@ fn main() {
     let entries = 64;
     let ceiling = Estimator::new().max_frequency_hz();
     println!("required clock (MHz) at 10 Gbps vs packet size, {entries}-entry table");
-    println!("3BUS/1FU configuration; '*' marks cells above the {:.0} MHz 0.18um ceiling", ceiling / 1e6);
+    println!(
+        "3BUS/1FU configuration; '*' marks cells above the {:.0} MHz 0.18um ceiling",
+        ceiling / 1e6
+    );
     println!();
     print!("{:<16}", "bytes/packet");
     for b in PACKET_BYTES {
@@ -40,9 +43,9 @@ fn main() {
         // once (memoised in the process-global cache) and rescale.
         let started = Instant::now();
         let (base, cache_hit) = cache.evaluate_recorded(
-            &ArchConfig::three_bus_one_fu(kind),
-            LineRate::new(10e9, PACKET_BYTES[0]),
-            entries,
+            &EvalRequest::new(ArchConfig::three_bus_one_fu(kind))
+                .rate(LineRate::new(10e9, PACKET_BYTES[0]))
+                .entries(entries),
         );
         observer.on_point(&PointRecord {
             index: i,
@@ -54,8 +57,7 @@ fn main() {
         });
         print!("{:<16}", kind.to_string());
         for bytes in PACKET_BYTES {
-            let f = LineRate::new(10e9, bytes)
-                .required_frequency_hz(base.cycles_per_datagram);
+            let f = LineRate::new(10e9, bytes).required_frequency_hz(base.cycles_per_datagram);
             let mark = if f >= ceiling { "*" } else { "" };
             print!("{:>10}", format!("{:.0}{mark}", f / 1e6));
         }

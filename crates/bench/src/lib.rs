@@ -11,6 +11,7 @@
 //! | `cargo run -p taco-bench --release --bin ablation` | sequential-scan microcode tunables (unroll, screening word) |
 //! | `cargo run -p taco-bench --release --bin sensitivity` | required clock vs packet-size assumption |
 //! | `cargo run -p taco-bench --release --bin report` | a live markdown reproduction report with a paper-claim checklist |
+//! | `cargo run -p taco-bench --release --bin scenarios` | the built-in behavioural workloads across the three table organisations |
 //! | `cargo bench -p taco-bench --bench table1` | per-cell evaluation latency |
 //! | `cargo bench -p taco-bench --bench lookup_scaling` | behavioural LPM engines across table sizes |
 //! | `cargo bench -p taco-bench --bench optimizer` | the Fig. 3 schedule pipeline |

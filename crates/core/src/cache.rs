@@ -1,11 +1,11 @@
 //! Memoisation of architecture evaluations.
 //!
-//! One [`evaluate()`](crate::evaluate::evaluate) call runs a cycle-accurate
-//! simulation, so sweep throughput — not single-run accuracy — is what
-//! limits design-space exploration at scale.  Every evaluation is a pure
-//! function of `(ArchConfig, table size, line rate)`: the benchmark routes,
-//! the measurement traffic and the simulator are all deterministic.  That
-//! makes the result safely memoisable, and repeated points across
+//! One [`EvalRequest::run`] call runs a cycle-accurate simulation, so
+//! sweep throughput — not single-run accuracy — is what limits
+//! design-space exploration at scale.  Every evaluation is a pure
+//! function of its [`EvalRequest`]: the benchmark routes, the measurement
+//! traffic, the simulator and the scenario engine are all deterministic.
+//! That makes the result safely memoisable, and repeated points across
 //! [`explore()`](crate::explorer::explore),
 //! [`scaling_sweep()`](crate::explorer::scaling_sweep) and the bench
 //! binaries evaluate exactly once per process.
@@ -21,29 +21,34 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use crate::arch::ArchConfig;
-use crate::evaluate::{cycles_per_datagram, evaluate, EvalReport};
-use crate::rate::LineRate;
+use taco_workload::Workload;
 
-/// Full evaluation key: the architecture instance, the routing-table size
-/// and the line-rate target (whose `f64` component is keyed by bit
-/// pattern — line rates are constructed from literals, not arithmetic, so
-/// bitwise equality is the right notion here).
+use crate::arch::ArchConfig;
+use crate::evaluate::{cycles_per_datagram, evaluate_request, EvalReport};
+use crate::request::EvalRequest;
+
+/// Full evaluation key: the architecture instance, the routing-table size,
+/// the line-rate target and the attached workload, if any.  The rate's
+/// `f64` component is keyed by bit pattern — line rates are constructed
+/// from literals, not arithmetic, so bitwise equality is the right notion
+/// here; workloads are all-integer by design, so they hash directly.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct EvalKey {
     config: ArchConfig,
     entries: usize,
     rate_bits: u64,
     packet_bytes: u32,
+    workload: Option<Workload>,
 }
 
 impl EvalKey {
-    fn new(config: &ArchConfig, line_rate: LineRate, entries: usize) -> Self {
+    fn new(request: &EvalRequest) -> Self {
         EvalKey {
-            config: config.clone(),
-            entries,
-            rate_bits: line_rate.bits_per_second.to_bits(),
-            packet_bytes: line_rate.packet_bytes,
+            config: request.config.clone(),
+            entries: request.entries,
+            rate_bits: request.line_rate.bits_per_second.to_bits(),
+            packet_bytes: request.line_rate.packet_bytes,
+            workload: request.workload,
         }
     }
 }
@@ -75,28 +80,23 @@ impl EvalCache {
         GLOBAL.get_or_init(EvalCache::new)
     }
 
-    /// Memoised [`evaluate()`]: returns the cached report for this exact
-    /// point if one exists, otherwise evaluates (without holding the lock)
-    /// and stores the result.
-    pub fn evaluate(&self, config: &ArchConfig, line_rate: LineRate, entries: usize) -> EvalReport {
-        self.evaluate_recorded(config, line_rate, entries).0
+    /// Memoised [`EvalRequest::run`]: returns the cached report for this
+    /// exact request if one exists, otherwise evaluates (without holding
+    /// the lock) and stores the result.
+    pub fn evaluate(&self, request: &EvalRequest) -> EvalReport {
+        self.evaluate_recorded(request).0
     }
 
     /// [`EvalCache::evaluate`], also reporting whether the result came from
     /// the cache (`true` = hit) — the flag sweep observers record.
-    pub fn evaluate_recorded(
-        &self,
-        config: &ArchConfig,
-        line_rate: LineRate,
-        entries: usize,
-    ) -> (EvalReport, bool) {
-        let key = EvalKey::new(config, line_rate, entries);
+    pub fn evaluate_recorded(&self, request: &EvalRequest) -> (EvalReport, bool) {
+        let key = EvalKey::new(request);
         if let Some(report) = self.reports.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (report.clone(), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let report = evaluate(config, line_rate, entries);
+        let report = evaluate_request(request);
         self.reports.lock().expect("cache lock").insert(key, report.clone());
         (report, false)
     }
@@ -153,19 +153,24 @@ impl EvalCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rate::LineRate;
     use taco_routing::TableKind;
+
+    fn request(config: ArchConfig, line_rate: LineRate, entries: usize) -> EvalRequest {
+        EvalRequest::new(config).rate(line_rate).entries(entries)
+    }
 
     #[test]
     fn hit_and_miss_counting() {
         let cache = EvalCache::new();
-        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        let req = request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
         assert!(cache.is_empty());
 
-        let (first, hit1) = cache.evaluate_recorded(&config, LineRate::TEN_GBE, 8);
+        let (first, hit1) = cache.evaluate_recorded(&req);
         assert!(!hit1);
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
 
-        let (second, hit2) = cache.evaluate_recorded(&config, LineRate::TEN_GBE, 8);
+        let (second, hit2) = cache.evaluate_recorded(&req);
         assert!(hit2);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(first, second);
@@ -178,14 +183,33 @@ mod tests {
         let cam = ArchConfig::three_bus_one_fu(TableKind::Cam);
         let tree = ArchConfig::three_bus_one_fu(TableKind::BalancedTree);
 
-        let a = cache.evaluate(&cam, LineRate::TEN_GBE, 8);
-        let b = cache.evaluate(&tree, LineRate::TEN_GBE, 8);
-        let c = cache.evaluate(&cam, LineRate::GIGE, 8);
-        let d = cache.evaluate(&cam, LineRate::TEN_GBE, 16);
+        let a = cache.evaluate(&request(cam.clone(), LineRate::TEN_GBE, 8));
+        let b = cache.evaluate(&request(tree, LineRate::TEN_GBE, 8));
+        let c = cache.evaluate(&request(cam.clone(), LineRate::GIGE, 8));
+        let d = cache.evaluate(&request(cam, LineRate::TEN_GBE, 16));
         assert_eq!(cache.misses(), 4, "four distinct points");
         assert_ne!(a.config, b.config);
         assert_ne!(a.line_rate, c.line_rate);
         assert_ne!(a.table_entries, d.table_entries);
+    }
+
+    #[test]
+    fn workload_is_part_of_the_key() {
+        use taco_workload::Workload;
+        let cache = EvalCache::new();
+        let base = request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        let with_scenario = base.clone().workload(Workload::steady_forward());
+
+        let plain = cache.evaluate(&base);
+        let (scenario, hit) = cache.evaluate_recorded(&with_scenario);
+        assert!(!hit, "a workload-carrying request is a distinct point");
+        assert!(plain.scenario.is_none());
+        assert!(scenario.scenario.is_some());
+        assert_eq!(cache.misses(), 2);
+
+        // Same workload again: now a hit.
+        let (_, hit2) = cache.evaluate_recorded(&with_scenario);
+        assert!(hit2);
     }
 
     #[test]
@@ -203,14 +227,14 @@ mod tests {
     #[test]
     fn clear_and_reset() {
         let cache = EvalCache::new();
-        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
-        cache.evaluate(&config, LineRate::TEN_GBE, 8);
+        let req = request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        cache.evaluate(&req);
         cache.clear();
         assert!(cache.is_empty());
         cache.reset_counters();
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
         // After clearing, the same point misses again.
-        let (_, hit) = cache.evaluate_recorded(&config, LineRate::TEN_GBE, 8);
+        let (_, hit) = cache.evaluate_recorded(&req);
         assert!(!hit);
     }
 

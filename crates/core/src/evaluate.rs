@@ -8,11 +8,13 @@ use taco_router::cycle::CycleRouter;
 use taco_router::microcode::MicrocodeOptions;
 use taco_router::traffic::TrafficGen;
 use taco_routing::cam::CamSpec;
-use taco_routing::{BalancedTreeTable, CamTable, PortId, Route, SequentialTable, TableKind};
-use taco_sim::SimStats;
+use taco_routing::{PortId, Route, SequentialTable, TableKind};
+use taco_sim::{SimError, SimStats};
+use taco_workload::{run_scenario, ScenarioConfig, ScenarioMetrics};
 
 use crate::arch::ArchConfig;
 use crate::rate::LineRate;
+use crate::request::EvalRequest;
 
 /// Number of measurement datagrams per evaluation (amortises the once-off
 /// envelope of a batch run).
@@ -20,6 +22,15 @@ const MEASURE_DATAGRAMS: usize = 8;
 
 /// Simulation watchdog per evaluation.
 const CYCLE_BUDGET: u64 = 50_000_000;
+
+/// Seconds of wall time one behavioural scenario tick represents when a
+/// workload is attached to a request: the per-tick service budget is the
+/// number of datagrams the instance forwards in this long at the
+/// technology-ceiling clock.  (The scenario's coarse 100 ms tick drives
+/// only the RIPng timers; the data plane is modelled on this much finer
+/// slice so the built-in workloads — tens of datagrams per tick — sit in
+/// the regime where queueing and overload are actually visible.)
+const SCENARIO_TICK_SECONDS: f64 = 10e-6;
 
 /// The co-analysis result for one architecture instance — one cell of
 /// Table 1.
@@ -31,7 +42,9 @@ pub struct EvalReport {
     pub line_rate: LineRate,
     /// Routing-table size used for the measurement.
     pub table_entries: usize,
-    /// Measured cycles per forwarded datagram (worst-case-biased workload).
+    /// Measured cycles per forwarded datagram (worst-case-biased workload);
+    /// infinite when the instance could not be simulated at all (see
+    /// [`EvalReport::sim_error`]).
     pub cycles_per_datagram: f64,
     /// Dynamic bus utilisation observed during the measurement (Table 1's
     /// "Bus util." column).
@@ -52,6 +65,13 @@ pub struct EvalReport {
     /// data" the paper reads off its SystemC model, kept so sweep
     /// observers can serialise it per design point.
     pub stats: SimStats,
+    /// Behavioural scenario metrics, present when the request attached a
+    /// [`Workload`](taco_workload::Workload) and the measurement succeeded.
+    pub scenario: Option<ScenarioMetrics>,
+    /// The structured simulator error that aborted the measurement, if
+    /// any.  A report carrying one is infeasible by construction: the
+    /// instance cannot execute its own microcode, so no clock rescues it.
+    pub sim_error: Option<SimError>,
 }
 
 impl EvalReport {
@@ -63,6 +83,9 @@ impl EvalReport {
 
 impl std::fmt::Display for EvalReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(e) = &self.sim_error {
+            return write!(f, "{}: not simulatable ({e})", self.config);
+        }
         write!(
             f,
             "{}: {:.0} cycles/datagram, bus util {:.0}%, needs {} for {} -> {}",
@@ -105,44 +128,68 @@ fn measurement_datagrams(routes: &[Route]) -> Vec<Datagram> {
 }
 
 /// Builds the cycle router for `config` over `routes`, with `rtu_latency`
-/// for the CAM case.
-fn build_router(config: &ArchConfig, routes: &[Route], rtu_latency: u32) -> CycleRouter {
+/// for the CAM case.  A [`SimError`] means the generated microcode does
+/// not fit (or does not validate on) the configured machine — reported as
+/// structured infeasibility rather than a panic.
+fn build_router(
+    config: &ArchConfig,
+    routes: &[Route],
+    rtu_latency: u32,
+) -> Result<CycleRouter, SimError> {
     let opts = MicrocodeOptions::default();
-    match config.table {
-        TableKind::Sequential => {
-            let table = SequentialTable::from_routes(routes.iter().copied());
-            CycleRouter::sequential(&config.machine, &table, &opts)
-        }
-        TableKind::BalancedTree => {
-            let table = BalancedTreeTable::from_routes(routes.iter().copied());
-            CycleRouter::tree(&config.machine, &table, &opts)
-        }
-        TableKind::Trie => {
-            let table = taco_routing::TrieTable::from_routes(routes.iter().copied());
-            CycleRouter::trie(&config.machine, &table, &opts)
-        }
-        TableKind::Cam => {
-            let table = CamTable::from_routes(routes.iter().copied());
-            CycleRouter::cam(&config.machine, table, rtu_latency, &opts)
-        }
-    }
-    .expect("generated microcode always validates")
+    CycleRouter::for_kind(config.table, &config.machine, routes, rtu_latency, &opts)
 }
 
 /// Measures cycles per datagram and bus utilisation for one configuration,
 /// returning the raw simulator counters alongside.
-fn measure(config: &ArchConfig, routes: &[Route], rtu_latency: u32) -> (f64, f64, SimStats) {
-    let mut router = build_router(config, routes, rtu_latency);
+fn measure(
+    config: &ArchConfig,
+    routes: &[Route],
+    rtu_latency: u32,
+) -> Result<(f64, f64, SimStats), SimError> {
+    let mut router = build_router(config, routes, rtu_latency)?;
     for d in measurement_datagrams(routes) {
         router.enqueue(PortId(0), &d).expect("measurement datagrams fit the buffer");
     }
-    let stats = router.run(CYCLE_BUDGET).expect("measurement run completes");
+    let stats = router.run(CYCLE_BUDGET)?;
     let n = router.forwarded().len().max(1);
-    (stats.cycles as f64 / n as f64, stats.bus_utilization(), stats)
+    Ok((stats.cycles as f64 / n as f64, stats.bus_utilization(), stats))
 }
 
-/// Evaluates one architecture instance against a line-rate target — the
-/// paper's per-cell methodology.
+/// The report an un-simulatable instance earns: infinite required clock,
+/// an infeasible estimate, and the structured error preserved so sweeps
+/// can say *why* the point died instead of crashing the whole grid.
+fn error_report(request: &EvalRequest, rtu_latency: u32, error: SimError) -> EvalReport {
+    EvalReport {
+        config: request.config.clone(),
+        line_rate: request.line_rate,
+        table_entries: request.entries,
+        cycles_per_datagram: f64::INFINITY,
+        bus_utilization: 0.0,
+        required_frequency_hz: f64::INFINITY,
+        rtu_latency_cycles: rtu_latency,
+        program_bits: 0,
+        estimate: Estimate::Infeasible {
+            required_hz: f64::INFINITY,
+            achievable_hz: Estimator::new().max_frequency_hz(),
+        },
+        stats: SimStats::default(),
+        scenario: None,
+        sim_error: Some(error),
+    }
+}
+
+/// Per-tick service budget for the behavioural scenario replay: how many
+/// datagrams this instance forwards in one [`SCENARIO_TICK_SECONDS`] slice
+/// when clocked at the technology ceiling.
+fn scenario_service_per_tick(cycles_per_datagram: f64) -> u32 {
+    let f_max = Estimator::new().max_frequency_hz();
+    let per_tick = f_max * SCENARIO_TICK_SECONDS / cycles_per_datagram;
+    (per_tick as u32).max(1)
+}
+
+/// Evaluates one [`EvalRequest`] — the paper's per-cell methodology, plus
+/// the behavioural scenario replay when the request carries a workload.
 ///
 /// For the CAM organisation the RTU latency depends on the clock and the
 /// clock depends on the measured cycles (which include RTU stalls), so the
@@ -152,24 +199,26 @@ fn measure(config: &ArchConfig, routes: &[Route], rtu_latency: u32) -> (f64, f64
 /// # Examples
 ///
 /// ```
-/// use taco_core::{evaluate, ArchConfig, LineRate, RoutingTableKind};
+/// use taco_core::{evaluate_request, ArchConfig, EvalRequest, RoutingTableKind};
 ///
-/// let report = evaluate(
-///     &ArchConfig::three_bus_one_fu(RoutingTableKind::Cam),
-///     LineRate::TEN_GBE,
-///     100,
+/// let report = evaluate_request(
+///     &EvalRequest::new(ArchConfig::three_bus_one_fu(RoutingTableKind::Cam)),
 /// );
 /// assert!(report.is_feasible());
 /// assert!(report.required_frequency_hz < 200e6); // tens of MHz, as in the paper
 /// ```
-pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) -> EvalReport {
-    let routes = benchmark_routes(table_entries);
+pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
+    let config = &request.config;
+    let routes = benchmark_routes(request.entries);
     let cam_spec = CamSpec::paper_default();
 
     let mut rtu_latency = 1u32;
     let (cycles, util, freq, stats) = loop {
-        let (cycles, util, stats) = measure(config, &routes, rtu_latency);
-        let freq = line_rate.required_frequency_hz(cycles);
+        let (cycles, util, stats) = match measure(config, &routes, rtu_latency) {
+            Ok(m) => m,
+            Err(e) => return error_report(request, rtu_latency, e),
+        };
+        let freq = request.line_rate.required_frequency_hz(cycles);
         if config.table != TableKind::Cam {
             break (cycles, util, freq, stats);
         }
@@ -181,10 +230,12 @@ pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) 
     };
 
     // Charge the program store for the actual microcode image.
-    let router = build_router(config, &routes, rtu_latency);
-    let program_bits = taco_isa::encode(router.processor().program(), &config.machine)
-        .map(|e| e.total_bits())
-        .unwrap_or(0);
+    let program_bits = match build_router(config, &routes, rtu_latency) {
+        Ok(router) => taco_isa::encode(router.processor().program(), &config.machine)
+            .map(|e| e.total_bits())
+            .unwrap_or(0),
+        Err(e) => return error_report(request, rtu_latency, e),
+    };
 
     let mut estimator = Estimator::new().with_program_bits(program_bits);
     if config.table == TableKind::Cam {
@@ -192,10 +243,15 @@ pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) 
     }
     let estimate = estimator.estimate(&config.machine, freq);
 
+    let scenario = request.workload.as_ref().map(|workload| {
+        let service = scenario_service_per_tick(cycles);
+        run_scenario(workload, &ScenarioConfig::new(config.table).service_per_tick(service))
+    });
+
     EvalReport {
         config: config.clone(),
-        line_rate,
-        table_entries,
+        line_rate: request.line_rate,
+        table_entries: request.entries,
         cycles_per_datagram: cycles,
         bus_utilization: util,
         required_frequency_hz: freq,
@@ -203,15 +259,27 @@ pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) 
         program_bits,
         estimate,
         stats,
+        scenario,
+        sim_error: None,
     }
+}
+
+/// Evaluates one architecture instance against a line-rate target.
+///
+/// Deprecated positional form of the pipeline: every new evaluation knob
+/// would have grown another parameter at every call site.  Build an
+/// [`EvalRequest`] and call [`EvalRequest::run`] instead.
+#[deprecated(note = "build an `EvalRequest` and call its `run()` method instead")]
+pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) -> EvalReport {
+    evaluate_request(&EvalRequest::new(config.clone()).rate(line_rate).entries(table_entries))
 }
 
 /// Measures only the cycles-per-datagram of a configuration at a given
 /// table size (used by the scaling ablation, where no line-rate conversion
-/// is wanted).
+/// is wanted).  Infinite when the instance cannot be simulated.
 pub fn cycles_per_datagram(config: &ArchConfig, table_entries: usize) -> f64 {
     let routes = benchmark_routes(table_entries);
-    measure(config, &routes, 2).0
+    measure(config, &routes, 2).map(|(cycles, _, _)| cycles).unwrap_or(f64::INFINITY)
 }
 
 #[cfg(test)]
@@ -220,7 +288,7 @@ mod stats_field_tests {
 
     #[test]
     fn report_carries_the_measurement_counters() {
-        let r = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        let r = EvalRequest::new(ArchConfig::three_bus_one_fu(TableKind::Cam)).entries(8).run();
         assert!(r.stats.cycles > 0);
         assert!((r.stats.bus_utilization() - r.bus_utilization).abs() < 1e-12);
         let json = r.stats.to_json();
@@ -230,7 +298,8 @@ mod stats_field_tests {
 
 /// The inverse analysis: the highest line rate (bits per second) this
 /// configuration can guarantee when clocked at the technology ceiling,
-/// assuming `packet_bytes` per packet on the wire.
+/// assuming `packet_bytes` per packet on the wire (zero when the instance
+/// cannot be simulated).
 ///
 /// This answers the designer's converse question — "the clock is whatever
 /// the library gives me; what wire speed does that buy?" — and locates the
@@ -243,13 +312,20 @@ pub fn max_sustainable_rate_bps(
     let routes = benchmark_routes(table_entries);
     let f_max = Estimator::new().max_frequency_hz() * 0.999; // just under NA
     let rtu_latency = CamSpec::paper_default().search_cycles(f_max) as u32;
-    let (cycles, _, _) = measure(config, &routes, rtu_latency);
+    let Ok((cycles, _, _)) = measure(config, &routes, rtu_latency) else {
+        return 0.0;
+    };
     (f_max / cycles) * 8.0 * f64::from(packet_bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use taco_workload::Workload;
+
+    fn report(config: ArchConfig, line_rate: LineRate, entries: usize) -> EvalReport {
+        EvalRequest::new(config).rate(line_rate).entries(entries).run()
+    }
 
     #[test]
     fn benchmark_routes_deterministic_and_sized() {
@@ -261,7 +337,7 @@ mod tests {
 
     #[test]
     fn report_display_reads_as_a_sentence() {
-        let r = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        let r = report(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
         let text = r.to_string();
         assert!(text.contains("cam 3BUS/1FU"), "{text}");
         assert!(text.contains("cycles/datagram"), "{text}");
@@ -269,30 +345,32 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_wrapper_matches_the_request_pipeline() {
+        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        #[allow(deprecated)]
+        let old = evaluate(&config, LineRate::TEN_GBE, 8);
+        let new = EvalRequest::new(config).rate(LineRate::TEN_GBE).entries(8).run();
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn sequential_needs_infeasible_clock_at_10g() {
-        let r = evaluate(
-            &ArchConfig::one_bus_one_fu(TableKind::Sequential),
-            LineRate::TEN_GBE,
-            100,
-        );
+        let r = report(ArchConfig::one_bus_one_fu(TableKind::Sequential), LineRate::TEN_GBE, 100);
         assert!(!r.is_feasible(), "sequential 1-bus must be NA: {}", r.required_frequency_hz);
         assert!(r.required_frequency_hz > 1.5e9);
     }
 
     #[test]
     fn tree_is_roughly_logarithmic_and_feasible() {
-        let r = evaluate(
-            &ArchConfig::three_bus_one_fu(TableKind::BalancedTree),
-            LineRate::TEN_GBE,
-            100,
-        );
+        let r =
+            report(ArchConfig::three_bus_one_fu(TableKind::BalancedTree), LineRate::TEN_GBE, 100);
         assert!(r.is_feasible(), "tree 3-bus should fit 0.18um: {}", r.required_frequency_hz);
         assert!(r.required_frequency_hz < 1e9);
     }
 
     #[test]
     fn cam_needs_only_tens_of_mhz() {
-        let r = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
+        let r = report(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
         assert!(r.is_feasible());
         assert!(r.required_frequency_hz < 150e6, "{}", r.required_frequency_hz);
         assert!(r.rtu_latency_cycles >= 1);
@@ -307,7 +385,7 @@ mod tests {
         // A configuration whose required clock is feasible must sustain at
         // least the target rate when clocked at the ceiling, and vice versa.
         let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
-        let fwd = evaluate(&config, LineRate::TEN_GBE, 64);
+        let fwd = report(config.clone(), LineRate::TEN_GBE, 64);
         let max_rate = max_sustainable_rate_bps(&config, 64, LineRate::TEN_GBE.packet_bytes);
         assert!(fwd.is_feasible());
         assert!(max_rate > LineRate::TEN_GBE.bits_per_second, "{max_rate}");
@@ -322,8 +400,8 @@ mod tests {
 
     #[test]
     fn buses_lower_the_required_clock() {
-        let one = evaluate(&ArchConfig::one_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
-        let three = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
+        let one = report(ArchConfig::one_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
+        let three = report(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
         assert!(
             three.required_frequency_hz < 0.7 * one.required_frequency_hz,
             "3 buses should cut the clock substantially: {} vs {}",
@@ -335,10 +413,48 @@ mod tests {
     #[test]
     fn ordering_matches_the_paper() {
         // For every machine configuration: sequential > tree > cam.
-        let seq = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Sequential), LineRate::TEN_GBE, 100);
-        let tree = evaluate(&ArchConfig::three_bus_one_fu(TableKind::BalancedTree), LineRate::TEN_GBE, 100);
-        let cam = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
+        let seq =
+            report(ArchConfig::three_bus_one_fu(TableKind::Sequential), LineRate::TEN_GBE, 100);
+        let tree =
+            report(ArchConfig::three_bus_one_fu(TableKind::BalancedTree), LineRate::TEN_GBE, 100);
+        let cam = report(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 100);
         assert!(seq.required_frequency_hz > tree.required_frequency_hz);
         assert!(tree.required_frequency_hz > cam.required_frequency_hz);
+    }
+
+    #[test]
+    fn workload_attaches_scenario_metrics() {
+        let r = EvalRequest::new(ArchConfig::three_bus_one_fu(TableKind::Cam))
+            .entries(16)
+            .workload(Workload::steady_forward())
+            .run();
+        let sc = r.scenario.as_ref().expect("workload requested, metrics attached");
+        assert_eq!(sc.scenario, "steady-forward");
+        assert_eq!(sc.kind, TableKind::Cam);
+        assert!(sc.offered > 0);
+        assert!(sc.forwarded > 0, "{}", sc.to_json());
+    }
+
+    #[test]
+    fn slower_organisations_get_smaller_scenario_budgets() {
+        // The service budget is derived from measured cycles, so the
+        // sequential scan must serve fewer datagrams per tick than the CAM.
+        let seq = cycles_per_datagram(&ArchConfig::one_bus_one_fu(TableKind::Sequential), 64);
+        let cam = cycles_per_datagram(&ArchConfig::three_bus_one_fu(TableKind::Cam), 64);
+        assert!(scenario_service_per_tick(seq) < scenario_service_per_tick(cam));
+        assert!(scenario_service_per_tick(f64::INFINITY) >= 1, "budget is never zero");
+    }
+
+    #[test]
+    fn sim_errors_become_structured_infeasibility() {
+        use taco_isa::{FuKind, FuRef};
+        let request = EvalRequest::new(ArchConfig::three_bus_one_fu(TableKind::Cam));
+        let err = SimError::InvalidFuIndex { fu: FuRef::new(FuKind::Matcher, 2), available: 1 };
+        let r = error_report(&request, 1, err.clone());
+        assert!(!r.is_feasible());
+        assert_eq!(r.sim_error, Some(err));
+        assert!(r.cycles_per_datagram.is_infinite());
+        assert!(r.scenario.is_none());
+        assert!(r.to_string().contains("not simulatable"), "{r}");
     }
 }

@@ -11,13 +11,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use taco_routing::TableKind;
+use taco_workload::Workload;
 
 use crate::arch::ArchConfig;
 use crate::cache::EvalCache;
-use crate::evaluate::{cycles_per_datagram, evaluate, EvalReport};
+use crate::evaluate::{cycles_per_datagram, evaluate_request, EvalReport};
 use crate::observer::{PointRecord, Silent, SweepObserver, SweepSummary};
 use crate::pool;
 use crate::rate::LineRate;
+use crate::request::EvalRequest;
 
 /// Designer-imposed physical constraints.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,22 +29,35 @@ pub struct Constraints {
     pub max_power_w: f64,
     /// Maximum processor area, mm².
     pub max_area_mm2: f64,
+    /// Maximum total datagram drops the attached scenario may record
+    /// (ignored when `None` or when the sweep carries no workload) — the
+    /// behavioural counterpart of the clock-feasibility check: an
+    /// instance that melts under the traffic it was sized for does not
+    /// survive the sweep, however cheap its silicon.
+    pub max_scenario_drops: Option<u64>,
 }
 
 impl Default for Constraints {
-    /// A 0.18 µm-era embedded budget: 2 W, 50 mm².
+    /// A 0.18 µm-era embedded budget: 2 W, 50 mm², no drop bound.
     fn default() -> Self {
-        Constraints { max_power_w: 2.0, max_area_mm2: 50.0 }
+        Constraints { max_power_w: 2.0, max_area_mm2: 50.0, max_scenario_drops: None }
     }
 }
 
 impl Constraints {
     /// Returns `true` if `report` fits the constraints (infeasible clocks
-    /// never fit).
+    /// never fit, and scenario drops beyond the bound disqualify).
     pub fn admits(&self, report: &EvalReport) -> bool {
-        match report.estimate.feasible() {
+        let physical = match report.estimate.feasible() {
             Some(e) => e.power_w <= self.max_power_w && e.area_mm2 <= self.max_area_mm2,
             None => false,
+        };
+        if !physical {
+            return false;
+        }
+        match (self.max_scenario_drops, &report.scenario) {
+            (Some(max_drops), Some(scenario)) => scenario.dropped() <= max_drops,
+            _ => true,
         }
     }
 }
@@ -58,17 +73,33 @@ pub struct SweepSpec {
     pub kinds: Vec<TableKind>,
     /// Routing-table size.
     pub entries: usize,
+    /// Behavioural scenario every grid point replays (rankable via
+    /// [`Constraints::max_scenario_drops`]); `None` sweeps the
+    /// cycle-accurate measurement alone, as the paper does.
+    pub workload: Option<Workload>,
 }
 
 impl Default for SweepSpec {
     /// The paper's neighbourhood: 1–4 buses, 1–3× replication, all three
-    /// table organisations, 100 entries.
+    /// table organisations, 100 entries, no scenario.
     fn default() -> Self {
         SweepSpec {
             buses: vec![1, 2, 3, 4],
             replication: vec![1, 2, 3],
             kinds: TableKind::PAPER_KINDS.to_vec(),
             entries: 100,
+            workload: None,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// The [`EvalRequest`] this sweep issues for one grid point.
+    fn request(&self, config: &ArchConfig, line_rate: LineRate) -> EvalRequest {
+        let request = EvalRequest::new(config.clone()).rate(line_rate).entries(self.entries);
+        match self.workload {
+            Some(workload) => request.workload(workload),
+            None => request,
         }
     }
 }
@@ -141,10 +172,7 @@ fn rank(all: &[EvalReport], constraints: &Constraints) -> Vec<usize> {
     admitted.sort_unstable_by(|&a, &b| {
         let ea = all[a].estimate.feasible().expect("admitted implies feasible");
         let eb = all[b].estimate.feasible().expect("admitted implies feasible");
-        ea.power_w
-            .total_cmp(&eb.power_w)
-            .then(ea.area_mm2.total_cmp(&eb.area_mm2))
-            .then(a.cmp(&b))
+        ea.power_w.total_cmp(&eb.power_w).then(ea.area_mm2.total_cmp(&eb.area_mm2)).then(a.cmp(&b))
     });
     admitted
 }
@@ -174,9 +202,10 @@ pub fn explore_with(
 
     let all: Vec<EvalReport> = pool::ordered_map(&configs, opts.threads, |index, config| {
         let point_started = Instant::now();
+        let request = spec.request(config, line_rate);
         let (report, cache_hit) = match opts.cache {
-            Some(cache) => cache.evaluate_recorded(config, line_rate, spec.entries),
-            None => (evaluate(config, line_rate, spec.entries), false),
+            Some(cache) => cache.evaluate_recorded(&request),
+            None => (evaluate_request(&request), false),
         };
         if cache_hit {
             sweep_hits.fetch_add(1, Ordering::Relaxed);
@@ -209,8 +238,10 @@ pub fn explore_serial(
     line_rate: LineRate,
     constraints: &Constraints,
 ) -> Exploration {
-    let all: Vec<EvalReport> =
-        grid(spec).iter().map(|config| evaluate(config, line_rate, spec.entries)).collect();
+    let all: Vec<EvalReport> = grid(spec)
+        .iter()
+        .map(|config| evaluate_request(&spec.request(config, line_rate)))
+        .collect();
     let admitted = rank(&all, constraints);
     Exploration { all, admitted }
 }
@@ -253,6 +284,7 @@ mod tests {
             replication: vec![1],
             kinds: vec![TableKind::Cam, TableKind::BalancedTree],
             entries: 8,
+            workload: None,
         }
     }
 
@@ -261,21 +293,55 @@ mod tests {
         let ex = explore(&small_spec(), LineRate::TEN_GBE, &Constraints::default());
         assert_eq!(ex.all.len(), 4);
         assert!(!ex.admitted.is_empty(), "something must fit a 2 W budget");
-        let powers: Vec<f64> = ex
-            .admitted
-            .iter()
-            .map(|&i| ex.all[i].estimate.feasible().unwrap().power_w)
-            .collect();
+        let powers: Vec<f64> =
+            ex.admitted.iter().map(|&i| ex.all[i].estimate.feasible().unwrap().power_w).collect();
         assert!(powers.windows(2).all(|w| w[0] <= w[1]), "{powers:?}");
         assert!(ex.best().is_some());
     }
 
     #[test]
     fn impossible_constraints_admit_nothing() {
-        let constraints = Constraints { max_power_w: 1e-9, max_area_mm2: 1e-9 };
+        let constraints =
+            Constraints { max_power_w: 1e-9, max_area_mm2: 1e-9, ..Constraints::default() };
         let ex = explore(&small_spec(), LineRate::TEN_GBE, &constraints);
         assert!(ex.admitted.is_empty());
         assert!(ex.best().is_none());
+    }
+
+    #[test]
+    fn scenario_sweep_attaches_metrics_and_filters_droppers() {
+        use taco_workload::Workload;
+        // Heavy enough that every organisation's service budget saturates,
+        // so total drops order by measured speed rather than noise.
+        let workload =
+            Workload::SteadyForward { seed: 7, ticks: 200, packets_per_tick: 500, entries: 64 };
+        let spec = SweepSpec {
+            buses: vec![3],
+            replication: vec![1],
+            kinds: vec![TableKind::Sequential, TableKind::Cam],
+            entries: 8,
+            workload: Some(workload),
+        };
+        // A generous physical budget so only the drop bound discriminates;
+        // 10 GbE would mark the sequential row NA before drops matter.
+        let lenient =
+            Constraints { max_power_w: 100.0, max_area_mm2: 1000.0, max_scenario_drops: None };
+        let ex = explore(&spec, LineRate::GIGE, &lenient);
+        assert!(ex.all.iter().all(|r| r.scenario.is_some()), "every point replays the scenario");
+        assert_eq!(ex.admitted.len(), 2, "without a drop bound both survive");
+
+        // The CAM's constant-time lookup earns it a far larger per-tick
+        // service budget, so it drops far less under the same traffic.
+        let drops = |i: usize| ex.all[i].scenario.as_ref().unwrap().dropped();
+        let seq_drops = drops(0);
+        let cam_drops = drops(1);
+        assert!(cam_drops < seq_drops, "cam {cam_drops} vs sequential {seq_drops}");
+
+        let strict = Constraints { max_scenario_drops: Some(cam_drops), ..lenient };
+        let filtered = explore(&spec, LineRate::GIGE, &strict);
+        let survivors: Vec<TableKind> =
+            filtered.admitted.iter().map(|&i| filtered.all[i].config.table).collect();
+        assert_eq!(survivors, vec![TableKind::Cam], "the drop bound culls the sequential scan");
     }
 
     #[test]
@@ -296,11 +362,10 @@ mod tests {
 
     #[test]
     fn constraints_reject_infeasible() {
-        let report = evaluate(
-            &ArchConfig::one_bus_one_fu(TableKind::Sequential),
-            LineRate::TEN_GBE_MIN_FRAMES,
-            64,
-        );
+        let report = EvalRequest::new(ArchConfig::one_bus_one_fu(TableKind::Sequential))
+            .rate(LineRate::TEN_GBE_MIN_FRAMES)
+            .entries(64)
+            .run();
         assert!(!report.is_feasible());
         assert!(!Constraints::default().admits(&report));
     }

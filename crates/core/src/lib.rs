@@ -24,14 +24,13 @@
 //! # Examples
 //!
 //! ```
-//! use taco_core::{evaluate, ArchConfig, LineRate, RoutingTableKind};
+//! use taco_core::{ArchConfig, EvalRequest, RoutingTableKind};
 //!
 //! // The paper's headline finding, reproduced in four lines: a CAM-backed
 //! // routing table turns an impossible clock requirement into tens of MHz.
-//! let seq = evaluate(&ArchConfig::one_bus_one_fu(RoutingTableKind::Sequential),
-//!                    LineRate::TEN_GBE, 100);
-//! let cam = evaluate(&ArchConfig::three_bus_one_fu(RoutingTableKind::Cam),
-//!                    LineRate::TEN_GBE, 100);
+//! // (The request defaults are the paper's: 10 GbE, 100 table entries.)
+//! let seq = EvalRequest::new(ArchConfig::one_bus_one_fu(RoutingTableKind::Sequential)).run();
+//! let cam = EvalRequest::new(ArchConfig::three_bus_one_fu(RoutingTableKind::Cam)).run();
 //! assert!(!seq.is_feasible());
 //! assert!(cam.is_feasible());
 //! assert!(cam.required_frequency_hz < seq.required_frequency_hz / 10.0);
@@ -44,12 +43,15 @@ pub mod explorer;
 pub mod observer;
 pub mod pool;
 pub mod rate;
+pub mod request;
 pub mod table1;
 
 pub use arch::{ArchConfig, RoutingTableKind};
 pub use cache::EvalCache;
+#[allow(deprecated)]
+pub use evaluate::evaluate;
 pub use evaluate::{
-    benchmark_routes, cycles_per_datagram, evaluate, max_sustainable_rate_bps, EvalReport,
+    benchmark_routes, cycles_per_datagram, evaluate_request, max_sustainable_rate_bps, EvalReport,
 };
 pub use explorer::{
     explore, explore_serial, explore_with, grid, scaling_sweep, scaling_sweep_with, Constraints,
@@ -57,4 +59,6 @@ pub use explorer::{
 };
 pub use observer::{PointRecord, Silent, StderrProgress, SweepObserver, SweepSummary};
 pub use rate::LineRate;
+pub use request::EvalRequest;
 pub use table1::table1;
+pub use taco_workload::{ScenarioMetrics, Workload};

@@ -133,14 +133,13 @@ impl SweepObserver for StderrProgress {
 mod tests {
     use super::*;
     use crate::arch::ArchConfig;
-    use crate::evaluate::evaluate;
-    use crate::rate::LineRate;
+    use crate::request::EvalRequest;
     use taco_routing::TableKind;
 
     #[test]
     fn stderr_progress_counts_points() {
         let report =
-            evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+            EvalRequest::new(ArchConfig::three_bus_one_fu(TableKind::Cam)).entries(8).run();
         let obs = StderrProgress::verbose();
         let record = PointRecord {
             index: 0,

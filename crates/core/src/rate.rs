@@ -31,8 +31,7 @@ impl LineRate {
 
     /// 10 GbE at minimum-size frames (84 bytes on the wire = 14.88 Mpps) —
     /// the adversarial worst case.
-    pub const TEN_GBE_MIN_FRAMES: LineRate =
-        LineRate { bits_per_second: 10e9, packet_bytes: 84 };
+    pub const TEN_GBE_MIN_FRAMES: LineRate = LineRate { bits_per_second: 10e9, packet_bytes: 84 };
 
     /// Creates a custom line rate.
     ///

@@ -8,6 +8,7 @@ use crate::arch::ArchConfig;
 use crate::cache::EvalCache;
 use crate::evaluate::EvalReport;
 use crate::rate::LineRate;
+use crate::request::EvalRequest;
 
 /// Evaluates all nine cells of the paper's Table 1 (three routing-table
 /// implementations × three architecture configurations) and returns the
@@ -23,7 +24,7 @@ pub fn table1(line_rate: LineRate, entries: usize) -> Vec<EvalReport> {
     let cache = EvalCache::global();
     ArchConfig::table1_cells()
         .iter()
-        .map(|c| cache.evaluate(c, line_rate, entries))
+        .map(|c| cache.evaluate(&EvalRequest::new(c.clone()).rate(line_rate).entries(entries)))
         .collect()
 }
 

@@ -12,8 +12,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use taco_core::{
-    evaluate, explore_serial, explore_with, grid, scaling_sweep_with, ArchConfig, Constraints,
-    EvalCache, ExploreOptions, LineRate, PointRecord, RoutingTableKind, Silent, SweepObserver,
+    explore_serial, explore_with, grid, scaling_sweep_with, ArchConfig, Constraints, EvalCache,
+    EvalRequest, ExploreOptions, LineRate, PointRecord, RoutingTableKind, Silent, SweepObserver,
     SweepSpec, SweepSummary,
 };
 
@@ -70,6 +70,7 @@ fn repeated_sweep_hits_the_cache_and_reports_it() {
         replication: vec![1, 2],
         kinds: vec![RoutingTableKind::Cam, RoutingTableKind::BalancedTree],
         entries: 8,
+        workload: None,
     };
     let constraints = Constraints::default();
     let cache = EvalCache::new();
@@ -106,14 +107,17 @@ fn cached_report_equals_fresh_evaluate_for_every_default_grid_point() {
     let spec = SweepSpec::default();
     let cache = EvalCache::new();
     let points = grid(&spec);
+    let request = |config: &ArchConfig| {
+        EvalRequest::new(config.clone()).rate(LineRate::TEN_GBE).entries(spec.entries)
+    };
     for config in &points {
-        cache.evaluate(config, LineRate::TEN_GBE, spec.entries);
+        cache.evaluate(&request(config));
     }
     assert_eq!(cache.misses(), points.len() as u64);
     for config in &points {
-        let (cached, hit) = cache.evaluate_recorded(config, LineRate::TEN_GBE, spec.entries);
+        let (cached, hit) = cache.evaluate_recorded(&request(config));
         assert!(hit, "second pass must hit: {config}");
-        let fresh = evaluate(config, LineRate::TEN_GBE, spec.entries);
+        let fresh = request(config).run();
         assert_eq!(cached, fresh, "cached report must equal a fresh evaluation: {config}");
     }
     assert_eq!(cache.hits(), points.len() as u64);
@@ -154,6 +158,7 @@ fn equal_power_ties_rank_deterministically() {
         replication: vec![1, 1],
         kinds: vec![RoutingTableKind::Cam],
         entries: 8,
+        workload: None,
     };
     let constraints = Constraints::default();
     let cache = EvalCache::new();

@@ -1,0 +1,81 @@
+//! Determinism contract of the scenario-aware explorer, mirroring
+//! `parallel_equivalence.rs`: a workload-carrying sweep must produce
+//! byte-identical `ScenarioMetrics` JSON no matter how many worker
+//! threads evaluate it, and re-running the same seed must reproduce the
+//! run exactly.
+
+use taco_core::{
+    explore_with, Constraints, EvalCache, EvalRequest, ExploreOptions, LineRate, RoutingTableKind,
+    Silent, SweepSpec, Workload,
+};
+
+fn scenario_spec() -> SweepSpec {
+    SweepSpec {
+        buses: vec![1, 3],
+        replication: vec![1],
+        kinds: vec![RoutingTableKind::Cam, RoutingTableKind::BalancedTree],
+        entries: 8,
+        workload: Some(Workload::burst_overload()),
+    }
+}
+
+fn scenario_jsons(threads: usize) -> Vec<String> {
+    let cache = EvalCache::new();
+    let ex = explore_with(
+        &scenario_spec(),
+        LineRate::TEN_GBE,
+        &Constraints::default(),
+        &ExploreOptions { threads, cache: Some(&cache), observer: &Silent },
+    );
+    ex.all
+        .iter()
+        .map(|r| r.scenario.as_ref().expect("workload attached to every point").to_json())
+        .collect()
+}
+
+#[test]
+fn scenario_metrics_are_byte_identical_across_thread_counts() {
+    let serial = scenario_jsons(1);
+    let parallel = scenario_jsons(4);
+    assert_eq!(serial.len(), 4);
+    assert_eq!(serial, parallel, "scenario JSON must not depend on the worker count");
+}
+
+#[test]
+fn same_seed_reproduces_the_run_and_a_new_seed_does_not() {
+    let base = Workload::burst_overload();
+    let request = |w: Workload| {
+        EvalRequest::new(taco_core::ArchConfig::three_bus_one_fu(RoutingTableKind::Cam))
+            .entries(8)
+            .workload(w)
+    };
+    let a = request(base).run();
+    let b = request(base).run();
+    assert_eq!(
+        a.scenario.as_ref().unwrap().to_json(),
+        b.scenario.as_ref().unwrap().to_json(),
+        "same seed, same bytes"
+    );
+
+    let reseeded = request(base.with_seed(base.seed() ^ 1)).run();
+    assert_ne!(
+        a.scenario.as_ref().unwrap().to_json(),
+        reseeded.scenario.as_ref().unwrap().to_json(),
+        "a different seed must change the arrival pattern"
+    );
+}
+
+#[test]
+fn cached_scenario_points_round_trip_bytes() {
+    // The cache stores the report with its metrics embedded; a hit must
+    // return the identical JSON, not a re-run.
+    let cache = EvalCache::new();
+    let spec = scenario_spec();
+    let opts = ExploreOptions { threads: 2, cache: Some(&cache), observer: &Silent };
+    let first = explore_with(&spec, LineRate::TEN_GBE, &Constraints::default(), &opts);
+    let second = explore_with(&spec, LineRate::TEN_GBE, &Constraints::default(), &opts);
+    assert_eq!(cache.hits(), 4, "the repeat sweep is answered from the cache");
+    for (a, b) in first.all.iter().zip(&second.all) {
+        assert_eq!(a.scenario.as_ref().unwrap().to_json(), b.scenario.as_ref().unwrap().to_json());
+    }
+}

@@ -38,8 +38,7 @@ impl Ipv6Address {
     pub const UNSPECIFIED: Ipv6Address = Ipv6Address([0; 16]);
 
     /// The loopback address `::1`.
-    pub const LOOPBACK: Ipv6Address =
-        Ipv6Address([0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+    pub const LOOPBACK: Ipv6Address = Ipv6Address([0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
 
     /// The all-RIPng-routers multicast group `ff02::9` (RFC 2080 §2.5.1).
     pub const ALL_RIPNG_ROUTERS: Ipv6Address =

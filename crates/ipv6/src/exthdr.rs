@@ -55,12 +55,20 @@ impl OptionsHeader {
 
     fn decode(bytes: &[u8]) -> Result<(Self, u8, usize), ParseError> {
         if bytes.len() < 2 {
-            return Err(ParseError::Truncated { what: "options header", needed: 2, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "options header",
+                needed: 2,
+                got: bytes.len(),
+            });
         }
         let next = bytes[0];
         let len = (usize::from(bytes[1]) + 1) * 8;
         if bytes.len() < len {
-            return Err(ParseError::Truncated { what: "options header", needed: len, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "options header",
+                needed: len,
+                got: bytes.len(),
+            });
         }
         let mut options = bytes[2..len].to_vec();
         if let Some(end) = Self::last_non_pad_end(&options) {
@@ -125,16 +133,27 @@ impl RoutingHeader {
 
     fn decode(bytes: &[u8]) -> Result<(Self, u8, usize), ParseError> {
         if bytes.len() < 8 {
-            return Err(ParseError::Truncated { what: "routing header", needed: 8, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "routing header",
+                needed: 8,
+                got: bytes.len(),
+            });
         }
         let next = bytes[0];
         let ext_len = usize::from(bytes[1]);
         let len = 8 + ext_len * 8;
         if bytes.len() < len {
-            return Err(ParseError::Truncated { what: "routing header", needed: len, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "routing header",
+                needed: len,
+                got: bytes.len(),
+            });
         }
         if ext_len % 2 != 0 {
-            return Err(ParseError::BadField { field: "routing hdr ext len", value: ext_len as u64 });
+            return Err(ParseError::BadField {
+                field: "routing hdr ext len",
+                value: ext_len as u64,
+            });
         }
         let mut addresses = Vec::with_capacity(ext_len / 2);
         for i in 0..ext_len / 2 {
@@ -178,7 +197,11 @@ impl FragmentHeader {
 
     fn decode(bytes: &[u8]) -> Result<(Self, u8, usize), ParseError> {
         if bytes.len() < Self::LEN {
-            return Err(ParseError::Truncated { what: "fragment header", needed: Self::LEN, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "fragment header",
+                needed: Self::LEN,
+                got: bytes.len(),
+            });
         }
         let next = bytes[0];
         let off_flags = u16::from_be_bytes([bytes[2], bytes[3]]);
@@ -292,11 +315,7 @@ pub fn encode_chain(chain: &[ExtensionHeader], last: NextHeader) -> (Vec<u8>, Ne
     }
     let mut out = Vec::new();
     for (i, hdr) in chain.iter().enumerate() {
-        let next: u8 = if i + 1 < chain.len() {
-            chain[i + 1].kind().into()
-        } else {
-            last.into()
-        };
+        let next: u8 = if i + 1 < chain.len() { chain[i + 1].kind().into() } else { last.into() };
         hdr.encode(next, &mut out);
     }
     (out, chain[0].kind())

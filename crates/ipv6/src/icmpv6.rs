@@ -150,7 +150,11 @@ impl Icmpv6Message {
     ///   not implement.
     pub fn parse(bytes: &[u8], src: &Ipv6Address, dst: &Ipv6Address) -> Result<Self, ParseError> {
         if bytes.len() < 8 {
-            return Err(ParseError::Truncated { what: "icmpv6 message", needed: 8, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "icmpv6 message",
+                needed: 8,
+                got: bytes.len(),
+            });
         }
         if pseudo_header_checksum(src, dst, PROTOCOL, bytes) != 0 {
             return Err(ParseError::BadChecksum { what: "icmpv6" });

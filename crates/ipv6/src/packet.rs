@@ -197,12 +197,7 @@ impl DatagramBuilder {
             src: self.src,
             dst: self.dst,
         };
-        Datagram {
-            header,
-            extensions: self.extensions,
-            upper: self.upper,
-            payload: self.payload,
-        }
+        Datagram { header, extensions: self.extensions, upper: self.upper, payload: self.payload }
     }
 }
 
@@ -237,11 +232,7 @@ mod tests {
                 segments_left: 1,
                 addresses: vec![[3u8; 16]],
             }))
-            .extension(ExtensionHeader::Fragment(FragmentHeader {
-                offset: 0,
-                more: false,
-                id: 42,
-            }))
+            .extension(ExtensionHeader::Fragment(FragmentHeader { offset: 0, more: false, id: 42 }))
             .payload(NextHeader::Udp, vec![0xab; 64])
             .build();
         let parsed = Datagram::parse(&d.to_bytes()).unwrap();

@@ -87,11 +87,7 @@ impl Ipv6Prefix {
         let mut remaining = self.len as u32;
         for w in &mut words {
             let take = remaining.min(32);
-            *w = if take == 0 {
-                0
-            } else {
-                (!0u32) << (32 - take)
-            };
+            *w = if take == 0 { 0 } else { (!0u32) << (32 - take) };
             remaining -= take;
         }
         words
@@ -200,14 +196,8 @@ mod tests {
     fn mask_words_shapes() {
         assert_eq!(p("::/0").mask_words(), [0, 0, 0, 0]);
         assert_eq!(p("2001:db8::/32").mask_words(), [0xffff_ffff, 0, 0, 0]);
-        assert_eq!(
-            p("2001:db8::/48").mask_words(),
-            [0xffff_ffff, 0xffff_0000, 0, 0]
-        );
-        assert_eq!(
-            Ipv6Prefix::host(a("::1")).mask_words(),
-            [0xffff_ffff; 4]
-        );
+        assert_eq!(p("2001:db8::/48").mask_words(), [0xffff_ffff, 0xffff_0000, 0, 0]);
+        assert_eq!(Ipv6Prefix::host(a("::1")).mask_words(), [0xffff_ffff; 4]);
         assert_eq!(p("8000::/1").mask_words(), [0x8000_0000, 0, 0, 0]);
     }
 

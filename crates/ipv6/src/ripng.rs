@@ -73,21 +73,14 @@ impl RouteEntry {
     /// Panics if `metric` is 0 or greater than [`INFINITY_METRIC`]; use
     /// [`RouteEntry::next_hop`] for next-hop RTEs.
     pub fn new(prefix: Ipv6Prefix, route_tag: u16, metric: u8) -> Self {
-        assert!(
-            (1..=INFINITY_METRIC).contains(&metric),
-            "metric {metric} out of range 1..=16"
-        );
+        assert!((1..=INFINITY_METRIC).contains(&metric), "metric {metric} out of range 1..=16");
         RouteEntry { prefix, route_tag, metric }
     }
 
     /// Creates a next-hop RTE naming `next_hop` as the forwarding address
     /// for the RTEs that follow it.
     pub fn next_hop(next_hop: Ipv6Address) -> Self {
-        RouteEntry {
-            prefix: Ipv6Prefix::host(next_hop),
-            route_tag: 0,
-            metric: NEXT_HOP_METRIC,
-        }
+        RouteEntry { prefix: Ipv6Prefix::host(next_hop), route_tag: 0, metric: NEXT_HOP_METRIC }
     }
 
     /// Returns `true` if this is a next-hop RTE.
@@ -104,7 +97,11 @@ impl RouteEntry {
 
     fn decode(bytes: &[u8]) -> Result<Self, ParseError> {
         if bytes.len() < Self::LEN {
-            return Err(ParseError::Truncated { what: "ripng rte", needed: Self::LEN, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "ripng rte",
+                needed: Self::LEN,
+                got: bytes.len(),
+            });
         }
         let mut addr = [0u8; 16];
         addr.copy_from_slice(&bytes[..16]);
@@ -114,11 +111,7 @@ impl RouteEntry {
         if metric != NEXT_HOP_METRIC && !(1..=INFINITY_METRIC).contains(&metric) {
             return Err(ParseError::BadField { field: "ripng metric", value: metric.into() });
         }
-        Ok(RouteEntry {
-            prefix: Ipv6Prefix::new(addr.into(), prefix_len)?,
-            route_tag,
-            metric,
-        })
+        Ok(RouteEntry { prefix: Ipv6Prefix::new(addr.into(), prefix_len)?, route_tag, metric })
     }
 }
 
@@ -203,7 +196,11 @@ impl RipngPacket {
     /// * [`ParseError::BadField`] for unknown commands, versions, or metrics.
     pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
         if bytes.len() < 4 {
-            return Err(ParseError::Truncated { what: "ripng header", needed: 4, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "ripng header",
+                needed: 4,
+                got: bytes.len(),
+            });
         }
         let command = Command::try_from(bytes[0])?;
         if bytes[1] != Self::VERSION {
@@ -259,10 +256,7 @@ mod tests {
         let rt = RipngPacket::parse(&req.to_bytes()).unwrap();
         assert!(rt.is_whole_table_request());
 
-        let not_req = RipngPacket {
-            command: Command::Response,
-            entries: req.entries.clone(),
-        };
+        let not_req = RipngPacket { command: Command::Response, entries: req.entries.clone() };
         assert!(!not_req.is_whole_table_request());
     }
 
@@ -287,10 +281,16 @@ mod tests {
     fn bad_command_and_version_rejected() {
         let mut b = RipngPacket::whole_table_request().to_bytes();
         b[0] = 9;
-        assert!(matches!(RipngPacket::parse(&b), Err(ParseError::BadField { field: "ripng command", .. })));
+        assert!(matches!(
+            RipngPacket::parse(&b),
+            Err(ParseError::BadField { field: "ripng command", .. })
+        ));
         b[0] = 1;
         b[1] = 2;
-        assert!(matches!(RipngPacket::parse(&b), Err(ParseError::BadField { field: "ripng version", .. })));
+        assert!(matches!(
+            RipngPacket::parse(&b),
+            Err(ParseError::BadField { field: "ripng version", .. })
+        ));
     }
 
     #[test]
@@ -308,7 +308,10 @@ mod tests {
         }
         .to_bytes();
         b[23] = 0;
-        assert!(matches!(RipngPacket::parse(&b), Err(ParseError::BadField { field: "ripng metric", .. })));
+        assert!(matches!(
+            RipngPacket::parse(&b),
+            Err(ParseError::BadField { field: "ripng metric", .. })
+        ));
     }
 
     #[test]

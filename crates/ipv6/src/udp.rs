@@ -34,7 +34,11 @@ impl UdpHeader {
     /// Returns [`ParseError::Truncated`] if fewer than 8 bytes are available.
     pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
         if bytes.len() < Self::LEN {
-            return Err(ParseError::Truncated { what: "udp header", needed: Self::LEN, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                what: "udp header",
+                needed: Self::LEN,
+                got: bytes.len(),
+            });
         }
         Ok(UdpHeader {
             src_port: u16::from_be_bytes([bytes[0], bytes[1]]),

@@ -3,7 +3,7 @@
 //! table itself comes from the `table1` binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use taco_core::{evaluate, ArchConfig, LineRate};
+use taco_core::{ArchConfig, EvalRequest, LineRate};
 use taco_routing::TableKind;
 
 fn bench_cells(c: &mut Criterion) {
@@ -18,7 +18,11 @@ fn bench_cells(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::from_parameter(config.label()),
                 &config,
-                |b, config| b.iter(|| evaluate(config, LineRate::TEN_GBE, 16)),
+                |b, config| {
+                    b.iter(|| {
+                        EvalRequest::new(config.clone()).rate(LineRate::TEN_GBE).entries(16).run()
+                    })
+                },
             );
         }
     }

@@ -27,10 +27,10 @@ pub struct CamBackend(pub CamTable);
 impl RtuBackend for CamBackend {
     fn lookup(&self, key: [u32; 4]) -> Option<RtuResult> {
         let addr = taco_ipv6::Ipv6Address::from_words(key);
-        self.0.lookup(&addr).into_route().map(|r| RtuResult {
-            iface: u32::from(r.interface().0),
-            handle: 0,
-        })
+        self.0
+            .lookup(&addr)
+            .into_route()
+            .map(|r| RtuResult { iface: u32::from(r.interface().0), handle: 0 })
     }
 }
 
@@ -58,10 +58,8 @@ impl CycleRouter {
         let mut image = serialize_sequential(table);
         pad_sequential_image(&mut image, opts.unroll);
         let padded_entries = image.len() / crate::layout::SEQ_ENTRY_WORDS as usize;
-        let tuned = MicrocodeOptions {
-            screen_word: crate::microcode::choose_screen_word(table),
-            ..*opts
-        };
+        let tuned =
+            MicrocodeOptions { screen_word: crate::microcode::choose_screen_word(table), ..*opts };
         let seq = sequential_program(padded_entries, &tuned);
         Self::build(TableKind::Sequential, config, seq, image, None)
     }
@@ -118,6 +116,39 @@ impl CycleRouter {
         Self::build(TableKind::Cam, config, seq, Vec::new(), Some(rtu))
     }
 
+    /// Builds a router for any table organisation from a plain route list —
+    /// the one dispatch point over [`CycleRouter::sequential`],
+    /// [`CycleRouter::tree`], [`CycleRouter::trie`] and [`CycleRouter::cam`]
+    /// (each serialises a different concrete engine, so the dispatch cannot
+    /// go through `Box<dyn LpmTable>`).
+    ///
+    /// `rtu_latency` is only consulted for [`TableKind::Cam`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::sequential`].
+    pub fn for_kind(
+        kind: TableKind,
+        config: &MachineConfig,
+        routes: &[taco_routing::Route],
+        rtu_latency: u32,
+        opts: &MicrocodeOptions,
+    ) -> Result<Self, SimError> {
+        let routes = routes.iter().copied();
+        match kind {
+            TableKind::Sequential => {
+                Self::sequential(config, &taco_routing::SequentialTable::from_routes(routes), opts)
+            }
+            TableKind::BalancedTree => {
+                Self::tree(config, &BalancedTreeTable::from_routes(routes), opts)
+            }
+            TableKind::Trie => {
+                Self::trie(config, &taco_routing::TrieTable::from_routes(routes), opts)
+            }
+            TableKind::Cam => Self::cam(config, CamTable::from_routes(routes), rtu_latency, opts),
+        }
+    }
+
     fn build(
         kind: TableKind,
         config: &MachineConfig,
@@ -127,9 +158,7 @@ impl CycleRouter {
     ) -> Result<Self, SimError> {
         opt::optimize(&mut seq);
         let mut program = schedule(&seq, config);
-        program
-            .resolve_labels()
-            .map_err(SimError::UnresolvedLabel)?;
+        program.resolve_labels().map_err(SimError::UnresolvedLabel)?;
         debug_assert_eq!(
             taco_isa::validate_schedule(&program, config),
             Ok(()),
@@ -329,9 +358,7 @@ mod tests {
 
     #[test]
     fn trie_handles_host_route_and_miss() {
-        let table = taco_routing::TrieTable::from_routes([
-            route("2001:db8::7/128", 5),
-        ]);
+        let table = taco_routing::TrieTable::from_routes([route("2001:db8::7/128", 5)]);
         let mut r = CycleRouter::trie(
             &MachineConfig::three_bus_one_fu(),
             &table,
@@ -421,10 +448,7 @@ mod tests {
         let c25 = cost(25);
         let c100 = cost(100);
         // log2(201)/log2(51) ≈ 1.35 — nowhere near the 4x of a linear scan.
-        assert!(
-            (c100 as f64) < 1.8 * c25 as f64,
-            "tree should be logarithmic: {c25} vs {c100}"
-        );
+        assert!((c100 as f64) < 1.8 * c25 as f64, "tree should be logarithmic: {c25} vs {c100}");
     }
 
     #[test]
@@ -442,6 +466,23 @@ mod tests {
             r.enqueue(PortId(0), &d).unwrap();
             r.run(1_000_000).unwrap_or_else(|e| panic!("{:?} hung: {e}", r.kind()));
             assert!(r.forwarded().is_empty(), "{:?}", r.kind());
+        }
+    }
+
+    #[test]
+    fn for_kind_matches_dedicated_constructors() {
+        let config = MachineConfig::three_bus_one_fu();
+        let opts = MicrocodeOptions::default();
+        let routes =
+            vec![route("2001:db8::/32", 1), route("2001:db8:aa::/48", 2), route("::/0", 3)];
+        for kind in
+            [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam, TableKind::Trie]
+        {
+            let mut r = CycleRouter::for_kind(kind, &config, &routes, 4, &opts).unwrap();
+            assert_eq!(r.kind(), kind);
+            r.enqueue(PortId(0), &dgram("2001:db8:aa::5", 64)).unwrap();
+            r.run(10_000_000).unwrap();
+            assert_eq!(r.forwarded()[0].0, PortId(2), "{kind}");
         }
     }
 

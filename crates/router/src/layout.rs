@@ -267,7 +267,7 @@ mod tests {
         assert_eq!(img[1], 0x2001_0db8);
         assert_eq!(img[8], 3); // iface
         assert_eq!(img[9], 0); // handle
-        // Second entry: the default route (all-zero masks).
+                               // Second entry: the default route (all-zero masks).
         assert_eq!(img[SEQ_ENTRY_WORDS as usize], 0);
         assert_eq!(img[SEQ_ENTRY_WORDS as usize + 8], 1);
     }

@@ -21,24 +21,59 @@ use taco_routing::PortId;
 pub const DEFAULT_MTU: usize = 1500;
 
 /// One line card: a router port with input and output buffers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LineCard {
     port: PortId,
     mtu: usize,
+    capacity: usize,
     input: VecDeque<Datagram>,
     output: Vec<Datagram>,
     dropped_oversize: u64,
+    dropped_overflow: u64,
+    polled: u64,
+}
+
+impl Default for LineCard {
+    fn default() -> Self {
+        LineCard {
+            port: PortId::default(),
+            mtu: DEFAULT_MTU,
+            capacity: usize::MAX,
+            input: VecDeque::new(),
+            output: Vec::new(),
+            dropped_oversize: 0,
+            dropped_overflow: 0,
+            polled: 0,
+        }
+    }
 }
 
 impl LineCard {
-    /// Creates a line card for `port` with the default Ethernet MTU.
+    /// Creates a line card for `port` with the default Ethernet MTU and an
+    /// unbounded input buffer.
     pub fn new(port: PortId) -> Self {
-        LineCard { port, mtu: DEFAULT_MTU, ..LineCard::default() }
+        LineCard { port, ..LineCard::default() }
     }
 
     /// Creates a line card with an explicit MTU.
     pub fn with_mtu(port: PortId, mtu: usize) -> Self {
         LineCard { port, mtu, ..LineCard::default() }
+    }
+
+    /// Bounds the input buffer to `capacity` datagrams; arrivals beyond it
+    /// are tail-dropped (counted by [`LineCard::dropped_overflow`]).  Real
+    /// cards have finite ingress FIFOs — this is what makes overload
+    /// scenarios measure drops instead of growing an infinite queue.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the input-buffer bound on an existing card (see
+    /// [`LineCard::with_capacity`]); already-queued datagrams are kept even
+    /// if they exceed the new bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
     }
 
     /// The port this card serves.
@@ -52,11 +87,15 @@ impl LineCard {
     }
 
     /// A frame arrives from the wire.  Oversize datagrams are dropped (the
-    /// real card would never have reassembled them); returns `true` if the
-    /// datagram was queued.
+    /// real card would never have reassembled them), as are arrivals to a
+    /// full input buffer; returns `true` if the datagram was queued.
     pub fn receive(&mut self, datagram: Datagram) -> bool {
         if datagram.wire_len() > self.mtu {
             self.dropped_oversize += 1;
+            return false;
+        }
+        if self.input.len() >= self.capacity {
+            self.dropped_overflow += 1;
             return false;
         }
         self.input.push_back(datagram);
@@ -65,7 +104,11 @@ impl LineCard {
 
     /// The processor polls the input buffer (the iPPU's scan).
     pub fn poll_input(&mut self) -> Option<Datagram> {
-        self.input.pop_front()
+        let d = self.input.pop_front();
+        if d.is_some() {
+            self.polled += 1;
+        }
+        d
     }
 
     /// Number of datagrams waiting in the input buffer.
@@ -92,6 +135,23 @@ impl LineCard {
     /// Oversize datagrams rejected at ingress.
     pub fn dropped_oversize(&self) -> u64 {
         self.dropped_oversize
+    }
+
+    /// Input-buffer capacity in datagrams (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Datagrams tail-dropped because the input buffer was full.
+    pub fn dropped_overflow(&self) -> u64 {
+        self.dropped_overflow
+    }
+
+    /// Total datagrams the processor has polled from this card — a
+    /// monotonic service counter scenario engines use to pair departures
+    /// with recorded arrival times.
+    pub fn polled(&self) -> u64 {
+        self.polled
     }
 }
 
@@ -144,5 +204,21 @@ mod tests {
         let lc = LineCard::new(PortId(3));
         assert_eq!(lc.port(), PortId(3));
         assert_eq!(lc.mtu(), DEFAULT_MTU);
+        assert_eq!(lc.capacity(), usize::MAX);
+    }
+
+    #[test]
+    fn bounded_buffer_tail_drops() {
+        let mut lc = LineCard::new(PortId(4)).with_capacity(2);
+        assert!(lc.receive(dgram(1)));
+        assert!(lc.receive(dgram(2)));
+        assert!(!lc.receive(dgram(3)));
+        assert_eq!(lc.dropped_overflow(), 2 - 1); // one drop so far
+        assert!(!lc.receive(dgram(4)));
+        assert_eq!(lc.dropped_overflow(), 2);
+        // Draining frees the slot again.
+        assert!(lc.poll_input().is_some());
+        assert_eq!(lc.polled(), 1);
+        assert!(lc.receive(dgram(5)));
     }
 }

@@ -42,9 +42,7 @@
 
 use taco_isa::{CodeBuilder, FuKind, MoveSeq};
 
-use crate::layout::{
-    MISS_IFACE, NULL_PTR, SEQ_ENTRY_WORDS, TABLE_BASE,
-};
+use crate::layout::{MISS_IFACE, NULL_PTR, SEQ_ENTRY_WORDS, TABLE_BASE};
 
 /// Options shared by the three generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -601,11 +599,7 @@ mod tests {
     #[test]
     fn all_programs_schedule_on_all_paper_configs() {
         let opts = MicrocodeOptions::default();
-        let seqs = [
-            sequential_program(100, &opts),
-            tree_program(&opts),
-            cam_program(&opts),
-        ];
+        let seqs = [sequential_program(100, &opts), tree_program(&opts), cam_program(&opts)];
         for config in [
             MachineConfig::one_bus_one_fu(),
             MachineConfig::three_bus_one_fu(),

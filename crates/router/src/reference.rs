@@ -195,12 +195,7 @@ impl<T: LpmTable> ReferenceRouter<T> {
         }
         self.stats.icmp_errors += 1;
         let payload = message.to_bytes(&src, &to);
-        Some(
-            Datagram::builder(src, to)
-                .hop_limit(64)
-                .payload(NextHeader::Icmpv6, payload)
-                .build(),
-        )
+        Some(Datagram::builder(src, to).hop_limit(64).payload(NextHeader::Icmpv6, payload).build())
     }
 }
 

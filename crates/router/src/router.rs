@@ -89,10 +89,30 @@ impl<T: LpmTable> Router<T> {
         &self.ripng
     }
 
+    /// All line cards, in interface order.
+    pub fn cards(&self) -> &[LineCard] {
+        &self.cards
+    }
+
+    /// Datagrams waiting in line-card input buffers across the router.
+    pub fn pending(&self) -> usize {
+        self.cards.iter().map(|c| c.pending()).sum()
+    }
+
     /// Processes all pending input, runs protocol timers at `now`, and
     /// refreshes the forwarding table from the RIB.
     pub fn tick(&mut self, now: SimTime) -> TickReport {
+        self.tick_budgeted(now, usize::MAX)
+    }
+
+    /// Like [`Router::tick`], but processes at most `max_datagrams` from the
+    /// input buffers — the rest stay queued for later ticks.  This is the
+    /// scenario engine's service-rate model: a processor that can forward
+    /// only so many datagrams per tick falls behind a line-rate burst, and
+    /// the backlog (then the tail drops) becomes measurable.
+    pub fn tick_budgeted(&mut self, now: SimTime, max_datagrams: usize) -> TickReport {
         let mut report = TickReport::default();
+        let mut budget = max_datagrams;
 
         // RFC 2080 §2.5.1: on startup, ask every neighbour for its whole
         // table rather than waiting out a periodic-update interval.
@@ -106,8 +126,15 @@ impl<T: LpmTable> Router<T> {
 
         // 1. Drain line-card inputs through the forwarding core.
         let ports: Vec<PortId> = self.cards.iter().map(|c| c.port()).collect();
-        for port in &ports {
-            while let Some(datagram) = self.card_mut(*port).poll_input() {
+        'service: for port in &ports {
+            loop {
+                if budget == 0 {
+                    break 'service;
+                }
+                let Some(datagram) = self.card_mut(*port).poll_input() else {
+                    break;
+                };
+                budget -= 1;
                 let bytes = datagram.to_bytes();
                 match self.core.process(*port, &bytes) {
                     ForwardDecision::Forward { out_port, datagram } => {
@@ -145,11 +172,9 @@ impl<T: LpmTable> Router<T> {
         if datagram.upper_protocol() != NextHeader::Udp {
             return 0; // ping etc. are beyond the control plane modelled here
         }
-        let Ok(udp) = UdpDatagram::parse(
-            datagram.payload(),
-            &datagram.header().src,
-            &datagram.header().dst,
-        ) else {
+        let Ok(udp) =
+            UdpDatagram::parse(datagram.payload(), &datagram.header().src, &datagram.header().dst)
+        else {
             return 0;
         };
         if udp.header().dst_port != PORT {
@@ -262,7 +287,7 @@ mod tests {
         let mut r = router();
         let report = r.tick(SimTime::ZERO);
         assert_eq!(report.ripng_sent, 4); // request + periodic per interface
-        // The startup request is a whole-table RIPng request on the wire.
+                                          // The startup request is a whole-table RIPng request on the wire.
         let out = r.card_mut(PortId(0)).drain_transmitted();
         let has_request = out.iter().any(|d| {
             UdpDatagram::parse(d.payload(), &d.header().src, &d.header().dst)
@@ -311,10 +336,8 @@ mod tests {
         r.card_mut(PortId(0)).receive(d);
         r.tick(SimTime::from_secs(1));
         let out = r.card_mut(PortId(0)).drain_transmitted();
-        let reply = out
-            .iter()
-            .find(|d| d.header().dst == from)
-            .expect("unicast reply to the requester");
+        let reply =
+            out.iter().find(|d| d.header().dst == from).expect("unicast reply to the requester");
         let udp = UdpDatagram::parse(reply.payload(), &reply.header().src, &from).unwrap();
         let pkt = RipngPacket::parse(udp.data()).unwrap();
         assert_eq!(pkt.command, Command::Response);
@@ -354,6 +377,22 @@ mod tests {
         }
         assert!(update_packets >= 2, "expected a split update, got {update_packets}");
         assert_eq!(total_entries, 102);
+    }
+
+    #[test]
+    fn budgeted_tick_leaves_backlog_queued() {
+        let mut r = router();
+        for _ in 0..5 {
+            r.card_mut(PortId(0)).receive(dgram("2001:db8:b::7"));
+        }
+        assert_eq!(r.pending(), 5);
+        let report = r.tick_budgeted(SimTime::ZERO, 2);
+        assert_eq!(report.forwarded, 2);
+        assert_eq!(r.pending(), 3);
+        // The remainder drains on later ticks, in arrival order.
+        let report = r.tick_budgeted(SimTime::from_secs(1), usize::MAX);
+        assert_eq!(report.forwarded, 3);
+        assert_eq!(r.pending(), 0);
     }
 
     #[test]

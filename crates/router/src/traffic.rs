@@ -140,6 +140,51 @@ impl TrafficGen {
                 .collect(),
         }
     }
+
+    /// A RIPng response *withdrawing* `routes`: every entry carries metric
+    /// 16 (RFC 2080 "infinity"), which tells the receiver the routes are
+    /// unreachable.  This is the churn half of add/withdraw scenarios.
+    pub fn ripng_withdrawal(&mut self, routes: &[Route]) -> RipngPacket {
+        RipngPacket {
+            command: Command::Response,
+            entries: routes
+                .iter()
+                .map(|r| RouteEntry::new(r.prefix(), r.route_tag(), 16))
+                .collect(),
+        }
+    }
+
+    /// Number of arrivals in one tick of a Poisson-ish process with the
+    /// given mean (in thousandths, so `mean_millis = 1500` averages 1.5
+    /// arrivals per tick).
+    ///
+    /// The count is drawn by thinning: `mean_millis / 1000` guaranteed
+    /// arrivals plus Bernoulli trials for the fractional part, then a
+    /// geometric-ish jitter term so the counts over-disperse the way bursty
+    /// arrivals do.  All-integer parameters keep workload descriptions
+    /// hashable and the stream reproducible.
+    pub fn arrivals(&mut self, mean_millis: u64) -> u64 {
+        let mut n = mean_millis / 1000;
+        let frac = mean_millis % 1000;
+        if frac > 0 && self.rng.below(1000) < frac {
+            n += 1;
+        }
+        // Burst jitter: each extra arrival beyond the mean happens with
+        // probability 1/4, compounding — E[extra] = 1/3, spread across
+        // ticks it adds the clumping uniform arrivals lack.
+        while self.rng.below(4) == 0 {
+            n += 1;
+            if n > mean_millis / 1000 + 8 {
+                break;
+            }
+        }
+        // Pay the jitter term's expectation (~1/3 arrival) back so the
+        // long-run mean stays approximately `mean_millis / 1000`.
+        if n > 0 && self.rng.below(3) == 0 {
+            n -= 1;
+        }
+        n
+    }
 }
 
 /// Wraps a RIPng packet in UDP/IPv6 multicast to `ff02::9`, as RIPng
@@ -226,6 +271,34 @@ mod tests {
     }
 
     #[test]
+    fn withdrawal_carries_infinity_metric() {
+        let mut g = TrafficGen::new(9, 4);
+        let routes = g.table(5, false);
+        let pkt = g.ripng_withdrawal(&routes);
+        assert_eq!(pkt.command, Command::Response);
+        assert_eq!(pkt.entries.len(), 5);
+        assert!(pkt.entries.iter().all(|e| e.metric == 16));
+    }
+
+    #[test]
+    fn arrivals_track_the_requested_mean() {
+        let mut g = TrafficGen::new(10, 4);
+        let ticks = 20_000u64;
+        for mean_millis in [500u64, 1000, 2500] {
+            let total: u64 = (0..ticks).map(|_| g.arrivals(mean_millis)).sum();
+            let mean = total as f64 / ticks as f64;
+            let want = mean_millis as f64 / 1000.0;
+            assert!(
+                (mean - want).abs() < 0.25,
+                "mean {mean:.3} too far from {want} for {mean_millis}"
+            );
+        }
+        // And the stream is bursty: some tick must exceed the mean.
+        let peak = (0..1000).map(|_| g.arrivals(1000)).max().unwrap();
+        assert!(peak >= 3, "no bursts observed (peak {peak})");
+    }
+
+    #[test]
     fn ripng_datagram_parses_back() {
         let mut g = TrafficGen::new(6, 4);
         let routes = g.table(5, false);
@@ -233,12 +306,9 @@ mod tests {
         let from = g.link_local();
         let d = ripng_datagram(from, &pkt);
         assert_eq!(d.header().dst, Ipv6Address::ALL_RIPNG_ROUTERS);
-        let udp = taco_ipv6::udp::UdpDatagram::parse(
-            d.payload(),
-            &from,
-            &Ipv6Address::ALL_RIPNG_ROUTERS,
-        )
-        .unwrap();
+        let udp =
+            taco_ipv6::udp::UdpDatagram::parse(d.payload(), &from, &Ipv6Address::ALL_RIPNG_ROUTERS)
+                .unwrap();
         assert_eq!(udp.header().dst_port, taco_ipv6::ripng::PORT);
         assert_eq!(RipngPacket::parse(udp.data()).unwrap(), pkt);
     }

@@ -5,39 +5,57 @@ use taco_router::microcode::MicrocodeOptions;
 use taco_routing::{BalancedTreeTable, CamTable, PortId, Route, SequentialTable};
 
 fn routes(n: u16) -> Vec<Route> {
-    (0..n).map(|i| Route::new(format!("2001:db8:{i:x}::/48").parse().unwrap(),
-        "fe80::1".parse().unwrap(), PortId(i % 4), 1)).collect()
+    (0..n)
+        .map(|i| {
+            Route::new(
+                format!("2001:db8:{i:x}::/48").parse().unwrap(),
+                "fe80::1".parse().unwrap(),
+                PortId(i % 4),
+                1,
+            )
+        })
+        .collect()
 }
 fn dgram(dst: &str) -> Datagram {
     Datagram::builder("2001:db8:99::1".parse().unwrap(), dst.parse().unwrap())
-        .hop_limit(64).payload(NextHeader::Udp, vec![0u8; 24]).build()
+        .hop_limit(64)
+        .payload(NextHeader::Udp, vec![0u8; 24])
+        .build()
 }
 
 #[test]
 fn probe_cycles() {
     let opts = MicrocodeOptions::default();
-    let configs = [("1BUS/1FU", MachineConfig::one_bus_one_fu()),
-                   ("3BUS/1FU", MachineConfig::three_bus_one_fu()),
-                   ("3bus/3FU", MachineConfig::three_bus_three_fu())];
+    let configs = [
+        ("1BUS/1FU", MachineConfig::one_bus_one_fu()),
+        ("3BUS/1FU", MachineConfig::three_bus_one_fu()),
+        ("3bus/3FU", MachineConfig::three_bus_three_fu()),
+    ];
     let k = 8u64;
     for (name, cfg) in &configs {
         let t = SequentialTable::from_routes(routes(100));
         let mut r = CycleRouter::sequential(cfg, &t, &opts).unwrap();
-        for _ in 0..k { r.enqueue(PortId(0), &dgram("2001:db8:63::7")).unwrap(); }
+        for _ in 0..k {
+            r.enqueue(PortId(0), &dgram("2001:db8:63::7")).unwrap();
+        }
         let ss = r.run(100_000_000).unwrap();
-        let (seq_c, seq_util) = (ss.cycles / k, ss.bus_utilization()*100.0);
+        let (seq_c, seq_util) = (ss.cycles / k, ss.bus_utilization() * 100.0);
 
         let tt = BalancedTreeTable::from_routes(routes(100));
         let mut r = CycleRouter::tree(cfg, &tt, &opts).unwrap();
-        for _ in 0..k { r.enqueue(PortId(0), &dgram("2001:db8:63::7")).unwrap(); }
+        for _ in 0..k {
+            r.enqueue(PortId(0), &dgram("2001:db8:63::7")).unwrap();
+        }
         let st = r.run(100_000_000).unwrap();
-        let (tree_c, tree_util) = (st.cycles / k, st.bus_utilization()*100.0);
+        let (tree_c, tree_util) = (st.cycles / k, st.bus_utilization() * 100.0);
 
         let ct = CamTable::from_routes(routes(100));
         let mut r = CycleRouter::cam(cfg, ct, 2, &opts).unwrap();
-        for _ in 0..k { r.enqueue(PortId(0), &dgram("2001:db8:63::7")).unwrap(); }
+        for _ in 0..k {
+            r.enqueue(PortId(0), &dgram("2001:db8:63::7")).unwrap();
+        }
         let sc = r.run(100_000_000).unwrap();
-        let (cam_c, cam_util) = (sc.cycles / k, sc.bus_utilization()*100.0);
+        let (cam_c, cam_util) = (sc.cycles / k, sc.bus_utilization() * 100.0);
         println!("{name}: seq={seq_c} (util {seq_util:.0}%) tree={tree_c} (util {tree_util:.0}%) cam={cam_c} (util {cam_util:.0}%)");
     }
 }

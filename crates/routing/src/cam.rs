@@ -141,10 +141,7 @@ impl CamTable {
 
     fn position(&self, prefix: &Ipv6Prefix) -> Result<usize, usize> {
         self.rows.binary_search_by(|r| {
-            prefix
-                .len()
-                .cmp(&r.prefix().len())
-                .then_with(|| r.prefix().cmp(prefix))
+            prefix.len().cmp(&r.prefix().len()).then_with(|| r.prefix().cmp(prefix))
         })
     }
 }

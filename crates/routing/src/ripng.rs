@@ -190,10 +190,7 @@ impl RipngEngine {
     /// Iterates over the live routes in the RIB (dead routes awaiting
     /// garbage collection are skipped).
     pub fn routes(&self) -> impl Iterator<Item = &Route> {
-        self.rib
-            .values()
-            .filter(|r| r.route.metric() < INFINITY_METRIC)
-            .map(|r| &r.route)
+        self.rib.values().filter(|r| r.route.metric() < INFINITY_METRIC).map(|r| &r.route)
     }
 
     /// Writes the live routes into a forwarding table, replacing its
@@ -210,10 +207,7 @@ impl RipngEngine {
     /// full tables, cutting initial convergence from a 30 s periodic-update
     /// wait to one round trip.
     pub fn startup_requests(&self) -> Vec<(PortId, RipngPacket)> {
-        self.interfaces
-            .iter()
-            .map(|i| (i.port, RipngPacket::whole_table_request()))
-            .collect()
+        self.interfaces.iter().map(|i| (i.port, RipngPacket::whole_table_request())).collect()
     }
 
     /// Processes a received response (advertisement).
@@ -248,8 +242,8 @@ impl RipngEngine {
                 continue;
             }
             let metric = rte.metric.saturating_add(cfg.cost).min(INFINITY_METRIC);
-            let candidate = Route::new(rte.prefix, next_hop, iface, metric)
-                .with_route_tag(rte.route_tag);
+            let candidate =
+                Route::new(rte.prefix, next_hop, iface, metric).with_route_tag(rte.route_tag);
             any_changed |= self.consider(candidate, from, now);
         }
 
@@ -342,11 +336,8 @@ impl RipngEngine {
             .entries
             .iter()
             .map(|rte| {
-                let metric = self
-                    .rib
-                    .get(&rte.prefix)
-                    .map(|r| r.route.metric())
-                    .unwrap_or(INFINITY_METRIC);
+                let metric =
+                    self.rib.get(&rte.prefix).map(|r| r.route.metric()).unwrap_or(INFINITY_METRIC);
                 RouteEntry::new(rte.prefix, rte.route_tag, metric.max(1))
             })
             .collect();
@@ -511,17 +502,29 @@ mod tests {
     fn better_metric_from_other_gateway_wins() {
         let mut e = engine_two_ports();
         let t = SimTime::ZERO;
-        e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 5)]), t);
-        e.handle_response(PortId(1), ll("fe80::3"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 2)]), t);
+        e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 5)]),
+            t,
+        );
+        e.handle_response(
+            PortId(1),
+            ll("fe80::3"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 2)]),
+            t,
+        );
         let r = e.routes().find(|r| r.prefix() == p("2001:db8:c::/48")).unwrap();
         assert_eq!(r.metric(), 3);
         assert_eq!(r.interface(), PortId(1));
 
         // Worse offer from a third gateway is ignored.
-        e.handle_response(PortId(0), ll("fe80::4"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 9)]), t);
+        e.handle_response(
+            PortId(0),
+            ll("fe80::4"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 9)]),
+            t,
+        );
         let r = e.routes().find(|r| r.prefix() == p("2001:db8:c::/48")).unwrap();
         assert_eq!(r.metric(), 3);
     }
@@ -530,10 +533,18 @@ mod tests {
     fn same_gateway_metric_increase_is_adopted() {
         let mut e = engine_two_ports();
         let t = SimTime::ZERO;
-        e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 2)]), t);
-        e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 7)]), t);
+        e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 2)]),
+            t,
+        );
+        e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 7)]),
+            t,
+        );
         let r = e.routes().find(|r| r.prefix() == p("2001:db8:c::/48")).unwrap();
         assert_eq!(r.metric(), 8);
     }
@@ -542,19 +553,31 @@ mod tests {
     fn infinity_from_gateway_kills_route() {
         let mut e = engine_two_ports();
         let t = SimTime::ZERO;
-        e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 2)]), t);
+        e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 2)]),
+            t,
+        );
         assert!(e.routes().any(|r| r.prefix() == p("2001:db8:c::/48")));
-        e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, INFINITY_METRIC)]), t);
+        e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, INFINITY_METRIC)]),
+            t,
+        );
         assert!(e.routes().all(|r| r.prefix() != p("2001:db8:c::/48")));
     }
 
     #[test]
     fn connected_routes_never_overridden() {
         let mut e = engine_two_ports();
-        e.handle_response(PortId(1), ll("fe80::9"),
-            &response(vec![RouteEntry::new(p("2001:db8:a::/48"), 0, 1)]), SimTime::ZERO);
+        e.handle_response(
+            PortId(1),
+            ll("fe80::9"),
+            &response(vec![RouteEntry::new(p("2001:db8:a::/48"), 0, 1)]),
+            SimTime::ZERO,
+        );
         let r = e.routes().find(|r| r.prefix() == p("2001:db8:a::/48")).unwrap();
         assert!(r.is_connected());
         assert_eq!(r.interface(), PortId(0));
@@ -577,10 +600,17 @@ mod tests {
 
     #[test]
     fn route_timeout_and_garbage_collection() {
-        let mut e = engine_two_ports()
-            .with_timers(SimTime::from_secs(30), SimTime::from_secs(180), SimTime::from_secs(120));
-        e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 1)]), SimTime::ZERO);
+        let mut e = engine_two_ports().with_timers(
+            SimTime::from_secs(30),
+            SimTime::from_secs(180),
+            SimTime::from_secs(120),
+        );
+        e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 1)]),
+            SimTime::ZERO,
+        );
         // Not yet expired.
         e.tick(SimTime::from_secs(179));
         assert!(e.routes().any(|r| r.prefix() == p("2001:db8:c::/48")));
@@ -607,8 +637,12 @@ mod tests {
     #[test]
     fn split_horizon_poisons_reverse() {
         let mut e = engine_two_ports();
-        e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 1)]), SimTime::ZERO);
+        e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 1)]),
+            SimTime::ZERO,
+        );
         let updates = e.tick(SimTime::ZERO);
         let on_port0 = &updates.iter().find(|(pt, _)| *pt == PortId(0)).unwrap().1;
         let on_port1 = &updates.iter().find(|(pt, _)| *pt == PortId(1)).unwrap().1;
@@ -622,8 +656,12 @@ mod tests {
     fn triggered_update_on_change() {
         let mut e = engine_two_ports();
         e.tick(SimTime::ZERO); // flush initial periodic
-        let out = e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 1)]), SimTime::from_secs(1));
+        let out = e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 1)]),
+            SimTime::from_secs(1),
+        );
         assert!(!out.is_empty());
         assert!(e.stats().triggered_updates_sent > 0);
         // No further triggered updates without further changes.
@@ -658,8 +696,12 @@ mod tests {
     #[test]
     fn sync_fib_mirrors_live_routes() {
         let mut e = engine_two_ports();
-        e.handle_response(PortId(0), ll("fe80::2"),
-            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 1)]), SimTime::ZERO);
+        e.handle_response(
+            PortId(0),
+            ll("fe80::2"),
+            &response(vec![RouteEntry::new(p("2001:db8:c::/48"), 0, 1)]),
+            SimTime::ZERO,
+        );
         let mut fib = SequentialTable::new();
         e.sync_fib(&mut fib);
         assert_eq!(fib.len(), 3);

@@ -49,13 +49,7 @@ impl Route {
 
     /// Creates a directly connected route (next hop unspecified, metric 1).
     pub fn connected(prefix: Ipv6Prefix, interface: PortId) -> Self {
-        Route {
-            prefix,
-            next_hop: Ipv6Address::UNSPECIFIED,
-            interface,
-            metric: 1,
-            route_tag: 0,
-        }
+        Route { prefix, next_hop: Ipv6Address::UNSPECIFIED, interface, metric: 1, route_tag: 0 }
     }
 
     /// Returns a copy with the given route tag.
@@ -121,12 +115,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Route {
-        Route::new(
-            "2001:db8::/32".parse().unwrap(),
-            "fe80::1".parse().unwrap(),
-            PortId(1),
-            4,
-        )
+        Route::new("2001:db8::/32".parse().unwrap(), "fe80::1".parse().unwrap(), PortId(1), 4)
     }
 
     #[test]

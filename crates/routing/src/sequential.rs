@@ -68,10 +68,7 @@ impl SequentialTable {
     fn position(&self, prefix: &Ipv6Prefix) -> Result<usize, usize> {
         self.entries.binary_search_by(|r| {
             // Descending length, then ascending prefix.
-            prefix
-                .len()
-                .cmp(&r.prefix().len())
-                .then_with(|| r.prefix().cmp(prefix))
+            prefix.len().cmp(&r.prefix().len()).then_with(|| r.prefix().cmp(prefix))
         })
     }
 }
@@ -172,9 +169,8 @@ mod tests {
 
     #[test]
     fn steps_count_scanned_entries() {
-        let t = SequentialTable::from_routes((0..10).map(|i| {
-            r(&format!("2001:db8:{i:x}::/48"), i)
-        }));
+        let t =
+            SequentialTable::from_routes((0..10).map(|i| r(&format!("2001:db8:{i:x}::/48"), i)));
         // All /48s: scan order is prefix order, so 2001:db8:0:: is first.
         assert_eq!(t.lookup(&a("2001:db8:0::1")).steps(), 1);
         assert_eq!(t.lookup(&a("2001:db8:9::1")).steps(), 10);
@@ -203,7 +199,11 @@ mod tests {
 
     #[test]
     fn scan_order_is_longest_first() {
-        let t = SequentialTable::from_routes([r("::/0", 0), r("2001:db8::/32", 1), r("2001:db8:1::/48", 2)]);
+        let t = SequentialTable::from_routes([
+            r("::/0", 0),
+            r("2001:db8::/32", 1),
+            r("2001:db8:1::/48", 2),
+        ]);
         let lens: Vec<u8> = t.entries().iter().map(|e| e.prefix().len()).collect();
         assert_eq!(lens, vec![48, 32, 0]);
     }

@@ -26,6 +26,19 @@ impl TableKind {
     /// All kinds evaluated in the paper's Table 1, in row order.
     pub const PAPER_KINDS: [TableKind; 3] =
         [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam];
+
+    /// Builds an engine of this organisation, seeded with `routes` — the
+    /// one construction path shared by the evaluation pipeline, the
+    /// behavioural router and the scenario engine.
+    pub fn build(&self, routes: &[Route]) -> Box<dyn LpmTable> {
+        let routes = routes.iter().copied();
+        match self {
+            TableKind::Sequential => Box::new(crate::SequentialTable::from_routes(routes)),
+            TableKind::BalancedTree => Box::new(crate::BalancedTreeTable::from_routes(routes)),
+            TableKind::Cam => Box::new(crate::CamTable::from_routes(routes)),
+            TableKind::Trie => Box::new(crate::TrieTable::from_routes(routes)),
+        }
+    }
 }
 
 impl fmt::Display for TableKind {
@@ -122,6 +135,40 @@ pub trait LpmTable {
     fn clear(&mut self);
 }
 
+impl LpmTable for Box<dyn LpmTable> {
+    fn kind(&self) -> TableKind {
+        (**self).kind()
+    }
+
+    fn insert(&mut self, route: Route) -> Option<Route> {
+        (**self).insert(route)
+    }
+
+    fn remove(&mut self, prefix: &Ipv6Prefix) -> Option<Route> {
+        (**self).remove(prefix)
+    }
+
+    fn lookup(&self, addr: &Ipv6Address) -> Lookup {
+        (**self).lookup(addr)
+    }
+
+    fn get(&self, prefix: &Ipv6Prefix) -> Option<Route> {
+        (**self).get(prefix)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn routes(&self) -> Vec<Route> {
+        (**self).routes()
+    }
+
+    fn clear(&mut self) {
+        (**self).clear()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,12 +176,8 @@ mod tests {
 
     #[test]
     fn lookup_constructors() {
-        let r = Route::new(
-            "2001:db8::/32".parse().unwrap(),
-            "fe80::1".parse().unwrap(),
-            PortId(0),
-            1,
-        );
+        let r =
+            Route::new("2001:db8::/32".parse().unwrap(), "fe80::1".parse().unwrap(), PortId(0), 1);
         let hit = Lookup::hit(r, 5);
         assert!(hit.is_hit());
         assert_eq!(hit.steps(), 5);
@@ -160,5 +203,42 @@ mod tests {
             TableKind::PAPER_KINDS,
             [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam]
         );
+    }
+
+    #[test]
+    fn factory_builds_every_kind_with_identical_answers() {
+        let routes = vec![
+            Route::new("2001:db8::/32".parse().unwrap(), "fe80::1".parse().unwrap(), PortId(1), 1),
+            Route::new(
+                "2001:db8:aa::/48".parse().unwrap(),
+                "fe80::2".parse().unwrap(),
+                PortId(2),
+                1,
+            ),
+        ];
+        let addr = "2001:db8:aa::5".parse().unwrap();
+        for kind in
+            [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam, TableKind::Trie]
+        {
+            let table = kind.build(&routes);
+            assert_eq!(table.kind(), kind);
+            assert_eq!(table.len(), 2);
+            let hit = table.lookup(&addr);
+            assert_eq!(hit.route().unwrap().interface(), PortId(2), "{kind}");
+        }
+    }
+
+    #[test]
+    fn boxed_table_is_an_lpm_table() {
+        // The blanket impl lets `Box<dyn LpmTable>` flow anywhere a
+        // concrete engine does (e.g. `Router<Box<dyn LpmTable>>`).
+        let mut boxed: Box<dyn LpmTable> = TableKind::Sequential.build(&[]);
+        let route =
+            Route::new("2001:db8::/32".parse().unwrap(), "fe80::1".parse().unwrap(), PortId(3), 1);
+        assert!(LpmTable::insert(&mut boxed, route).is_none());
+        assert_eq!(LpmTable::len(&boxed), 1);
+        assert!(LpmTable::lookup(&boxed, &"2001:db8::9".parse().unwrap()).is_hit());
+        assert_eq!(LpmTable::remove(&mut boxed, &route.prefix()), Some(route));
+        assert!(LpmTable::is_empty(&boxed));
     }
 }

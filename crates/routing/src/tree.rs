@@ -105,15 +105,16 @@ impl BalancedTreeTable {
     /// The segments as `(start, route)` pairs in address order — the layout
     /// the router serialises into data memory for the microcoded tree walk.
     pub fn segments(&self) -> impl Iterator<Item = (Ipv6Address, Option<&Route>)> {
-        self.segments
-            .iter()
-            .map(|s| (Ipv6Address::new(s.start.to_be_bytes()), s.route.as_ref()))
+        self.segments.iter().map(|s| (Ipv6Address::new(s.start.to_be_bytes()), s.route.as_ref()))
     }
 
     /// Recomputes the segment structure from the authoritative route set.
     ///
-    /// This is the "much more complex" mutation cost of the paper: O(n²) in
-    /// the number of routes (n ≤ a few thousand here; updates are rare).
+    /// This is the "much more complex" mutation cost of the paper.  Prefix
+    /// intervals form a laminar family (two prefixes either nest or are
+    /// disjoint), so a single sweep with a nesting stack yields every
+    /// segment's longest covering prefix in O(n log n) — fast enough that
+    /// scenario engines can stream routes in one at a time.
     fn rebuild(&mut self) {
         let mut points: Vec<u128> = vec![0];
         for p in self.routes.keys() {
@@ -126,21 +127,35 @@ impl BalancedTreeTable {
         points.sort_unstable();
         points.dedup();
 
+        // Intervals ordered by start, outer (larger) before the inner ones
+        // sharing it: sweeping in this order keeps the innermost active
+        // prefix — the longest match — on top of the stack.
+        let mut ordered: Vec<(u128, u128, Route)> = self
+            .routes
+            .iter()
+            .map(|(p, r)| {
+                let (lo, hi) = prefix_interval(p);
+                (lo, hi, *r)
+            })
+            .collect();
+        ordered.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+
+        let mut active: Vec<(u128, Route)> = Vec::new(); // (end, route), innermost last
+        let mut next = 0usize;
         self.segments = points
             .into_iter()
             .map(|start| {
-                // Longest prefix containing the segment start; prefixes nest,
-                // so this is the answer for the whole segment.
-                let route = self
-                    .routes
-                    .iter()
-                    .filter(|(p, _)| {
-                        let (lo, hi) = prefix_interval(p);
-                        lo <= start && start <= hi
-                    })
-                    .max_by_key(|(p, _)| p.len())
-                    .map(|(_, r)| *r);
-                Segment { start, route }
+                while active.last().is_some_and(|&(end, _)| end < start) {
+                    active.pop();
+                }
+                while next < ordered.len() && ordered[next].0 <= start {
+                    let (_, end, route) = ordered[next];
+                    next += 1;
+                    if end >= start {
+                        active.push((end, route));
+                    }
+                }
+                Segment { start, route: active.last().map(|&(_, r)| r) }
             })
             .collect();
     }

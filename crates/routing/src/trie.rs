@@ -77,9 +77,7 @@ impl TrieTable {
     pub fn flat_nodes(
         &self,
     ) -> impl Iterator<Item = (Option<usize>, Option<usize>, Option<&Route>)> {
-        self.nodes
-            .iter()
-            .map(|n| (n.children[0], n.children[1], n.route.as_ref()))
+        self.nodes.iter().map(|n| (n.children[0], n.children[1], n.route.as_ref()))
     }
 
     fn walk(&self, prefix: &Ipv6Prefix) -> Option<usize> {
@@ -198,11 +196,8 @@ mod tests {
 
     #[test]
     fn longest_match() {
-        let t = TrieTable::from_routes([
-            r("::/0", 0),
-            r("2001:db8::/32", 1),
-            r("2001:db8:1::/48", 2),
-        ]);
+        let t =
+            TrieTable::from_routes([r("::/0", 0), r("2001:db8::/32", 1), r("2001:db8:1::/48", 2)]);
         assert_eq!(t.lookup(&a("2001:db8:1::9")).route().unwrap().interface(), PortId(2));
         assert_eq!(t.lookup(&a("2001:db8:2::9")).route().unwrap().interface(), PortId(1));
         assert_eq!(t.lookup(&a("abcd::")).route().unwrap().interface(), PortId(0));

@@ -40,10 +40,7 @@ pub fn interconnect_gates(config: &MachineConfig) -> u32 {
 
 /// Total logic gates of a configuration (FUs + interconnect, no SRAM).
 pub fn total_gates(config: &MachineConfig) -> u32 {
-    let fus: u32 = config
-        .fu_counts()
-        .map(|(kind, count)| fu_gates(kind) * u32::from(count))
-        .sum();
+    let fus: u32 = config.fu_counts().map(|(kind, count)| fu_gates(kind) * u32::from(count)).sum();
     fus + interconnect_gates(config)
 }
 
@@ -69,9 +66,10 @@ mod tests {
         assert!(wide > small);
         // The delta is exactly 2 extra each of CNT/CMP/M plus their sockets
         // and two extra buses.
-        let expected_delta = 2 * (fu_gates(FuKind::Counter)
-            + fu_gates(FuKind::Comparator)
-            + fu_gates(FuKind::Matcher))
+        let expected_delta = 2
+            * (fu_gates(FuKind::Counter)
+                + fu_gates(FuKind::Comparator)
+                + fu_gates(FuKind::Matcher))
             + 2 * 1_500
             + 80 * 2
                 * (FuKind::Counter.ports().len()

@@ -202,8 +202,7 @@ impl Estimator {
 
         let logic_area = sized_gates * self.tech.gate_area_mm2;
         let sram_area = f64::from(self.sram_kib) * self.tech.sram_mm2_per_kib;
-        let rom_area =
-            self.program_bits as f64 / (8.0 * 1024.0) * self.tech.rom_mm2_per_kib;
+        let rom_area = self.program_bits as f64 / (8.0 * 1024.0) * self.tech.rom_mm2_per_kib;
         let area_mm2 = logic_area + sram_area + rom_area;
 
         let vdd2 = self.tech.vdd * self.tech.vdd;
@@ -273,7 +272,8 @@ mod tests {
     #[test]
     fn area_grows_with_fu_count_and_frequency() {
         let est = Estimator::new();
-        let small = est.estimate(&MachineConfig::one_bus_one_fu(), 500e6).feasible().unwrap().area_mm2;
+        let small =
+            est.estimate(&MachineConfig::one_bus_one_fu(), 500e6).feasible().unwrap().area_mm2;
         let wide = est.estimate(&config(), 500e6).feasible().unwrap().area_mm2;
         assert!(wide > small);
         let fast = est.estimate(&config(), 1.0e9).feasible().unwrap().area_mm2;
@@ -301,9 +301,7 @@ mod tests {
     #[test]
     fn program_store_adds_area() {
         let without = Estimator::new().estimate(&config(), 100e6);
-        let with = Estimator::new()
-            .with_program_bits(64 * 1024 * 8)
-            .estimate(&config(), 100e6);
+        let with = Estimator::new().with_program_bits(64 * 1024 * 8).estimate(&config(), 100e6);
         let delta = with.feasible().unwrap().area_mm2 - without.feasible().unwrap().area_mm2;
         assert!((delta - 64.0 * 0.03).abs() < 1e-9, "{delta}");
     }

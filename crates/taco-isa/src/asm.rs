@@ -63,9 +63,7 @@ pub fn parse(text: &str) -> Result<Program, AsmError> {
         let rest = if let Some(colon) = line.find(':') {
             let (name, rest) = line.split_at(colon);
             let name = name.trim();
-            if !name.is_empty()
-                && name.chars().all(|c| c.is_alphanumeric() || c == '_')
-            {
+            if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
                 if prog.labels.insert(name.to_string(), prog.instructions.len()).is_some() {
                     return Err(err(lineno, format!("label {name:?} defined twice")));
                 }
@@ -79,10 +77,8 @@ pub fn parse(text: &str) -> Result<Program, AsmError> {
         if rest.is_empty() {
             continue;
         }
-        let slots = rest
-            .split('|')
-            .map(|s| parse_slot(s.trim(), lineno))
-            .collect::<Result<Vec<_>, _>>()?;
+        let slots =
+            rest.split('|').map(|s| parse_slot(s.trim(), lineno)).collect::<Result<Vec<_>, _>>()?;
         prog.instructions.push(Instruction { slots });
     }
     Ok(prog)
@@ -105,9 +101,8 @@ fn parse_slot(s: &str, line: usize) -> Result<Option<Move>, AsmError> {
         guard = Some(parse_guard(gtok, negate, line)?);
         s = rest.trim();
     }
-    let (src, dst) = s
-        .split_once("->")
-        .ok_or_else(|| err(line, format!("expected `src -> dst` in {s:?}")))?;
+    let (src, dst) =
+        s.split_once("->").ok_or_else(|| err(line, format!("expected `src -> dst` in {s:?}")))?;
     let src = parse_source(src.trim(), line)?;
     let dst = parse_port(dst.trim(), line)?;
     if !dst.is_writable() {
@@ -117,9 +112,8 @@ fn parse_slot(s: &str, line: usize) -> Result<Option<Move>, AsmError> {
 }
 
 fn parse_guard(tok: &str, negate: bool, line: usize) -> Result<Guard, AsmError> {
-    let (fu, signal) = tok
-        .split_once('.')
-        .ok_or_else(|| err(line, format!("guard {tok:?} must be fu.signal")))?;
+    let (fu, signal) =
+        tok.split_once('.').ok_or_else(|| err(line, format!("guard {tok:?} must be fu.signal")))?;
     let (kind, index) = parse_fu(fu, line)?;
     if !kind.has_guard(signal) {
         return Err(err(line, format!("{kind} drives no guard signal {signal:?}")));
@@ -153,13 +147,11 @@ fn parse_source(tok: &str, line: usize) -> Result<Source, AsmError> {
 }
 
 fn parse_port(tok: &str, line: usize) -> Result<PortRef, AsmError> {
-    let (fu, port) = tok
-        .split_once('.')
-        .ok_or_else(|| err(line, format!("expected fu.port, got {tok:?}")))?;
+    let (fu, port) =
+        tok.split_once('.').ok_or_else(|| err(line, format!("expected fu.port, got {tok:?}")))?;
     let (kind, index) = parse_fu(fu, line)?;
-    let spec = kind
-        .find_port(port)
-        .ok_or_else(|| err(line, format!("{kind} has no port {port:?}")))?;
+    let spec =
+        kind.find_port(port).ok_or_else(|| err(line, format!("{kind} has no port {port:?}")))?;
     Ok(PortRef::new(kind, index, spec.name))
 }
 
@@ -170,9 +162,7 @@ fn parse_fu(tok: &str, line: usize) -> Result<(FuKind, u8), AsmError> {
     let (prefix, idx) = tok.split_at(digits_at);
     let kind = FuKind::from_asm_prefix(prefix)
         .ok_or_else(|| err(line, format!("unknown functional unit {prefix:?}")))?;
-    let index: u8 = idx
-        .parse()
-        .map_err(|_| err(line, format!("bad fu index {idx:?}")))?;
+    let index: u8 = idx.parse().map_err(|_| err(line, format!("bad fu index {idx:?}")))?;
     Ok((kind, index))
 }
 
@@ -250,7 +240,8 @@ mod tests {
 
     #[test]
     fn round_trip_through_print() {
-        let text = "loop:\n  0x5 -> cnt0.stop | ... | cnt1.r -> cmp0.t\n  ?cmp0.eq @loop -> nc0.pc\n";
+        let text =
+            "loop:\n  0x5 -> cnt0.stop | ... | cnt1.r -> cmp0.t\n  ?cmp0.eq @loop -> nc0.pc\n";
         let prog = parse(text).unwrap();
         let printed = print(&prog);
         let reparsed = parse(&printed).unwrap();

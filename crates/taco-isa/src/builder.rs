@@ -137,10 +137,7 @@ impl CodeBuilder {
 
     /// Appends an unconditional jump to `label`.
     pub fn jump(&mut self, label: impl Into<String>) {
-        self.seq.push(Move::new(
-            Source::Label(label.into()),
-            PortRef::new(FuKind::Nc, 0, "pc"),
-        ));
+        self.seq.push(Move::new(Source::Label(label.into()), PortRef::new(FuKind::Nc, 0, "pc")));
     }
 
     /// Appends a jump taken when `guard` is high.

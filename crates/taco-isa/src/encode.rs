@@ -222,27 +222,20 @@ pub fn encode(prog: &Program, config: &MachineConfig) -> Result<EncodedProgram, 
             let word = match ins.slots.get(b).and_then(|s| s.as_ref()) {
                 None => 0u64, // valid bit clear
                 Some(mv) => {
-                    let dst = map
-                        .socket_id(&mv.dst)
-                        .ok_or(CodeError::UnknownSocket(mv.dst))?;
+                    let dst = map.socket_id(&mv.dst).ok_or(CodeError::UnknownSocket(mv.dst))?;
                     let (is_imm, src) = match &mv.src {
                         Source::Port(p) => {
                             (0u64, map.socket_id(p).ok_or(CodeError::UnknownSocket(*p))?)
                         }
                         Source::Imm(v) => {
                             // Pool deduplicates literals.
-                            let i = literals
-                                .iter()
-                                .position(|x| x == v)
-                                .unwrap_or_else(|| {
-                                    literals.push(*v);
-                                    literals.len() - 1
-                                });
+                            let i = literals.iter().position(|x| x == v).unwrap_or_else(|| {
+                                literals.push(*v);
+                                literals.len() - 1
+                            });
                             (1u64, i as u64)
                         }
-                        Source::Label(l) => {
-                            return Err(CodeError::UnresolvedLabel(l.clone()))
-                        }
+                        Source::Label(l) => return Err(CodeError::UnresolvedLabel(l.clone())),
                     };
                     let (guard, negate) = match &mv.guard {
                         None => (0u64, 0u64),
@@ -421,10 +414,7 @@ mod tests {
     fn missing_fu_rejected() {
         let mut prog = asm::parse("1 -> mtch2.t\n").unwrap();
         prog.resolve_labels().unwrap();
-        assert!(matches!(
-            encode(&prog, &MachineConfig::new(1)),
-            Err(CodeError::UnknownSocket(_))
-        ));
+        assert!(matches!(encode(&prog, &MachineConfig::new(1)), Err(CodeError::UnknownSocket(_))));
     }
 
     #[test]

@@ -113,12 +113,8 @@ impl FuKind {
     /// The ports this FU kind exposes to the interconnection network.
     pub fn ports(&self) -> &'static [PortSpec] {
         use PortDir::{Operand, Result, Trigger};
-        const MATCHER: [PortSpec; 4] = [
-            port("mask", Operand),
-            port("refv", Operand),
-            port("t", Trigger),
-            port("r", Result),
-        ];
+        const MATCHER: [PortSpec; 4] =
+            [port("mask", Operand), port("refv", Operand), port("t", Trigger), port("r", Result)];
         const COMPARATOR: [PortSpec; 3] =
             [port("refv", Operand), port("t", Trigger), port("r", Result)];
         const COUNTER: [PortSpec; 7] = [
@@ -138,12 +134,8 @@ impl FuKind {
             port("tshr", Trigger),
             port("r", Result),
         ];
-        const MASKER: [PortSpec; 4] = [
-            port("mask", Operand),
-            port("value", Operand),
-            port("t", Trigger),
-            port("r", Result),
-        ];
+        const MASKER: [PortSpec; 4] =
+            [port("mask", Operand), port("value", Operand), port("t", Trigger), port("r", Result)];
         const MMU: [PortSpec; 4] = [
             port("addr", Operand),
             port("tread", Trigger),

@@ -119,10 +119,7 @@ impl MachineConfig {
     /// Total number of sockets: one per FU port instance, the quantity the
     /// physical estimation model charges interconnect area for.
     pub fn total_sockets(&self) -> u32 {
-        FuKind::ALL
-            .into_iter()
-            .map(|k| u32::from(self.fu_count(k)) * k.ports().len() as u32)
-            .sum()
+        FuKind::ALL.into_iter().map(|k| u32::from(self.fu_count(k)) * k.ports().len() as u32).sum()
     }
 
     /// A short identifier such as `3bus/3CNT,3CMP,3M` in the style of the

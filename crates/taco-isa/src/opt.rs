@@ -68,10 +68,8 @@ pub fn bypass(seq: &mut MoveSeq) -> usize {
         let Some(rep) = replacement else { continue };
 
         // Validate the replacement across the gap (def+1 .. j).
-        let def = (0..j)
-            .rev()
-            .find(|&i| seq.moves[i].dst == src_port)
-            .expect("definition found above");
+        let def =
+            (0..j).rev().find(|&i| seq.moves[i].dst == src_port).expect("definition found above");
         let transparent = match &rep {
             Source::Imm(_) | Source::Label(_) => true,
             Source::Port(p) => {
@@ -118,10 +116,7 @@ pub fn eliminate_dead_moves(seq: &mut MoveSeq) -> usize {
 /// of registers that are no longer in use".
 ///
 /// Returns the number of moves removed.
-pub fn eliminate_dead_moves_with(
-    seq: &mut MoveSeq,
-    live_out: impl Fn(PortRef) -> bool,
-) -> usize {
+pub fn eliminate_dead_moves_with(seq: &mut MoveSeq, live_out: impl Fn(PortRef) -> bool) -> usize {
     let label_positions: BTreeSet<usize> = seq.labels.values().copied().collect();
 
     let mut removed = 0usize;
@@ -339,10 +334,7 @@ mod tests {
         b.mv(b.reg(0), cnt.port("tset"));
         let mut seq = b.finish();
         assert_eq!(optimize_with(&mut seq, |_| false), 1);
-        assert_eq!(
-            seq.moves,
-            vec![Move::new(5u32, cnt.port("tset"))]
-        );
+        assert_eq!(seq.moves, vec![Move::new(5u32, cnt.port("tset"))]);
     }
 
     #[test]

@@ -28,19 +28,14 @@ impl PortRef {
     /// Panics if `kind` has no port called `port` — that is a programming
     /// error in generated code, not a runtime condition.
     pub fn new(kind: FuKind, index: u8, port: &str) -> Self {
-        let spec = kind
-            .find_port(port)
-            .unwrap_or_else(|| panic!("{kind} has no port named {port:?}"));
+        let spec =
+            kind.find_port(port).unwrap_or_else(|| panic!("{kind} has no port named {port:?}"));
         PortRef { fu: FuRef::new(kind, index), port: spec.name }
     }
 
     /// The direction of this port.
     pub fn dir(&self) -> PortDir {
-        self.fu
-            .kind
-            .find_port(self.port)
-            .expect("port validated at construction")
-            .dir
+        self.fu.kind.find_port(self.port).expect("port validated at construction").dir
     }
 
     /// Returns `true` if a move may read from this port.
@@ -416,11 +411,9 @@ mod tests {
     fn display_forms() {
         let mv = Move::new(5u32, PortRef::new(FuKind::Counter, 1, "stop"));
         assert_eq!(mv.to_string(), "0x5 -> cnt1.stop");
-        let guarded = Move::new(
-            PortRef::new(FuKind::Counter, 0, "r"),
-            PortRef::new(FuKind::Nc, 0, "pc"),
-        )
-        .with_guard(Guard::new(FuKind::Counter, 0, "done", true));
+        let guarded =
+            Move::new(PortRef::new(FuKind::Counter, 0, "r"), PortRef::new(FuKind::Nc, 0, "pc"))
+                .with_guard(Guard::new(FuKind::Counter, 0, "done", true));
         assert_eq!(guarded.to_string(), "!cnt0.done cnt0.r -> nc0.pc");
         let lbl = Move::new(Source::Label("loop".into()), PortRef::new(FuKind::Nc, 0, "pc"));
         assert_eq!(lbl.to_string(), "@loop -> nc0.pc");

@@ -57,18 +57,13 @@ pub fn schedule(seq: &MoveSeq, config: &MachineConfig) -> Program {
         let base = program.instructions.len();
         move_to_instr.insert(start, base);
         let block = &folded.moves[start..end];
-        program
-            .instructions
-            .extend(schedule_block(block, config.buses()));
+        program.instructions.extend(schedule_block(block, config.buses()));
     }
 
     // Labels: a label at move index i maps to the instruction index where
     // that block begins (labels always sit on block boundaries).
     for (name, &mi) in &folded.labels {
-        let target = move_to_instr
-            .get(&mi)
-            .copied()
-            .unwrap_or(program.instructions.len());
+        let target = move_to_instr.get(&mi).copied().unwrap_or(program.instructions.len());
         program.labels.insert(name.clone(), target);
     }
     program
@@ -76,9 +71,7 @@ pub fn schedule(seq: &MoveSeq, config: &MachineConfig) -> Program {
 
 /// Maps every virtual FU index onto a physical instance of `config`.
 fn fold_virtual_fus(seq: &MoveSeq, config: &MachineConfig) -> MoveSeq {
-    let fold = |fu: FuRef| -> FuRef {
-        FuRef::new(fu.kind, fu.index % config.fu_count(fu.kind))
-    };
+    let fold = |fu: FuRef| -> FuRef { FuRef::new(fu.kind, fu.index % config.fu_count(fu.kind)) };
     let mut out = seq.clone();
     for mv in &mut out.moves {
         mv.dst.fu = fold(mv.dst.fu);
@@ -304,10 +297,7 @@ mod tests {
         let one = schedule(&seq, &MachineConfig::one_bus_one_fu()).instructions.len();
         let three = schedule(&seq, &MachineConfig::three_bus_one_fu()).instructions.len();
         assert!(three < one, "3-bus ({three}) should beat 1-bus ({one})");
-        assert_eq!(
-            schedule(&seq, &MachineConfig::three_bus_one_fu()).move_count(),
-            seq.len()
-        );
+        assert_eq!(schedule(&seq, &MachineConfig::three_bus_one_fu()).move_count(), seq.len());
     }
 
     #[test]

@@ -149,10 +149,8 @@ pub fn validate_schedule(
             if mv.is_control_transfer() {
                 if let Source::Imm(target) = mv.src {
                     if (target as usize) > len {
-                        violations.push(ScheduleViolation::JumpOutOfRange {
-                            instruction: idx,
-                            target,
-                        });
+                        violations
+                            .push(ScheduleViolation::JumpOutOfRange { instruction: idx, target });
                     }
                 }
             }
@@ -218,7 +216,10 @@ mod tests {
             slots: vec![Some(Move::new(0u32, pc())), Some(Move::new(9u32, pc()))],
         });
         let err = validate_schedule(&prog, &MachineConfig::new(2)).unwrap_err();
-        assert!(err.iter().any(|v| matches!(v, ScheduleViolation::DoublePcWrite { .. })), "{err:?}");
+        assert!(
+            err.iter().any(|v| matches!(v, ScheduleViolation::DoublePcWrite { .. })),
+            "{err:?}"
+        );
         assert!(
             err.iter().any(|v| matches!(v, ScheduleViolation::JumpOutOfRange { target: 9, .. })),
             "{err:?}"
@@ -280,10 +281,8 @@ mod tests {
 
     #[test]
     fn violations_display() {
-        let v = ScheduleViolation::DoubleTrigger {
-            instruction: 3,
-            fu: FuRef::new(FuKind::Counter, 0),
-        };
+        let v =
+            ScheduleViolation::DoubleTrigger { instruction: 3, fu: FuRef::new(FuKind::Counter, 0) };
         assert!(v.to_string().contains("triggers cnt0 twice"));
     }
 }

@@ -33,6 +33,22 @@ pub enum SimError {
     /// A move still carries a label source; call
     /// [`Program::resolve_labels`](taco_isa::Program::resolve_labels) first.
     UnresolvedLabel(String),
+    /// A move references a port its FU does not expose, or uses it against
+    /// its direction (reading a trigger, writing a result) — malformed
+    /// microcode that bypassed the assembler's checks.
+    InvalidPort {
+        /// The offending reference.
+        port: PortRef,
+        /// What was wrong with it.
+        why: &'static str,
+    },
+    /// A guarded move names a guard signal its FU does not drive.
+    InvalidGuard {
+        /// The FU the guard samples.
+        fu: FuRef,
+        /// The unknown signal name.
+        signal: &'static str,
+    },
     /// A memory access fell outside data memory.
     MemoryOutOfBounds {
         /// Word address of the access.
@@ -78,6 +94,12 @@ impl fmt::Display for SimError {
                 "instruction {instruction} carries {slots} moves but the machine has {buses} bus(es)"
             ),
             SimError::UnresolvedLabel(l) => write!(f, "unresolved label {l:?}"),
+            SimError::InvalidPort { port, why } => {
+                write!(f, "invalid port reference {}.{}: {why}", port.fu, port.port)
+            }
+            SimError::InvalidGuard { fu, signal } => {
+                write!(f, "{fu} drives no guard signal {signal:?}")
+            }
             SimError::MemoryOutOfBounds { addr, size } => {
                 write!(f, "memory access at word {addr:#x} outside {size:#x}-word memory")
             }

@@ -234,7 +234,8 @@ impl Processor {
     /// addresses, port count, …).
     pub fn set_local_info(&mut self, table: Vec<u32>) {
         self.liu_table = table.clone();
-        if let DatapathFu::Liu { table: t, .. } = self.datapath_mut(FuRef::new(FuKind::Liu, 0)) {
+        if let Ok(DatapathFu::Liu { table: t, .. }) = self.datapath_mut(FuRef::new(FuKind::Liu, 0))
+        {
             *t = table;
         }
     }
@@ -345,12 +346,13 @@ impl Processor {
         self.datapath.iter().find(|(f, _)| *f == fu).map(|(_, d)| d)
     }
 
-    fn datapath_mut(&mut self, fu: FuRef) -> &mut DatapathFu {
+    fn datapath_mut(&mut self, fu: FuRef) -> Result<&mut DatapathFu, SimError> {
+        let available = self.config.fu_count(fu.kind);
         self.datapath
             .iter_mut()
             .find(|(f, _)| *f == fu)
             .map(|(_, d)| d)
-            .expect("validated at construction")
+            .ok_or(SimError::InvalidFuIndex { fu, available })
     }
 
     fn guard_bit(&self, fu: FuRef, signal: &str) -> bool {
@@ -361,29 +363,22 @@ impl Processor {
         }
     }
 
-    fn read_port(&self, p: PortRef) -> u32 {
+    fn read_port(&self, p: PortRef) -> Result<u32, SimError> {
         match p.fu.kind {
-            FuKind::Regs => {
-                let idx: usize = p.port[1..].parse().expect("validated register name");
-                self.regs[idx]
-            }
-            FuKind::Mmu => self.mmus[usize::from(p.fu.index)].r,
-            FuKind::Rtu => match p.port {
+            FuKind::Regs => Ok(self.regs[register_index(p)?]),
+            FuKind::Mmu => Ok(self.mmus[usize::from(p.fu.index)].r),
+            FuKind::Rtu => Ok(match p.port {
                 "iface" => self.rtu.iface,
                 _ => self.rtu.nh,
-            },
-            FuKind::Ippu => match p.port {
+            }),
+            FuKind::Ippu => Ok(match p.port {
                 "ptr" => self.ippu_ptr,
                 _ => self.ippu_iface,
-            },
-            FuKind::Liu => self
-                .datapath_ref(p.fu)
-                .map(|d| d.read_result(p.port))
-                .unwrap_or(0),
-            _ => self
-                .datapath_ref(p.fu)
-                .map(|d| d.read_result(p.port))
-                .expect("validated at construction"),
+            }),
+            FuKind::Liu => Ok(self.datapath_ref(p.fu).map(|d| d.read_result(p.port)).unwrap_or(0)),
+            _ => self.datapath_ref(p.fu).map(|d| d.read_result(p.port)).ok_or(
+                SimError::InvalidFuIndex { fu: p.fu, available: self.config.fu_count(p.fu.kind) },
+            ),
         }
     }
 
@@ -393,8 +388,7 @@ impl Processor {
             return false;
         }
         ins.moves().any(|m| {
-            let reads_rtu =
-                matches!(&m.src, Source::Port(p) if p.fu.kind == FuKind::Rtu);
+            let reads_rtu = matches!(&m.src, Source::Port(p) if p.fu.kind == FuKind::Rtu);
             let guards_rtu = m.guard.as_ref().is_some_and(|g| g.fu.kind == FuKind::Rtu);
             reads_rtu || guards_rtu
         })
@@ -431,10 +425,8 @@ impl Processor {
             dst: PortRef,
             value: u32,
         }
-        let mut trace_line = self
-            .trace
-            .as_ref()
-            .map(|_| format!("c{:04} pc={:03}:", self.cycle, self.pc));
+        let mut trace_line =
+            self.trace.as_ref().map(|_| format!("c{:04} pc={:03}:", self.cycle, self.pc));
         let mut writes: Vec<PendingWrite> = Vec::new();
         for mv in ins.moves() {
             let pass = match &mv.guard {
@@ -450,7 +442,7 @@ impl Processor {
             }
             let value = match &mv.src {
                 Source::Imm(v) => *v,
-                Source::Port(p) => self.read_port(*p),
+                Source::Port(p) => self.read_port(*p)?,
                 Source::Label(l) => return Err(SimError::UnresolvedLabel(l.clone())),
             };
             self.stats.moves_executed += 1;
@@ -471,7 +463,7 @@ impl Processor {
         // --- write phase: operands and registers first, then triggers -----
         let mut jump: Option<u32> = None;
         for w in writes.iter().filter(|w| !w.dst.is_trigger()) {
-            self.write_plain(w.dst, w.value);
+            self.write_plain(w.dst, w.value)?;
         }
         for w in writes.iter().filter(|w| w.dst.is_trigger()) {
             if w.dst.fu.kind == FuKind::Nc {
@@ -505,12 +497,9 @@ impl Processor {
         Ok(StepOutcome::Executed)
     }
 
-    fn write_plain(&mut self, dst: PortRef, value: u32) {
+    fn write_plain(&mut self, dst: PortRef, value: u32) -> Result<(), SimError> {
         match dst.fu.kind {
-            FuKind::Regs => {
-                let idx: usize = dst.port[1..].parse().expect("validated register name");
-                self.regs[idx] = value;
-            }
+            FuKind::Regs => self.regs[register_index(dst)?] = value,
             FuKind::Mmu => self.mmus[usize::from(dst.fu.index)].addr = value,
             FuKind::Rtu => {
                 let i = match dst.port {
@@ -521,8 +510,9 @@ impl Processor {
                 self.rtu.k[i] = value;
             }
             FuKind::Oppu => self.oppu_iface = value,
-            _ => self.datapath_mut(dst.fu).write_operand(dst.port, value),
+            _ => self.datapath_mut(dst.fu)?.write_operand(dst.port, value),
         }
+        Ok(())
     }
 
     fn fire_trigger(&mut self, dst: PortRef, value: u32) -> Result<(), SimError> {
@@ -564,7 +554,7 @@ impl Processor {
             FuKind::Oppu => {
                 self.oppu_out.push((value, self.oppu_iface));
             }
-            _ => self.datapath_mut(dst.fu).trigger(dst.port, value),
+            _ => self.datapath_mut(dst.fu)?.trigger(dst.port, value),
         }
         Ok(())
     }
@@ -588,8 +578,26 @@ impl Processor {
     }
 }
 
+/// Maps a register-file port (`r0`..`r15`) to its index.
+///
+/// `PortRef::new` canonicalises against the register vocabulary, so this
+/// can only fail for struct-literal `PortRef`s carrying a bogus name —
+/// exactly the malformed-microcode case [`validate`] screens for.
+fn register_index(p: PortRef) -> Result<usize, SimError> {
+    p.port
+        .strip_prefix('r')
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&i| i < 16)
+        .ok_or(SimError::InvalidPort { port: p, why: "not a register r0..r15" })
+}
+
 /// Validates `program` against `config` (slot widths, FU instance indices,
-/// resolved labels, port directions).
+/// resolved labels, port vocabulary and directions, guard signals).
+///
+/// Screening every port and guard here is what lets the execution core
+/// return structured [`SimError`]s instead of panicking: microcode built by
+/// hand (bypassing the assembler and `PortRef::new`) is rejected at
+/// construction with [`SimError::InvalidPort`] / [`SimError::InvalidGuard`].
 fn validate(config: &MachineConfig, program: &Program) -> Result<(), SimError> {
     for (idx, ins) in program.instructions.iter().enumerate() {
         if ins.slots.len() > usize::from(config.buses()) {
@@ -608,12 +616,44 @@ fn validate(config: &MachineConfig, program: &Program) -> Result<(), SimError> {
                 Ok(())
             };
             check(mv.dst.fu)?;
+            match mv.dst.fu.kind.find_port(mv.dst.port) {
+                None => {
+                    return Err(SimError::InvalidPort {
+                        port: mv.dst,
+                        why: "no such port on this FU",
+                    });
+                }
+                Some(spec) if spec.dir == PortDir::Result => {
+                    return Err(SimError::InvalidPort {
+                        port: mv.dst,
+                        why: "result ports cannot be written",
+                    });
+                }
+                Some(_) => {}
+            }
             if let Source::Port(p) = &mv.src {
                 check(p.fu)?;
-                debug_assert!(p.dir() != PortDir::Operand && p.dir() != PortDir::Trigger);
+                match p.fu.kind.find_port(p.port) {
+                    None => {
+                        return Err(SimError::InvalidPort {
+                            port: *p,
+                            why: "no such port on this FU",
+                        });
+                    }
+                    Some(spec) if spec.dir == PortDir::Operand || spec.dir == PortDir::Trigger => {
+                        return Err(SimError::InvalidPort {
+                            port: *p,
+                            why: "operand/trigger ports cannot be read",
+                        });
+                    }
+                    Some(_) => {}
+                }
             }
             if let Some(g) = &mv.guard {
                 check(g.fu)?;
+                if !g.fu.kind.has_guard(g.signal) {
+                    return Err(SimError::InvalidGuard { fu: g.fu, signal: g.signal });
+                }
             }
             if let Source::Label(l) = &mv.src {
                 return Err(SimError::UnresolvedLabel(l.clone()));
@@ -817,6 +857,59 @@ mod tests {
         ));
     }
 
+    // Malformed microcode built by hand, bypassing the assembler's (and
+    // `PortRef::new`'s) vocabulary checks: construction must answer with a
+    // structured error, never a panic.
+    fn raw_program(mv: taco_isa::Move) -> Program {
+        Program { instructions: vec![Instruction::single(mv, 1)], labels: Default::default() }
+    }
+
+    #[test]
+    fn validation_rejects_unknown_destination_port() {
+        let bogus = PortRef { fu: FuRef::new(FuKind::Matcher, 0), port: "bogus" };
+        let prog = raw_program(taco_isa::Move::new(1u32, bogus));
+        assert_eq!(
+            Processor::new(MachineConfig::new(1), prog).err(),
+            Some(SimError::InvalidPort { port: bogus, why: "no such port on this FU" })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_writing_a_result_port() {
+        let result = PortRef { fu: FuRef::new(FuKind::Matcher, 0), port: "r" };
+        let prog = raw_program(taco_isa::Move::new(1u32, result));
+        assert_eq!(
+            Processor::new(MachineConfig::new(1), prog).err(),
+            Some(SimError::InvalidPort { port: result, why: "result ports cannot be written" })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_reading_a_trigger_port() {
+        let trigger = PortRef { fu: FuRef::new(FuKind::Matcher, 0), port: "t" };
+        let dst = PortRef::new(FuKind::Regs, 0, "r0");
+        let prog = raw_program(taco_isa::Move::new(Source::Port(trigger), dst));
+        assert_eq!(
+            Processor::new(MachineConfig::new(1), prog).err(),
+            Some(SimError::InvalidPort {
+                port: trigger,
+                why: "operand/trigger ports cannot be read"
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_unknown_guard_signal() {
+        let dst = PortRef::new(FuKind::Regs, 0, "r0");
+        let guard =
+            taco_isa::Guard { fu: FuRef::new(FuKind::Checksum, 0), signal: "done", negate: false };
+        let prog = raw_program(taco_isa::Move::new(1u32, dst).with_guard(guard));
+        assert_eq!(
+            Processor::new(MachineConfig::new(1), prog).err(),
+            Some(SimError::InvalidGuard { fu: FuRef::new(FuKind::Checksum, 0), signal: "done" })
+        );
+    }
+
     #[test]
     fn bus_utilization_reported() {
         let mut p = load("1 -> regs0.r0 | 2 -> regs0.r1\n3 -> regs0.r2\n", MachineConfig::new(2));
@@ -865,8 +958,11 @@ mod multiport_memory_tests {
 
     #[test]
     fn second_port_requires_configuration() {
-        let prog = asm::parse("1 -> mmu1.addr
-").unwrap();
+        let prog = asm::parse(
+            "1 -> mmu1.addr
+",
+        )
+        .unwrap();
         assert!(matches!(
             Processor::new(MachineConfig::new(1), prog),
             Err(SimError::InvalidFuIndex { .. })

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Named, seeded workload scenarios for the behavioural router.
+//!
+//! The paper evaluates one workload — a steady forwarding stream — but
+//! real IPv6 traffic is bursty and control-plane heavy.  This crate turns
+//! the multi-linecard [`Router`](taco_router::Router) into a scenario
+//! platform:
+//!
+//! * [`Workload`] — a named traffic pattern with all-integer parameters
+//!   (`steady-forward`, `burst-overload`, `ripng-convergence`,
+//!   `table-churn`), hashable so evaluation caches can key on it;
+//! * [`ScenarioConfig`] — the router under test: table organisation,
+//!   service rate, queue bound;
+//! * [`run_scenario`] — the engine: deterministic tick-by-tick replay;
+//! * [`ScenarioMetrics`] — what came out: throughput, drops by cause,
+//!   queue depth, power-of-two latency histograms, table-update latency,
+//!   all integers with byte-stable JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! use taco_routing::TableKind;
+//! use taco_workload::{run_scenario, ScenarioConfig, Workload};
+//!
+//! let metrics = run_scenario(
+//!     &Workload::by_name("burst-overload").unwrap(),
+//!     &ScenarioConfig::new(TableKind::Cam).service_per_tick(24).queue_capacity(32),
+//! );
+//! assert!(metrics.dropped_overflow > 0); // bursts exceed the service rate
+//! println!("{}", metrics.to_json());
+//! ```
+
+pub mod metrics;
+pub mod scenario;
+
+pub use metrics::{LatencyHistogram, ScenarioMetrics, LATENCY_BUCKETS};
+pub use scenario::{run_scenario, ScenarioConfig, Workload, DEFAULT_SEED, PORTS, TICK_MILLIS};

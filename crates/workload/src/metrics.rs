@@ -1,0 +1,234 @@
+//! Scenario measurement records.
+//!
+//! Every field is an integer so that a [`ScenarioMetrics`] serialises to
+//! byte-identical JSON on every run with the same seed — the determinism
+//! contract the parallel-equivalence tests pin down.  Rates that would
+//! naturally be fractional are carried in thousandths (`*_milli`).
+
+use std::fmt::Write as _;
+
+use taco_routing::TableKind;
+
+/// Number of latency buckets: bucket 0 holds zero-tick latencies, bucket
+/// `i ≥ 1` holds latencies in `[2^(i-1), 2^i)` ticks, and the last bucket
+/// saturates.
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// A fixed power-of-two-bucket latency histogram (latencies in ticks).
+///
+/// # Examples
+///
+/// ```
+/// use taco_workload::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// h.record(0);
+/// h.record(3);
+/// h.record(3);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.max(), 3);
+/// assert_eq!(h.buckets()[0], 1); // the zero-latency sample
+/// assert_eq!(h.buckets()[2], 2); // [2, 4)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of `ticks` latency.
+    pub fn record(&mut self, ticks: u64) {
+        let idx = match ticks {
+            0 => 0,
+            t => ((64 - t.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1),
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total += ticks;
+        self.max = self.max.max(ticks);
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all sample latencies in ticks.
+    pub fn total_ticks(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean latency in milli-ticks (`total * 1000 / count`, 0 when empty).
+    pub fn mean_milli(&self) -> u64 {
+        (self.total * 1000).checked_div(self.count).unwrap_or(0)
+    }
+
+    fn to_json(self) -> String {
+        let mut s = String::from("{\"buckets\":[");
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{b}");
+        }
+        let _ = write!(
+            s,
+            "],\"count\":{},\"total_ticks\":{},\"max\":{},\"mean_milli\":{}}}",
+            self.count,
+            self.total,
+            self.max,
+            self.mean_milli()
+        );
+        s
+    }
+}
+
+/// Everything one scenario run measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioMetrics {
+    /// Scenario name (`steady-forward`, `burst-overload`, ...).
+    pub scenario: &'static str,
+    /// Routing-table organisation the router ran with.
+    pub kind: TableKind,
+    /// The seed that reproduces this run exactly.
+    pub seed: u64,
+    /// Measured ticks (warmup excluded).
+    pub ticks: u64,
+    /// Data datagrams generated at the line cards.
+    pub offered: u64,
+    /// Datagrams forwarded between line cards.
+    pub forwarded: u64,
+    /// Datagrams delivered to the control plane.
+    pub delivered: u64,
+    /// Datagrams dropped by the forwarding core (no route, hop limit, ...).
+    pub dropped_no_route: u64,
+    /// Arrivals tail-dropped at full line-card input buffers.
+    pub dropped_overflow: u64,
+    /// Deepest any single input buffer got, measured after each tick.
+    pub max_queue_depth: u64,
+    /// Datagrams still queued when the scenario ended.
+    pub final_backlog: u64,
+    /// Per-datagram service latency (arrival tick to service tick).
+    pub latency: LatencyHistogram,
+    /// RIPng table-carrying packets injected and serviced.
+    pub table_updates: u64,
+    /// Service latency of those table updates.
+    pub update_latency: LatencyHistogram,
+    /// RIPng packets the router itself transmitted.
+    pub ripng_sent: u64,
+    /// Forwarded datagrams per tick, in thousandths.
+    pub throughput_milli: u64,
+}
+
+impl ScenarioMetrics {
+    /// Serialises to a single-line JSON object with a fixed key order —
+    /// byte-stable across runs, threads and platforms.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"kind\":\"{}\",\"seed\":{},\"ticks\":{},\
+             \"offered\":{},\"forwarded\":{},\"delivered\":{},\
+             \"dropped_no_route\":{},\"dropped_overflow\":{},\
+             \"max_queue_depth\":{},\"final_backlog\":{},\
+             \"latency\":{},\"table_updates\":{},\"update_latency\":{},\
+             \"ripng_sent\":{},\"throughput_milli\":{}}}",
+            self.scenario,
+            self.kind,
+            self.seed,
+            self.ticks,
+            self.offered,
+            self.forwarded,
+            self.delivered,
+            self.dropped_no_route,
+            self.dropped_overflow,
+            self.max_queue_depth,
+            self.final_backlog,
+            self.latency.to_json(),
+            self.table_updates,
+            self.update_latency.to_json(),
+            self.ripng_sent,
+            self.throughput_milli,
+        )
+    }
+
+    /// Total drops from all causes.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_no_route + self.dropped_overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = LatencyHistogram::new();
+        for t in [0u64, 1, 2, 3, 4, 7, 8, 1 << 40] {
+            h.record(t);
+        }
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[3], 2); // 4, 7
+        assert_eq!(h.buckets()[4], 1); // 8
+        assert_eq!(h.buckets()[LATENCY_BUCKETS - 1], 1); // saturated
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1 << 40);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        h.record(2);
+        assert_eq!(h.mean_milli(), 1500);
+        assert_eq!(LatencyHistogram::new().mean_milli(), 0);
+    }
+
+    #[test]
+    fn json_is_single_line_and_stable() {
+        let mut latency = LatencyHistogram::new();
+        latency.record(2);
+        let m = ScenarioMetrics {
+            scenario: "steady-forward",
+            kind: TableKind::Cam,
+            seed: 7,
+            ticks: 10,
+            offered: 100,
+            forwarded: 90,
+            delivered: 2,
+            dropped_no_route: 8,
+            dropped_overflow: 0,
+            max_queue_depth: 5,
+            final_backlog: 0,
+            latency,
+            table_updates: 1,
+            update_latency: LatencyHistogram::new(),
+            ripng_sent: 4,
+            throughput_milli: 9000,
+        };
+        let j = m.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"scenario\":\"steady-forward\",\"kind\":\"cam\","));
+        assert!(j.contains("\"throughput_milli\":9000"));
+        assert_eq!(j, m.clone().to_json());
+    }
+}

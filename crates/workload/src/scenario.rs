@@ -1,0 +1,661 @@
+//! The scenario engine: named, seeded workloads driving the behavioural
+//! router.
+//!
+//! A [`Workload`] names a traffic pattern with all-integer parameters (so
+//! workloads hash, compare and key caches); [`run_scenario`] replays it
+//! against a [`Router`] built over any [`TableKind`] and returns a
+//! [`ScenarioMetrics`].  The same `(workload, config)` pair always produces
+//! the same metrics, byte for byte.
+//!
+//! Time advances in fixed 100 ms ticks.  Each tick the engine injects
+//! arrivals at the line cards, lets the router service at most
+//! [`ScenarioConfig::service_per_tick`] datagrams (the processor's speed,
+//! which is what couples scenarios to architecture evaluation), and then
+//! measures queue depths and per-datagram latency by pairing the cards'
+//! service counters with recorded arrival ticks.
+
+use std::collections::VecDeque;
+
+use taco_ipv6::Ipv6Address;
+use taco_router::router::Router;
+use taco_router::traffic::{ripng_datagram, TrafficGen};
+use taco_routing::ripng::InterfaceConfig;
+use taco_routing::{LpmTable, PortId, Route, SimTime, TableKind};
+
+use crate::metrics::{LatencyHistogram, ScenarioMetrics};
+
+/// Router ports every scenario drives.
+pub const PORTS: u16 = 4;
+
+/// Simulated duration of one engine tick in milliseconds.
+pub const TICK_MILLIS: u64 = 100;
+
+/// Fraction of data destinations that hit the routing table (per mille).
+const HIT_RATIO: f64 = 0.9;
+
+/// Payload bytes per data datagram.
+const PAYLOAD_BYTES: usize = 64;
+
+/// RIPng entries per advertisement datagram (stays under the MTU).
+const ADVERT_CHUNK: usize = 60;
+
+/// Seed used by the built-in scenario set ([`Workload::builtin`]).
+pub const DEFAULT_SEED: u64 = 0x7AC0_2003;
+
+/// A named, seeded traffic pattern.
+///
+/// Every variant carries only integers so a workload can key the
+/// evaluation cache (`Hash + Eq`) and serialise stably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// The paper's workload: a constant stream of forwarding datagrams
+    /// over a fixed table — the cross-validation baseline.
+    SteadyForward {
+        /// RNG seed; same seed ⇒ identical run.
+        seed: u64,
+        /// Measured ticks.
+        ticks: u32,
+        /// Data datagrams injected per tick.
+        packets_per_tick: u32,
+        /// Routing-table size.
+        entries: u32,
+    },
+    /// Poisson-ish arrivals whose bursts exceed the service rate,
+    /// measuring drops and queue growth under overload.
+    BurstOverload {
+        /// RNG seed.
+        seed: u64,
+        /// Measured ticks.
+        ticks: u32,
+        /// Mean arrivals per tick, in thousandths (1500 ⇒ 1.5/tick).
+        mean_per_tick_milli: u64,
+        /// A burst window opens every this many ticks…
+        burst_every: u32,
+        /// …lasts this many ticks…
+        burst_len: u32,
+        /// …and multiplies the arrival rate by this factor.
+        burst_multiplier: u32,
+        /// Routing-table size.
+        entries: u32,
+    },
+    /// RIPng response storms from several neighbours converge the table
+    /// while forwarding traffic is already flowing — early datagrams drop,
+    /// then the drop rate decays as routes install.
+    RipngConvergence {
+        /// RNG seed.
+        seed: u64,
+        /// Measured ticks.
+        ticks: u32,
+        /// Advertising neighbours (spread round-robin over the ports).
+        neighbours: u32,
+        /// Routes each neighbour advertises.
+        routes_per_neighbour: u32,
+        /// Data datagrams injected per tick.
+        packets_per_tick: u32,
+    },
+    /// Routes are withdrawn and re-advertised in slices while packets fly;
+    /// traffic to a withdrawn slice drops until it returns.
+    TableChurn {
+        /// RNG seed.
+        seed: u64,
+        /// Measured ticks.
+        ticks: u32,
+        /// Data datagrams injected per tick.
+        packets_per_tick: u32,
+        /// Routing-table size.
+        entries: u32,
+        /// A churn event fires every this many ticks…
+        churn_every: u32,
+        /// …withdrawing (then re-advertising) this many routes.
+        churn_size: u32,
+    },
+}
+
+impl Workload {
+    /// The scenario's name (`steady-forward`, `burst-overload`,
+    /// `ripng-convergence`, `table-churn`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::SteadyForward { .. } => "steady-forward",
+            Workload::BurstOverload { .. } => "burst-overload",
+            Workload::RipngConvergence { .. } => "ripng-convergence",
+            Workload::TableChurn { .. } => "table-churn",
+        }
+    }
+
+    /// The workload's RNG seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            Workload::SteadyForward { seed, .. }
+            | Workload::BurstOverload { seed, .. }
+            | Workload::RipngConvergence { seed, .. }
+            | Workload::TableChurn { seed, .. } => *seed,
+        }
+    }
+
+    /// The same workload with a different seed.
+    pub fn with_seed(mut self, new_seed: u64) -> Self {
+        match &mut self {
+            Workload::SteadyForward { seed, .. }
+            | Workload::BurstOverload { seed, .. }
+            | Workload::RipngConvergence { seed, .. }
+            | Workload::TableChurn { seed, .. } => *seed = new_seed,
+        }
+        self
+    }
+
+    /// Measured ticks.
+    pub fn ticks(&self) -> u32 {
+        match self {
+            Workload::SteadyForward { ticks, .. }
+            | Workload::BurstOverload { ticks, .. }
+            | Workload::RipngConvergence { ticks, .. }
+            | Workload::TableChurn { ticks, .. } => *ticks,
+        }
+    }
+
+    /// The built-in scenario set with default parameters and
+    /// [`DEFAULT_SEED`], in documentation order.
+    pub fn builtin() -> Vec<Workload> {
+        vec![
+            Workload::steady_forward(),
+            Workload::burst_overload(),
+            Workload::ripng_convergence(),
+            Workload::table_churn(),
+        ]
+    }
+
+    /// Looks a built-in scenario up by [`Workload::name`].
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Workload::builtin().into_iter().find(|w| w.name() == name)
+    }
+
+    /// The default `steady-forward` scenario.
+    pub fn steady_forward() -> Workload {
+        Workload::SteadyForward {
+            seed: DEFAULT_SEED,
+            ticks: 400,
+            packets_per_tick: 24,
+            entries: 100,
+        }
+    }
+
+    /// The default `burst-overload` scenario: mean load below the default
+    /// service rate, bursts at 4× well above it.
+    pub fn burst_overload() -> Workload {
+        Workload::BurstOverload {
+            seed: DEFAULT_SEED,
+            ticks: 400,
+            mean_per_tick_milli: 24_000,
+            burst_every: 50,
+            burst_len: 10,
+            burst_multiplier: 4,
+            entries: 100,
+        }
+    }
+
+    /// The default `ripng-convergence` scenario.
+    pub fn ripng_convergence() -> Workload {
+        Workload::RipngConvergence {
+            seed: DEFAULT_SEED,
+            ticks: 300,
+            neighbours: 4,
+            routes_per_neighbour: 25,
+            packets_per_tick: 16,
+        }
+    }
+
+    /// The default `table-churn` scenario.
+    pub fn table_churn() -> Workload {
+        Workload::TableChurn {
+            seed: DEFAULT_SEED,
+            ticks: 400,
+            packets_per_tick: 16,
+            entries: 100,
+            churn_every: 40,
+            churn_size: 10,
+        }
+    }
+}
+
+/// How the router under test is provisioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioConfig {
+    /// Routing-table organisation.
+    pub kind: TableKind,
+    /// Datagrams the forwarding core services per tick — the processor's
+    /// speed expressed in the engine's time base.
+    pub service_per_tick: u32,
+    /// Input-buffer bound per line card, in datagrams.
+    pub queue_capacity: u32,
+}
+
+impl ScenarioConfig {
+    /// A config for `kind` with the default service rate (32/tick) and
+    /// queue bound (64).
+    pub fn new(kind: TableKind) -> Self {
+        ScenarioConfig { kind, service_per_tick: 32, queue_capacity: 64 }
+    }
+
+    /// Sets the service rate.
+    pub fn service_per_tick(mut self, rate: u32) -> Self {
+        self.service_per_tick = rate;
+        self
+    }
+
+    /// Sets the queue bound.
+    pub fn queue_capacity(mut self, capacity: u32) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// Arrival bookkeeping: `(arrival tick, is a table update)` per port, in
+/// FIFO order — the same order the router services each card.
+type ArrivalFifo = VecDeque<(u64, bool)>;
+
+struct Harness {
+    router: Router<Box<dyn LpmTable>>,
+    gen: TrafficGen,
+    fifos: Vec<ArrivalFifo>,
+    last_polled: Vec<u64>,
+    tick: u64,
+    service: usize,
+    overflow_baseline: u64,
+    metrics: ScenarioMetrics,
+}
+
+impl Harness {
+    fn new(w: &Workload, cfg: &ScenarioConfig) -> Self {
+        let interfaces: Vec<InterfaceConfig> = (0..PORTS)
+            .map(|i| {
+                InterfaceConfig::new(
+                    PortId(i),
+                    format!("fe80::1:{i}").parse().expect("valid address"),
+                    vec![format!("2001:db8:{i}::/48").parse().expect("valid prefix")],
+                )
+            })
+            .collect();
+        let mut router = Router::new(interfaces, cfg.kind.build(&[]));
+        for i in 0..PORTS {
+            router.card_mut(PortId(i)).set_capacity(cfg.queue_capacity as usize);
+        }
+        let metrics = ScenarioMetrics {
+            scenario: w.name(),
+            kind: cfg.kind,
+            seed: w.seed(),
+            ticks: u64::from(w.ticks()),
+            offered: 0,
+            forwarded: 0,
+            delivered: 0,
+            dropped_no_route: 0,
+            dropped_overflow: 0,
+            max_queue_depth: 0,
+            final_backlog: 0,
+            latency: LatencyHistogram::new(),
+            table_updates: 0,
+            update_latency: LatencyHistogram::new(),
+            ripng_sent: 0,
+            throughput_milli: 0,
+        };
+        Harness {
+            router,
+            gen: TrafficGen::new(w.seed(), PORTS),
+            fifos: vec![ArrivalFifo::new(); usize::from(PORTS)],
+            last_polled: vec![0; usize::from(PORTS)],
+            tick: 0,
+            service: cfg.service_per_tick as usize,
+            overflow_baseline: 0,
+            metrics,
+        }
+    }
+
+    /// Zeros every measured counter (table seeding happens before the
+    /// measured window; the scenario record must not include it).
+    fn reset_measurement(&mut self) {
+        let keep = &self.metrics;
+        self.metrics = ScenarioMetrics {
+            scenario: keep.scenario,
+            kind: keep.kind,
+            seed: keep.seed,
+            ticks: keep.ticks,
+            offered: 0,
+            forwarded: 0,
+            delivered: 0,
+            dropped_no_route: 0,
+            dropped_overflow: 0,
+            max_queue_depth: 0,
+            final_backlog: 0,
+            latency: LatencyHistogram::new(),
+            table_updates: 0,
+            update_latency: LatencyHistogram::new(),
+            ripng_sent: 0,
+            throughput_milli: 0,
+        };
+        self.overflow_baseline = self.router.cards().iter().map(|c| c.dropped_overflow()).sum();
+    }
+
+    fn neighbour_addr(n: u32) -> Ipv6Address {
+        format!("fe80::99:{:x}", n + 1).parse().expect("valid address")
+    }
+
+    /// Injects a RIPng response advertising (or withdrawing) `routes` from
+    /// neighbour `n` on its port, split under the MTU.
+    fn inject_update(&mut self, n: u32, routes: &[Route], withdraw: bool) {
+        let port = PortId((n % u32::from(PORTS)) as u16);
+        let from = Self::neighbour_addr(n);
+        for chunk in routes.chunks(ADVERT_CHUNK) {
+            let pkt = if withdraw {
+                self.gen.ripng_withdrawal(chunk)
+            } else {
+                self.gen.ripng_response(chunk)
+            };
+            if self.router.card_mut(port).receive(ripng_datagram(from, &pkt)) {
+                self.fifos[usize::from(port.0)].push_back((self.tick, true));
+            }
+        }
+    }
+
+    /// Injects `k` data datagrams over `routes` at random ports.
+    fn inject_data(&mut self, routes: &[Route], k: usize) {
+        for (port, datagram) in self.gen.forwarding_workload(routes, k, HIT_RATIO, PAYLOAD_BYTES) {
+            self.metrics.offered += 1;
+            if self.router.card_mut(port).receive(datagram) {
+                self.fifos[usize::from(port.0)].push_back((self.tick, false));
+            }
+        }
+    }
+
+    /// Runs one budgeted router tick and folds the results into the
+    /// metrics.
+    fn service_tick(&mut self) {
+        let now = SimTime::from_millis(self.tick * TICK_MILLIS);
+        let report = self.router.tick_budgeted(now, self.service);
+        self.metrics.forwarded += report.forwarded;
+        self.metrics.delivered += report.delivered;
+        self.metrics.dropped_no_route += report.dropped;
+        self.metrics.ripng_sent += report.ripng_sent;
+        for i in 0..usize::from(PORTS) {
+            let card = self.router.card_mut(PortId(i as u16));
+            let polled = card.polled();
+            let depth = card.pending() as u64;
+            card.drain_transmitted(); // keep memory bounded; output is not measured
+            self.metrics.max_queue_depth = self.metrics.max_queue_depth.max(depth);
+            for _ in self.last_polled[i]..polled {
+                let Some((arrived, is_update)) = self.fifos[i].pop_front() else {
+                    break;
+                };
+                let latency = self.tick - arrived;
+                if is_update {
+                    self.metrics.table_updates += 1;
+                    self.metrics.update_latency.record(latency);
+                } else {
+                    self.metrics.latency.record(latency);
+                }
+            }
+            self.last_polled[i] = polled;
+        }
+        self.tick += 1;
+    }
+
+    /// Drains everything already queued (used between seeding and
+    /// measurement), unbudgeted.
+    fn drain(&mut self) {
+        while self.router.pending() > 0 {
+            let before = self.service;
+            self.service = usize::MAX;
+            self.service_tick();
+            self.service = before;
+        }
+        // One extra tick so startup requests and first periodic updates are
+        // behind us before measurement starts.
+        let before = self.service;
+        self.service = usize::MAX;
+        self.service_tick();
+        self.service = before;
+    }
+
+    fn finish(mut self) -> ScenarioMetrics {
+        let overflow: u64 = self.router.cards().iter().map(|c| c.dropped_overflow()).sum();
+        self.metrics.dropped_overflow = overflow - self.overflow_baseline;
+        self.metrics.final_backlog = self.router.pending() as u64;
+        self.metrics.throughput_milli =
+            (self.metrics.forwarded * 1000).checked_div(self.metrics.ticks).unwrap_or(0);
+        self.metrics
+    }
+}
+
+/// Replays `workload` against a router provisioned per `config`.
+///
+/// Deterministic: the metrics (including their JSON form) are identical
+/// for identical inputs, on any thread count and platform.
+///
+/// # Examples
+///
+/// ```
+/// use taco_routing::TableKind;
+/// use taco_workload::{run_scenario, ScenarioConfig, Workload};
+///
+/// let w = Workload::steady_forward();
+/// let m = run_scenario(&w, &ScenarioConfig::new(TableKind::Cam));
+/// assert!(m.forwarded > 0);
+/// assert_eq!(m, run_scenario(&w, &ScenarioConfig::new(TableKind::Cam)));
+/// ```
+pub fn run_scenario(workload: &Workload, config: &ScenarioConfig) -> ScenarioMetrics {
+    let mut h = Harness::new(workload, config);
+    match *workload {
+        Workload::SteadyForward { ticks, packets_per_tick, entries, .. } => {
+            let routes = h.gen.table(entries as usize, false);
+            h.inject_update(0, &routes, false);
+            h.drain();
+            // Zero the seeding traffic out of the measured record.
+            h.reset_measurement();
+            for _ in 0..ticks {
+                h.inject_data(&routes, packets_per_tick as usize);
+                h.service_tick();
+            }
+        }
+        Workload::BurstOverload {
+            ticks,
+            mean_per_tick_milli,
+            burst_every,
+            burst_len,
+            burst_multiplier,
+            entries,
+            ..
+        } => {
+            let routes = h.gen.table(entries as usize, false);
+            h.inject_update(0, &routes, false);
+            h.drain();
+            h.reset_measurement();
+            for t in 0..ticks {
+                let mut k = h.gen.arrivals(mean_per_tick_milli);
+                if burst_every > 0 && t % burst_every < burst_len {
+                    k *= u64::from(burst_multiplier.max(1));
+                }
+                h.inject_data(&routes, k as usize);
+                h.service_tick();
+            }
+        }
+        Workload::RipngConvergence {
+            ticks,
+            neighbours,
+            routes_per_neighbour,
+            packets_per_tick,
+            ..
+        } => {
+            let tables: Vec<Vec<Route>> = (0..neighbours)
+                .map(|_| h.gen.table(routes_per_neighbour as usize, false))
+                .collect();
+            let all: Vec<Route> = tables.iter().flatten().copied().collect();
+            h.drain(); // settle startup requests only; the table starts cold
+            h.reset_measurement();
+            for t in 0..ticks {
+                // Response storm at t=0 and periodic re-advertisement
+                // afterwards (29 s keeps routes ahead of the 180 s timeout).
+                if t == 0 || (t > 0 && t % 290 == 0) {
+                    for (n, table) in tables.iter().enumerate() {
+                        h.inject_update(n as u32, table, false);
+                    }
+                }
+                h.inject_data(&all, packets_per_tick as usize);
+                h.service_tick();
+            }
+        }
+        Workload::TableChurn {
+            ticks, packets_per_tick, entries, churn_every, churn_size, ..
+        } => {
+            let routes = h.gen.table(entries as usize, false);
+            h.inject_update(0, &routes, false);
+            h.drain();
+            h.reset_measurement();
+            let slice = (churn_size as usize).min(routes.len()).max(1);
+            let mut cursor = 0usize;
+            let mut withdrawn: Option<Vec<Route>> = None;
+            for t in 0..ticks {
+                if churn_every > 0 && t % churn_every == churn_every / 2 {
+                    match withdrawn.take() {
+                        // Alternate: re-advertise the slice pulled last
+                        // event, or withdraw the next slice.
+                        Some(back) => h.inject_update(0, &back, false),
+                        None => {
+                            let end = (cursor + slice).min(routes.len());
+                            let out: Vec<Route> = routes[cursor..end].to_vec();
+                            h.inject_update(0, &out, true);
+                            cursor = if end >= routes.len() { 0 } else { end };
+                            withdrawn = Some(out);
+                        }
+                    }
+                }
+                h.inject_data(&routes, packets_per_tick as usize);
+                h.service_tick();
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_round_trip() {
+        for w in Workload::builtin() {
+            assert_eq!(Workload::by_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::by_name("nope"), None);
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let w = Workload::steady_forward().with_seed(42);
+        assert_eq!(w.seed(), 42);
+        assert_eq!(w.name(), "steady-forward");
+        assert_eq!(w.ticks(), Workload::steady_forward().ticks());
+    }
+
+    #[test]
+    fn steady_forward_forwards_without_overflow() {
+        let m = run_scenario(
+            &Workload::SteadyForward { seed: 1, ticks: 60, packets_per_tick: 16, entries: 40 },
+            &ScenarioConfig::new(TableKind::Sequential),
+        );
+        assert_eq!(m.offered, 60 * 16);
+        assert!(m.forwarded > 0, "{}", m.to_json());
+        assert_eq!(m.dropped_overflow, 0, "{}", m.to_json());
+        // ~10% of destinations are deliberately unrouted.
+        assert!(m.dropped_no_route > 0, "{}", m.to_json());
+        assert!(m.latency.count() > 0);
+    }
+
+    #[test]
+    fn burst_overload_drops_and_queues() {
+        let m = run_scenario(
+            &Workload::BurstOverload {
+                seed: 2,
+                ticks: 120,
+                mean_per_tick_milli: 24_000,
+                burst_every: 30,
+                burst_len: 10,
+                burst_multiplier: 6,
+                entries: 40,
+            },
+            &ScenarioConfig::new(TableKind::BalancedTree).service_per_tick(24).queue_capacity(16),
+        );
+        assert!(m.dropped_overflow > 0, "bursts must overflow: {}", m.to_json());
+        assert!(m.max_queue_depth >= 8, "{}", m.to_json());
+        assert!(m.latency.max() >= 1, "queueing must show up in latency: {}", m.to_json());
+    }
+
+    #[test]
+    fn convergence_installs_routes_and_measures_updates() {
+        let m = run_scenario(
+            &Workload::RipngConvergence {
+                seed: 3,
+                ticks: 80,
+                neighbours: 4,
+                routes_per_neighbour: 20,
+                packets_per_tick: 12,
+            },
+            &ScenarioConfig::new(TableKind::Cam),
+        );
+        assert!(m.table_updates >= 4, "{}", m.to_json());
+        assert!(m.forwarded > 0, "{}", m.to_json());
+        assert!(m.ripng_sent > 0, "{}", m.to_json());
+        // The cold start drops more than steady state would.
+        assert!(m.dropped_no_route > 0, "{}", m.to_json());
+    }
+
+    #[test]
+    fn churn_withdraws_cause_extra_drops() {
+        let churned = run_scenario(
+            &Workload::TableChurn {
+                seed: 4,
+                ticks: 200,
+                packets_per_tick: 16,
+                entries: 40,
+                churn_every: 20,
+                churn_size: 20,
+            },
+            &ScenarioConfig::new(TableKind::Sequential),
+        );
+        let calm = run_scenario(
+            &Workload::TableChurn {
+                seed: 4,
+                ticks: 200,
+                packets_per_tick: 16,
+                entries: 40,
+                churn_every: 0, // no churn events at all
+                churn_size: 20,
+            },
+            &ScenarioConfig::new(TableKind::Sequential),
+        );
+        assert!(churned.table_updates > calm.table_updates);
+        assert!(
+            churned.dropped_no_route > calm.dropped_no_route,
+            "withdrawing half the table must cost forwards: {} vs {}",
+            churned.dropped_no_route,
+            calm.dropped_no_route
+        );
+    }
+
+    #[test]
+    fn same_seed_same_metrics_across_kinds() {
+        for kind in TableKind::PAPER_KINDS {
+            let w =
+                Workload::SteadyForward { seed: 9, ticks: 40, packets_per_tick: 8, entries: 20 };
+            let a = run_scenario(&w, &ScenarioConfig::new(kind));
+            let b = run_scenario(&w, &ScenarioConfig::new(kind));
+            assert_eq!(a.to_json(), b.to_json(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = ScenarioConfig::new(TableKind::Sequential);
+        let a = run_scenario(&Workload::steady_forward(), &cfg);
+        let b = run_scenario(&Workload::steady_forward().with_seed(1), &cfg);
+        assert_ne!(a.to_json(), b.to_json());
+    }
+}

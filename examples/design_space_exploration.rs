@@ -17,11 +17,16 @@ fn main() {
         replication: vec![1, 3],
         kinds: vec![TableKind::BalancedTree, TableKind::Cam],
         entries: 32,
+        workload: None,
     };
-    let constraints = Constraints { max_power_w: 0.5, max_area_mm2: 10.0 };
+    let constraints =
+        Constraints { max_power_w: 0.5, max_area_mm2: 10.0, ..Constraints::default() };
     let rate = LineRate::TEN_GBE;
 
-    println!("sweeping {} instances against {rate}", spec.buses.len() * spec.replication.len() * spec.kinds.len());
+    println!(
+        "sweeping {} instances against {rate}",
+        spec.buses.len() * spec.replication.len() * spec.kinds.len()
+    );
     println!("constraints: <= {} W, <= {} mm2", constraints.max_power_w, constraints.max_area_mm2);
     println!();
 

@@ -76,11 +76,7 @@ fn main() {
         .iter()
         .find(|r| r.prefix() == "2001:db8:c::/48".parse().expect("valid"))
         .expect("route to net C");
-    println!(
-        "converged: R0 reaches net C via {} (metric {})",
-        to_c.next_hop(),
-        to_c.metric()
-    );
+    println!("converged: R0 reaches net C via {} (metric {})", to_c.next_hop(), to_c.metric());
     assert_eq!(to_c.metric(), 3);
     println!(
         "RIPng stats at R1: {} periodic updates, {} triggered, {} responses processed",

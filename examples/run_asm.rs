@@ -14,9 +14,7 @@ use taco::sim::Processor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let path = args
-        .next()
-        .unwrap_or_else(|| "examples/programs/gcd.tasm".to_string());
+    let path = args.next().unwrap_or_else(|| "examples/programs/gcd.tasm".to_string());
     let buses: u8 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
     let mut regs: Vec<(u8, u32)> = vec![(0, 91), (1, 35)];
     for spec in args {

@@ -12,7 +12,7 @@
 //! ```
 
 use taco::estimate::{Estimator, Technology};
-use taco::eval::{evaluate, table1, ArchConfig, LineRate};
+use taco::eval::{table1, ArchConfig, EvalRequest, LineRate};
 use taco::routing::TableKind;
 
 fn main() {
@@ -33,13 +33,9 @@ fn main() {
             ArchConfig::three_bus_three_fu(kind),
         ] {
             // One simulation; two estimations at the measured clock.
-            let report = evaluate(&config, rate, entries);
+            let report = EvalRequest::new(config.clone()).rate(rate).entries(entries).run();
             let freq = report.required_frequency_hz;
-            let mut row = format!(
-                "{:<38} {:>12}",
-                config.label(),
-                table1::format_frequency(freq)
-            );
+            let mut row = format!("{:<38} {:>12}", config.label(), table1::format_frequency(freq));
             for tech in &nodes {
                 let est = Estimator::new().with_technology(tech.clone());
                 let cell = match est.estimate(&config.machine, freq) {

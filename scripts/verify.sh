@@ -10,9 +10,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier-1: format check =="
+cargo fmt --check
+
+echo
+echo "== tier-1: clippy (warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo
 echo "== tier-1: offline build + tests =="
 cargo build --release --offline
 cargo test -q --offline
+cargo test -q --offline --workspace
 
 echo
 echo "== tier-1 passed =="

@@ -21,10 +21,10 @@
 //! default three-bus configuration:
 //!
 //! ```
-//! use taco::eval::{evaluate, ArchConfig, LineRate, RoutingTableKind};
+//! use taco::eval::{ArchConfig, EvalRequest, LineRate, RoutingTableKind};
 //!
 //! let config = ArchConfig::three_bus_one_fu(RoutingTableKind::Cam);
-//! let report = evaluate(&config, LineRate::TEN_GBE, 100);
+//! let report = EvalRequest::new(config).rate(LineRate::TEN_GBE).entries(100).run();
 //! assert!(report.required_frequency_hz > 0.0);
 //! ```
 

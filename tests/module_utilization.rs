@@ -37,10 +37,7 @@ fn replication_spreads_matcher_load_across_instances() {
     let wide = run(&MachineConfig::three_bus_three_fu());
 
     let m = |s: &taco::sim::SimStats, i: u8| {
-        s.fu_instance_triggers
-            .get(&FuRef::new(FuKind::Matcher, i))
-            .copied()
-            .unwrap_or(0)
+        s.fu_instance_triggers.get(&FuRef::new(FuKind::Matcher, i)).copied().unwrap_or(0)
     };
     // One instance carries everything on the narrow machine…
     assert!(m(&narrow, 0) > 0);

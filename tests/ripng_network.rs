@@ -157,11 +157,8 @@ fn better_path_wins_in_a_triangle() {
         r2.card_mut(PortId(0)).drain_transmitted();
     }
 
-    let route = r0
-        .ripng()
-        .routes()
-        .find(|r| r.prefix() == prefix("2001:db8:c::/48"))
-        .expect("learned");
+    let route =
+        r0.ripng().routes().find(|r| r.prefix() == prefix("2001:db8:c::/48")).expect("learned");
     assert_eq!(route.metric(), 2, "direct path must win");
     assert_eq!(route.interface(), PortId(0));
 }

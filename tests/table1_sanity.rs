@@ -3,7 +3,7 @@
 //! `cargo run -p taco-bench --bin table1`; here a reduced routing table
 //! keeps CI fast while preserving every ordering the paper reports.)
 
-use taco::eval::{evaluate, table1, ArchConfig, LineRate};
+use taco::eval::{table1, ArchConfig, EvalRequest, LineRate};
 use taco::routing::TableKind;
 
 const ENTRIES: usize = 32;
@@ -56,17 +56,15 @@ fn na_pattern_appears_at_full_scale_line_rate() {
     // organisation is infeasible on 0.18um in every configuration, exactly
     // like the paper's 6 GHz / 2 GHz cells; the CAM stays comfortably
     // feasible.
-    let seq = evaluate(
-        &ArchConfig::one_bus_one_fu(TableKind::Sequential),
-        LineRate::TEN_GBE_MIN_FRAMES,
-        ENTRIES,
-    );
+    let seq = EvalRequest::new(ArchConfig::one_bus_one_fu(TableKind::Sequential))
+        .rate(LineRate::TEN_GBE_MIN_FRAMES)
+        .entries(ENTRIES)
+        .run();
     assert!(!seq.is_feasible());
-    let cam = evaluate(
-        &ArchConfig::three_bus_one_fu(TableKind::Cam),
-        LineRate::TEN_GBE_MIN_FRAMES,
-        ENTRIES,
-    );
+    let cam = EvalRequest::new(ArchConfig::three_bus_one_fu(TableKind::Cam))
+        .rate(LineRate::TEN_GBE_MIN_FRAMES)
+        .entries(ENTRIES)
+        .run();
     assert!(cam.is_feasible(), "{:?}", cam.estimate);
 }
 
@@ -75,7 +73,10 @@ fn cam_fixed_point_latency_is_consistent() {
     // The CAM evaluation iterates clock <-> RTU latency to a fixed point;
     // verify the published pair is self-consistent: latency equals the
     // 40 ns search converted at the required clock.
-    let r = evaluate(&ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, ENTRIES);
+    let r = EvalRequest::new(ArchConfig::three_bus_one_fu(TableKind::Cam))
+        .rate(LineRate::TEN_GBE)
+        .entries(ENTRIES)
+        .run();
     let spec = taco::routing::cam::CamSpec::paper_default();
     assert_eq!(
         u64::from(r.rtu_latency_cycles),

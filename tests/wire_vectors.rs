@@ -54,11 +54,7 @@ fn ripng_response_golden_bytes() {
     ];
     let pkt = RipngPacket {
         command: Command::Response,
-        entries: vec![RouteEntry::new(
-            "2001:db8::/32".parse().expect("valid"),
-            0x0102,
-            2,
-        )],
+        entries: vec![RouteEntry::new("2001:db8::/32".parse().expect("valid"), 0x0102, 2)],
     };
     assert_eq!(pkt.to_bytes(), golden);
     assert_eq!(RipngPacket::parse(&golden).expect("parses"), pkt);
@@ -87,21 +83,29 @@ fn udp_golden_checksum() {
     // Pin the bytes so encoding can never drift silently.
     assert_eq!(
         bytes,
-        vec![0x02, 0x09, 0x02, 0x09, 0x00, 0x0b, d.header().checksum.to_be_bytes()[0],
-             d.header().checksum.to_be_bytes()[1], b'R', b'I', b'P'],
+        vec![
+            0x02,
+            0x09,
+            0x02,
+            0x09,
+            0x00,
+            0x0b,
+            d.header().checksum.to_be_bytes()[0],
+            d.header().checksum.to_be_bytes()[1],
+            b'R',
+            b'I',
+            b'P'
+        ],
     );
 }
 
 #[test]
 fn whole_datagram_golden_image() {
     // A complete minimal datagram, every byte accounted for.
-    let d = Datagram::builder(
-        "fe80::1".parse().expect("valid"),
-        "fe80::2".parse().expect("valid"),
-    )
-    .hop_limit(1)
-    .payload(NextHeader::NoNextHeader, vec![])
-    .build();
+    let d = Datagram::builder("fe80::1".parse().expect("valid"), "fe80::2".parse().expect("valid"))
+        .hop_limit(1)
+        .payload(NextHeader::NoNextHeader, vec![])
+        .build();
     let bytes = d.to_bytes();
     assert_eq!(bytes.len(), 40);
     assert_eq!(bytes[0], 0x60);
