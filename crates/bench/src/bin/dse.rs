@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run -p taco-bench --release --bin dse \
-//!     [max_power_w] [max_area_mm2] [--stats] [--scenario NAME] [--max-drops N]
+//!     [max_power_w] [max_area_mm2] [--stats] [--scenario NAME] [--max-drops N] \
+//!     [--trace-best PATH]
 //! ```
 //!
 //! The sweep fans out across all cores (`TACO_THREADS` overrides) through
@@ -13,7 +14,9 @@
 //! `--scenario` replays a named behavioural workload (`steady-forward`,
 //! `burst-overload`, `ripng-convergence`, `table-churn`) on every grid
 //! point, and `--max-drops` disqualifies instances whose scenario dropped
-//! more than N datagrams.
+//! more than N datagrams.  `--trace-best PATH` re-runs the winning design
+//! point's measurement under a Chrome tracer and writes the timeline JSON
+//! to PATH (load it in Perfetto or `chrome://tracing`).
 
 use taco_core::{
     explore_with, pool, table1, Constraints, EvalCache, ExploreOptions, LineRate, StderrProgress,
@@ -50,6 +53,7 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let trace_best = flag_value(&mut args, "--trace-best");
     let mut args = args.into_iter();
     let max_power_w: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
     let max_area_mm2: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50.0);
@@ -120,6 +124,23 @@ fn main() {
     let best = ex.best().expect("non-empty admitted set");
     println!();
     println!("suggested configuration: {}", best.config.label());
+
+    if let Some(path) = &trace_best {
+        // Re-run the winner's measurement under a Chrome tracer.  Going
+        // through `trace_request` (not the cache) is deliberate: a cache
+        // hit has no simulation to observe.
+        let request = taco_core::EvalRequest::new(best.config.clone())
+            .rate(best.line_rate)
+            .entries(best.table_entries);
+        let mut chrome = taco_sim::ChromeTracer::new(best.config.machine.buses());
+        match taco_core::trace_request(&request, &mut chrome) {
+            Ok(stats) => match std::fs::write(path, chrome.finish(stats.cycles)) {
+                Ok(()) => println!("chrome trace of {} written to {path}", best.config.label()),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            Err(e) => eprintln!("could not trace best point: {e}"),
+        }
+    }
 
     // The replication heuristic of the paper's future-work tool: where does
     // the winning configuration's microcode put its trigger pressure?

@@ -1,0 +1,209 @@
+//! Cycle-level trace inspection for any Table 1 cell.
+//!
+//! ```text
+//! cargo run -p taco-bench --release --bin trace -- [kind] [config] [entries] \
+//!     [--cycles N] [--chrome PATH] [--smoke ITERS]
+//! ```
+//!
+//! `kind` is a routing-table organisation (`sequential`, `balanced-tree`,
+//! `cam`, `trie`) and `config` a machine shape (`1x1`, `3x1`, `3x3`).
+//! Renders an ASCII per-cycle bus-occupancy strip (one row per bus, one
+//! column per cycle) for the chosen cell, from a `RingTracer` capture of
+//! the measurement run.  `--chrome PATH` additionally writes the same run
+//! as Chrome `about://tracing` JSON (load it in Perfetto or
+//! `chrome://tracing`).
+//!
+//! `--smoke ITERS` runs the perf-gate smoke instead: ITERS uncached
+//! nine-cell Table 1 evaluations with the tracer disabled, printing the
+//! total wall time in milliseconds on stdout (the number
+//! `scripts/verify.sh` compares against its checked-in baseline).
+
+use std::time::Instant;
+
+use taco_core::{evaluate_request, trace_request, ArchConfig, EvalRequest, RoutingTableKind};
+use taco_sim::{ChromeTracer, RingTracer, TraceEvent};
+
+fn smoke(iters: u32) {
+    let start = Instant::now();
+    for _ in 0..iters {
+        for cell in ArchConfig::table1_cells() {
+            // Straight through the pipeline — deliberately no EvalCache, so
+            // every iteration pays the full simulation cost.
+            let report = evaluate_request(&EvalRequest::new(cell.clone()));
+            assert!(report.sim_error.is_none(), "smoke cell failed: {report}");
+        }
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{ms:.0}");
+}
+
+fn parse_kind(s: &str) -> RoutingTableKind {
+    match s {
+        "sequential" | "seq" => RoutingTableKind::Sequential,
+        "balanced-tree" | "tree" => RoutingTableKind::BalancedTree,
+        "cam" => RoutingTableKind::Cam,
+        "trie" => RoutingTableKind::Trie,
+        other => {
+            eprintln!("unknown table kind {other:?}; try sequential, balanced-tree, cam, trie");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_config(s: &str, kind: RoutingTableKind) -> ArchConfig {
+    match s {
+        "1x1" | "1BUS/1FU" => ArchConfig::one_bus_one_fu(kind),
+        "3x1" | "3BUS/1FU" => ArchConfig::three_bus_one_fu(kind),
+        "3x3" => ArchConfig::three_bus_three_fu(kind),
+        other => {
+            eprintln!("unknown machine config {other:?}; try 1x1, 3x1, 3x3");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// Renders the first `limit` cycles of the capture as one character per
+/// bus-cycle: `#` executed move, `~` squashed move, `.` idle; plus a stall
+/// row (`S`) and a datagram row (`v` begin, `^` end, `-` in flight).
+fn render_strip(events: &RingTracer, buses: u8, limit: usize) -> String {
+    let width =
+        events.events().iter().map(|e| e.cycle() as usize + 1).max().unwrap_or(0).min(limit);
+    let rows = usize::from(buses);
+    let mut bus_rows = vec![vec![b'.'; width]; rows];
+    let mut stall_row = vec![b'.'; width];
+    let mut dgram_row = vec![b'.'; width];
+    let mut stall_from: Option<usize> = None;
+    let mut dgram_from: Vec<(u32, usize)> = Vec::new();
+    let mark = |row: &mut Vec<u8>, cycle: u64, ch: u8| {
+        if (cycle as usize) < width {
+            row[cycle as usize] = ch;
+        }
+    };
+    for event in events.events() {
+        match *event {
+            TraceEvent::MoveExecuted { cycle, bus, .. } => {
+                mark(&mut bus_rows[usize::from(bus)], cycle, b'#');
+            }
+            TraceEvent::MoveSquashed { cycle, bus, .. } => {
+                mark(&mut bus_rows[usize::from(bus)], cycle, b'~');
+            }
+            TraceEvent::StallBegin { cycle } => stall_from = Some(cycle as usize),
+            TraceEvent::StallEnd { cycle } => {
+                if let Some(from) = stall_from.take() {
+                    let from = from.min(width);
+                    let to = (cycle as usize).min(width).max(from);
+                    stall_row[from..to].fill(b'S');
+                }
+            }
+            TraceEvent::DatagramBegin { cycle, ptr, .. } => {
+                dgram_from.push((ptr, cycle as usize));
+                mark(&mut dgram_row, cycle, b'v');
+            }
+            TraceEvent::DatagramEnd { cycle, ptr, .. } => {
+                if let Some(i) = dgram_from.iter().position(|(p, _)| *p == ptr) {
+                    let (_, from) = dgram_from.remove(i);
+                    let to = (cycle as usize).min(width);
+                    for slot in &mut dgram_row[(from + 1).min(to)..to] {
+                        if *slot == b'.' {
+                            *slot = b'-';
+                        }
+                    }
+                }
+                mark(&mut dgram_row, cycle, b'^');
+            }
+            TraceEvent::FuTriggered { .. } | TraceEvent::FuRetired { .. } => {}
+        }
+    }
+    // An unclosed stall extends to the edge of the strip.
+    if let Some(from) = stall_from {
+        stall_row[from.min(width)..].fill(b'S');
+    }
+
+    const CHUNK: usize = 100;
+    let mut out = String::new();
+    let row_str = |row: &[u8]| String::from_utf8_lossy(row).into_owned();
+    for start in (0..width).step_by(CHUNK) {
+        let end = (start + CHUNK).min(width);
+        out.push_str(&format!("cycles {start}..{end}\n"));
+        for (b, row) in bus_rows.iter().enumerate() {
+            out.push_str(&format!("  bus{b}  |{}|\n", row_str(&row[start..end])));
+        }
+        out.push_str(&format!("  stall |{}|\n", row_str(&stall_row[start..end])));
+        out.push_str(&format!("  dgram |{}|\n", row_str(&dgram_row[start..end])));
+    }
+    out
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        let iters: u32 = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
+        smoke(iters);
+        return;
+    }
+    let limit: usize =
+        flag_value(&mut args, "--cycles").and_then(|s| s.parse().ok()).unwrap_or(300);
+    let chrome_path = flag_value(&mut args, "--chrome");
+    let kind = parse_kind(args.first().map(String::as_str).unwrap_or("cam"));
+    let config = parse_config(args.get(1).map(String::as_str).unwrap_or("3x1"), kind);
+    let entries: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let request = EvalRequest::new(config.clone()).entries(entries);
+    let report = request.run();
+    if let Some(e) = &report.sim_error {
+        eprintln!("{} is not simulatable: {e}", config.label());
+        std::process::exit(1);
+    }
+    println!("{report}");
+    println!();
+
+    let mut ring = RingTracer::new(4_000_000);
+    let stats = match trace_request(&request, &mut ring) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("traced replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !ring.is_complete() {
+        eprintln!("note: capture truncated, {} oldest events dropped", ring.dropped());
+    }
+    println!(
+        "measurement run: {} cycles, {} stalled, {} moves ({} squashed)",
+        stats.cycles, stats.stall_cycles, stats.moves_executed, stats.moves_squashed
+    );
+    println!("legend: # move  ~ squashed  S rtu stall  v/^ datagram in/out  - in flight");
+    println!();
+    print!("{}", render_strip(&ring, config.machine.buses(), limit));
+    if stats.cycles as usize > limit {
+        println!("... {} more cycles (raise --cycles to see them)", stats.cycles as usize - limit);
+    }
+
+    if let Some(path) = chrome_path {
+        let mut chrome = ChromeTracer::new(config.machine.buses());
+        match trace_request(&request, &mut chrome) {
+            Ok(stats) => match std::fs::write(&path, chrome.finish(stats.cycles)) {
+                Ok(()) => println!("\nchrome trace written to {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("chrome replay failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

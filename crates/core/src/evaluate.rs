@@ -156,6 +156,49 @@ fn measure(
     Ok((stats.cycles as f64 / n as f64, stats.bus_utilization(), stats))
 }
 
+/// Replays the measurement workload under `tracer` — same router, same
+/// datagrams, same budget as [`measure`], so the captured events describe
+/// exactly the run the report's counters came from.
+fn traced_measure(
+    config: &ArchConfig,
+    routes: &[Route],
+    rtu_latency: u32,
+    tracer: &mut dyn taco_sim::Tracer,
+) -> Result<SimStats, SimError> {
+    let mut router = build_router(config, routes, rtu_latency)?;
+    for d in measurement_datagrams(routes) {
+        router.enqueue(PortId(0), &d).expect("measurement datagrams fit the buffer");
+    }
+    router.run_traced(CYCLE_BUDGET, tracer)
+}
+
+/// Re-runs `request`'s measurement under an arbitrary [`Tracer`] — the
+/// entry point the `trace` and `dse --trace-best` binaries capture through.
+///
+/// Evaluates the request first (through the global cache, so repeat traces
+/// of an already-swept point cost one extra simulation, not two) to learn
+/// the converged RTU latency, then replays that exact measurement run with
+/// `tracer` observing.
+///
+/// # Errors
+///
+/// Returns the structured [`SimError`] if the instance cannot execute its
+/// microcode — the same condition that makes the report infeasible.
+///
+/// [`Tracer`]: taco_sim::Tracer
+pub fn trace_request(
+    request: &EvalRequest,
+    tracer: &mut dyn taco_sim::Tracer,
+) -> Result<SimStats, SimError> {
+    let plain = EvalRequest { trace: None, ..request.clone() };
+    let report = crate::cache::EvalCache::global().evaluate(&plain);
+    if let Some(e) = report.sim_error {
+        return Err(e);
+    }
+    let routes = benchmark_routes(request.entries);
+    traced_measure(&request.config, &routes, report.rtu_latency_cycles, tracer)
+}
+
 /// The report an un-simulatable instance earns: infinite required clock,
 /// an infeasible estimate, and the structured error preserved so sweeps
 /// can say *why* the point died instead of crashing the whole grid.
@@ -242,6 +285,21 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
         estimator = estimator.with_cam(ExternalCam::micron_harmony());
     }
     let estimate = estimator.estimate(&config.machine, freq);
+
+    // Side effect, not a result: replay the converged measurement run under
+    // a ChromeTracer and write the timeline out.  IO problems are reported,
+    // never allowed to change the evaluation.
+    if let Some(path) = &request.trace {
+        let mut chrome = taco_sim::ChromeTracer::new(config.machine.buses());
+        match traced_measure(config, &routes, rtu_latency, &mut chrome) {
+            Ok(traced_stats) => {
+                if let Err(e) = std::fs::write(path, chrome.finish(traced_stats.cycles)) {
+                    eprintln!("warning: could not write trace {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: traced replay failed: {e}"),
+        }
+    }
 
     let scenario = request.workload.as_ref().map(|workload| {
         let service = scenario_service_per_tick(cycles);

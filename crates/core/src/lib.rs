@@ -51,7 +51,8 @@ pub use cache::EvalCache;
 #[allow(deprecated)]
 pub use evaluate::evaluate;
 pub use evaluate::{
-    benchmark_routes, cycles_per_datagram, evaluate_request, max_sustainable_rate_bps, EvalReport,
+    benchmark_routes, cycles_per_datagram, evaluate_request, max_sustainable_rate_bps,
+    trace_request, EvalReport,
 };
 pub use explorer::{
     explore, explore_serial, explore_with, grid, scaling_sweep, scaling_sweep_with, Constraints,

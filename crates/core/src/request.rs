@@ -26,6 +26,8 @@
 //! assert!(report.scenario.is_some());
 //! ```
 
+use std::path::PathBuf;
+
 use taco_workload::Workload;
 
 use crate::arch::ArchConfig;
@@ -49,6 +51,12 @@ pub struct EvalRequest {
     /// metrics land in [`EvalReport::scenario`] and feed the explorer's
     /// drop constraint.
     pub workload: Option<Workload>,
+    /// Optional path a Chrome-trace JSON of the measurement run is written
+    /// to (see [`taco_sim::ChromeTracer`]).  Deliberately **not** part of
+    /// the evaluation cache key: the trace is a side effect, not a result,
+    /// so a cache hit skips it — trace through an uncached
+    /// [`run`](EvalRequest::run) when the file matters.
+    pub trace: Option<PathBuf>,
 }
 
 impl EvalRequest {
@@ -63,6 +71,7 @@ impl EvalRequest {
             line_rate: LineRate::TEN_GBE,
             entries: Self::DEFAULT_ENTRIES,
             workload: None,
+            trace: None,
         }
     }
 
@@ -87,6 +96,15 @@ impl EvalRequest {
         self
     }
 
+    /// Requests a Chrome-trace capture of the measurement run (the final
+    /// fixed-point iteration), written to `path` as `about://tracing` /
+    /// Perfetto-loadable JSON.  IO failures are reported on stderr, never
+    /// fatal — a missing trace must not change the evaluation result.
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
     /// Runs the full co-analysis pipeline for this request.
     pub fn run(&self) -> EvalReport {
         evaluate_request(self)
@@ -104,6 +122,25 @@ mod tests {
         assert_eq!(r.line_rate, LineRate::TEN_GBE);
         assert_eq!(r.entries, 100);
         assert!(r.workload.is_none());
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn trace_writes_a_chrome_timeline() {
+        let path = std::env::temp_dir().join("taco-request-trace-test.json");
+        let _ = std::fs::remove_file(&path);
+        let traced = EvalRequest::new(ArchConfig::three_bus_one_fu(TableKind::Cam))
+            .entries(8)
+            .trace(&path)
+            .run();
+        let plain = EvalRequest::new(ArchConfig::three_bus_one_fu(TableKind::Cam)).entries(8).run();
+        // The trace must be a pure side effect: the report is unchanged.
+        assert_eq!(traced, plain);
+        let json = std::fs::read_to_string(&path).expect("trace file written");
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Golden snapshot of the paper's Table 1.
+//!
+//! Pins the nine cells' `min_freq`, `bus_utilization`, `area` and `power`
+//! as a byte-stable JSON fixture in `tests/golden/table1.json`.  Any
+//! change to the simulator, microcode generator, scheduler or estimator
+//! that moves a Table 1 number shows up here as a diff against the
+//! fixture — the point is that such moves must be *deliberate*.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p taco-core --test golden_table1
+//! ```
+//!
+//! then review the fixture diff like any other code change.  Floats are
+//! serialised with Rust's shortest-round-trip `Display`, which is
+//! platform-independent for the arithmetic this pipeline does; infeasible
+//! cells carry `null` area/power (the paper's "NA").
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use taco_core::{table1, EvalReport, LineRate};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table1.json")
+}
+
+fn cell_json(report: &EvalReport) -> String {
+    let mut line = format!(
+        "{{\"label\":\"{}\",\"min_freq_hz\":{},\"bus_utilization\":{}",
+        report.config.label(),
+        report.required_frequency_hz,
+        report.bus_utilization,
+    );
+    match report.estimate.feasible() {
+        Some(e) => {
+            let _ = write!(line, ",\"area_mm2\":{},\"power_w\":{}}}", e.area_mm2, e.power_w);
+        }
+        None => line.push_str(",\"area_mm2\":null,\"power_w\":null}"),
+    }
+    line
+}
+
+fn snapshot() -> String {
+    let reports = table1(LineRate::TEN_GBE, 100);
+    let mut out = String::new();
+    for report in &reports {
+        assert!(report.sim_error.is_none(), "cell failed to simulate: {report}");
+        out.push_str(&cell_json(report));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn table1_matches_golden_fixture() {
+    let current = snapshot();
+    let path = fixture_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &current).expect("write fixture");
+        eprintln!("blessed {} ({} cells)", path.display(), current.lines().count());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with \
+             BLESS=1 cargo test -p taco-core --test golden_table1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        current, golden,
+        "Table 1 drifted from the golden fixture; if the change is \
+         intentional, regenerate with BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_fixture_shape() {
+    // Independent of the simulation: the checked-in fixture itself must be
+    // nine one-line JSON objects with the four pinned keys.
+    let golden = std::fs::read_to_string(fixture_path()).expect("fixture present");
+    let lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(lines.len(), 9, "one line per Table 1 cell");
+    for line in lines {
+        assert!(line.starts_with("{\"label\":\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        for key in ["\"min_freq_hz\":", "\"bus_utilization\":", "\"area_mm2\":", "\"power_w\":"] {
+            assert!(line.contains(key), "{key} missing from {line}");
+        }
+    }
+}

@@ -42,6 +42,40 @@ fn scenario_metrics_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn latency_percentiles_are_integers_in_stable_json() {
+    // The percentile fields must be plain integers (no '.' anywhere in
+    // their values) and byte-stable across thread counts — they ride the
+    // same JSON the previous test compares, but pin the fields explicitly.
+    for json in scenario_jsons(2) {
+        for key in ["\"p50\":", "\"p90\":", "\"p99\":", "\"max\":"] {
+            let at = json.find(key).unwrap_or_else(|| panic!("{key} missing from {json}"));
+            let value: String =
+                json[at + key.len()..].chars().take_while(|c| c.is_ascii_digit()).collect();
+            assert!(!value.is_empty(), "{key} carries no integer in {json}");
+            let next = json[at + key.len() + value.len()..].chars().next();
+            assert!(
+                matches!(next, Some(',') | Some('}')),
+                "{key} value is not a bare integer in {json}"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentiles_are_ordered_and_bounded_by_max() {
+    let request = EvalRequest::new(taco_core::ArchConfig::three_bus_one_fu(RoutingTableKind::Cam))
+        .entries(8)
+        .workload(Workload::burst_overload());
+    let report = request.run();
+    let metrics = report.scenario.as_ref().expect("workload attached");
+    let h = &metrics.latency;
+    assert!(h.count() > 0, "burst-overload must service datagrams: {}", metrics.to_json());
+    assert!(h.p50() <= h.p90());
+    assert!(h.p90() <= h.p99());
+    assert!(h.p99() <= h.max());
+}
+
+#[test]
 fn same_seed_reproduces_the_run_and_a_new_seed_does_not() {
     let base = Workload::burst_overload();
     let request = |w: Workload| {

@@ -215,6 +215,20 @@ impl CycleRouter {
         self.processor.run(budget)
     }
 
+    /// Like [`CycleRouter::run`], reporting cycle-level events to `tracer`
+    /// (see [`taco_sim::trace`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::run`].
+    pub fn run_traced(
+        &mut self,
+        budget: u64,
+        tracer: &mut dyn taco_sim::Tracer,
+    ) -> Result<SimStats, SimError> {
+        self.processor.run_traced(budget, tracer)
+    }
+
     /// Forwarded datagrams in emission order, parsed back out of data
     /// memory, as `(output port, datagram)` pairs.
     ///

@@ -48,6 +48,7 @@ pub mod memory;
 pub mod processor;
 pub mod rtu;
 pub mod stats;
+pub mod trace;
 pub mod units;
 
 pub use error::SimError;
@@ -55,3 +56,4 @@ pub use memory::DataMemory;
 pub use processor::{Processor, StepOutcome, Trace, DEFAULT_MEMORY_WORDS};
 pub use rtu::{MapRtu, NullRtu, RtuBackend, RtuConfig, RtuResult};
 pub use stats::SimStats;
+pub use trace::{ChromeTracer, NullTracer, RingTracer, TraceCounters, TraceEvent, Tracer};

@@ -28,6 +28,7 @@ use crate::error::SimError;
 use crate::memory::DataMemory;
 use crate::rtu::{RtuConfig, RtuResult};
 use crate::stats::SimStats;
+use crate::trace::{NullTracer, TraceEvent, Tracer};
 use crate::units::DatapathFu;
 
 /// Outcome of a single [`Processor::step`].
@@ -101,6 +102,7 @@ pub struct Processor {
     liu_table: Vec<u32>,
     stats: SimStats,
     trace: Option<Trace>,
+    stall_open: bool,
 }
 
 /// A bounded execution trace (see [`Processor::enable_trace`]).
@@ -201,6 +203,7 @@ impl Processor {
             liu_table: Vec::new(),
             stats,
             trace: None,
+            stall_open: false,
         })
     }
 
@@ -401,6 +404,22 @@ impl Processor {
     /// Propagates memory faults, port/PC write conflicts and out-of-range
     /// jumps.
     pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        self.step_with(&mut NullTracer)
+    }
+
+    /// Executes one cycle, reporting cycle-level events to `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Processor::step`].
+    pub fn step_traced(&mut self, tracer: &mut dyn Tracer) -> Result<StepOutcome, SimError> {
+        self.step_with(tracer)
+    }
+
+    /// The real step loop, generic over the tracer so the untraced entry
+    /// points ([`Processor::step`], [`Processor::run`]) monomorphise with
+    /// [`NullTracer`] and pay nothing for instrumentation.
+    fn step_with<T: Tracer + ?Sized>(&mut self, tracer: &mut T) -> Result<StepOutcome, SimError> {
         if self.halted {
             return Ok(StepOutcome::Halted);
         }
@@ -411,6 +430,10 @@ impl Processor {
         let ins = self.program.instructions[self.pc].clone();
 
         if self.must_stall(&ins) {
+            if !self.stall_open {
+                self.stall_open = true;
+                tracer.event(&TraceEvent::StallBegin { cycle: self.cycle });
+            }
             if let Some(t) = &mut self.trace {
                 t.record(format!("c{:04} pc={:03}: <stall: rtu busy>", self.cycle, self.pc));
             }
@@ -418,6 +441,10 @@ impl Processor {
             self.stats.cycles += 1;
             self.stats.stall_cycles += 1;
             return Ok(StepOutcome::Stalled);
+        }
+        if self.stall_open {
+            self.stall_open = false;
+            tracer.event(&TraceEvent::StallEnd { cycle: self.cycle });
         }
 
         // --- read phase ---------------------------------------------------
@@ -428,7 +455,7 @@ impl Processor {
         let mut trace_line =
             self.trace.as_ref().map(|_| format!("c{:04} pc={:03}:", self.cycle, self.pc));
         let mut writes: Vec<PendingWrite> = Vec::new();
-        for mv in ins.moves() {
+        for (bus, mv) in ins.slots.iter().enumerate().filter_map(|(b, s)| Some((b, s.as_ref()?))) {
             let pass = match &mv.guard {
                 None => true,
                 Some(g) => self.guard_bit(g.fu, g.signal) != g.negate,
@@ -438,6 +465,11 @@ impl Processor {
             }
             if !pass {
                 self.stats.moves_squashed += 1;
+                tracer.event(&TraceEvent::MoveSquashed {
+                    cycle: self.cycle,
+                    bus: bus as u8,
+                    pc: self.pc as u32,
+                });
                 continue;
             }
             let value = match &mv.src {
@@ -446,6 +478,11 @@ impl Processor {
                 Source::Label(l) => return Err(SimError::UnresolvedLabel(l.clone())),
             };
             self.stats.moves_executed += 1;
+            tracer.event(&TraceEvent::MoveExecuted {
+                cycle: self.cycle,
+                bus: bus as u8,
+                pc: self.pc as u32,
+            });
             writes.push(PendingWrite { dst: mv.dst, value });
         }
 
@@ -469,7 +506,16 @@ impl Processor {
             if w.dst.fu.kind == FuKind::Nc {
                 jump = Some(w.value);
             } else {
-                self.fire_trigger(w.dst, w.value)?;
+                tracer.event(&TraceEvent::FuTriggered { cycle: self.cycle, fu: w.dst.fu });
+                self.fire_trigger(w.dst, w.value, tracer)?;
+                // Results become architecturally visible the next cycle —
+                // except RTU lookups, which retire when the interlock opens.
+                let retire = if w.dst.fu.kind == FuKind::Rtu {
+                    self.rtu.ready_at.max(self.cycle + 1)
+                } else {
+                    self.cycle + 1
+                };
+                tracer.event(&TraceEvent::FuRetired { cycle: retire, fu: w.dst.fu });
                 *self.stats.fu_triggers.entry(w.dst.fu.kind).or_insert(0) += 1;
                 *self.stats.fu_instance_triggers.entry(w.dst.fu).or_insert(0) += 1;
             }
@@ -515,7 +561,12 @@ impl Processor {
         Ok(())
     }
 
-    fn fire_trigger(&mut self, dst: PortRef, value: u32) -> Result<(), SimError> {
+    fn fire_trigger<T: Tracer + ?Sized>(
+        &mut self,
+        dst: PortRef,
+        value: u32,
+        tracer: &mut T,
+    ) -> Result<(), SimError> {
         match dst.fu.kind {
             FuKind::Mmu => {
                 let port_index = usize::from(dst.fu.index);
@@ -549,9 +600,15 @@ impl Processor {
                 if let Some((ptr, iface)) = self.ippu_queue.pop_front() {
                     self.ippu_ptr = ptr;
                     self.ippu_iface = iface;
+                    tracer.event(&TraceEvent::DatagramBegin { cycle: self.cycle, ptr, iface });
                 }
             }
             FuKind::Oppu => {
+                tracer.event(&TraceEvent::DatagramEnd {
+                    cycle: self.cycle,
+                    ptr: value,
+                    iface: self.oppu_iface,
+                });
                 self.oppu_out.push((value, self.oppu_iface));
             }
             _ => self.datapath_mut(dst.fu)?.trigger(dst.port, value),
@@ -567,12 +624,34 @@ impl Processor {
     /// [`SimError::Watchdog`] if the program has not halted within `budget`
     /// cycles.
     pub fn run(&mut self, budget: u64) -> Result<SimStats, SimError> {
+        self.run_with(budget, &mut NullTracer)
+    }
+
+    /// Runs until the program halts, reporting cycle-level events to
+    /// `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Processor::run`].
+    pub fn run_traced(
+        &mut self,
+        budget: u64,
+        tracer: &mut dyn Tracer,
+    ) -> Result<SimStats, SimError> {
+        self.run_with(budget, tracer)
+    }
+
+    fn run_with<T: Tracer + ?Sized>(
+        &mut self,
+        budget: u64,
+        tracer: &mut T,
+    ) -> Result<SimStats, SimError> {
         let start = self.cycle;
         while !self.halted {
             if self.cycle - start >= budget {
                 return Err(SimError::Watchdog { budget });
             }
-            self.step()?;
+            self.step_with(tracer)?;
         }
         Ok(self.stats.clone())
     }
@@ -1037,5 +1116,81 @@ mod trace_tests {
         prog.resolve_labels().unwrap();
         let p = Processor::new(MachineConfig::new(1), prog).unwrap();
         assert!(p.trace().is_none());
+    }
+}
+
+#[cfg(test)]
+mod event_trace_tests {
+    use super::*;
+    use crate::trace::{RingTracer, TraceCounters, TraceEvent};
+    use taco_isa::asm;
+
+    fn load(text: &str, config: MachineConfig) -> Processor {
+        let mut prog = asm::parse(text).unwrap();
+        prog.resolve_labels().unwrap();
+        Processor::new(config, prog).unwrap()
+    }
+
+    #[test]
+    fn ring_replay_reconciles_with_stats() {
+        use crate::rtu::{MapRtu, RtuResult};
+        let mut backend = MapRtu::new();
+        backend.insert([1, 2, 3, 4], RtuResult { iface: 9, handle: 1 });
+        let mut p = load(
+            "1 -> rtu0.k0 | ?rtu0.hit 1 -> regs0.r1\n\
+             2 -> rtu0.k1\n3 -> rtu0.k2\n4 -> rtu0.t\nrtu0.iface -> regs0.r0\n",
+            MachineConfig::new(2),
+        );
+        p.set_rtu(RtuConfig::new(Box::new(backend)).with_latency(5));
+        let mut ring = RingTracer::new(4096);
+        let stats = p.run_traced(100, &mut ring).unwrap();
+        assert!(ring.is_complete());
+        assert!(stats.stall_cycles > 0);
+        assert!(stats.moves_squashed > 0);
+        let replayed = TraceCounters::from_events(ring.events());
+        assert_eq!(replayed, TraceCounters::from_stats(&stats));
+    }
+
+    #[test]
+    fn datagram_events_bracket_ppu_flow() {
+        let mut p = load(
+            "0 -> ippu0.tpop\nippu0.iface -> oppu0.iface\nippu0.ptr -> oppu0.t\n",
+            MachineConfig::new(1),
+        );
+        p.push_input(0x100, 2);
+        let mut ring = RingTracer::new(64);
+        p.run_traced(10, &mut ring).unwrap();
+        let begins: Vec<_> = ring
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DatagramBegin { .. }))
+            .collect();
+        let ends: Vec<_> =
+            ring.events().iter().filter(|e| matches!(e, TraceEvent::DatagramEnd { .. })).collect();
+        assert_eq!(begins.len(), 1);
+        assert_eq!(ends.len(), 1);
+        assert!(matches!(begins[0], TraceEvent::DatagramBegin { ptr: 0x100, iface: 2, .. }));
+        assert!(matches!(ends[0], TraceEvent::DatagramEnd { ptr: 0x100, iface: 2, .. }));
+        assert!(begins[0].cycle() < ends[0].cycle());
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree_exactly() {
+        let text = "0 -> cnt0.tset | 9 -> cnt0.stop
+                    loop: 1 -> cnt0.tinc | cnt0.r -> regs0.r1
+                    !cnt0.done @loop -> nc0.pc
+                    cnt0.r -> regs0.r0
+";
+        let mut plain = load(text, MachineConfig::new(3));
+        let plain_stats = plain.run(1_000).unwrap();
+        let mut traced = load(text, MachineConfig::new(3));
+        let mut ring = RingTracer::new(4096);
+        let traced_stats = traced.run_traced(1_000, &mut ring).unwrap();
+        assert_eq!(plain_stats, traced_stats);
+        assert_eq!(plain.reg(0), traced.reg(0));
+        assert_eq!(
+            TraceCounters::from_events(ring.events()),
+            TraceCounters::from_stats(&traced_stats)
+        );
     }
 }

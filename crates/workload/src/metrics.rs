@@ -81,6 +81,55 @@ impl LatencyHistogram {
         (self.total * 1000).checked_div(self.count).unwrap_or(0)
     }
 
+    /// The `p`-th percentile as an all-integer upper bound: the smallest
+    /// bucket boundary `B` such that at least `p`% of samples are ≤ `B`
+    /// (capped at [`max`](Self::max), which the saturated last bucket and
+    /// singleton buckets would otherwise overshoot).  Zero when empty.
+    ///
+    /// Bucket resolution is what a log2 histogram affords — the bound is
+    /// exact to a factor of two, integer, and byte-stable, which is the
+    /// trade the determinism contract wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > 100`.
+    pub fn percentile(&self, p: u64) -> u64 {
+        assert!(p <= 100, "percentile {p} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let need = (self.count * p).div_ceil(100);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= need {
+                let bound = match i {
+                    0 => 0,
+                    // The saturated last bucket has no finite upper bound.
+                    _ if i == LATENCY_BUCKETS - 1 => self.max,
+                    _ => (1u64 << i) - 1,
+                };
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency bound ([`percentile`](Self::percentile) at 50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 90th-percentile latency bound.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90)
+    }
+
+    /// 99th-percentile latency bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
     fn to_json(self) -> String {
         let mut s = String::from("{\"buckets\":[");
         for (i, b) in self.buckets.iter().enumerate() {
@@ -91,10 +140,14 @@ impl LatencyHistogram {
         }
         let _ = write!(
             s,
-            "],\"count\":{},\"total_ticks\":{},\"max\":{},\"mean_milli\":{}}}",
+            "],\"count\":{},\"total_ticks\":{},\"max\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"mean_milli\":{}}}",
             self.count,
             self.total,
             self.max,
+            self.p50(),
+            self.p90(),
+            self.p99(),
             self.mean_milli()
         );
         s
@@ -195,6 +248,45 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_are_integer_bucket_bounds() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(10); // bucket 4: [8, 16)
+        }
+        h.record(100); // bucket 7: [64, 128)
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p90(), 1);
+        assert_eq!(h.percentile(91), 15);
+        assert_eq!(h.p99(), 15);
+        assert_eq!(h.percentile(100), 100); // capped at max, not 127
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_singleton() {
+        assert_eq!(LatencyHistogram::new().p50(), 0);
+        assert_eq!(LatencyHistogram::new().p99(), 0);
+        let mut h = LatencyHistogram::new();
+        h.record(5); // bucket 3: [4, 8), bound 7 capped at max 5
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.p99(), 5);
+        let mut zeros = LatencyHistogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.p50(), 0);
+    }
+
+    #[test]
+    fn saturated_bucket_percentile_reports_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1 << 40);
+        h.record(1 << 41);
+        assert_eq!(h.p99(), 1 << 41);
+    }
+
+    #[test]
     fn histogram_mean() {
         let mut h = LatencyHistogram::new();
         h.record(1);
@@ -229,6 +321,7 @@ mod tests {
         assert!(!j.contains('\n'));
         assert!(j.starts_with("{\"scenario\":\"steady-forward\",\"kind\":\"cam\","));
         assert!(j.contains("\"throughput_milli\":9000"));
+        assert!(j.contains("\"p50\":2,\"p90\":2,\"p99\":2"), "{j}");
         assert_eq!(j, m.clone().to_json());
     }
 }

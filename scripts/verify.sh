@@ -24,6 +24,53 @@ cargo test -q --offline
 cargo test -q --offline --workspace
 
 echo
+echo "== tier-1: golden + differential suites (explicit) =="
+# Already part of the workspace run above; named here so a failure in the
+# pinned Table 1 fixture or the reference-vs-cycle differential is
+# unmistakable in the log.  Regenerate the fixture after an intentional
+# change with: BLESS=1 cargo test -p taco-core --test golden_table1
+cargo test -q --offline -p taco-core --test golden_table1
+cargo test -q --offline -p taco-workload --test differential
+
+echo
+echo "== perf gate: disabled-tracer table1 smoke =="
+# The tracer must cost nothing when off.  `trace --smoke N` runs N
+# uncached nine-cell Table 1 sweeps with the NullTracer and prints the
+# wall time in ms; the best of three runs must stay within 5% (+25 ms
+# measurement grace) of the checked-in baseline.  The iteration count is
+# deliberately low so offline CI pays ~1 s for the gate.
+#
+#   PERF_GATE=off    skip (e.g. on emulated/shared hardware)
+#   PERF_GATE=bless  re-baseline on this machine, then review the diff
+baseline_file=scripts/table1-smoke-baseline.txt
+if [[ "${PERF_GATE:-on}" == "off" ]]; then
+    echo "PERF_GATE=off: skipped"
+else
+    cargo build --release --offline -q -p taco-bench --bin trace
+    best=
+    for _ in 1 2 3; do
+        ms=$(./target/release/trace --smoke 10)
+        if [[ -z "$best" || "$ms" -lt "$best" ]]; then
+            best=$ms
+        fi
+    done
+    if [[ "${PERF_GATE:-on}" == "bless" ]]; then
+        echo "$best" > "$baseline_file"
+        echo "blessed new baseline: ${best} ms"
+    else
+        baseline=$(cat "$baseline_file")
+        limit=$((baseline * 105 / 100 + 25))
+        if [[ "$best" -gt "$limit" ]]; then
+            echo "perf gate FAILED: best-of-3 ${best} ms > ${limit} ms"
+            echo "  (baseline ${baseline} ms + 5% + 25 ms grace)"
+            echo "  slower machine? PERF_GATE=bless re-baselines; PERF_GATE=off skips"
+            exit 1
+        fi
+        echo "perf gate ok: best-of-3 ${best} ms <= ${limit} ms (baseline ${baseline} ms)"
+    fi
+fi
+
+echo
 echo "== tier-1 passed =="
 
 # The proptests package needs the registry; probe with a cheap fetch and
