@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run -p taco-bench --release --bin dse \
 //!     [max_power_w] [max_area_mm2] [--stats] [--scenario NAME] [--max-drops N] \
-//!     [--trace-best PATH]
+//!     [--faults NAME] [--max-unrecovered N] [--trace-best PATH]
 //! ```
 //!
 //! The sweep fans out across all cores (`TACO_THREADS` overrides) through
@@ -14,13 +14,18 @@
 //! `--scenario` replays a named behavioural workload (`steady-forward`,
 //! `burst-overload`, `ripng-convergence`, `table-churn`) on every grid
 //! point, and `--max-drops` disqualifies instances whose scenario dropped
-//! more than N datagrams.  `--trace-best PATH` re-runs the winning design
-//! point's measurement under a Chrome tracer and writes the timeline JSON
-//! to PATH (load it in Perfetto or `chrome://tracing`).
+//! more than N datagrams.  `--faults` overlays a named deterministic fault
+//! plan (`storm`, `malformed`, `corruption`, `flaps`, `stalls`) on the
+//! scenario — defaulting the workload to `steady-forward` if `--scenario`
+//! was not given — and `--max-unrecovered` disqualifies instances that
+//! left more than N injected faults unrecovered.  `--trace-best PATH`
+//! re-runs the winning design point's measurement under a Chrome tracer
+//! and writes the timeline JSON to PATH (load it in Perfetto or
+//! `chrome://tracing`).
 
 use taco_core::{
-    explore_with, pool, table1, Constraints, EvalCache, ExploreOptions, LineRate, StderrProgress,
-    SweepSpec, Workload,
+    explore_with, pool, table1, Constraints, EvalCache, ExploreOptions, FaultPlan, LineRate,
+    StderrProgress, SweepSpec, Workload,
 };
 
 fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -53,12 +58,37 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let faults = flag_value(&mut args, "--faults").map(|name| {
+        FaultPlan::by_name(&name).unwrap_or_else(|| {
+            eprintln!("unknown fault plan {name:?}; try one of:");
+            for (builtin, _) in FaultPlan::builtin() {
+                eprintln!("  {builtin}");
+            }
+            std::process::exit(2);
+        })
+    });
+    let max_unrecovered_faults = flag_value(&mut args, "--max-unrecovered").map(|n| {
+        n.parse().unwrap_or_else(|_| {
+            eprintln!("--max-unrecovered needs an integer, got {n:?}");
+            std::process::exit(2);
+        })
+    });
     let trace_best = flag_value(&mut args, "--trace-best");
     let mut args = args.into_iter();
     let max_power_w: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
     let max_area_mm2: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50.0);
-    let constraints = Constraints { max_power_w, max_area_mm2, max_scenario_drops };
-    let spec = SweepSpec { workload, ..SweepSpec::default() };
+    let constraints =
+        Constraints { max_power_w, max_area_mm2, max_scenario_drops, max_unrecovered_faults };
+    // A fault plan needs a scenario to act on: default the workload so
+    // `--faults storm` alone does what it says.
+    let workload = match (&faults, workload) {
+        (Some(_), None) => {
+            eprintln!("--faults without --scenario: defaulting to the steady-forward workload");
+            Some(Workload::steady_forward())
+        }
+        (_, w) => w,
+    };
+    let spec = SweepSpec { workload, faults, ..SweepSpec::default() };
 
     println!(
         "design-space exploration: {} buses x {} replications x {} table kinds, {} entries",
@@ -75,6 +105,14 @@ fn main() {
         match constraints.max_scenario_drops {
             Some(n) => println!("scenario: {} (seed {:#x}), <= {n} drops", w.name(), w.seed()),
             None => println!("scenario: {} (seed {:#x})", w.name(), w.seed()),
+        }
+    }
+    if let Some(p) = &spec.faults {
+        match constraints.max_unrecovered_faults {
+            Some(n) => {
+                println!("faults: {} (seed {:#x}), <= {n} unrecovered", p.name(), p.seed)
+            }
+            None => println!("faults: {} (seed {:#x})", p.name(), p.seed),
         }
     }
     println!();
@@ -107,7 +145,12 @@ fn main() {
     println!("{} instances satisfy the constraints; by ascending power:", ex.admitted.len());
     for (rank, &i) in ex.admitted.iter().enumerate().take(10) {
         let r = &ex.all[i];
-        let e = r.estimate.feasible().expect("admitted implies feasible");
+        // Admission implies physical feasibility today, but a ranking
+        // printer must not be able to panic on a stale index either way.
+        let Some(e) = r.estimate.feasible() else {
+            eprintln!("  #{:<2} {:<38} (infeasible point, skipped)", rank + 1, r.config.label());
+            continue;
+        };
         let drops = match &r.scenario {
             Some(s) => format!(" {:>8} drops", s.dropped()),
             None => String::new(),

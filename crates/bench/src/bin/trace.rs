@@ -75,7 +75,8 @@ fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 /// Renders the first `limit` cycles of the capture as one character per
 /// bus-cycle: `#` executed move, `~` squashed move, `.` idle; plus a stall
-/// row (`S`) and a datagram row (`v` begin, `^` end, `-` in flight).
+/// row (`S` RTU interlock, `F` injected fault) and a datagram row (`v`
+/// begin, `^` end, `-` in flight).
 fn render_strip(events: &RingTracer, buses: u8, limit: usize) -> String {
     let width =
         events.events().iter().map(|e| e.cycle() as usize + 1).max().unwrap_or(0).min(limit);
@@ -84,6 +85,7 @@ fn render_strip(events: &RingTracer, buses: u8, limit: usize) -> String {
     let mut stall_row = vec![b'.'; width];
     let mut dgram_row = vec![b'.'; width];
     let mut stall_from: Option<usize> = None;
+    let mut fault_from: Option<usize> = None;
     let mut dgram_from: Vec<(u32, usize)> = Vec::new();
     let mark = |row: &mut Vec<u8>, cycle: u64, ch: u8| {
         if (cycle as usize) < width {
@@ -104,6 +106,14 @@ fn render_strip(events: &RingTracer, buses: u8, limit: usize) -> String {
                     let from = from.min(width);
                     let to = (cycle as usize).min(width).max(from);
                     stall_row[from..to].fill(b'S');
+                }
+            }
+            TraceEvent::FaultStallBegin { cycle } => fault_from = Some(cycle as usize),
+            TraceEvent::FaultStallEnd { cycle } => {
+                if let Some(from) = fault_from.take() {
+                    let from = from.min(width);
+                    let to = (cycle as usize).min(width).max(from);
+                    stall_row[from..to].fill(b'F');
                 }
             }
             TraceEvent::DatagramBegin { cycle, ptr, .. } => {
@@ -128,6 +138,9 @@ fn render_strip(events: &RingTracer, buses: u8, limit: usize) -> String {
     // An unclosed stall extends to the edge of the strip.
     if let Some(from) = stall_from {
         stall_row[from.min(width)..].fill(b'S');
+    }
+    if let Some(from) = fault_from {
+        stall_row[from.min(width)..].fill(b'F');
     }
 
     const CHUNK: usize = 100;

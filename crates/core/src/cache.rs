@@ -21,17 +21,18 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use taco_workload::Workload;
+use taco_workload::{FaultPlan, Workload};
 
 use crate::arch::ArchConfig;
 use crate::evaluate::{cycles_per_datagram, evaluate_request, EvalReport};
 use crate::request::EvalRequest;
 
 /// Full evaluation key: the architecture instance, the routing-table size,
-/// the line-rate target and the attached workload, if any.  The rate's
-/// `f64` component is keyed by bit pattern — line rates are constructed
-/// from literals, not arithmetic, so bitwise equality is the right notion
-/// here; workloads are all-integer by design, so they hash directly.
+/// the line-rate target, the attached workload and the fault plan, if any.
+/// The rate's `f64` component is keyed by bit pattern — line rates are
+/// constructed from literals, not arithmetic, so bitwise equality is the
+/// right notion here; workloads and fault plans are all-integer by design,
+/// so they hash directly.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct EvalKey {
     config: ArchConfig,
@@ -39,6 +40,7 @@ struct EvalKey {
     rate_bits: u64,
     packet_bytes: u32,
     workload: Option<Workload>,
+    faults: Option<FaultPlan>,
 }
 
 impl EvalKey {
@@ -49,6 +51,7 @@ impl EvalKey {
             rate_bits: request.line_rate.bits_per_second.to_bits(),
             packet_bytes: request.line_rate.packet_bytes,
             workload: request.workload,
+            faults: request.faults,
         }
     }
 }
@@ -210,6 +213,28 @@ mod tests {
         // Same workload again: now a hit.
         let (_, hit2) = cache.evaluate_recorded(&with_scenario);
         assert!(hit2);
+    }
+
+    #[test]
+    fn fault_plan_is_part_of_the_key() {
+        use taco_workload::{FaultPlan, Workload};
+        let cache = EvalCache::new();
+        let base = request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8)
+            .workload(Workload::steady_forward());
+        let faulted = base.clone().faults(FaultPlan::malformed());
+
+        cache.evaluate(&base);
+        let (report, hit) = cache.evaluate_recorded(&faulted);
+        assert!(!hit, "a faulted request is a distinct point");
+        assert!(report.scenario.and_then(|s| s.faults).is_some());
+        assert_eq!(cache.misses(), 2);
+
+        // A different seed is yet another point; the same plan hits.
+        let reseeded = base.clone().faults(FaultPlan::malformed().with_seed(77));
+        let (_, hit_reseeded) = cache.evaluate_recorded(&reseeded);
+        assert!(!hit_reseeded);
+        let (_, hit_same) = cache.evaluate_recorded(&faulted);
+        assert!(hit_same);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use taco_router::traffic::TrafficGen;
 use taco_routing::cam::CamSpec;
 use taco_routing::{PortId, Route, SequentialTable, TableKind};
 use taco_sim::{SimError, SimStats};
-use taco_workload::{run_scenario, ScenarioConfig, ScenarioMetrics};
+use taco_workload::{run_scenario_with_faults, FaultPlan, ScenarioConfig, ScenarioMetrics};
 
 use crate::arch::ArchConfig;
 use crate::rate::LineRate;
@@ -140,36 +140,59 @@ fn build_router(
     CycleRouter::for_kind(config.table, &config.machine, routes, rtu_latency, &opts)
 }
 
+/// Builds the transient-stall injector a fault plan asks for, if any; the
+/// fault-free path never constructs one, so it keeps the exact pre-fault
+/// `run()` entry point (the `NullTracer` monomorphisation discipline).
+fn stall_injector(faults: Option<&FaultPlan>) -> Option<taco_sim::PeriodicStall> {
+    let plan = faults?;
+    if plan.stall_every_cycles == 0 {
+        return None;
+    }
+    Some(taco_sim::PeriodicStall::new(
+        u64::from(plan.stall_every_cycles),
+        u64::from(plan.stall_cycles.max(1)),
+    ))
+}
+
 /// Measures cycles per datagram and bus utilisation for one configuration,
 /// returning the raw simulator counters alongside.
 fn measure(
     config: &ArchConfig,
     routes: &[Route],
     rtu_latency: u32,
+    faults: Option<&FaultPlan>,
 ) -> Result<(f64, f64, SimStats), SimError> {
     let mut router = build_router(config, routes, rtu_latency)?;
     for d in measurement_datagrams(routes) {
         router.enqueue(PortId(0), &d).expect("measurement datagrams fit the buffer");
     }
-    let stats = router.run(CYCLE_BUDGET)?;
+    let stats = match stall_injector(faults) {
+        Some(mut injector) => router.run_fault_injected(CYCLE_BUDGET, &mut injector)?,
+        None => router.run(CYCLE_BUDGET)?,
+    };
     let n = router.forwarded().len().max(1);
     Ok((stats.cycles as f64 / n as f64, stats.bus_utilization(), stats))
 }
 
 /// Replays the measurement workload under `tracer` — same router, same
-/// datagrams, same budget as [`measure`], so the captured events describe
-/// exactly the run the report's counters came from.
+/// datagrams, same budget (and same injected stalls) as [`measure`], so the
+/// captured events describe exactly the run the report's counters came
+/// from.
 fn traced_measure(
     config: &ArchConfig,
     routes: &[Route],
     rtu_latency: u32,
+    faults: Option<&FaultPlan>,
     tracer: &mut dyn taco_sim::Tracer,
 ) -> Result<SimStats, SimError> {
     let mut router = build_router(config, routes, rtu_latency)?;
     for d in measurement_datagrams(routes) {
         router.enqueue(PortId(0), &d).expect("measurement datagrams fit the buffer");
     }
-    router.run_traced(CYCLE_BUDGET, tracer)
+    match stall_injector(faults) {
+        Some(mut injector) => router.run_fault_traced(CYCLE_BUDGET, &mut injector, tracer),
+        None => router.run_traced(CYCLE_BUDGET, tracer),
+    }
 }
 
 /// Re-runs `request`'s measurement under an arbitrary [`Tracer`] — the
@@ -196,7 +219,13 @@ pub fn trace_request(
         return Err(e);
     }
     let routes = benchmark_routes(request.entries);
-    traced_measure(&request.config, &routes, report.rtu_latency_cycles, tracer)
+    traced_measure(
+        &request.config,
+        &routes,
+        report.rtu_latency_cycles,
+        request.faults.as_ref(),
+        tracer,
+    )
 }
 
 /// The report an un-simulatable instance earns: infinite required clock,
@@ -257,10 +286,11 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
 
     let mut rtu_latency = 1u32;
     let (cycles, util, freq, stats) = loop {
-        let (cycles, util, stats) = match measure(config, &routes, rtu_latency) {
-            Ok(m) => m,
-            Err(e) => return error_report(request, rtu_latency, e),
-        };
+        let (cycles, util, stats) =
+            match measure(config, &routes, rtu_latency, request.faults.as_ref()) {
+                Ok(m) => m,
+                Err(e) => return error_report(request, rtu_latency, e),
+            };
         let freq = request.line_rate.required_frequency_hz(cycles);
         if config.table != TableKind::Cam {
             break (cycles, util, freq, stats);
@@ -291,7 +321,7 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
     // never allowed to change the evaluation.
     if let Some(path) = &request.trace {
         let mut chrome = taco_sim::ChromeTracer::new(config.machine.buses());
-        match traced_measure(config, &routes, rtu_latency, &mut chrome) {
+        match traced_measure(config, &routes, rtu_latency, request.faults.as_ref(), &mut chrome) {
             Ok(traced_stats) => {
                 if let Err(e) = std::fs::write(path, chrome.finish(traced_stats.cycles)) {
                     eprintln!("warning: could not write trace {}: {e}", path.display());
@@ -303,7 +333,11 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
 
     let scenario = request.workload.as_ref().map(|workload| {
         let service = scenario_service_per_tick(cycles);
-        run_scenario(workload, &ScenarioConfig::new(config.table).service_per_tick(service))
+        run_scenario_with_faults(
+            workload,
+            &ScenarioConfig::new(config.table).service_per_tick(service),
+            request.faults.as_ref(),
+        )
     });
 
     EvalReport {
@@ -337,7 +371,7 @@ pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) 
 /// is wanted).  Infinite when the instance cannot be simulated.
 pub fn cycles_per_datagram(config: &ArchConfig, table_entries: usize) -> f64 {
     let routes = benchmark_routes(table_entries);
-    measure(config, &routes, 2).map(|(cycles, _, _)| cycles).unwrap_or(f64::INFINITY)
+    measure(config, &routes, 2, None).map(|(cycles, _, _)| cycles).unwrap_or(f64::INFINITY)
 }
 
 #[cfg(test)]
@@ -370,7 +404,7 @@ pub fn max_sustainable_rate_bps(
     let routes = benchmark_routes(table_entries);
     let f_max = Estimator::new().max_frequency_hz() * 0.999; // just under NA
     let rtu_latency = CamSpec::paper_default().search_cycles(f_max) as u32;
-    let Ok((cycles, _, _)) = measure(config, &routes, rtu_latency) else {
+    let Ok((cycles, _, _)) = measure(config, &routes, rtu_latency, None) else {
         return 0.0;
     };
     (f_max / cycles) * 8.0 * f64::from(packet_bytes)

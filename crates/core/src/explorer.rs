@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use taco_routing::TableKind;
-use taco_workload::Workload;
+use taco_workload::{FaultPlan, Workload};
 
 use crate::arch::ArchConfig;
 use crate::cache::EvalCache;
@@ -35,12 +35,22 @@ pub struct Constraints {
     /// instance that melts under the traffic it was sized for does not
     /// survive the sweep, however cheap its silicon.
     pub max_scenario_drops: Option<u64>,
+    /// Maximum faults the attached scenario may leave unrecovered (ignored
+    /// when `None` or when the sweep injects no faults) — the resilience
+    /// counterpart of the drop bound: an instance too slow to re-converge
+    /// inside the fault plan's repair window is disqualified.
+    pub max_unrecovered_faults: Option<u64>,
 }
 
 impl Default for Constraints {
-    /// A 0.18 µm-era embedded budget: 2 W, 50 mm², no drop bound.
+    /// A 0.18 µm-era embedded budget: 2 W, 50 mm², no drop or fault bound.
     fn default() -> Self {
-        Constraints { max_power_w: 2.0, max_area_mm2: 50.0, max_scenario_drops: None }
+        Constraints {
+            max_power_w: 2.0,
+            max_area_mm2: 50.0,
+            max_scenario_drops: None,
+            max_unrecovered_faults: None,
+        }
     }
 }
 
@@ -55,8 +65,16 @@ impl Constraints {
         if !physical {
             return false;
         }
-        match (self.max_scenario_drops, &report.scenario) {
-            (Some(max_drops), Some(scenario)) => scenario.dropped() <= max_drops,
+        if let (Some(max_drops), Some(scenario)) = (self.max_scenario_drops, &report.scenario) {
+            if scenario.dropped() > max_drops {
+                return false;
+            }
+        }
+        match (
+            self.max_unrecovered_faults,
+            report.scenario.as_ref().and_then(|s| s.faults.as_ref()),
+        ) {
+            (Some(max_unrecovered), Some(faults)) => faults.unrecovered <= max_unrecovered,
             _ => true,
         }
     }
@@ -77,6 +95,10 @@ pub struct SweepSpec {
     /// [`Constraints::max_scenario_drops`]); `None` sweeps the
     /// cycle-accurate measurement alone, as the paper does.
     pub workload: Option<Workload>,
+    /// Deterministic fault plan every grid point is evaluated under
+    /// (rankable via [`Constraints::max_unrecovered_faults`]); `None`
+    /// sweeps fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SweepSpec {
@@ -89,6 +111,7 @@ impl Default for SweepSpec {
             kinds: TableKind::PAPER_KINDS.to_vec(),
             entries: 100,
             workload: None,
+            faults: None,
         }
     }
 }
@@ -96,11 +119,14 @@ impl Default for SweepSpec {
 impl SweepSpec {
     /// The [`EvalRequest`] this sweep issues for one grid point.
     fn request(&self, config: &ArchConfig, line_rate: LineRate) -> EvalRequest {
-        let request = EvalRequest::new(config.clone()).rate(line_rate).entries(self.entries);
-        match self.workload {
-            Some(workload) => request.workload(workload),
-            None => request,
+        let mut request = EvalRequest::new(config.clone()).rate(line_rate).entries(self.entries);
+        if let Some(workload) = self.workload {
+            request = request.workload(workload);
         }
+        if let Some(faults) = self.faults {
+            request = request.faults(faults);
+        }
+        request
     }
 }
 
@@ -169,10 +195,20 @@ pub fn grid(spec: &SweepSpec) -> Vec<ArchConfig> {
 fn rank(all: &[EvalReport], constraints: &Constraints) -> Vec<usize> {
     let mut admitted: Vec<usize> =
         (0..all.len()).filter(|&i| constraints.admits(&all[i])).collect();
+    // `admits` only passes feasible estimates today, but ranking must not
+    // be able to panic if that invariant ever loosens: an infeasible point
+    // that slips through sorts last instead of crashing the sweep.
+    let sort_key = |i: usize| {
+        all[i]
+            .estimate
+            .feasible()
+            .map(|e| (e.power_w, e.area_mm2))
+            .unwrap_or((f64::INFINITY, f64::INFINITY))
+    };
     admitted.sort_unstable_by(|&a, &b| {
-        let ea = all[a].estimate.feasible().expect("admitted implies feasible");
-        let eb = all[b].estimate.feasible().expect("admitted implies feasible");
-        ea.power_w.total_cmp(&eb.power_w).then(ea.area_mm2.total_cmp(&eb.area_mm2)).then(a.cmp(&b))
+        let (pa, aa) = sort_key(a);
+        let (pb, ab) = sort_key(b);
+        pa.total_cmp(&pb).then(aa.total_cmp(&ab)).then(a.cmp(&b))
     });
     admitted
 }
@@ -285,6 +321,7 @@ mod tests {
             kinds: vec![TableKind::Cam, TableKind::BalancedTree],
             entries: 8,
             workload: None,
+            faults: None,
         }
     }
 
@@ -321,11 +358,12 @@ mod tests {
             kinds: vec![TableKind::Sequential, TableKind::Cam],
             entries: 8,
             workload: Some(workload),
+            faults: None,
         };
         // A generous physical budget so only the drop bound discriminates;
         // 10 GbE would mark the sequential row NA before drops matter.
         let lenient =
-            Constraints { max_power_w: 100.0, max_area_mm2: 1000.0, max_scenario_drops: None };
+            Constraints { max_power_w: 100.0, max_area_mm2: 1000.0, ..Constraints::default() };
         let ex = explore(&spec, LineRate::GIGE, &lenient);
         assert!(ex.all.iter().all(|r| r.scenario.is_some()), "every point replays the scenario");
         assert_eq!(ex.admitted.len(), 2, "without a drop bound both survive");

@@ -62,4 +62,4 @@ pub use observer::{PointRecord, Silent, StderrProgress, SweepObserver, SweepSumm
 pub use rate::LineRate;
 pub use request::EvalRequest;
 pub use table1::table1;
-pub use taco_workload::{ScenarioMetrics, Workload};
+pub use taco_workload::{FaultMetrics, FaultPlan, ScenarioMetrics, Workload, DEFAULT_FAULT_SEED};

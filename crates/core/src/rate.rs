@@ -37,9 +37,15 @@ impl LineRate {
     ///
     /// # Panics
     ///
-    /// Panics if either component is not positive.
+    /// Panics if `packet_bytes` is zero, or if `bits_per_second` is not a
+    /// positive *normal* float — `NaN`, infinities and subnormals all pass
+    /// a bare `> 0.0` test (`NaN` by making it false, the others by making
+    /// it true) and would poison every downstream frequency figure.
     pub fn new(bits_per_second: f64, packet_bytes: u32) -> Self {
-        assert!(bits_per_second > 0.0, "rate must be positive");
+        assert!(
+            bits_per_second.is_normal() && bits_per_second > 0.0,
+            "rate must be positive and finite"
+        );
         assert!(packet_bytes > 0, "packet size must be positive");
         LineRate { bits_per_second, packet_bytes }
     }
@@ -92,6 +98,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         let _ = LineRate::new(0.0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn infinite_rate_rejected() {
+        // Regression: `INFINITY > 0.0` is true, so the old check admitted
+        // an infinite rate and every derived frequency became infinite.
+        let _ = LineRate::new(f64::INFINITY, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nan_rate_rejected() {
+        let _ = LineRate::new(f64::NAN, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn subnormal_rate_rejected() {
+        // Subnormals are > 0.0 but carry almost no precision; reject them
+        // with the rest of the degenerate floats.
+        let _ = LineRate::new(f64::MIN_POSITIVE / 2.0, 100);
+    }
+
+    #[test]
+    fn ordinary_rates_still_accepted() {
+        let r = LineRate::new(10e9, 1040);
+        assert_eq!(r, LineRate::TEN_GBE);
     }
 
     #[test]

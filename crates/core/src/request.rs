@@ -28,7 +28,7 @@
 
 use std::path::PathBuf;
 
-use taco_workload::Workload;
+use taco_workload::{FaultPlan, Workload};
 
 use crate::arch::ArchConfig;
 use crate::evaluate::{evaluate_request, EvalReport};
@@ -51,6 +51,11 @@ pub struct EvalRequest {
     /// metrics land in [`EvalReport::scenario`] and feed the explorer's
     /// drop constraint.
     pub workload: Option<Workload>,
+    /// Optional deterministic fault plan: injects malformed datagrams,
+    /// hop-limit storms, table corruption, link flaps (scenario replay) and
+    /// transient stalls (cycle-accurate measurement).  Part of the cache
+    /// key — a faulted evaluation is a different result.
+    pub faults: Option<FaultPlan>,
     /// Optional path a Chrome-trace JSON of the measurement run is written
     /// to (see [`taco_sim::ChromeTracer`]).  Deliberately **not** part of
     /// the evaluation cache key: the trace is a side effect, not a result,
@@ -71,6 +76,7 @@ impl EvalRequest {
             line_rate: LineRate::TEN_GBE,
             entries: Self::DEFAULT_ENTRIES,
             workload: None,
+            faults: None,
             trace: None,
         }
     }
@@ -93,6 +99,16 @@ impl EvalRequest {
     /// cycles-per-datagram at the technology-ceiling clock.
     pub fn workload(mut self, workload: Workload) -> Self {
         self.workload = Some(workload);
+        self
+    }
+
+    /// Attaches a deterministic fault plan (see
+    /// [`FaultPlan`](taco_workload::FaultPlan)).  Composes with any
+    /// workload: the scenario replay injects the plan's traffic and
+    /// control-plane faults, and the cycle-accurate measurement suffers its
+    /// transient stalls.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -122,6 +138,7 @@ mod tests {
         assert_eq!(r.line_rate, LineRate::TEN_GBE);
         assert_eq!(r.entries, 100);
         assert!(r.workload.is_none());
+        assert!(r.faults.is_none());
         assert!(r.trace.is_none());
     }
 

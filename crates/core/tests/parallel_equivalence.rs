@@ -71,6 +71,7 @@ fn repeated_sweep_hits_the_cache_and_reports_it() {
         kinds: vec![RoutingTableKind::Cam, RoutingTableKind::BalancedTree],
         entries: 8,
         workload: None,
+        faults: None,
     };
     let constraints = Constraints::default();
     let cache = EvalCache::new();
@@ -159,6 +160,7 @@ fn equal_power_ties_rank_deterministically() {
         kinds: vec![RoutingTableKind::Cam],
         entries: 8,
         workload: None,
+        faults: None,
     };
     let constraints = Constraints::default();
     let cache = EvalCache::new();

@@ -12,8 +12,8 @@ use taco_routing::{BalancedTreeTable, CamTable, LpmTable, PortId, TableKind};
 use taco_sim::{Processor, RtuBackend, RtuConfig, RtuResult, SimError, SimStats};
 
 use crate::layout::{
-    datagram_to_words, dgram_slot, serialize_sequential, serialize_tree, words_to_bytes,
-    DGRAM_SLOT_WORDS, TABLE_BASE,
+    bytes_to_words, datagram_to_words, dgram_slot, serialize_sequential, serialize_tree,
+    words_to_bytes, DGRAM_SLOT_WORDS, TABLE_BASE,
 };
 use crate::microcode::{
     cam_program, pad_sequential_image, sequential_program, tree_program, MicrocodeOptions,
@@ -40,6 +40,7 @@ pub struct CycleRouter {
     kind: TableKind,
     processor: Processor,
     slots: Vec<(u32, usize)>,
+    malformed_rejected: u64,
 }
 
 impl CycleRouter {
@@ -169,7 +170,7 @@ impl CycleRouter {
         if let Some(rtu) = rtu {
             processor.set_rtu(rtu);
         }
-        Ok(CycleRouter { kind, processor, slots: Vec::new() })
+        Ok(CycleRouter { kind, processor, slots: Vec::new(), malformed_rejected: 0 })
     }
 
     /// The table organisation this instance implements.
@@ -205,6 +206,49 @@ impl CycleRouter {
         Ok(())
     }
 
+    /// Queues raw wire bytes — possibly malformed — the way a line card
+    /// would.  The paper's cards "provide fully assembled decapsulated IPv6
+    /// datagrams", so frames no card could ever hand over (shorter than the
+    /// 40-byte fixed header, or whose declared payload length disagrees
+    /// with the frame length) are rejected here and counted by
+    /// [`CycleRouter::malformed_rejected`], returning `Ok(false)`.
+    /// Length-consistent frames enter the pipeline, where the microcode's
+    /// version screen drops anything that is not IPv6; returns `Ok(true)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the frame exceeds a buffer slot (see
+    /// [`CycleRouter::enqueue`]).
+    pub fn enqueue_raw(&mut self, port: PortId, bytes: &[u8]) -> Result<bool, SimError> {
+        if bytes.len() < 40 {
+            self.malformed_rejected += 1;
+            return Ok(false);
+        }
+        let declared = usize::from(u16::from_be_bytes([bytes[4], bytes[5]]));
+        if bytes.len() != 40 + declared {
+            self.malformed_rejected += 1;
+            return Ok(false);
+        }
+        let slot = self.slots.len() as u32;
+        let addr = dgram_slot(slot);
+        let words = bytes_to_words(bytes);
+        if words.len() as u32 > DGRAM_SLOT_WORDS {
+            return Err(SimError::MemoryOutOfBounds {
+                addr: addr + words.len() as u32,
+                size: self.processor.memory().size(),
+            });
+        }
+        self.processor.memory_mut().load(addr, &words)?;
+        self.processor.push_input(addr, u32::from(port.0));
+        self.slots.push((addr, bytes.len()));
+        Ok(true)
+    }
+
+    /// Frames [`CycleRouter::enqueue_raw`] refused at the card.
+    pub fn malformed_rejected(&self) -> u64 {
+        self.malformed_rejected
+    }
+
     /// Runs until the program halts (batch mode drains the input queue and
     /// stops), returning the collected statistics.
     ///
@@ -227,6 +271,35 @@ impl CycleRouter {
         tracer: &mut dyn taco_sim::Tracer,
     ) -> Result<SimStats, SimError> {
         self.processor.run_traced(budget, tracer)
+    }
+
+    /// Like [`CycleRouter::run`], with `faults` injecting transient bus/FU
+    /// stalls (see [`taco_sim::FaultInjector`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::run`].
+    pub fn run_fault_injected(
+        &mut self,
+        budget: u64,
+        faults: &mut dyn taco_sim::FaultInjector,
+    ) -> Result<SimStats, SimError> {
+        self.processor.run_fault_injected(budget, faults)
+    }
+
+    /// [`CycleRouter::run_fault_injected`] with a tracer attached, so the
+    /// injected fault spans land in the trace.
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::run`].
+    pub fn run_fault_traced(
+        &mut self,
+        budget: u64,
+        faults: &mut dyn taco_sim::FaultInjector,
+        tracer: &mut dyn taco_sim::Tracer,
+    ) -> Result<SimStats, SimError> {
+        self.processor.run_fault_traced(budget, faults, tracer)
     }
 
     /// Forwarded datagrams in emission order, parsed back out of data
@@ -312,6 +385,31 @@ mod tests {
         let out = r.forwarded();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.header().hop_limit, 1);
+    }
+
+    #[test]
+    fn raw_frames_screened_at_card_then_version_checked_by_microcode() {
+        let mut r = seq_router(MachineConfig::three_bus_one_fu());
+        // Truncated or length-inconsistent frames never leave a real line
+        // card; the card-level screen refuses them.
+        assert_eq!(r.enqueue_raw(PortId(0), &[0xff; 12]), Ok(false));
+        let mut lying = dgram("2001:db8::5", 64).to_bytes();
+        lying.truncate(lying.len() - 4); // length field now over-claims
+        assert_eq!(r.enqueue_raw(PortId(0), &lying), Ok(false));
+        assert_eq!(r.malformed_rejected(), 2);
+        // A length-consistent frame with a bad version nibble reaches the
+        // pipeline, where the microcode's version screen drops it.
+        let mut bad_version = dgram("2001:db8::5", 64).to_bytes();
+        bad_version[0] = (bad_version[0] & 0x0f) | (4 << 4);
+        assert_eq!(r.enqueue_raw(PortId(0), &bad_version), Ok(true));
+        // A well-formed frame through the raw path still forwards.
+        let good = dgram("2001:db8:aa::5", 64).to_bytes();
+        assert_eq!(r.enqueue_raw(PortId(0), &good), Ok(true));
+        r.run(1_000_000).unwrap();
+        let out = r.forwarded();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, PortId(2));
+        assert_eq!(r.malformed_rejected(), 2);
     }
 
     #[test]

@@ -67,7 +67,13 @@ pub const HOP_LIMIT_WORD: u32 = 1;
 /// # }
 /// ```
 pub fn datagram_to_words(d: &Datagram) -> Vec<u32> {
-    let bytes = d.to_bytes();
+    bytes_to_words(&d.to_bytes())
+}
+
+/// Packs raw wire bytes into big-endian 32-bit words (zero-padded tail) —
+/// the same image [`datagram_to_words`] produces, without requiring the
+/// bytes to parse (fault injection feeds malformed frames through here).
+pub fn bytes_to_words(bytes: &[u8]) -> Vec<u32> {
     bytes
         .chunks(4)
         .map(|c| {

@@ -20,16 +20,40 @@ use taco_routing::PortId;
 /// Default Ethernet MTU in bytes.
 pub const DEFAULT_MTU: usize = 1500;
 
+/// One queued input frame: either a datagram the card parsed, or raw wire
+/// bytes (possibly malformed) handed to the core as-is — fault injection
+/// uses the raw form, so the forwarding core's parse failures are exercised
+/// instead of being screened out here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A well-formed datagram.
+    Parsed(Datagram),
+    /// Raw wire bytes, not validated beyond the MTU check.
+    Raw(Vec<u8>),
+}
+
+impl Frame {
+    /// The frame's wire image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Frame::Parsed(d) => d.to_bytes(),
+            Frame::Raw(b) => b,
+        }
+    }
+}
+
 /// One line card: a router port with input and output buffers.
 #[derive(Debug, Clone)]
 pub struct LineCard {
     port: PortId,
     mtu: usize,
     capacity: usize,
-    input: VecDeque<Datagram>,
+    link_up: bool,
+    input: VecDeque<Frame>,
     output: Vec<Datagram>,
     dropped_oversize: u64,
     dropped_overflow: u64,
+    dropped_link_down: u64,
     polled: u64,
 }
 
@@ -39,10 +63,12 @@ impl Default for LineCard {
             port: PortId::default(),
             mtu: DEFAULT_MTU,
             capacity: usize::MAX,
+            link_up: true,
             input: VecDeque::new(),
             output: Vec::new(),
             dropped_oversize: 0,
             dropped_overflow: 0,
+            dropped_link_down: 0,
             polled: 0,
         }
     }
@@ -88,8 +114,13 @@ impl LineCard {
 
     /// A frame arrives from the wire.  Oversize datagrams are dropped (the
     /// real card would never have reassembled them), as are arrivals to a
-    /// full input buffer; returns `true` if the datagram was queued.
+    /// full input buffer or a card whose link is down; returns `true` if
+    /// the datagram was queued.
     pub fn receive(&mut self, datagram: Datagram) -> bool {
+        if !self.link_up {
+            self.dropped_link_down += 1;
+            return false;
+        }
         if datagram.wire_len() > self.mtu {
             self.dropped_oversize += 1;
             return false;
@@ -98,17 +129,54 @@ impl LineCard {
             self.dropped_overflow += 1;
             return false;
         }
-        self.input.push_back(datagram);
+        self.input.push_back(Frame::Parsed(datagram));
+        true
+    }
+
+    /// Raw wire bytes arrive — possibly truncated or otherwise malformed.
+    /// The card only enforces physical-layer limits (link up, MTU,
+    /// capacity); anything deeper is the forwarding core's to detect and
+    /// drop gracefully.
+    pub fn receive_raw(&mut self, bytes: Vec<u8>) -> bool {
+        if !self.link_up {
+            self.dropped_link_down += 1;
+            return false;
+        }
+        if bytes.len() > self.mtu {
+            self.dropped_oversize += 1;
+            return false;
+        }
+        if self.input.len() >= self.capacity {
+            self.dropped_overflow += 1;
+            return false;
+        }
+        self.input.push_back(Frame::Raw(bytes));
         true
     }
 
     /// The processor polls the input buffer (the iPPU's scan).
-    pub fn poll_input(&mut self) -> Option<Datagram> {
+    pub fn poll_input(&mut self) -> Option<Frame> {
         let d = self.input.pop_front();
         if d.is_some() {
             self.polled += 1;
         }
         d
+    }
+
+    /// Sets the carrier state; a down link refuses every arrival (counted
+    /// by [`LineCard::dropped_link_down`]) until it comes back up.
+    pub fn set_link_up(&mut self, up: bool) {
+        self.link_up = up;
+    }
+
+    /// Whether the link currently has carrier.
+    pub fn link_up(&self) -> bool {
+        self.link_up
+    }
+
+    /// Frames refused while the link was down.
+    pub fn dropped_link_down(&self) -> u64 {
+        self.dropped_link_down
     }
 
     /// Number of datagrams waiting in the input buffer.
@@ -174,9 +242,36 @@ mod tests {
         lc.receive(a.clone());
         lc.receive(b.clone());
         assert_eq!(lc.pending(), 2);
-        assert_eq!(lc.poll_input(), Some(a));
-        assert_eq!(lc.poll_input(), Some(b));
+        assert_eq!(lc.poll_input(), Some(Frame::Parsed(a)));
+        assert_eq!(lc.poll_input(), Some(Frame::Parsed(b)));
         assert_eq!(lc.poll_input(), None);
+    }
+
+    #[test]
+    fn raw_frames_pass_the_card_untouched() {
+        let mut lc = LineCard::new(PortId(0));
+        let garbage = vec![0xde, 0xad, 0xbe, 0xef];
+        assert!(lc.receive_raw(garbage.clone()));
+        assert_eq!(lc.poll_input(), Some(Frame::Raw(garbage.clone())));
+        assert_eq!(Frame::Raw(garbage.clone()).into_bytes(), garbage);
+        // The MTU check still applies to raw bytes.
+        let mut small = LineCard::with_mtu(PortId(1), 8);
+        assert!(!small.receive_raw(vec![0u8; 9]));
+        assert_eq!(small.dropped_oversize(), 1);
+    }
+
+    #[test]
+    fn down_link_refuses_all_input() {
+        let mut lc = LineCard::new(PortId(0));
+        assert!(lc.link_up());
+        lc.set_link_up(false);
+        assert!(!lc.receive(dgram(1)));
+        assert!(!lc.receive_raw(vec![1, 2, 3]));
+        assert_eq!(lc.dropped_link_down(), 2);
+        assert_eq!(lc.pending(), 0);
+        lc.set_link_up(true);
+        assert!(lc.receive(dgram(1)));
+        assert_eq!(lc.dropped_link_down(), 2);
     }
 
     #[test]

@@ -60,6 +60,15 @@ pub struct ForwardingStats {
     pub delivered: u64,
     /// Datagrams dropped, any reason.
     pub dropped: u64,
+    /// Of [`ForwardingStats::dropped`], parse failures (RFC 2460: drop,
+    /// no ICMP error).
+    pub dropped_malformed: u64,
+    /// Of [`ForwardingStats::dropped`], hop-limit expirations.
+    pub dropped_hop_limit: u64,
+    /// Of [`ForwardingStats::dropped`], LPM misses.
+    pub dropped_no_route: u64,
+    /// Of [`ForwardingStats::dropped`], unserved multicast.
+    pub dropped_multicast: u64,
     /// ICMPv6 errors generated.
     pub icmp_errors: u64,
 }
@@ -136,6 +145,7 @@ impl<T: LpmTable> ReferenceRouter<T> {
             Ok(d) => d,
             Err(_e @ ParseError::BadVersion(_)) | Err(_e) => {
                 self.stats.dropped += 1;
+                self.stats.dropped_malformed += 1;
                 return ForwardDecision::Drop { reason: DropReason::Malformed, icmp: None };
             }
         };
@@ -148,12 +158,14 @@ impl<T: LpmTable> ReferenceRouter<T> {
         }
         if dst.is_multicast() {
             self.stats.dropped += 1;
+            self.stats.dropped_multicast += 1;
             return ForwardDecision::Drop { reason: DropReason::UnservedMulticast, icmp: None };
         }
 
         // Hop limit must survive the decrement.
         if datagram.header().hop_limit < 2 {
             self.stats.dropped += 1;
+            self.stats.dropped_hop_limit += 1;
             let icmp = self.icmp_error(
                 &datagram,
                 Icmpv6Message::TimeExceeded { invoking: truncate_invoking(bytes) },
@@ -171,6 +183,7 @@ impl<T: LpmTable> ReferenceRouter<T> {
             }
             None => {
                 self.stats.dropped += 1;
+                self.stats.dropped_no_route += 1;
                 let icmp = self.icmp_error(
                     &datagram,
                     Icmpv6Message::DestinationUnreachable {
@@ -308,6 +321,24 @@ mod tests {
             r.process(PortId(0), &[0x45, 0, 0, 0]),
             ForwardDecision::Drop { reason: DropReason::Malformed, icmp: None }
         ));
+        assert_eq!(r.stats().dropped_malformed, 1);
+    }
+
+    #[test]
+    fn drops_are_classified_per_reason() {
+        let mut r = router();
+        let _ = r.process(PortId(0), &[0xde, 0xad]); // malformed
+        let _ = r.process(PortId(0), &dgram("2001:db8:5::1", 0).to_bytes()); // expires
+        let _ = r.process(PortId(0), &dgram("ff02::1", 10).to_bytes()); // multicast
+        let table = SequentialTable::new();
+        let mut empty = ReferenceRouter::new(table, vec!["2001:db8::ffff".parse().unwrap()]);
+        let _ = empty.process(PortId(0), &dgram("abcd::1", 10).to_bytes()); // no route
+        let s = r.stats();
+        assert_eq!((s.dropped_malformed, s.dropped_hop_limit, s.dropped_multicast), (1, 1, 1));
+        assert_eq!(s.dropped, 3);
+        let s = empty.stats();
+        assert_eq!(s.dropped_no_route, 1);
+        assert_eq!(s.dropped, 1);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use taco_routing::ripng::{InterfaceConfig, RipngEngine};
 use taco_routing::{LpmTable, PortId, SimTime};
 
 use crate::linecard::LineCard;
-use crate::reference::{ForwardDecision, ReferenceRouter};
+use crate::reference::{DropReason, ForwardDecision, ReferenceRouter};
 use crate::traffic::ripng_datagram;
 
 /// What one [`Router::tick`] did.
@@ -29,6 +29,12 @@ pub struct TickReport {
     pub delivered: u64,
     /// Datagrams dropped.
     pub dropped: u64,
+    /// Of [`TickReport::dropped`], frames the core rejected as malformed
+    /// (parse failures — RFC 2460 says drop, no ICMP error).
+    pub dropped_malformed: u64,
+    /// Of [`TickReport::dropped`], datagrams that expired (hop limit),
+    /// bouncing an ICMPv6 time-exceeded.
+    pub dropped_hop_limit: u64,
     /// RIPng packets transmitted (periodic, triggered and replies).
     pub ripng_sent: u64,
 }
@@ -131,11 +137,11 @@ impl<T: LpmTable> Router<T> {
                 if budget == 0 {
                     break 'service;
                 }
-                let Some(datagram) = self.card_mut(*port).poll_input() else {
+                let Some(frame) = self.card_mut(*port).poll_input() else {
                     break;
                 };
                 budget -= 1;
-                let bytes = datagram.to_bytes();
+                let bytes = frame.into_bytes();
                 match self.core.process(*port, &bytes) {
                     ForwardDecision::Forward { out_port, datagram } => {
                         report.forwarded += 1;
@@ -145,8 +151,13 @@ impl<T: LpmTable> Router<T> {
                         report.delivered += 1;
                         report.ripng_sent += self.deliver(*port, &datagram, now);
                     }
-                    ForwardDecision::Drop { icmp, .. } => {
+                    ForwardDecision::Drop { icmp, reason } => {
                         report.dropped += 1;
+                        match reason {
+                            DropReason::Malformed => report.dropped_malformed += 1,
+                            DropReason::HopLimitExceeded => report.dropped_hop_limit += 1,
+                            _ => {}
+                        }
                         if let Some(err) = icmp {
                             self.card_mut(*port).transmit(err);
                         }
@@ -402,5 +413,37 @@ mod tests {
         let report = r.tick(SimTime::ZERO);
         assert_eq!(report.dropped, 1);
         assert_eq!(report.forwarded, 0);
+        // A no-route drop is neither malformed nor expired.
+        assert_eq!(report.dropped_malformed, 0);
+        assert_eq!(report.dropped_hop_limit, 0);
+    }
+
+    #[test]
+    fn malformed_and_expiring_frames_drop_gracefully_by_class() {
+        let mut r = router();
+        r.tick(SimTime::ZERO); // startup traffic out of the way
+                               // Truncated garbage straight off the wire.
+        assert!(r.card_mut(PortId(0)).receive_raw(vec![0xff; 12]));
+        // A consistent frame whose version nibble says IPv4.
+        let mut bad = dgram("2001:db8:b::7").to_bytes();
+        bad[0] = (bad[0] & 0x0f) | (4 << 4);
+        assert!(r.card_mut(PortId(0)).receive_raw(bad));
+        // An expiring datagram.
+        let expired =
+            Datagram::builder("2001:db8:a::5".parse().unwrap(), "2001:db8:b::7".parse().unwrap())
+                .hop_limit(0)
+                .payload(NextHeader::Udp, vec![0u8; 4])
+                .build();
+        assert!(r.card_mut(PortId(0)).receive(expired));
+
+        let report = r.tick(SimTime::from_secs(1));
+        assert_eq!(report.dropped, 3);
+        assert_eq!(report.dropped_malformed, 2);
+        assert_eq!(report.dropped_hop_limit, 1);
+        assert_eq!(report.forwarded, 0);
+        // The expiring datagram bounced an ICMPv6 time-exceeded; malformed
+        // frames are dropped silently per RFC 2460.
+        let out = r.card_mut(PortId(0)).drain_transmitted();
+        assert_eq!(out.iter().filter(|d| d.upper_protocol() == NextHeader::Icmpv6).count(), 1);
     }
 }

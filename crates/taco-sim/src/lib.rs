@@ -53,7 +53,9 @@ pub mod units;
 
 pub use error::SimError;
 pub use memory::DataMemory;
-pub use processor::{Processor, StepOutcome, Trace, DEFAULT_MEMORY_WORDS};
+pub use processor::{
+    FaultInjector, NoFaults, PeriodicStall, Processor, StepOutcome, Trace, DEFAULT_MEMORY_WORDS,
+};
 pub use rtu::{MapRtu, NullRtu, RtuBackend, RtuConfig, RtuResult};
 pub use stats::SimStats;
 pub use trace::{ChromeTracer, NullTracer, RingTracer, TraceCounters, TraceEvent, Tracer};

@@ -42,6 +42,72 @@ pub enum StepOutcome {
     Halted,
 }
 
+/// Decides, cycle by cycle, whether a transient hardware fault steals the
+/// cycle — modelling bus glitches or FU brown-outs that freeze the
+/// interconnection network for a beat without corrupting state.
+///
+/// The injector is consulted *before* the instruction issues; a stolen
+/// cycle behaves exactly like an RTU interlock stall (PC and architectural
+/// state untouched) but is accounted separately in
+/// [`SimStats::injected_stall_cycles`](crate::SimStats).  Injectors must be
+/// deterministic functions of the cycle number for replays to reproduce.
+pub trait FaultInjector {
+    /// Cheap gate the hot loop checks first; [`NoFaults`] returns `false`
+    /// so the entire fault path folds away.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// Returns `true` if the fault steals `cycle`.
+    fn steals_cycle(&mut self, cycle: u64) -> bool;
+}
+
+/// The no-fault injector: never steals a cycle.  Monomorphising the step
+/// loop with this (as [`Processor::step`] and [`Processor::run`] do) keeps
+/// the fault-free path as fast as before the fault subsystem existed —
+/// the same discipline [`NullTracer`] applies to tracing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    #[inline(always)]
+    fn active(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn steals_cycle(&mut self, _cycle: u64) -> bool {
+        false
+    }
+}
+
+/// A deterministic periodic stall: steals the first `len` cycles of every
+/// `every`-cycle window.  `len` is clamped below `every` so the processor
+/// always makes forward progress.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicStall {
+    every: u64,
+    len: u64,
+}
+
+impl PeriodicStall {
+    /// Creates a stall pattern stealing `len` of every `every` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(every: u64, len: u64) -> Self {
+        assert!(every > 0, "stall period must be positive");
+        PeriodicStall { every, len: len.min(every - 1) }
+    }
+}
+
+impl FaultInjector for PeriodicStall {
+    fn steals_cycle(&mut self, cycle: u64) -> bool {
+        cycle % self.every < self.len
+    }
+}
+
 #[derive(Debug, Default)]
 struct MmuState {
     addr: u32,
@@ -103,6 +169,7 @@ pub struct Processor {
     stats: SimStats,
     trace: Option<Trace>,
     stall_open: bool,
+    fault_open: bool,
 }
 
 /// A bounded execution trace (see [`Processor::enable_trace`]).
@@ -204,6 +271,7 @@ impl Processor {
             stats,
             trace: None,
             stall_open: false,
+            fault_open: false,
         })
     }
 
@@ -420,12 +488,43 @@ impl Processor {
     /// points ([`Processor::step`], [`Processor::run`]) monomorphise with
     /// [`NullTracer`] and pay nothing for instrumentation.
     fn step_with<T: Tracer + ?Sized>(&mut self, tracer: &mut T) -> Result<StepOutcome, SimError> {
+        self.step_with_faults(tracer, &mut NoFaults)
+    }
+
+    /// [`Processor::step_with`] with a fault injector consulted first; the
+    /// fault-free entry points monomorphise with [`NoFaults`], whose
+    /// `active()` is a constant `false`, so the injected branch disappears
+    /// from the hot loop.
+    fn step_with_faults<T: Tracer + ?Sized, F: FaultInjector + ?Sized>(
+        &mut self,
+        tracer: &mut T,
+        faults: &mut F,
+    ) -> Result<StepOutcome, SimError> {
         if self.halted {
             return Ok(StepOutcome::Halted);
         }
         if self.pc >= self.program.instructions.len() {
             self.halted = true;
             return Ok(StepOutcome::Halted);
+        }
+        if faults.active() {
+            if faults.steals_cycle(self.cycle) {
+                if !self.fault_open {
+                    self.fault_open = true;
+                    tracer.event(&TraceEvent::FaultStallBegin { cycle: self.cycle });
+                }
+                if let Some(t) = &mut self.trace {
+                    t.record(format!("c{:04} pc={:03}: <stall: fault>", self.cycle, self.pc));
+                }
+                self.cycle += 1;
+                self.stats.cycles += 1;
+                self.stats.injected_stall_cycles += 1;
+                return Ok(StepOutcome::Stalled);
+            }
+            if self.fault_open {
+                self.fault_open = false;
+                tracer.event(&TraceEvent::FaultStallEnd { cycle: self.cycle });
+            }
         }
         let ins = self.program.instructions[self.pc].clone();
 
@@ -646,14 +745,52 @@ impl Processor {
         budget: u64,
         tracer: &mut T,
     ) -> Result<SimStats, SimError> {
+        self.run_with_faults(budget, tracer, &mut NoFaults)
+    }
+
+    fn run_with_faults<T: Tracer + ?Sized, F: FaultInjector + ?Sized>(
+        &mut self,
+        budget: u64,
+        tracer: &mut T,
+        faults: &mut F,
+    ) -> Result<SimStats, SimError> {
         let start = self.cycle;
         while !self.halted {
             if self.cycle - start >= budget {
                 return Err(SimError::Watchdog { budget });
             }
-            self.step_with(tracer)?;
+            self.step_with_faults(tracer, faults)?;
         }
         Ok(self.stats.clone())
+    }
+
+    /// Runs until the program halts, with `faults` injecting transient
+    /// stall cycles (see [`FaultInjector`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Processor::run`].
+    pub fn run_fault_injected(
+        &mut self,
+        budget: u64,
+        faults: &mut dyn FaultInjector,
+    ) -> Result<SimStats, SimError> {
+        self.run_with_faults(budget, &mut NullTracer, faults)
+    }
+
+    /// [`Processor::run_fault_injected`] with a tracer attached, so fault
+    /// spans appear alongside the normal cycle-level events.
+    ///
+    /// # Errors
+    ///
+    /// See [`Processor::run`].
+    pub fn run_fault_traced(
+        &mut self,
+        budget: u64,
+        faults: &mut dyn FaultInjector,
+        tracer: &mut dyn Tracer,
+    ) -> Result<SimStats, SimError> {
+        self.run_with_faults(budget, tracer, faults)
     }
 }
 
@@ -1116,6 +1253,78 @@ mod trace_tests {
         prog.resolve_labels().unwrap();
         let p = Processor::new(MachineConfig::new(1), prog).unwrap();
         assert!(p.trace().is_none());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::trace::{RingTracer, TraceEvent};
+    use taco_isa::asm;
+
+    const LOOP: &str = "0 -> cnt0.tset | 9 -> cnt0.stop
+                        loop: 1 -> cnt0.tinc
+                        !cnt0.done @loop -> nc0.pc
+                        cnt0.r -> regs0.r0
+";
+
+    fn load(text: &str) -> Processor {
+        let mut prog = asm::parse(text).unwrap();
+        prog.resolve_labels().unwrap();
+        Processor::new(MachineConfig::new(3), prog).unwrap()
+    }
+
+    #[test]
+    fn injected_stalls_cost_cycles_but_not_correctness() {
+        let mut clean = load(LOOP);
+        let clean_stats = clean.run(1_000).unwrap();
+        let mut faulty = load(LOOP);
+        let mut plan = PeriodicStall::new(4, 1);
+        let faulty_stats = faulty.run_fault_injected(1_000, &mut plan).unwrap();
+        assert_eq!(clean.reg(0), faulty.reg(0)); // same architectural result
+        assert!(faulty_stats.injected_stall_cycles > 0);
+        assert_eq!(clean_stats.injected_stall_cycles, 0);
+        assert_eq!(faulty_stats.cycles, clean_stats.cycles + faulty_stats.injected_stall_cycles);
+        assert_eq!(faulty_stats.moves_executed, clean_stats.moves_executed);
+    }
+
+    #[test]
+    fn periodic_stall_always_makes_progress() {
+        let mut p = load(LOOP);
+        // len >= every would freeze forever; the clamp must prevent that.
+        let mut plan = PeriodicStall::new(3, 99);
+        p.run_fault_injected(10_000, &mut plan).unwrap();
+        assert!(p.is_halted());
+    }
+
+    #[test]
+    fn fault_spans_are_balanced_in_the_trace() {
+        let mut p = load(LOOP);
+        let mut plan = PeriodicStall::new(5, 2);
+        let mut ring = RingTracer::new(4096);
+        let stats = p.run_fault_traced(1_000, &mut plan, &mut ring).unwrap();
+        let begins = ring
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FaultStallBegin { .. }))
+            .count();
+        let ends =
+            ring.events().iter().filter(|e| matches!(e, TraceEvent::FaultStallEnd { .. })).count();
+        assert!(begins > 0);
+        // Every opened span closes: the program outlives each 2-cycle stall.
+        assert_eq!(begins, ends);
+        assert!(stats.injected_stall_cycles >= 2 * begins as u64 - 1);
+    }
+
+    #[test]
+    fn fault_replay_is_deterministic() {
+        let run = || {
+            let mut p = load(LOOP);
+            let mut plan = PeriodicStall::new(7, 3);
+            let stats = p.run_fault_injected(1_000, &mut plan).unwrap();
+            (stats, p.reg(0))
+        };
+        assert_eq!(run(), run());
     }
 }
 

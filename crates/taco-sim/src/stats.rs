@@ -17,6 +17,9 @@ pub struct SimStats {
     pub cycles: u64,
     /// Cycles spent stalled waiting for the Routing Table Unit.
     pub stall_cycles: u64,
+    /// Cycles stolen by an injected transient fault (zero unless a
+    /// [`FaultInjector`](crate::FaultInjector) was attached to the run).
+    pub injected_stall_cycles: u64,
     /// Moves whose guard passed (or that had no guard).
     pub moves_executed: u64,
     /// Moves whose guard failed (they still occupied their bus).
@@ -78,9 +81,15 @@ impl SimStats {
         let mut out = String::with_capacity(256);
         let _ = write!(
             out,
-            "{{\"cycles\":{},\"stall_cycles\":{},\"moves_executed\":{},\
+            "{{\"cycles\":{},\"stall_cycles\":{},\"injected_stall_cycles\":{},\
+             \"moves_executed\":{},\
              \"moves_squashed\":{},\"buses\":{},\"bus_utilization\":{utilization:.6}",
-            self.cycles, self.stall_cycles, self.moves_executed, self.moves_squashed, self.buses,
+            self.cycles,
+            self.stall_cycles,
+            self.injected_stall_cycles,
+            self.moves_executed,
+            self.moves_squashed,
+            self.buses,
         );
         out.push_str(",\"fu_triggers\":{");
         for (i, (kind, n)) in self.fu_triggers.iter().enumerate() {
@@ -179,6 +188,7 @@ mod tests {
         assert_eq!(json, s.clone().to_json(), "stable");
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"cycles\":10"), "{json}");
+        assert!(json.contains("\"injected_stall_cycles\":0"), "{json}");
         assert!(json.contains("\"bus_utilization\":0.500000"), "{json}");
         assert!(json.contains("\"fu_triggers\":{\"Matcher\":5}"), "{json}");
         assert!(json.contains(":5}"), "{json}");

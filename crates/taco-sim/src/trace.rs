@@ -86,6 +86,18 @@ pub enum TraceEvent {
         /// First executing cycle after the stall.
         cycle: u64,
     },
+    /// An injected transient fault started stealing cycles (see
+    /// [`FaultInjector`](crate::FaultInjector)).
+    FaultStallBegin {
+        /// First stolen cycle.
+        cycle: u64,
+    },
+    /// The injected fault released: `cycle` is the first cycle that
+    /// executed again, so `cycle - begin` is the stolen-cycle count.
+    FaultStallEnd {
+        /// First executing cycle after the fault.
+        cycle: u64,
+    },
     /// The iPPU handed the processor a datagram: its in-flight span opens.
     DatagramBegin {
         /// Cycle the iPPU pop landed.
@@ -116,6 +128,8 @@ impl TraceEvent {
             | TraceEvent::FuRetired { cycle, .. }
             | TraceEvent::StallBegin { cycle }
             | TraceEvent::StallEnd { cycle }
+            | TraceEvent::FaultStallBegin { cycle }
+            | TraceEvent::FaultStallEnd { cycle }
             | TraceEvent::DatagramBegin { cycle, .. }
             | TraceEvent::DatagramEnd { cycle, .. } => cycle,
         }
@@ -223,6 +237,10 @@ pub struct TraceCounters {
     /// open stall at capture end — a watchdog-killed run — contributes
     /// nothing).
     pub stall_cycles: u64,
+    /// Cycles stolen by injected faults (closed begin/end pairs, same
+    /// accounting as [`TraceCounters::stall_cycles`]; zero in fault-free
+    /// runs, keeping the reconciliation exact).
+    pub injected_stall_cycles: u64,
     /// Trigger counts per FU instance.
     pub fu_instance_triggers: BTreeMap<FuRef, u64>,
 }
@@ -232,6 +250,7 @@ impl TraceCounters {
     pub fn from_events<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Self {
         let mut counters = TraceCounters::default();
         let mut open_stall: Option<u64> = None;
+        let mut open_fault: Option<u64> = None;
         for event in events {
             match *event {
                 TraceEvent::MoveExecuted { .. } => counters.moves_executed += 1,
@@ -243,6 +262,12 @@ impl TraceCounters {
                 TraceEvent::StallEnd { cycle } => {
                     if let Some(begin) = open_stall.take() {
                         counters.stall_cycles += cycle.saturating_sub(begin);
+                    }
+                }
+                TraceEvent::FaultStallBegin { cycle } => open_fault = Some(cycle),
+                TraceEvent::FaultStallEnd { cycle } => {
+                    if let Some(begin) = open_fault.take() {
+                        counters.injected_stall_cycles += cycle.saturating_sub(begin);
                     }
                 }
                 TraceEvent::FuRetired { .. }
@@ -259,6 +284,7 @@ impl TraceCounters {
             moves_executed: stats.moves_executed,
             moves_squashed: stats.moves_squashed,
             stall_cycles: stats.stall_cycles,
+            injected_stall_cycles: stats.injected_stall_cycles,
             fu_instance_triggers: stats.fu_instance_triggers.clone(),
         }
     }
@@ -280,6 +306,7 @@ pub struct ChromeTracer {
     fu_tids: Vec<(FuRef, u64)>,
     open_fu: Vec<(FuRef, u64, u64)>,
     open_stall: Option<u64>,
+    open_fault: Option<u64>,
     open_dgrams: Vec<(u32, u64, u32)>,
 }
 
@@ -297,6 +324,7 @@ impl ChromeTracer {
             fu_tids: Vec::new(),
             open_fu: Vec::new(),
             open_stall: None,
+            open_fault: None,
             open_dgrams: Vec::new(),
         };
         for bus in 0..buses {
@@ -304,6 +332,7 @@ impl ChromeTracer {
         }
         tracer.thread_name(tracer.stall_tid(), "rtu-stall");
         tracer.thread_name(tracer.dgram_tid(), "datagrams");
+        tracer.thread_name(tracer.fault_tid(), "fault-stall");
         tracer
     }
 
@@ -315,11 +344,15 @@ impl ChromeTracer {
         u64::from(self.buses) + 1
     }
 
+    fn fault_tid(&self) -> u64 {
+        u64::from(self.buses) + 2
+    }
+
     fn fu_tid(&mut self, fu: FuRef) -> u64 {
         if let Some(&(_, tid)) = self.fu_tids.iter().find(|(f, _)| *f == fu) {
             return tid;
         }
-        let tid = u64::from(self.buses) + 2 + self.fu_tids.len() as u64;
+        let tid = u64::from(self.buses) + 3 + self.fu_tids.len() as u64;
         self.fu_tids.push((fu, tid));
         self.thread_name(tid, &fu.to_string());
         tid
@@ -362,6 +395,15 @@ impl ChromeTracer {
     pub fn finish(mut self, end_cycle: u64) -> String {
         if let Some(begin) = self.open_stall.take() {
             self.slice("rtu stall", self.stall_tid(), begin, end_cycle.saturating_sub(begin), "");
+        }
+        if let Some(begin) = self.open_fault.take() {
+            self.slice(
+                "injected fault",
+                self.fault_tid(),
+                begin,
+                end_cycle.saturating_sub(begin),
+                "",
+            );
         }
         let open_fu = std::mem::take(&mut self.open_fu);
         for (fu, trigger, retire) in open_fu {
@@ -415,6 +457,18 @@ impl Tracer for ChromeTracer {
                     self.slice(
                         "rtu stall",
                         self.stall_tid(),
+                        begin,
+                        cycle.saturating_sub(begin),
+                        "",
+                    );
+                }
+            }
+            TraceEvent::FaultStallBegin { cycle } => self.open_fault = Some(cycle),
+            TraceEvent::FaultStallEnd { cycle } => {
+                if let Some(begin) = self.open_fault.take() {
+                    self.slice(
+                        "injected fault",
+                        self.fault_tid(),
                         begin,
                         cycle.saturating_sub(begin),
                         "",
@@ -537,8 +591,34 @@ mod tests {
         let mut chrome = ChromeTracer::new(1);
         chrome.event(&TraceEvent::StallBegin { cycle: 3 });
         chrome.event(&TraceEvent::DatagramBegin { cycle: 1, ptr: 8, iface: 0 });
+        chrome.event(&TraceEvent::FaultStallBegin { cycle: 5 });
         let json = chrome.finish(10);
         assert!(json.contains("rtu stall"), "{json}");
         assert!(json.contains("in flight at end"), "{json}");
+        assert!(json.contains("injected fault"), "{json}");
+    }
+
+    #[test]
+    fn fault_spans_land_on_their_own_row() {
+        let mut chrome = ChromeTracer::new(2);
+        chrome.event(&TraceEvent::FaultStallBegin { cycle: 4 });
+        chrome.event(&TraceEvent::FaultStallEnd { cycle: 6 });
+        let json = chrome.finish(6);
+        assert!(json.contains("\"name\":\"fault-stall\""), "{json}");
+        assert!(json.contains("\"name\":\"injected fault\",\"ph\":\"X\""), "{json}");
+        // 2 buses → fault row is tid 4 (after rtu-stall and datagrams).
+        assert!(json.contains("\"tid\":4,\"ts\":4,\"dur\":2"), "{json}");
+    }
+
+    #[test]
+    fn fault_replay_counts_stolen_cycles() {
+        let events = [
+            TraceEvent::FaultStallBegin { cycle: 2 },
+            TraceEvent::FaultStallEnd { cycle: 5 },
+            TraceEvent::FaultStallBegin { cycle: 9 }, // never closed
+        ];
+        let counters = TraceCounters::from_events(&events);
+        assert_eq!(counters.injected_stall_cycles, 3);
+        assert_eq!(counters.stall_cycles, 0);
     }
 }

@@ -31,8 +31,13 @@
 //! println!("{}", metrics.to_json());
 //! ```
 
+pub mod fault;
 pub mod metrics;
 pub mod scenario;
 
+pub use fault::{FaultMetrics, FaultPlan, DEFAULT_FAULT_SEED};
 pub use metrics::{LatencyHistogram, ScenarioMetrics, LATENCY_BUCKETS};
-pub use scenario::{run_scenario, ScenarioConfig, Workload, DEFAULT_SEED, PORTS, TICK_MILLIS};
+pub use scenario::{
+    run_scenario, run_scenario_with_faults, ScenarioConfig, Workload, DEFAULT_SEED, PORTS,
+    TICK_MILLIS,
+};

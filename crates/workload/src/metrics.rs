@@ -52,7 +52,7 @@ impl LatencyHistogram {
         };
         self.buckets[idx] += 1;
         self.count += 1;
-        self.total += ticks;
+        self.total = self.total.saturating_add(ticks);
         self.max = self.max.max(ticks);
     }
 
@@ -77,8 +77,17 @@ impl LatencyHistogram {
     }
 
     /// Mean latency in milli-ticks (`total * 1000 / count`, 0 when empty).
+    ///
+    /// Computed in `u128` so a long fault-storm run whose tick total
+    /// approaches `u64::MAX / 1000` cannot overflow (the old raw-`u64`
+    /// multiply panicked in debug builds); a mean beyond `u64::MAX`
+    /// saturates.
     pub fn mean_milli(&self) -> u64 {
-        (self.total * 1000).checked_div(self.count).unwrap_or(0)
+        if self.count == 0 {
+            return 0;
+        }
+        let mean = u128::from(self.total) * 1000 / u128::from(self.count);
+        u64::try_from(mean).unwrap_or(u64::MAX)
     }
 
     /// The `p`-th percentile as an all-integer upper bound: the smallest
@@ -130,7 +139,7 @@ impl LatencyHistogram {
         self.percentile(99)
     }
 
-    fn to_json(self) -> String {
+    pub(crate) fn to_json(self) -> String {
         let mut s = String::from("{\"buckets\":[");
         for (i, b) in self.buckets.iter().enumerate() {
             if i > 0 {
@@ -189,19 +198,23 @@ pub struct ScenarioMetrics {
     pub ripng_sent: u64,
     /// Forwarded datagrams per tick, in thousandths.
     pub throughput_milli: u64,
+    /// Fault-injection record — `None` unless the run carried a
+    /// [`FaultPlan`](crate::FaultPlan), so fault-free JSON stays byte
+    /// identical to what it was before faults existed.
+    pub faults: Option<crate::fault::FaultMetrics>,
 }
 
 impl ScenarioMetrics {
     /// Serialises to a single-line JSON object with a fixed key order —
     /// byte-stable across runs, threads and platforms.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             "{{\"scenario\":\"{}\",\"kind\":\"{}\",\"seed\":{},\"ticks\":{},\
              \"offered\":{},\"forwarded\":{},\"delivered\":{},\
              \"dropped_no_route\":{},\"dropped_overflow\":{},\
              \"max_queue_depth\":{},\"final_backlog\":{},\
              \"latency\":{},\"table_updates\":{},\"update_latency\":{},\
-             \"ripng_sent\":{},\"throughput_milli\":{}}}",
+             \"ripng_sent\":{},\"throughput_milli\":{}",
             self.scenario,
             self.kind,
             self.seed,
@@ -218,7 +231,12 @@ impl ScenarioMetrics {
             self.update_latency.to_json(),
             self.ripng_sent,
             self.throughput_milli,
-        )
+        );
+        if let Some(f) = &self.faults {
+            let _ = write!(s, ",\"faults\":{}", f.to_json());
+        }
+        s.push('}');
+        s
     }
 
     /// Total drops from all causes.
@@ -296,6 +314,27 @@ mod tests {
     }
 
     #[test]
+    fn histogram_mean_survives_huge_totals() {
+        // A long fault-storm run can push the tick total past
+        // u64::MAX / 1000; the mean must not overflow (regression for the
+        // raw-u64 multiply that panicked in debug builds).
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX / 1000 + 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_milli(), u64::MAX); // saturates, does not panic
+                                              // An exact large mean still computes precisely.
+        let mut exact = LatencyHistogram::new();
+        exact.record(1 << 40);
+        assert_eq!(exact.mean_milli(), 1000 << 40);
+        // And the total itself saturates rather than wrapping.
+        let mut sat = LatencyHistogram::new();
+        sat.record(u64::MAX);
+        sat.record(u64::MAX);
+        assert_eq!(sat.total_ticks(), u64::MAX);
+        assert_eq!(sat.mean_milli(), u64::MAX);
+    }
+
+    #[test]
     fn json_is_single_line_and_stable() {
         let mut latency = LatencyHistogram::new();
         latency.record(2);
@@ -316,6 +355,7 @@ mod tests {
             update_latency: LatencyHistogram::new(),
             ripng_sent: 4,
             throughput_milli: 9000,
+            faults: None,
         };
         let j = m.to_json();
         assert!(!j.contains('\n'));
@@ -323,5 +363,20 @@ mod tests {
         assert!(j.contains("\"throughput_milli\":9000"));
         assert!(j.contains("\"p50\":2,\"p90\":2,\"p99\":2"), "{j}");
         assert_eq!(j, m.clone().to_json());
+
+        // Fault-free runs serialise without a faults key at all (byte
+        // compatibility with pre-fault JSON); faulted runs append one.
+        assert!(j.ends_with("\"throughput_milli\":9000}"), "{j}");
+        assert!(!j.contains("\"faults\""));
+        let faulted = ScenarioMetrics {
+            faults: Some(crate::fault::FaultMetrics {
+                injected_malformed: 2,
+                ..Default::default()
+            }),
+            ..m
+        };
+        let fj = faulted.to_json();
+        assert!(fj.contains(",\"faults\":{\"injected_malformed\":2,"), "{fj}");
+        assert!(fj.ends_with("}}"), "{fj}");
     }
 }

@@ -16,12 +16,14 @@
 
 use std::collections::VecDeque;
 
-use taco_ipv6::Ipv6Address;
+use taco_ipv6::{Datagram, Ipv6Address, NextHeader};
 use taco_router::router::Router;
 use taco_router::traffic::{ripng_datagram, TrafficGen};
+use taco_router::SplitMix64;
 use taco_routing::ripng::InterfaceConfig;
 use taco_routing::{LpmTable, PortId, Route, SimTime, TableKind};
 
+use crate::fault::{FaultMetrics, FaultPlan};
 use crate::metrics::{LatencyHistogram, ScenarioMetrics};
 
 /// Router ports every scenario drives.
@@ -250,9 +252,88 @@ impl ScenarioConfig {
     }
 }
 
-/// Arrival bookkeeping: `(arrival tick, is a table update)` per port, in
-/// FIFO order — the same order the router services each card.
-type ArrivalFifo = VecDeque<(u64, bool)>;
+/// What a recorded arrival was, so servicing it lands in the right
+/// histogram (or closes a recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArrivalKind {
+    /// A data datagram — services into the latency histogram.
+    Data,
+    /// A RIPng table update — services into the update-latency histogram.
+    Update,
+    /// A fault-injected frame (malformed, expiring) — serviced and
+    /// dropped by the core, but not a latency sample.
+    FaultNoise,
+    /// A repair re-advertisement; servicing it completes the recovery of
+    /// the fault injected at `injected`.
+    Repair {
+        /// Tick the underlying fault was injected.
+        injected: u64,
+    },
+}
+
+/// Arrival bookkeeping: `(arrival tick, kind)` per port, in FIFO order —
+/// the same order the router services each card.
+type ArrivalFifo = VecDeque<(u64, ArrivalKind)>;
+
+/// A repair re-advertisement waiting for its due tick (bounded re-resolve
+/// with retry/backoff).
+struct PendingRepair {
+    due: u64,
+    injected: u64,
+    attempts_left: u32,
+    neighbour: u32,
+    routes: Vec<Route>,
+}
+
+/// A linecard whose carrier is down until `up_at`.
+struct DownLink {
+    port: u16,
+    since: u64,
+    up_at: u64,
+}
+
+/// Executes a [`FaultPlan`] tick by tick, with its own RNG streams so the
+/// workload's traffic draw is untouched and the replay stays deterministic
+/// regardless of thread count.
+struct FaultDriver {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    fgen: TrafficGen,
+    pending: Vec<PendingRepair>,
+    downs: Vec<DownLink>,
+    flap_cursor: u32,
+    metrics: FaultMetrics,
+}
+
+impl FaultDriver {
+    fn new(plan: &FaultPlan) -> Self {
+        FaultDriver {
+            plan: *plan,
+            rng: SplitMix64::new(plan.seed),
+            fgen: TrafficGen::new(plan.seed ^ 0x5EED_FA17, PORTS),
+            pending: Vec::new(),
+            downs: Vec::new(),
+            flap_cursor: 0,
+            metrics: FaultMetrics::default(),
+        }
+    }
+
+    /// Integer-rate draw: `milli / 1000` frames plus a seeded chance of
+    /// one more for the fractional part.
+    fn count(&mut self, milli: u64) -> u64 {
+        milli / 1000 + u64::from(self.rng.below(1000) < milli % 1000)
+    }
+
+    /// A routed-or-not destination for an injected frame.
+    fn fault_dst(&mut self, routes: &[Route]) -> Ipv6Address {
+        if routes.is_empty() {
+            "9999::1".parse().expect("valid address")
+        } else {
+            let p = routes[self.rng.below(routes.len() as u64) as usize].prefix();
+            self.fgen.addr_in(&p)
+        }
+    }
+}
 
 struct Harness {
     router: Router<Box<dyn LpmTable>>,
@@ -263,10 +344,11 @@ struct Harness {
     service: usize,
     overflow_baseline: u64,
     metrics: ScenarioMetrics,
+    faults: Option<FaultDriver>,
 }
 
 impl Harness {
-    fn new(w: &Workload, cfg: &ScenarioConfig) -> Self {
+    fn new(w: &Workload, cfg: &ScenarioConfig, faults: Option<&FaultPlan>) -> Self {
         let interfaces: Vec<InterfaceConfig> = (0..PORTS)
             .map(|i| {
                 InterfaceConfig::new(
@@ -297,6 +379,7 @@ impl Harness {
             update_latency: LatencyHistogram::new(),
             ripng_sent: 0,
             throughput_milli: 0,
+            faults: None,
         };
         Harness {
             router,
@@ -307,6 +390,7 @@ impl Harness {
             service: cfg.service_per_tick as usize,
             overflow_baseline: 0,
             metrics,
+            faults: faults.map(FaultDriver::new),
         }
     }
 
@@ -331,6 +415,7 @@ impl Harness {
             update_latency: LatencyHistogram::new(),
             ripng_sent: 0,
             throughput_milli: 0,
+            faults: None,
         };
         self.overflow_baseline = self.router.cards().iter().map(|c| c.dropped_overflow()).sum();
     }
@@ -351,9 +436,30 @@ impl Harness {
                 self.gen.ripng_response(chunk)
             };
             if self.router.card_mut(port).receive(ripng_datagram(from, &pkt)) {
-                self.fifos[usize::from(port.0)].push_back((self.tick, true));
+                self.fifos[usize::from(port.0)].push_back((self.tick, ArrivalKind::Update));
             }
         }
+    }
+
+    /// Injects a repair re-advertisement from neighbour `n`; the first
+    /// accepted chunk is tagged so servicing it completes the recovery of
+    /// the fault injected at `injected`.  Returns `false` when the whole
+    /// advertisement was lost (tail drop or link down) and the repair must
+    /// retry.
+    fn inject_repair(&mut self, n: u32, routes: &[Route], injected: u64) -> bool {
+        let port = PortId((n % u32::from(PORTS)) as u16);
+        let from = Self::neighbour_addr(n);
+        let mut tagged = false;
+        for chunk in routes.chunks(ADVERT_CHUNK) {
+            let pkt = self.gen.ripng_response(chunk);
+            if self.router.card_mut(port).receive(ripng_datagram(from, &pkt)) {
+                let kind =
+                    if tagged { ArrivalKind::Update } else { ArrivalKind::Repair { injected } };
+                tagged = true;
+                self.fifos[usize::from(port.0)].push_back((self.tick, kind));
+            }
+        }
+        tagged
     }
 
     /// Injects `k` data datagrams over `routes` at random ports.
@@ -361,9 +467,146 @@ impl Harness {
         for (port, datagram) in self.gen.forwarding_workload(routes, k, HIT_RATIO, PAYLOAD_BYTES) {
             self.metrics.offered += 1;
             if self.router.card_mut(port).receive(datagram) {
-                self.fifos[usize::from(port.0)].push_back((self.tick, false));
+                self.fifos[usize::from(port.0)].push_back((self.tick, ArrivalKind::Data));
             }
         }
+    }
+
+    /// One tick of the fault plan: links coming back up re-advertise, due
+    /// repairs are issued (with retry/backoff), new flaps and table
+    /// corruptions fire, and the tick's malformed and expiring frames are
+    /// injected at the cards.  No-op when the run carries no plan.
+    fn fault_tick(&mut self, routes: &[Route]) {
+        let Some(mut f) = self.faults.take() else { return };
+        let tick = self.tick;
+
+        // Links whose down interval ended: carrier returns, and the
+        // neighbour re-advertises the routes poisoned at flap time (RIPng
+        // convergence under loss).  Recovery completes when that repair
+        // advertisement is serviced by the routing core.
+        let mut up = Vec::new();
+        f.downs.retain(|d| {
+            if d.up_at <= tick {
+                up.push((d.port, d.since));
+                false
+            } else {
+                true
+            }
+        });
+        for (port, since) in up {
+            self.router.card_mut(PortId(port)).set_link_up(true);
+            let back: Vec<Route> =
+                routes.iter().filter(|r| r.interface().0 == port).copied().collect();
+            f.pending.push(PendingRepair {
+                due: tick,
+                injected: since,
+                attempts_left: f.plan.repair_retries,
+                neighbour: u32::from(port),
+                routes: back,
+            });
+        }
+
+        // Due repairs: re-advertise; a lost advertisement backs off and
+        // retries until its attempts are exhausted, then counts as
+        // unrecovered.
+        let (due, rest): (Vec<_>, Vec<_>) = f.pending.drain(..).partition(|p| p.due <= tick);
+        f.pending = rest;
+        for mut p in due {
+            if p.routes.is_empty() {
+                // Nothing was routed behind the fault; carrier return alone
+                // completes the recovery.
+                f.metrics.recovered += 1;
+                f.metrics.recovery.record(tick - p.injected);
+            } else if self.inject_repair(p.neighbour, &p.routes, p.injected) {
+                // Queued; the recovery closes when the advert is serviced.
+            } else if p.attempts_left > 0 {
+                p.attempts_left -= 1;
+                p.due = tick + u64::from(f.plan.repair_ticks.max(1));
+                f.pending.push(p);
+            } else {
+                f.metrics.unrecovered += 1;
+            }
+        }
+
+        // A new link flap: the far-end neighbour poisons the routes behind
+        // the port (metric-16 withdrawal), then the carrier drops and the
+        // card refuses all input until the down interval ends.
+        let fe = u64::from(f.plan.flap_every);
+        if fe > 0 && tick % fe == fe / 2 {
+            let port = (f.flap_cursor % u32::from(PORTS)) as u16;
+            f.flap_cursor += 1;
+            if !f.downs.iter().any(|d| d.port == port) {
+                f.metrics.injected_flaps += 1;
+                let out: Vec<Route> =
+                    routes.iter().filter(|r| r.interface().0 == port).copied().collect();
+                if !out.is_empty() {
+                    self.inject_update(u32::from(port), &out, true);
+                }
+                self.router.card_mut(PortId(port)).set_link_up(false);
+                f.downs.push(DownLink {
+                    port,
+                    since: tick,
+                    up_at: tick + u64::from(f.plan.flap_down_ticks.max(1)),
+                });
+            }
+        }
+
+        // Routing-table entry corruption: a seeded victim entry is detected
+        // and invalidated (withdrawn); its repair re-advertisement is
+        // scheduled after the bounded re-resolve latency.
+        let ce = u64::from(f.plan.corrupt_every);
+        if ce > 0 && tick % ce == ce - 1 && !routes.is_empty() && f.pending.len() < 32 {
+            f.metrics.injected_corruptions += 1;
+            let victim = routes[f.rng.below(routes.len() as u64) as usize];
+            self.inject_update(u32::from(victim.interface().0), &[victim], true);
+            f.pending.push(PendingRepair {
+                due: tick + u64::from(f.plan.repair_ticks.max(1)),
+                injected: tick,
+                attempts_left: f.plan.repair_retries,
+                neighbour: u32::from(victim.interface().0),
+                routes: vec![victim],
+            });
+        }
+
+        // Malformed / truncated frames, straight onto the wire.
+        let n_malformed = f.count(f.plan.malformed_per_tick_milli);
+        for _ in 0..n_malformed {
+            f.metrics.injected_malformed += 1;
+            let port = PortId(f.rng.below(u64::from(PORTS)) as u16);
+            let dst = f.fault_dst(routes);
+            let mut bytes = f.fgen.datagram(dst, 8).to_bytes();
+            if f.rng.below(2) == 0 {
+                // Truncated below the 40-byte fixed header.
+                bytes.truncate(f.rng.range_inclusive(1, 39) as usize);
+            } else {
+                // A version nibble that is not 6.
+                let v = [0u8, 4, 5, 7][f.rng.below(4) as usize];
+                bytes[0] = (bytes[0] & 0x0f) | (v << 4);
+            }
+            if self.router.card_mut(port).receive_raw(bytes) {
+                self.fifos[usize::from(port.0)].push_back((tick, ArrivalKind::FaultNoise));
+            }
+        }
+
+        // Hop-limit-zero storm: datagrams that expire at the first hop and
+        // bounce an ICMPv6 time-exceeded.
+        let src: Ipv6Address = "2001:db8:bad::1".parse().expect("valid address");
+        let n_expiring = f.count(f.plan.hop_limit_zero_per_tick_milli);
+        for _ in 0..n_expiring {
+            f.metrics.injected_hop_limit += 1;
+            let port = PortId(f.rng.below(u64::from(PORTS)) as u16);
+            let dst = f.fault_dst(routes);
+            let hl = f.rng.below(2) as u8; // 0 or 1: both expire here
+            let d = Datagram::builder(src, dst)
+                .hop_limit(hl)
+                .payload(NextHeader::Udp, vec![0xfa])
+                .build();
+            if self.router.card_mut(port).receive(d) {
+                self.fifos[usize::from(port.0)].push_back((tick, ArrivalKind::FaultNoise));
+            }
+        }
+
+        self.faults = Some(f);
     }
 
     /// Runs one budgeted router tick and folds the results into the
@@ -375,6 +618,10 @@ impl Harness {
         self.metrics.delivered += report.delivered;
         self.metrics.dropped_no_route += report.dropped;
         self.metrics.ripng_sent += report.ripng_sent;
+        if let Some(f) = &mut self.faults {
+            f.metrics.detected_malformed += report.dropped_malformed;
+            f.metrics.detected_hop_limit += report.dropped_hop_limit;
+        }
         for i in 0..usize::from(PORTS) {
             let card = self.router.card_mut(PortId(i as u16));
             let polled = card.polled();
@@ -382,15 +629,27 @@ impl Harness {
             card.drain_transmitted(); // keep memory bounded; output is not measured
             self.metrics.max_queue_depth = self.metrics.max_queue_depth.max(depth);
             for _ in self.last_polled[i]..polled {
-                let Some((arrived, is_update)) = self.fifos[i].pop_front() else {
+                let Some((arrived, kind)) = self.fifos[i].pop_front() else {
                     break;
                 };
                 let latency = self.tick - arrived;
-                if is_update {
-                    self.metrics.table_updates += 1;
-                    self.metrics.update_latency.record(latency);
-                } else {
-                    self.metrics.latency.record(latency);
+                match kind {
+                    ArrivalKind::Data => self.metrics.latency.record(latency),
+                    ArrivalKind::Update => {
+                        self.metrics.table_updates += 1;
+                        self.metrics.update_latency.record(latency);
+                    }
+                    // Injected noise is serviced (it costs budget) but is
+                    // not a latency sample.
+                    ArrivalKind::FaultNoise => {}
+                    ArrivalKind::Repair { injected } => {
+                        self.metrics.table_updates += 1;
+                        self.metrics.update_latency.record(latency);
+                        if let Some(f) = &mut self.faults {
+                            f.metrics.recovered += 1;
+                            f.metrics.recovery.record(self.tick - injected);
+                        }
+                    }
                 }
             }
             self.last_polled[i] = polled;
@@ -421,6 +680,20 @@ impl Harness {
         self.metrics.final_backlog = self.router.pending() as u64;
         self.metrics.throughput_milli =
             (self.metrics.forwarded * 1000).checked_div(self.metrics.ticks).unwrap_or(0);
+        if let Some(f) = self.faults.take() {
+            let mut m = f.metrics;
+            // Whatever is still outstanding when the scenario ends never
+            // recovered: repairs awaiting their due tick, repair adverts
+            // queued but never serviced, and links still down.
+            m.unrecovered += f.pending.len() as u64 + f.downs.len() as u64;
+            for fifo in &self.fifos {
+                m.unrecovered +=
+                    fifo.iter().filter(|(_, k)| matches!(k, ArrivalKind::Repair { .. })).count()
+                        as u64;
+            }
+            m.dropped_link_down = self.router.cards().iter().map(|c| c.dropped_link_down()).sum();
+            self.metrics.faults = Some(m);
+        }
         self.metrics
     }
 }
@@ -442,7 +715,20 @@ impl Harness {
 /// assert_eq!(m, run_scenario(&w, &ScenarioConfig::new(TableKind::Cam)));
 /// ```
 pub fn run_scenario(workload: &Workload, config: &ScenarioConfig) -> ScenarioMetrics {
-    let mut h = Harness::new(workload, config);
+    run_scenario_with_faults(workload, config, None)
+}
+
+/// [`run_scenario`] with an optional deterministic [`FaultPlan`] layered on
+/// top: the plan's faults (malformed frames, expiring datagrams, table
+/// corruption with bounded repair, link flaps) fire during the measured
+/// window, and the metrics carry a [`FaultMetrics`] record.  Passing `None`
+/// is byte-identical to [`run_scenario`].
+pub fn run_scenario_with_faults(
+    workload: &Workload,
+    config: &ScenarioConfig,
+    faults: Option<&FaultPlan>,
+) -> ScenarioMetrics {
+    let mut h = Harness::new(workload, config, faults);
     match *workload {
         Workload::SteadyForward { ticks, packets_per_tick, entries, .. } => {
             let routes = h.gen.table(entries as usize, false);
@@ -451,6 +737,7 @@ pub fn run_scenario(workload: &Workload, config: &ScenarioConfig) -> ScenarioMet
             // Zero the seeding traffic out of the measured record.
             h.reset_measurement();
             for _ in 0..ticks {
+                h.fault_tick(&routes);
                 h.inject_data(&routes, packets_per_tick as usize);
                 h.service_tick();
             }
@@ -469,6 +756,7 @@ pub fn run_scenario(workload: &Workload, config: &ScenarioConfig) -> ScenarioMet
             h.drain();
             h.reset_measurement();
             for t in 0..ticks {
+                h.fault_tick(&routes);
                 let mut k = h.gen.arrivals(mean_per_tick_milli);
                 if burst_every > 0 && t % burst_every < burst_len {
                     k *= u64::from(burst_multiplier.max(1));
@@ -498,6 +786,7 @@ pub fn run_scenario(workload: &Workload, config: &ScenarioConfig) -> ScenarioMet
                         h.inject_update(n as u32, table, false);
                     }
                 }
+                h.fault_tick(&all);
                 h.inject_data(&all, packets_per_tick as usize);
                 h.service_tick();
             }
@@ -527,6 +816,7 @@ pub fn run_scenario(workload: &Workload, config: &ScenarioConfig) -> ScenarioMet
                         }
                     }
                 }
+                h.fault_tick(&routes);
                 h.inject_data(&routes, packets_per_tick as usize);
                 h.service_tick();
             }
@@ -657,5 +947,78 @@ mod tests {
         let a = run_scenario(&Workload::steady_forward(), &cfg);
         let b = run_scenario(&Workload::steady_forward().with_seed(1), &cfg);
         assert_ne!(a.to_json(), b.to_json());
+    }
+
+    fn small_steady() -> Workload {
+        Workload::SteadyForward { seed: 11, ticks: 120, packets_per_tick: 8, entries: 24 }
+    }
+
+    #[test]
+    fn no_plan_and_none_are_byte_identical() {
+        let cfg = ScenarioConfig::new(TableKind::Cam);
+        let plain = run_scenario(&small_steady(), &cfg);
+        let explicit = run_scenario_with_faults(&small_steady(), &cfg, None);
+        assert_eq!(plain.to_json(), explicit.to_json());
+        assert!(plain.faults.is_none());
+    }
+
+    #[test]
+    fn storm_injects_detects_and_recovers() {
+        let cfg = ScenarioConfig::new(TableKind::Cam);
+        let m = run_scenario_with_faults(&small_steady(), &cfg, Some(&FaultPlan::storm()));
+        let f = m.faults.as_ref().expect("plan attached");
+        assert!(f.injected_malformed > 0, "{}", m.to_json());
+        assert!(f.injected_hop_limit > 0, "{}", m.to_json());
+        assert!(f.injected_corruptions > 0, "{}", m.to_json());
+        assert!(f.injected_flaps > 0, "{}", m.to_json());
+        // Graceful degradation: every malformed frame the core serviced was
+        // detected and dropped, never panicked on, and expiring datagrams
+        // were classified as hop-limit drops.
+        assert!(f.detected_malformed > 0, "{}", m.to_json());
+        assert!(f.detected_hop_limit > 0, "{}", m.to_json());
+        assert!(f.detected_malformed <= f.injected_malformed);
+        // Repairs complete within the run (the CAM services fast enough).
+        assert!(f.recovered > 0, "{}", m.to_json());
+        assert_eq!(f.recovered, f.recovery.count());
+        // Down links refused traffic.
+        assert!(f.dropped_link_down > 0, "{}", m.to_json());
+        // The data plane still made progress.
+        assert!(m.forwarded > 0, "{}", m.to_json());
+    }
+
+    #[test]
+    fn faulted_replay_is_deterministic_and_seeded() {
+        let cfg = ScenarioConfig::new(TableKind::Sequential);
+        let plan = FaultPlan::storm();
+        let a = run_scenario_with_faults(&small_steady(), &cfg, Some(&plan));
+        let b = run_scenario_with_faults(&small_steady(), &cfg, Some(&plan));
+        assert_eq!(a.to_json(), b.to_json(), "same plan, same bytes");
+        let c = run_scenario_with_faults(&small_steady(), &cfg, Some(&plan.with_seed(99)));
+        assert_ne!(a.to_json(), c.to_json(), "the plan seed drives the injection stream");
+    }
+
+    #[test]
+    fn impossible_repairs_count_as_unrecovered() {
+        // Repairs scheduled far beyond the scenario horizon can never be
+        // serviced; they must be reported, not lost.
+        let plan = FaultPlan { corrupt_every: 10, repair_ticks: 100_000, ..FaultPlan::none() };
+        let cfg = ScenarioConfig::new(TableKind::Cam);
+        let m = run_scenario_with_faults(&small_steady(), &cfg, Some(&plan));
+        let f = m.faults.as_ref().expect("plan attached");
+        assert!(f.injected_corruptions > 0);
+        assert_eq!(f.recovered, 0, "{}", m.to_json());
+        assert!(f.unrecovered > 0, "{}", m.to_json());
+    }
+
+    #[test]
+    fn malformed_only_plan_leaves_the_control_plane_alone() {
+        let cfg = ScenarioConfig::new(TableKind::BalancedTree);
+        let m = run_scenario_with_faults(&small_steady(), &cfg, Some(&FaultPlan::malformed()));
+        let f = m.faults.as_ref().expect("plan attached");
+        assert!(f.injected_malformed > 0);
+        assert_eq!(f.injected_flaps, 0);
+        assert_eq!(f.injected_corruptions, 0);
+        assert_eq!(f.unrecovered, 0, "nothing to repair: {}", m.to_json());
+        assert_eq!(f.dropped_link_down, 0);
     }
 }

@@ -12,7 +12,9 @@
 
 use taco_ipv6::{Datagram, NextHeader};
 use taco_isa::MachineConfig;
-use taco_router::{CycleRouter, ForwardDecision, MicrocodeOptions, ReferenceRouter, TrafficGen};
+use taco_router::{
+    CycleRouter, DropReason, ForwardDecision, MicrocodeOptions, ReferenceRouter, TrafficGen,
+};
 use taco_routing::{PortId, Route, SequentialTable, TableKind};
 use taco_workload::Workload;
 
@@ -232,6 +234,88 @@ fn edge_datagrams_classify_as_the_rfc_says() {
     for kind in ALL_KINDS {
         let verdicts = check_agreement("edges", kind, &routes, &traffic);
         assert_eq!(verdicts, expected, "{kind}");
+    }
+}
+
+#[test]
+fn malformed_frames_drop_in_the_same_class_on_both_routers() {
+    // Injected fault traffic: the reference must classify every frame as a
+    // silent malformed drop (RFC 2460 parse failure — no ICMP), and the
+    // cycle path must refuse or drop the very same frames, never forward
+    // them.  A well-formed control frame proves the path stays open.
+    let routes = vec![
+        Route::new("2001:db8::/32".parse().unwrap(), "fe80::1".parse().unwrap(), PortId(1), 1),
+        Route::new("2001:db8:aa::/48".parse().unwrap(), "fe80::2".parse().unwrap(), PortId(2), 1),
+    ];
+    let good =
+        Datagram::builder("2001:db8:99::1".parse().unwrap(), "2001:db8:5::1".parse().unwrap())
+            .hop_limit(64)
+            .payload(NextHeader::Udp, vec![0xab])
+            .build()
+            .to_bytes();
+
+    // Truncated frames: shorter than one IPv6 header, or cut mid-payload so
+    // the declared payload length disagrees with the byte count.
+    let truncated: Vec<Vec<u8>> =
+        vec![vec![0x60], vec![0x60; 8], good[..39].to_vec(), good[..good.len() - 1].to_vec()];
+    // Length-consistent frames whose version nibble is not 6: these pass a
+    // pure length screen and must be caught by the header parse itself.
+    let bad_version: Vec<Vec<u8>> = [0u8, 4, 7, 15]
+        .iter()
+        .map(|v| {
+            let mut bytes = good.clone();
+            bytes[0] = (bytes[0] & 0x0f) | (v << 4);
+            bytes
+        })
+        .collect();
+
+    // Reference verdicts: every malformed frame is a silent malformed drop.
+    let table = SequentialTable::from_routes(routes.iter().copied());
+    let mut reference = ReferenceRouter::new(table, vec![ROUTER_ADDR.parse().unwrap()]);
+    for bytes in truncated.iter().chain(&bad_version) {
+        match reference.process(PortId(0), bytes) {
+            ForwardDecision::Drop { reason: DropReason::Malformed, icmp: None } => {}
+            other => panic!("reference must drop malformed frames silently, got {other:?}"),
+        }
+    }
+    assert!(matches!(
+        reference.process(PortId(0), &good),
+        ForwardDecision::Forward { out_port: PortId(1), .. }
+    ));
+    assert_eq!(reference.stats().dropped_malformed, (truncated.len() + bad_version.len()) as u64);
+
+    // Cycle verdicts, on every organisation: truncated frames are screened
+    // at the card (the paper's linecards hand over fully assembled
+    // datagrams); bad-version frames enter the pipeline and the microcode's
+    // version check drops them.  Nothing malformed ever forwards.
+    let config = MachineConfig::three_bus_one_fu();
+    for kind in ALL_KINDS {
+        let mut router = CycleRouter::for_kind(
+            kind,
+            &config,
+            &routes,
+            CAM_LATENCY,
+            &MicrocodeOptions::default(),
+        )
+        .expect("microcode validates");
+        for bytes in &truncated {
+            assert!(
+                !router.enqueue_raw(PortId(0), bytes).expect("screening is not an error"),
+                "{kind}: truncated frame must be refused at the card"
+            );
+        }
+        for bytes in &bad_version {
+            assert!(
+                router.enqueue_raw(PortId(0), bytes).expect("fits the buffer area"),
+                "{kind}: length-consistent frame reaches the pipeline"
+            );
+        }
+        assert!(router.enqueue_raw(PortId(0), &good).expect("fits the buffer area"));
+        router.run(50_000_000).expect("batch run halts");
+        assert_eq!(router.malformed_rejected(), truncated.len() as u64, "{kind}");
+        let forwarded = router.forwarded();
+        assert_eq!(forwarded.len(), 1, "{kind}: only the well-formed frame forwards");
+        assert_eq!(forwarded[0].0, PortId(1), "{kind}");
     }
 }
 

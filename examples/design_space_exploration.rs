@@ -18,6 +18,7 @@ fn main() {
         kinds: vec![TableKind::BalancedTree, TableKind::Cam],
         entries: 32,
         workload: None,
+        faults: None,
     };
     let constraints =
         Constraints { max_power_w: 0.5, max_area_mm2: 10.0, ..Constraints::default() };

@@ -24,17 +24,22 @@ cargo test -q --offline
 cargo test -q --offline --workspace
 
 echo
-echo "== tier-1: golden + differential suites (explicit) =="
+echo "== tier-1: golden + differential + fault suites (explicit) =="
 # Already part of the workspace run above; named here so a failure in the
-# pinned Table 1 fixture or the reference-vs-cycle differential is
-# unmistakable in the log.  Regenerate the fixture after an intentional
-# change with: BLESS=1 cargo test -p taco-core --test golden_table1
+# pinned Table 1 fixture, the reference-vs-cycle differential (including
+# the malformed drop-class agreement test), or the fault-replay
+# determinism contract is unmistakable in the log.  Regenerate the fixture
+# after an intentional change with: BLESS=1 cargo test -p taco-core --test golden_table1
 cargo test -q --offline -p taco-core --test golden_table1
 cargo test -q --offline -p taco-workload --test differential
+cargo test -q --offline -p taco-workload --test differential malformed_frames_drop_in_the_same_class_on_both_routers
+cargo test -q --offline -p taco-core --test fault_determinism
 
 echo
 echo "== perf gate: disabled-tracer table1 smoke =="
-# The tracer must cost nothing when off.  `trace --smoke N` runs N
+# The tracer — and the fault-injection hooks, which share its
+# monomorphisation discipline — must cost nothing when off.
+# `trace --smoke N` runs N
 # uncached nine-cell Table 1 sweeps with the NullTracer and prints the
 # wall time in ms; the best of three runs must stay within 5% (+25 ms
 # measurement grace) of the checked-in baseline.  The iteration count is
