@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use taco_bench::cli::Cli;
 use taco_core::{benchmark_routes, pool};
 use taco_ipv6::{Datagram, NextHeader};
 use taco_isa::MachineConfig;
@@ -93,6 +94,8 @@ fn measure_grid(label: &str, cells: &[(MachineConfig, &[Route], MicrocodeOptions
 }
 
 fn main() {
+    Cli::new("ablation", "sequential-scan microcode tunables: unroll factor, screening word")
+        .parse_or_exit();
     let diverse = benchmark_routes(ENTRIES);
     let clustered = clustered_routes();
     let best = |routes: &[Route]| {

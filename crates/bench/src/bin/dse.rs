@@ -23,60 +23,41 @@
 //! and writes the timeline JSON to PATH (load it in Perfetto or
 //! `chrome://tracing`).
 
+use taco_bench::cli::Cli;
+use taco_core::api::{parse_fault_plan_name, parse_workload_name};
 use taco_core::{
-    explore_with, pool, table1, Constraints, EvalCache, ExploreOptions, FaultPlan, LineRate,
-    StderrProgress, SweepSpec, Workload,
+    explore_with, pool, table1, Constraints, EvalCache, ExploreOptions, LineRate, StderrProgress,
+    SweepSpec, Workload,
 };
 
-fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == flag)?;
-    if i + 1 >= args.len() {
-        eprintln!("{flag} needs a value");
-        std::process::exit(2);
-    }
-    let value = args.remove(i + 1);
-    args.remove(i);
-    Some(value)
-}
-
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let stats = args.iter().any(|a| a == "--stats");
-    args.retain(|a| a != "--stats");
-    let workload = flag_value(&mut args, "--scenario").map(|name| {
-        Workload::by_name(&name).unwrap_or_else(|| {
-            eprintln!("unknown scenario {name:?}; try one of:");
-            for w in Workload::builtin() {
-                eprintln!("  {}", w.name());
-            }
-            std::process::exit(2);
-        })
-    });
-    let max_scenario_drops = flag_value(&mut args, "--max-drops").map(|n| {
-        n.parse().unwrap_or_else(|_| {
-            eprintln!("--max-drops needs an integer, got {n:?}");
-            std::process::exit(2);
-        })
-    });
-    let faults = flag_value(&mut args, "--faults").map(|name| {
-        FaultPlan::by_name(&name).unwrap_or_else(|| {
-            eprintln!("unknown fault plan {name:?}; try one of:");
-            for (builtin, _) in FaultPlan::builtin() {
-                eprintln!("  {builtin}");
-            }
-            std::process::exit(2);
-        })
-    });
-    let max_unrecovered_faults = flag_value(&mut args, "--max-unrecovered").map(|n| {
-        n.parse().unwrap_or_else(|_| {
-            eprintln!("--max-unrecovered needs an integer, got {n:?}");
-            std::process::exit(2);
-        })
-    });
-    let trace_best = flag_value(&mut args, "--trace-best");
-    let mut args = args.into_iter();
-    let max_power_w: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
-    let max_area_mm2: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50.0);
+    let cli = Cli::new("dse", "automated design-space exploration with constraint filtering")
+        .flag("--stats", "append each point's raw simulator counters as JSON on stderr")
+        .opt("--scenario", "NAME", "replay the named workload on every grid point")
+        .opt("--max-drops", "N", "disqualify instances dropping more than N datagrams")
+        .opt("--faults", "NAME", "overlay the named deterministic fault plan")
+        .opt("--max-unrecovered", "N", "disqualify instances leaving more than N faults open")
+        .opt("--trace-best", "PATH", "write a Chrome trace of the winning point to PATH")
+        .positional("max_power_w", "power constraint, watts", Some("2.0"))
+        .positional("max_area_mm2", "area constraint, mm^2", Some("50.0"));
+    let args = cli.parse_or_exit();
+    let stats = args.flag("--stats");
+    // Names resolve through the same `taco_core::api` parsers the wire
+    // protocol uses, so CLI and daemon reject exactly the same inputs
+    // (and list the same alternatives).
+    let workload = args
+        .opt("--scenario")
+        .map(|name| parse_workload_name(name).unwrap_or_else(|e| cli.fail(&e)));
+    let max_scenario_drops: Option<u64> =
+        args.opt_parsed("--max-drops").unwrap_or_else(|e| cli.fail(&e));
+    let faults = args
+        .opt("--faults")
+        .map(|name| parse_fault_plan_name(name).unwrap_or_else(|e| cli.fail(&e)));
+    let max_unrecovered_faults: Option<u64> =
+        args.opt_parsed("--max-unrecovered").unwrap_or_else(|e| cli.fail(&e));
+    let trace_best = args.opt("--trace-best").map(str::to_owned);
+    let max_power_w: f64 = args.pos_parsed("max_power_w").unwrap_or_else(|e| cli.fail(&e));
+    let max_area_mm2: f64 = args.pos_parsed("max_area_mm2").unwrap_or_else(|e| cli.fail(&e));
     let constraints =
         Constraints { max_power_w, max_area_mm2, max_scenario_drops, max_unrecovered_faults };
     // A fault plan needs a scenario to act on: default the workload so

@@ -8,12 +8,15 @@
 //! cargo run -p taco-bench --release --bin report > report.md
 //! ```
 
+use taco_bench::cli::Cli;
 use taco_bench::SCALING_SIZES;
 use taco_core::{scaling_sweep, table1, ArchConfig, LineRate};
 use taco_estimate::Estimator;
 use taco_routing::TableKind;
 
 fn main() {
+    Cli::new("report", "live markdown reproduction report with the paper-claim checklist")
+        .parse_or_exit();
     println!("# TACO IPv6 reproduction report (generated)");
     println!();
     println!(

@@ -14,11 +14,14 @@
 
 use std::time::Instant;
 
+use taco_bench::cli::Cli;
 use taco_bench::SCALING_SIZES;
 use taco_core::{pool, scaling_sweep, ArchConfig, EvalCache, RoutingTableKind};
 use taco_routing::TableKind;
 
 fn main() {
+    Cli::new("scaling", "cycles per datagram vs routing-table size, per organisation")
+        .parse_or_exit();
     println!("cycles per datagram vs routing-table size (cycle-accurate simulation)");
     println!();
     eprintln!(

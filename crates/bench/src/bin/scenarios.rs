@@ -11,6 +11,7 @@
 //! loudly if they ever diverge.  `--json` prints one `ScenarioMetrics`
 //! JSON line per cell instead of the table.
 
+use taco_bench::cli::Cli;
 use taco_core::pool;
 use taco_routing::TableKind;
 use taco_workload::{run_scenario, ScenarioConfig, ScenarioMetrics, Workload, DEFAULT_SEED};
@@ -38,10 +39,13 @@ fn sweep(seed: u64, threads: usize) -> Vec<ScenarioMetrics> {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
-    let seed: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let default_seed = DEFAULT_SEED.to_string();
+    let cli = Cli::new("scenarios", "replay every built-in workload over the three table kinds")
+        .flag("--json", "print one ScenarioMetrics JSON line per cell instead of the table")
+        .positional("seed", "deterministic scenario seed", Some(&default_seed));
+    let args = cli.parse_or_exit();
+    let json = args.flag("--json");
+    let seed: u64 = args.pos_parsed("seed").unwrap_or_else(|e| cli.fail(&e));
 
     let threads = pool::default_threads();
     eprintln!(

@@ -13,6 +13,7 @@
 
 use std::time::Instant;
 
+use taco_bench::cli::Cli;
 use taco_core::{
     ArchConfig, EvalCache, EvalRequest, LineRate, PointRecord, StderrProgress, SweepObserver,
 };
@@ -22,6 +23,7 @@ use taco_routing::TableKind;
 const PACKET_BYTES: [u32; 6] = [84, 256, 512, 1040, 4096, 9018];
 
 fn main() {
+    Cli::new("sensitivity", "required clock vs packet-size assumption at 10 Gbps").parse_or_exit();
     let entries = 64;
     let ceiling = Estimator::new().max_frequency_hz();
     println!("required clock (MHz) at 10 Gbps vs packet size, {entries}-entry table");

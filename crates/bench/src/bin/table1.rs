@@ -10,15 +10,18 @@
 //! the table after another sweep in the same process is free; the cache
 //! tally is reported on stderr.
 
+use taco_bench::cli::Cli;
 use taco_core::{table1, EvalCache, LineRate};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    args.retain(|a| a != "--csv");
-    let mut args = args.into_iter();
-    let entries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
-    let packet_bytes: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1040);
+    let cli = Cli::new("table1", "regenerate the paper's Table 1")
+        .flag("--csv", "emit CSV instead of the rendered table")
+        .positional("entries", "routing-table size", Some("100"))
+        .positional("packet_bytes", "assumed bytes per packet", Some("1040"));
+    let args = cli.parse_or_exit();
+    let csv = args.flag("--csv");
+    let entries: usize = args.pos_parsed("entries").unwrap_or_else(|e| cli.fail(&e));
+    let packet_bytes: u32 = args.pos_parsed("packet_bytes").unwrap_or_else(|e| cli.fail(&e));
     let rate = LineRate::new(10e9, packet_bytes);
 
     if csv {

@@ -1,0 +1,198 @@
+//! `taco-cli` — the client/server front end for the `taco-served` batch
+//! evaluation daemon.
+//!
+//! ```text
+//! cargo run -p taco-bench --release --bin taco-cli -- serve [--addr A] \
+//!     [--max-pending N] [--snapshot PATH] [--threads N]
+//! cargo run -p taco-bench --release --bin taco-cli -- submit --addr A \
+//!     [--table1 | --sweep] [--entries N]
+//! cargo run -p taco-bench --release --bin taco-cli -- status --addr A
+//! cargo run -p taco-bench --release --bin taco-cli -- shutdown --addr A
+//! ```
+//!
+//! `serve` runs the daemon in the foreground and prints the bound address
+//! on stdout (ask for port 0 to get an ephemeral one).  `submit` sends
+//! jobs: `--table1` submits the paper's nine Table 1 cells as single
+//! evaluations, `--sweep` submits the default design-space grid as one
+//! batch job (per-point progress streams back while it runs), and with
+//! neither flag one raw `v1` request line is read from stdin and sent
+//! verbatim.  All responses are printed to stdout exactly as received —
+//! one JSON line each, byte-stable, pipeable into `jq` or a golden diff.
+//! The exit code is 0 only if the daemon answered without a protocol
+//! error.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::exit;
+
+use taco_bench::cli::{Cli, Parsed};
+use taco_core::api::{ApiRequest, ApiResponse, ConfigSpec, EvalSpec};
+use taco_core::{ArchConfig, Constraints, LineRate, SweepSpec};
+use taco_served::{open_request, Server, ServerConfig};
+
+fn print_overview() {
+    println!("taco-cli — client/server front end for the taco-served evaluation daemon");
+    println!();
+    println!("usage: taco-cli <serve|submit|status|shutdown> [options]");
+    println!();
+    println!("subcommands:");
+    println!("  serve     run the daemon in the foreground (prints the bound address)");
+    println!("  submit    send eval/sweep jobs to a running daemon");
+    println!("  status    print the daemon's queue and cache statistics");
+    println!("  shutdown  drain the daemon, persist its cache and stop it");
+    println!();
+    println!("run `taco-cli <subcommand> --help` for the subcommand's options.");
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_overview();
+        exit(2);
+    }
+    let subcommand = args.remove(0);
+    match subcommand.as_str() {
+        "--help" | "-h" => print_overview(),
+        "serve" => serve(args),
+        "submit" => submit(args),
+        "status" => control(args, "status", ApiRequest::Status),
+        "shutdown" => control(args, "shutdown", ApiRequest::Shutdown),
+        other => {
+            eprintln!("taco-cli: unknown subcommand {other:?}");
+            eprintln!();
+            print_overview();
+            exit(2);
+        }
+    }
+}
+
+fn serve(rest: Vec<String>) {
+    let cli = Cli::new("taco-cli serve", "run the taco-served evaluation daemon")
+        .opt("--addr", "ADDR", "address to listen on; port 0 picks an ephemeral port")
+        .opt("--max-pending", "N", "job slots before submissions get a structured busy error")
+        .opt("--snapshot", "PATH", "cache snapshot to load on boot and persist on shutdown")
+        .opt("--threads", "N", "sweep worker threads (0 = one per core)");
+    let args = cli.parse_args_or_exit(rest);
+    let mut config = ServerConfig::default();
+    if let Some(addr) = args.opt("--addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(n) = args.opt_parsed("--max-pending").unwrap_or_else(|e| cli.fail(&e)) {
+        config.max_pending = n;
+    }
+    if let Some(path) = args.opt("--snapshot") {
+        config.snapshot = Some(PathBuf::from(path));
+    }
+    if let Some(n) = args.opt_parsed("--threads").unwrap_or_else(|e| cli.fail(&e)) {
+        config.threads = n;
+    }
+    let server = Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("taco-cli: cannot bind the daemon: {e}");
+        exit(1);
+    });
+    // The address line is the serve contract: scripts read it to learn
+    // the ephemeral port, so it must be flushed before the first accept.
+    println!("taco-served listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    if let Err(e) = server.run() {
+        eprintln!("taco-cli: server failed: {e}");
+        exit(1);
+    }
+}
+
+/// The daemon address every client subcommand needs.
+fn required_addr(cli: &Cli, args: &Parsed) -> String {
+    match args.opt("--addr") {
+        Some(addr) => addr.to_owned(),
+        None => cli.fail("--addr is required (the address `serve` printed)"),
+    }
+}
+
+/// Sends one request line, echoes every response line to stdout, and
+/// returns the last line (the final response of a streamed job).
+fn exchange(addr: &str, request_line: &str) -> String {
+    let reader = open_request(addr, request_line).unwrap_or_else(|e| {
+        eprintln!("taco-cli: cannot reach the daemon at {addr}: {e}");
+        exit(1);
+    });
+    let mut last = String::new();
+    for line in reader.lines() {
+        match line {
+            Ok(line) => {
+                println!("{line}");
+                last = line;
+            }
+            Err(e) => {
+                eprintln!("taco-cli: connection lost mid-response: {e}");
+                exit(1);
+            }
+        }
+    }
+    if last.is_empty() {
+        eprintln!("taco-cli: the daemon closed the connection without answering");
+        exit(1);
+    }
+    last
+}
+
+/// Exits 1 if the final response line is a protocol error (so scripts can
+/// branch on the exit code instead of parsing JSON).
+fn check(final_line: &str) {
+    if let Ok(ApiResponse::Error(e)) = ApiResponse::from_json(final_line) {
+        eprintln!("taco-cli: daemon answered with an error: {e}");
+        exit(1);
+    }
+}
+
+fn control(rest: Vec<String>, name: &'static str, request: ApiRequest) {
+    let about = match name {
+        "status" => "print the daemon's queue and cache statistics",
+        _ => "drain the daemon, persist its cache and stop it",
+    };
+    let cli = Cli::new(name, about).opt("--addr", "ADDR", "daemon address (required)");
+    let args = cli.parse_args_or_exit(rest);
+    let addr = required_addr(&cli, &args);
+    check(&exchange(&addr, &request.to_json()));
+}
+
+fn submit(rest: Vec<String>) {
+    let cli = Cli::new("taco-cli submit", "submit evaluation jobs to a running daemon")
+        .flag("--table1", "submit the paper's nine Table 1 cells as eval requests")
+        .flag("--sweep", "submit the default design-space grid as one batch job")
+        .opt("--addr", "ADDR", "daemon address (required)")
+        .opt("--entries", "N", "override the routing-table size for --table1/--sweep");
+    let args = cli.parse_args_or_exit(rest);
+    let addr = required_addr(&cli, &args);
+    let entries: Option<usize> = args.opt_parsed("--entries").unwrap_or_else(|e| cli.fail(&e));
+    if args.flag("--table1") && args.flag("--sweep") {
+        cli.fail("--table1 and --sweep are mutually exclusive");
+    }
+    if args.flag("--table1") {
+        for config in ArchConfig::table1_cells() {
+            let spec =
+                ConfigSpec::from_config(&config).expect("every Table 1 cell is wire-expressible");
+            let mut eval = EvalSpec::new(spec);
+            if let Some(n) = entries {
+                eval.entries = n;
+            }
+            check(&exchange(&addr, &ApiRequest::Eval(eval).to_json()));
+        }
+    } else if args.flag("--sweep") {
+        let mut spec = SweepSpec::default();
+        if let Some(n) = entries {
+            spec.entries = n;
+        }
+        let request = ApiRequest::Sweep {
+            spec,
+            rate: LineRate::TEN_GBE,
+            constraints: Constraints::default(),
+        };
+        check(&exchange(&addr, &request.to_json()));
+    } else {
+        let mut line = String::new();
+        if std::io::stdin().read_line(&mut line).unwrap_or(0) == 0 {
+            cli.fail("no job given: pass --table1 or --sweep, or pipe a request line to stdin");
+        }
+        check(&exchange(&addr, line.trim_end()));
+    }
+}

@@ -20,7 +20,9 @@
 
 use std::time::Instant;
 
-use taco_core::{evaluate_request, trace_request, ArchConfig, EvalRequest, RoutingTableKind};
+use taco_bench::cli::Cli;
+use taco_core::api::{parse_machine_shape, parse_table_kind};
+use taco_core::{evaluate_request, trace_request, ArchConfig, EvalRequest};
 use taco_sim::{ChromeTracer, RingTracer, TraceEvent};
 
 fn smoke(iters: u32) {
@@ -35,42 +37,6 @@ fn smoke(iters: u32) {
     }
     let ms = start.elapsed().as_secs_f64() * 1e3;
     println!("{ms:.0}");
-}
-
-fn parse_kind(s: &str) -> RoutingTableKind {
-    match s {
-        "sequential" | "seq" => RoutingTableKind::Sequential,
-        "balanced-tree" | "tree" => RoutingTableKind::BalancedTree,
-        "cam" => RoutingTableKind::Cam,
-        "trie" => RoutingTableKind::Trie,
-        other => {
-            eprintln!("unknown table kind {other:?}; try sequential, balanced-tree, cam, trie");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn parse_config(s: &str, kind: RoutingTableKind) -> ArchConfig {
-    match s {
-        "1x1" | "1BUS/1FU" => ArchConfig::one_bus_one_fu(kind),
-        "3x1" | "3BUS/1FU" => ArchConfig::three_bus_one_fu(kind),
-        "3x3" => ArchConfig::three_bus_three_fu(kind),
-        other => {
-            eprintln!("unknown machine config {other:?}; try 1x1, 3x1, 3x3");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == flag)?;
-    if i + 1 >= args.len() {
-        eprintln!("{flag} needs a value");
-        std::process::exit(2);
-    }
-    let value = args.remove(i + 1);
-    args.remove(i);
-    Some(value)
 }
 
 /// Renders the first `limit` cycles of the capture as one character per
@@ -159,18 +125,25 @@ fn render_strip(events: &RingTracer, buses: u8, limit: usize) -> String {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(i) = args.iter().position(|a| a == "--smoke") {
-        let iters: u32 = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let cli = Cli::new("trace", "cycle-level trace inspection for any Table 1 cell")
+        .opt("--cycles", "N", "cycles of the occupancy strip to render")
+        .opt("--chrome", "PATH", "also write the run as Chrome about://tracing JSON")
+        .opt("--smoke", "ITERS", "perf-gate smoke: ITERS uncached nine-cell runs, print wall ms")
+        .positional("kind", "table organisation: sequential, balanced-tree, cam, trie", Some("cam"))
+        .positional("config", "machine shape: 1x1, 3x1, 3x3", Some("3x1"))
+        .positional("entries", "routing-table size", Some("16"));
+    let args = cli.parse_or_exit();
+    if let Some(iters) = args.opt_parsed::<u32>("--smoke").unwrap_or_else(|e| cli.fail(&e)) {
         smoke(iters);
         return;
     }
-    let limit: usize =
-        flag_value(&mut args, "--cycles").and_then(|s| s.parse().ok()).unwrap_or(300);
-    let chrome_path = flag_value(&mut args, "--chrome");
-    let kind = parse_kind(args.first().map(String::as_str).unwrap_or("cam"));
-    let config = parse_config(args.get(1).map(String::as_str).unwrap_or("3x1"), kind);
-    let entries: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let limit: usize = args.opt_parsed("--cycles").unwrap_or_else(|e| cli.fail(&e)).unwrap_or(300);
+    let chrome_path = args.opt("--chrome").map(str::to_owned);
+    // The same name parsers the wire API uses — one validation dialect
+    // across the CLI, the daemon and the builder.
+    let kind = parse_table_kind(args.pos("kind")).unwrap_or_else(|e| cli.fail(&e));
+    let config = parse_machine_shape(kind, args.pos("config")).unwrap_or_else(|e| cli.fail(&e));
+    let entries: usize = args.pos_parsed("entries").unwrap_or_else(|e| cli.fail(&e));
 
     let request = EvalRequest::new(config.clone()).entries(entries);
     let report = request.run();

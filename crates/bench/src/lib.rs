@@ -1,7 +1,8 @@
 //! Benchmark harness for the TACO IPv6 reproduction.
 //!
-//! This crate carries no library code of its own — it exists for its
-//! binaries and Criterion benches:
+//! The library part is small: the [`cli`] argument parser every binary
+//! shares (one dialect, one tested `--help` generator) plus a few sweep
+//! constants.  The rest is the binaries and Criterion benches:
 //!
 //! | target | regenerates |
 //! |---|---|
@@ -16,6 +17,9 @@
 //! | `cargo bench -p taco-bench --bench lookup_scaling` | behavioural LPM engines across table sizes |
 //! | `cargo bench -p taco-bench --bench optimizer` | the Fig. 3 schedule pipeline |
 //! | `cargo bench -p taco-bench --bench simulator` | raw simulator throughput |
+//! | `cargo run -p taco-bench --release --bin taco-cli` | client/server front end for the `taco-served` daemon |
+
+pub mod cli;
 
 /// The routing-table sizes the scaling targets sweep.
 pub const SCALING_SIZES: [usize; 6] = [4, 16, 32, 64, 128, 256];

@@ -1,0 +1,1259 @@
+//! The versioned JSON wire API: one schema shared by the daemon, the CLI
+//! flags and the builder pipeline.
+//!
+//! Everything that crosses a process boundary — a `taco-served` request, a
+//! cache snapshot entry, a client response — is one line of strict JSON
+//! with an explicit `"api_version"` field (schema [`API_VERSION`]).  The
+//! same types also back the in-process entry points: [`EvalSpec`] is the
+//! validated construction path for [`EvalRequest`], and the name-based
+//! parsers ([`parse_table_kind`], [`parse_workload_name`],
+//! [`parse_fault_plan_name`], [`parse_machine_shape`]) are the single
+//! source of truth the `dse`/`trace` binaries and the wire layer share, so
+//! a workload name means the same thing on a command line and on a socket.
+//!
+//! Parsing is *strict*: unknown fields are rejected (a typo'd option must
+//! not be silently ignored), version mismatches are reported as
+//! [`ApiErrorCode::VersionMismatch`], and every failure is a structured
+//! [`ApiError`] rather than a panic.  Serialisation follows the workspace's
+//! byte-stability discipline: fixed key order, integers verbatim, floats
+//! via the shortest-round-trip `Display` (exact under re-parse), and
+//! non-finite floats as `null` (JSON has no `Infinity` literal; the only
+//! producers are infeasible cells, where `null` mirrors the paper's "NA").
+
+pub mod json;
+mod report;
+
+pub(crate) use report::report_from_value;
+pub use report::{report_from_json, report_to_json, table1_cell_json};
+
+use taco_routing::TableKind;
+use taco_workload::{FaultPlan, Workload};
+
+use crate::arch::ArchConfig;
+use crate::evaluate::EvalReport;
+use crate::explorer::{Constraints, SweepSpec};
+use crate::rate::LineRate;
+use crate::request::EvalRequest;
+use json::Json;
+
+/// The wire schema version this module speaks.
+pub const API_VERSION: &str = "v1";
+
+/// Machine-readable failure classes, the `"code"` field of an error
+/// response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiErrorCode {
+    /// The request was malformed: bad JSON, a missing or unknown field, an
+    /// out-of-range value.
+    BadRequest,
+    /// The request named a schema version this server does not speak.
+    VersionMismatch,
+    /// The daemon's job queue is at `max_pending` capacity — the
+    /// 429-equivalent; retry after drain.
+    Busy,
+    /// The daemon is draining for shutdown and admits no new work.
+    ShuttingDown,
+    /// The server failed internally (snapshot IO, a poisoned lock, ...).
+    Internal,
+}
+
+impl ApiErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ApiErrorCode::BadRequest => "bad_request",
+            ApiErrorCode::VersionMismatch => "version_mismatch",
+            ApiErrorCode::Busy => "busy",
+            ApiErrorCode::ShuttingDown => "shutting_down",
+            ApiErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire spelling back to a code.
+    pub fn from_str_opt(s: &str) -> Option<ApiErrorCode> {
+        Some(match s {
+            "bad_request" => ApiErrorCode::BadRequest,
+            "version_mismatch" => ApiErrorCode::VersionMismatch,
+            "busy" => ApiErrorCode::Busy,
+            "shutting_down" => ApiErrorCode::ShuttingDown,
+            "internal" => ApiErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured wire-layer failure: a machine-readable code plus a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// The failure class.
+    pub code: ApiErrorCode,
+    /// What went wrong, for humans.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A [`ApiErrorCode::BadRequest`] error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError { code: ApiErrorCode::BadRequest, message: message.into() }
+    }
+
+    /// A [`ApiErrorCode::VersionMismatch`] error naming both versions.
+    pub fn version_mismatch(found: &str) -> Self {
+        ApiError {
+            code: ApiErrorCode::VersionMismatch,
+            message: format!(
+                "api_version {found:?} is not supported; this server speaks {API_VERSION:?}"
+            ),
+        }
+    }
+
+    /// A [`ApiErrorCode::Busy`] rejection.
+    pub fn busy(message: impl Into<String>) -> Self {
+        ApiError { code: ApiErrorCode::Busy, message: message.into() }
+    }
+
+    /// A [`ApiErrorCode::ShuttingDown`] rejection.
+    pub fn shutting_down() -> Self {
+        ApiError {
+            code: ApiErrorCode::ShuttingDown,
+            message: "server is draining for shutdown".into(),
+        }
+    }
+
+    /// An [`ApiErrorCode::Internal`] error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ApiError { code: ApiErrorCode::Internal, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Strict field access over one JSON object: every member must be consumed
+/// by the time [`Fields::finish`] runs, which is what rejects unknown
+/// fields with a structured error instead of ignoring them.
+pub(crate) struct Fields<'a> {
+    ctx: &'static str,
+    members: &'a [(String, Json)],
+    used: Vec<bool>,
+}
+
+impl<'a> Fields<'a> {
+    pub(crate) fn new(ctx: &'static str, value: &'a Json) -> Result<Self, ApiError> {
+        let members = value
+            .as_object()
+            .ok_or_else(|| ApiError::bad_request(format!("{ctx} must be a JSON object")))?;
+        Ok(Fields { ctx, members, used: vec![false; members.len()] })
+    }
+
+    /// The member named `name`, marking it consumed; `None` when absent.
+    pub(crate) fn get(&mut self, name: &str) -> Option<&'a Json> {
+        let i = self.members.iter().position(|(k, _)| k == name)?;
+        self.used[i] = true;
+        Some(&self.members[i].1)
+    }
+
+    /// Like [`Fields::get`], but a `null` value also reads as absent.
+    pub(crate) fn get_non_null(&mut self, name: &str) -> Option<&'a Json> {
+        self.get(name).filter(|v| !v.is_null())
+    }
+
+    /// The member named `name`, or a structured missing-field error.
+    pub(crate) fn req(&mut self, name: &str) -> Result<&'a Json, ApiError> {
+        let ctx = self.ctx;
+        self.get(name)
+            .ok_or_else(|| ApiError::bad_request(format!("{ctx}: missing field {name:?}")))
+    }
+
+    pub(crate) fn req_str(&mut self, name: &str) -> Result<&'a str, ApiError> {
+        let ctx = self.ctx;
+        self.req(name)?
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request(format!("{ctx}: {name:?} must be a string")))
+    }
+
+    pub(crate) fn req_u64(&mut self, name: &str) -> Result<u64, ApiError> {
+        let ctx = self.ctx;
+        self.req(name)?.as_u64().ok_or_else(|| {
+            ApiError::bad_request(format!("{ctx}: {name:?} must be an unsigned integer"))
+        })
+    }
+
+    pub(crate) fn req_u32(&mut self, name: &str) -> Result<u32, ApiError> {
+        let ctx = self.ctx;
+        let v = self.req_u64(name)?;
+        u32::try_from(v)
+            .map_err(|_| ApiError::bad_request(format!("{ctx}: {name:?} must fit in 32 bits")))
+    }
+
+    pub(crate) fn req_u8(&mut self, name: &str) -> Result<u8, ApiError> {
+        let ctx = self.ctx;
+        let v = self.req_u64(name)?;
+        u8::try_from(v)
+            .map_err(|_| ApiError::bad_request(format!("{ctx}: {name:?} must fit in 8 bits")))
+    }
+
+    pub(crate) fn req_usize(&mut self, name: &str) -> Result<usize, ApiError> {
+        let ctx = self.ctx;
+        let v = self.req_u64(name)?;
+        usize::try_from(v)
+            .map_err(|_| ApiError::bad_request(format!("{ctx}: {name:?} is out of range")))
+    }
+
+    pub(crate) fn req_bool(&mut self, name: &str) -> Result<bool, ApiError> {
+        let ctx = self.ctx;
+        self.req(name)?
+            .as_bool()
+            .ok_or_else(|| ApiError::bad_request(format!("{ctx}: {name:?} must be a boolean")))
+    }
+
+    /// A required finite float.
+    pub(crate) fn req_finite_f64(&mut self, name: &str) -> Result<f64, ApiError> {
+        let ctx = self.ctx;
+        self.req(name)?.as_f64().ok_or_else(|| {
+            ApiError::bad_request(format!("{ctx}: {name:?} must be a finite number"))
+        })
+    }
+
+    /// A required float under the non-finite convention: `null` decodes as
+    /// `f64::INFINITY` (the wire spelling of an infeasible requirement).
+    pub(crate) fn req_f64_or_infinity(&mut self, name: &str) -> Result<f64, ApiError> {
+        let ctx = self.ctx;
+        let v = self.req(name)?;
+        if v.is_null() {
+            return Ok(f64::INFINITY);
+        }
+        v.as_f64().ok_or_else(|| {
+            ApiError::bad_request(format!("{ctx}: {name:?} must be a number or null"))
+        })
+    }
+
+    /// Errors on the first unconsumed member — the strict-parse guarantee.
+    pub(crate) fn finish(self) -> Result<(), ApiError> {
+        for (i, (key, _)) in self.members.iter().enumerate() {
+            if !self.used[i] {
+                return Err(ApiError::bad_request(format!("{}: unknown field {key:?}", self.ctx)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a float for the wire: shortest-round-trip `Display` for finite
+/// values, `null` otherwise.
+pub(crate) fn f64_json(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name-based parsers: the single validation path shared by CLI and wire.
+// ---------------------------------------------------------------------------
+
+/// Parses a routing-table organisation by its display name (`sequential`,
+/// `balanced-tree`, `cam`, `trie`; aliases `seq`, `tree`).  The error
+/// message lists the accepted names — shared verbatim by the `trace`
+/// binary and the wire schema.
+pub fn parse_table_kind(name: &str) -> Result<TableKind, String> {
+    match name {
+        "sequential" | "seq" => Ok(TableKind::Sequential),
+        "balanced-tree" | "tree" => Ok(TableKind::BalancedTree),
+        "cam" => Ok(TableKind::Cam),
+        "trie" => Ok(TableKind::Trie),
+        other => Err(format!(
+            "unknown table kind {other:?}; expected sequential, balanced-tree, cam or trie \
+             (aliases: seq, tree)"
+        )),
+    }
+}
+
+/// Parses a machine shape (`1x1`, `3x1`, `3x3`, or the Table 1 labels
+/// `1BUS/1FU` / `3BUS/1FU`) into an architecture instance over `kind`.
+pub fn parse_machine_shape(kind: TableKind, shape: &str) -> Result<ArchConfig, String> {
+    match shape {
+        "1x1" | "1BUS/1FU" => Ok(ArchConfig::one_bus_one_fu(kind)),
+        "3x1" | "3BUS/1FU" => Ok(ArchConfig::three_bus_one_fu(kind)),
+        "3x3" => Ok(ArchConfig::three_bus_three_fu(kind)),
+        other => Err(format!("unknown machine config {other:?}; expected 1x1, 3x1 or 3x3")),
+    }
+}
+
+/// Looks a builtin workload up by name; the error lists the valid names
+/// (the single source the `dse --scenario` flag and the wire share).
+pub fn parse_workload_name(name: &str) -> Result<Workload, String> {
+    Workload::by_name(name).ok_or_else(|| {
+        let names: Vec<&str> = Workload::builtin().iter().map(|w| w.name()).collect();
+        format!("unknown scenario {name:?}; expected one of: {}", names.join(", "))
+    })
+}
+
+/// Looks a builtin fault plan up by name; the error lists the valid names
+/// (shared by `dse --faults` and the wire).
+pub fn parse_fault_plan_name(name: &str) -> Result<FaultPlan, String> {
+    FaultPlan::by_name(name).ok_or_else(|| {
+        let names: Vec<&str> = FaultPlan::builtin().iter().map(|(n, _)| *n).collect();
+        format!("unknown fault plan {name:?}; expected one of: {}", names.join(", "))
+    })
+}
+
+/// Validates a line rate the way [`LineRate::new`] does, as a `Result`
+/// instead of a panic — the construction path wire requests and CLI flags
+/// share.
+pub fn validated_rate(bits_per_second: f64, packet_bytes: u32) -> Result<LineRate, String> {
+    if !(bits_per_second.is_normal() && bits_per_second > 0.0) {
+        return Err(format!("rate must be a positive finite number, got {bits_per_second}"));
+    }
+    if packet_bytes == 0 {
+        return Err("packet size must be positive".to_owned());
+    }
+    Ok(LineRate { bits_per_second, packet_bytes })
+}
+
+// ---------------------------------------------------------------------------
+// Leaf codecs: config, rate, workload, fault plan.
+// ---------------------------------------------------------------------------
+
+/// The wire shape of an architecture instance: routing-table organisation,
+/// bus count, datapath replication and memory ports.
+///
+/// This spans every configuration the in-tree generators produce
+/// ([`ArchConfig::with_replication`] composed with
+/// [`ArchConfig::with_memory_ports`]); a hand-built [`MachineConfig`] with
+/// *asymmetric* replication has no wire spelling and
+/// [`ConfigSpec::from_config`] returns `None` for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigSpec {
+    /// Routing-table organisation.
+    pub table: TableKind,
+    /// Data buses (≥ 1).
+    pub buses: u8,
+    /// Instances of each replicable datapath unit (Counter, Comparator,
+    /// Matcher together; ≥ 1).
+    pub replication: u8,
+    /// Data-memory ports (replicated MMU; ≥ 1).
+    pub memory_ports: u8,
+}
+
+impl ConfigSpec {
+    /// A spec with one memory port (the default everywhere but the
+    /// memory-port ablation).
+    pub fn new(table: TableKind, buses: u8, replication: u8) -> Self {
+        ConfigSpec { table, buses, replication, memory_ports: 1 }
+    }
+
+    /// Builds the architecture instance, validating ranges (a zero bus or
+    /// unit count is a structured error here, where the panicking
+    /// constructors would abort a server).
+    pub fn to_config(&self) -> Result<ArchConfig, ApiError> {
+        if self.buses == 0 || self.replication == 0 || self.memory_ports == 0 {
+            return Err(ApiError::bad_request(
+                "config: buses, replication and memory_ports must all be >= 1",
+            ));
+        }
+        let mut config = ArchConfig::with_replication(self.table, self.buses, self.replication);
+        if self.memory_ports > 1 {
+            config = config.with_memory_ports(self.memory_ports);
+        }
+        Ok(config)
+    }
+
+    /// The wire spelling of `config`, or `None` when the machine is not
+    /// expressible (asymmetric replication).
+    pub fn from_config(config: &ArchConfig) -> Option<ConfigSpec> {
+        let machine = &config.machine;
+        let replication = machine.fu_count(taco_isa::FuKind::Matcher);
+        let spec = ConfigSpec {
+            table: config.table,
+            buses: machine.buses(),
+            replication,
+            memory_ports: machine.fu_count(taco_isa::FuKind::Mmu),
+        };
+        // Round-trip check: only machines the spec regenerates exactly are
+        // expressible (this is what catches asymmetric replication).
+        match spec.to_config() {
+            Ok(rebuilt) if rebuilt == *config => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// One-line JSON body (fixed key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"table\":\"{}\",\"buses\":{},\"replication\":{},\"memory_ports\":{}}}",
+            self.table, self.buses, self.replication, self.memory_ports
+        )
+    }
+
+    pub(crate) fn from_value(value: &Json) -> Result<ConfigSpec, ApiError> {
+        let mut f = Fields::new("config", value)?;
+        let table = parse_table_kind(f.req_str("table")?).map_err(ApiError::bad_request)?;
+        let spec = ConfigSpec {
+            table,
+            buses: f.req_u8("buses")?,
+            replication: f.req_u8("replication")?,
+            memory_ports: f.get_non_null("memory_ports").map_or(Ok(1), |v| {
+                v.as_u64().and_then(|n| u8::try_from(n).ok()).ok_or_else(|| {
+                    ApiError::bad_request("config: \"memory_ports\" must fit in 8 bits")
+                })
+            })?,
+        };
+        f.finish()?;
+        spec.to_config()?; // validate ranges eagerly
+        Ok(spec)
+    }
+}
+
+pub(crate) fn rate_to_json(rate: &LineRate) -> String {
+    format!(
+        "{{\"bits_per_second\":{},\"packet_bytes\":{}}}",
+        f64_json(rate.bits_per_second),
+        rate.packet_bytes
+    )
+}
+
+pub(crate) fn rate_from_value(value: &Json) -> Result<LineRate, ApiError> {
+    let mut f = Fields::new("rate", value)?;
+    let bits = f.req_finite_f64("bits_per_second")?;
+    let packet_bytes = f.req_u32("packet_bytes")?;
+    f.finish()?;
+    validated_rate(bits, packet_bytes).map_err(|e| ApiError::bad_request(format!("rate: {e}")))
+}
+
+pub(crate) fn workload_to_json(w: &Workload) -> String {
+    match *w {
+        Workload::SteadyForward { seed, ticks, packets_per_tick, entries } => format!(
+            "{{\"name\":\"steady-forward\",\"seed\":{seed},\"ticks\":{ticks},\
+             \"packets_per_tick\":{packets_per_tick},\"entries\":{entries}}}"
+        ),
+        Workload::BurstOverload {
+            seed,
+            ticks,
+            mean_per_tick_milli,
+            burst_every,
+            burst_len,
+            burst_multiplier,
+            entries,
+        } => format!(
+            "{{\"name\":\"burst-overload\",\"seed\":{seed},\"ticks\":{ticks},\
+             \"mean_per_tick_milli\":{mean_per_tick_milli},\"burst_every\":{burst_every},\
+             \"burst_len\":{burst_len},\"burst_multiplier\":{burst_multiplier},\
+             \"entries\":{entries}}}"
+        ),
+        Workload::RipngConvergence {
+            seed,
+            ticks,
+            neighbours,
+            routes_per_neighbour,
+            packets_per_tick,
+        } => {
+            format!(
+                "{{\"name\":\"ripng-convergence\",\"seed\":{seed},\"ticks\":{ticks},\
+                 \"neighbours\":{neighbours},\"routes_per_neighbour\":{routes_per_neighbour},\
+                 \"packets_per_tick\":{packets_per_tick}}}"
+            )
+        }
+        Workload::TableChurn {
+            seed,
+            ticks,
+            packets_per_tick,
+            entries,
+            churn_every,
+            churn_size,
+        } => {
+            format!(
+                "{{\"name\":\"table-churn\",\"seed\":{seed},\"ticks\":{ticks},\
+                 \"packets_per_tick\":{packets_per_tick},\"entries\":{entries},\
+                 \"churn_every\":{churn_every},\"churn_size\":{churn_size}}}"
+            )
+        }
+    }
+}
+
+pub(crate) fn workload_from_value(value: &Json) -> Result<Workload, ApiError> {
+    let mut f = Fields::new("workload", value)?;
+    let name = f.req_str("name")?;
+    let workload = match name {
+        "steady-forward" => Workload::SteadyForward {
+            seed: f.req_u64("seed")?,
+            ticks: f.req_u32("ticks")?,
+            packets_per_tick: f.req_u32("packets_per_tick")?,
+            entries: f.req_u32("entries")?,
+        },
+        "burst-overload" => Workload::BurstOverload {
+            seed: f.req_u64("seed")?,
+            ticks: f.req_u32("ticks")?,
+            mean_per_tick_milli: f.req_u64("mean_per_tick_milli")?,
+            burst_every: f.req_u32("burst_every")?,
+            burst_len: f.req_u32("burst_len")?,
+            burst_multiplier: f.req_u32("burst_multiplier")?,
+            entries: f.req_u32("entries")?,
+        },
+        "ripng-convergence" => Workload::RipngConvergence {
+            seed: f.req_u64("seed")?,
+            ticks: f.req_u32("ticks")?,
+            neighbours: f.req_u32("neighbours")?,
+            routes_per_neighbour: f.req_u32("routes_per_neighbour")?,
+            packets_per_tick: f.req_u32("packets_per_tick")?,
+        },
+        "table-churn" => Workload::TableChurn {
+            seed: f.req_u64("seed")?,
+            ticks: f.req_u32("ticks")?,
+            packets_per_tick: f.req_u32("packets_per_tick")?,
+            entries: f.req_u32("entries")?,
+            churn_every: f.req_u32("churn_every")?,
+            churn_size: f.req_u32("churn_size")?,
+        },
+        other => {
+            return Err(ApiError::bad_request(
+                parse_workload_name(other).expect_err("name did not match a builtin"),
+            ))
+        }
+    };
+    f.finish()?;
+    Ok(workload)
+}
+
+pub(crate) fn fault_plan_to_json(p: &FaultPlan) -> String {
+    format!(
+        "{{\"seed\":{},\"malformed_per_tick_milli\":{},\"hop_limit_zero_per_tick_milli\":{},\
+         \"corrupt_every\":{},\"repair_ticks\":{},\"repair_retries\":{},\"flap_every\":{},\
+         \"flap_down_ticks\":{},\"stall_every_cycles\":{},\"stall_cycles\":{}}}",
+        p.seed,
+        p.malformed_per_tick_milli,
+        p.hop_limit_zero_per_tick_milli,
+        p.corrupt_every,
+        p.repair_ticks,
+        p.repair_retries,
+        p.flap_every,
+        p.flap_down_ticks,
+        p.stall_every_cycles,
+        p.stall_cycles,
+    )
+}
+
+pub(crate) fn fault_plan_from_value(value: &Json) -> Result<FaultPlan, ApiError> {
+    let mut f = Fields::new("faults", value)?;
+    let plan = FaultPlan {
+        seed: f.req_u64("seed")?,
+        malformed_per_tick_milli: f.req_u64("malformed_per_tick_milli")?,
+        hop_limit_zero_per_tick_milli: f.req_u64("hop_limit_zero_per_tick_milli")?,
+        corrupt_every: f.req_u32("corrupt_every")?,
+        repair_ticks: f.req_u32("repair_ticks")?,
+        repair_retries: f.req_u32("repair_retries")?,
+        flap_every: f.req_u32("flap_every")?,
+        flap_down_ticks: f.req_u32("flap_down_ticks")?,
+        stall_every_cycles: f.req_u32("stall_every_cycles")?,
+        stall_cycles: f.req_u32("stall_cycles")?,
+    };
+    f.finish()?;
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------------
+// EvalSpec: the validated construction path for one evaluation.
+// ---------------------------------------------------------------------------
+
+/// One evaluation, in wire form: the validated front door that the JSON
+/// schema, the CLI and programmatic callers share before an
+/// [`EvalRequest`] is built.
+///
+/// The builder's `trace` side channel is deliberately absent: a trace path
+/// is process-local (it names a file on the *server's* filesystem), so it
+/// is not part of the wire schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalSpec {
+    /// The architecture instance.
+    pub config: ConfigSpec,
+    /// Line-rate target.
+    pub rate: LineRate,
+    /// Routing-table size (≥ 1).
+    pub entries: usize,
+    /// Optional behavioural workload.
+    pub workload: Option<Workload>,
+    /// Optional deterministic fault plan.
+    pub faults: Option<FaultPlan>,
+}
+
+impl EvalSpec {
+    /// A spec for `config` with the paper's defaults (10 GbE, 100 entries,
+    /// no workload, no faults).
+    pub fn new(config: ConfigSpec) -> Self {
+        EvalSpec {
+            config,
+            rate: LineRate::TEN_GBE,
+            entries: EvalRequest::DEFAULT_ENTRIES,
+            workload: None,
+            faults: None,
+        }
+    }
+
+    /// Builds the validated [`EvalRequest`] (no trace attached).
+    pub fn to_request(&self) -> Result<EvalRequest, ApiError> {
+        if self.entries == 0 {
+            return Err(ApiError::bad_request("entries must be >= 1"));
+        }
+        let mut request =
+            EvalRequest::new(self.config.to_config()?).rate(self.rate).entries(self.entries);
+        if let Some(workload) = self.workload {
+            request = request.workload(workload);
+        }
+        if let Some(faults) = self.faults {
+            request = request.faults(faults);
+        }
+        Ok(request)
+    }
+
+    /// The wire spelling of `request` (trace path dropped — it is not part
+    /// of the schema), or `None` when the machine configuration is not
+    /// expressible on the wire.
+    pub fn from_request(request: &EvalRequest) -> Option<EvalSpec> {
+        Some(EvalSpec {
+            config: ConfigSpec::from_config(&request.config)?,
+            rate: request.line_rate,
+            entries: request.entries,
+            workload: request.workload,
+            faults: request.faults,
+        })
+    }
+
+    /// The spec's JSON members (no surrounding braces) — reused by the
+    /// request envelope so `eval` requests stay flat.
+    fn to_json_fields(&self) -> String {
+        let mut s = format!(
+            "\"config\":{},\"rate\":{},\"entries\":{}",
+            self.config.to_json(),
+            rate_to_json(&self.rate),
+            self.entries
+        );
+        if let Some(w) = &self.workload {
+            s.push_str(",\"workload\":");
+            s.push_str(&workload_to_json(w));
+        }
+        if let Some(p) = &self.faults {
+            s.push_str(",\"faults\":");
+            s.push_str(&fault_plan_to_json(p));
+        }
+        s
+    }
+
+    /// One-line JSON body (fixed key order; `workload`/`faults` omitted
+    /// when absent).
+    pub fn to_json(&self) -> String {
+        format!("{{{}}}", self.to_json_fields())
+    }
+
+    /// Parses a JSON body produced by [`EvalSpec::to_json`].
+    pub fn from_json(text: &str) -> Result<EvalSpec, ApiError> {
+        let value = Json::parse(text).map_err(|e| ApiError::bad_request(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    pub(crate) fn from_value(value: &Json) -> Result<EvalSpec, ApiError> {
+        let mut f = Fields::new("eval spec", value)?;
+        let spec = Self::from_fields(&mut f)?;
+        f.finish()?;
+        Ok(spec)
+    }
+
+    fn from_fields(f: &mut Fields<'_>) -> Result<EvalSpec, ApiError> {
+        let spec = EvalSpec {
+            config: ConfigSpec::from_value(f.req("config")?)?,
+            rate: rate_from_value(f.req("rate")?)?,
+            entries: f.req_usize("entries")?,
+            workload: f.get_non_null("workload").map(workload_from_value).transpose()?,
+            faults: f.get_non_null("faults").map(fault_plan_from_value).transpose()?,
+        };
+        if spec.entries == 0 {
+            return Err(ApiError::bad_request("entries must be >= 1"));
+        }
+        spec.config.to_config()?;
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep codecs.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn sweep_spec_to_json(spec: &SweepSpec) -> String {
+    let ints = |xs: &[u8]| xs.iter().map(u8::to_string).collect::<Vec<_>>().join(",");
+    let kinds = spec.kinds.iter().map(|k| format!("\"{k}\"")).collect::<Vec<_>>().join(",");
+    let mut s = format!(
+        "{{\"buses\":[{}],\"replication\":[{}],\"kinds\":[{}],\"entries\":{}",
+        ints(&spec.buses),
+        ints(&spec.replication),
+        kinds,
+        spec.entries
+    );
+    if let Some(w) = &spec.workload {
+        s.push_str(",\"workload\":");
+        s.push_str(&workload_to_json(w));
+    }
+    if let Some(p) = &spec.faults {
+        s.push_str(",\"faults\":");
+        s.push_str(&fault_plan_to_json(p));
+    }
+    s.push('}');
+    s
+}
+
+fn u8_list(ctx: &'static str, name: &str, value: &Json) -> Result<Vec<u8>, ApiError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| ApiError::bad_request(format!("{ctx}: {name:?} must be an array")))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64().and_then(|n| u8::try_from(n).ok()).filter(|&n| n >= 1).ok_or_else(|| {
+                ApiError::bad_request(format!(
+                    "{ctx}: {name:?} entries must be integers in 1..=255"
+                ))
+            })
+        })
+        .collect()
+}
+
+pub(crate) fn sweep_spec_from_value(value: &Json) -> Result<SweepSpec, ApiError> {
+    let mut f = Fields::new("sweep spec", value)?;
+    let kinds_value = f.req("kinds")?;
+    let kinds = kinds_value
+        .as_array()
+        .ok_or_else(|| ApiError::bad_request("sweep spec: \"kinds\" must be an array"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .ok_or_else(|| ApiError::bad_request("sweep spec: kinds must be strings"))
+                .and_then(|s| parse_table_kind(s).map_err(ApiError::bad_request))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let spec = SweepSpec {
+        buses: u8_list("sweep spec", "buses", f.req("buses")?)?,
+        replication: u8_list("sweep spec", "replication", f.req("replication")?)?,
+        kinds,
+        entries: f.req_usize("entries")?,
+        workload: f.get_non_null("workload").map(workload_from_value).transpose()?,
+        faults: f.get_non_null("faults").map(fault_plan_from_value).transpose()?,
+    };
+    if spec.entries == 0 {
+        return Err(ApiError::bad_request("sweep spec: entries must be >= 1"));
+    }
+    f.finish()?;
+    Ok(spec)
+}
+
+pub(crate) fn constraints_to_json(c: &Constraints) -> String {
+    let opt = |v: Option<u64>| v.map_or("null".to_owned(), |n| n.to_string());
+    format!(
+        "{{\"max_power_w\":{},\"max_area_mm2\":{},\"max_scenario_drops\":{},\
+         \"max_unrecovered_faults\":{}}}",
+        f64_json(c.max_power_w),
+        f64_json(c.max_area_mm2),
+        opt(c.max_scenario_drops),
+        opt(c.max_unrecovered_faults),
+    )
+}
+
+pub(crate) fn constraints_from_value(value: &Json) -> Result<Constraints, ApiError> {
+    let mut f = Fields::new("constraints", value)?;
+    let defaults = Constraints::default();
+    let finite_or = |v: Option<&Json>, name: &str, default: f64| match v {
+        None => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| {
+            ApiError::bad_request(format!("constraints: {name:?} must be a finite number"))
+        }),
+    };
+    let opt_u64 = |v: Option<&Json>, name: &str| match v {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ApiError::bad_request(format!("constraints: {name:?} must be an unsigned integer"))
+        }),
+    };
+    let constraints = Constraints {
+        max_power_w: finite_or(f.get_non_null("max_power_w"), "max_power_w", defaults.max_power_w)?,
+        max_area_mm2: finite_or(
+            f.get_non_null("max_area_mm2"),
+            "max_area_mm2",
+            defaults.max_area_mm2,
+        )?,
+        max_scenario_drops: opt_u64(f.get_non_null("max_scenario_drops"), "max_scenario_drops")?,
+        max_unrecovered_faults: opt_u64(
+            f.get_non_null("max_unrecovered_faults"),
+            "max_unrecovered_faults",
+        )?,
+    };
+    f.finish()?;
+    Ok(constraints)
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+/// One client request, the unit of the wire protocol (one JSON line each).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiRequest {
+    /// Evaluate a single architecture instance.
+    Eval(EvalSpec),
+    /// Run a whole sweep as one batch job.
+    Sweep {
+        /// The exploration grid.
+        spec: SweepSpec,
+        /// Line-rate target for every grid point.
+        rate: LineRate,
+        /// Admission constraints for the ranking.
+        constraints: Constraints,
+    },
+    /// Ask the daemon for queue and cache statistics.
+    Status,
+    /// Ask the daemon to drain, persist its cache and exit — the
+    /// SIGTERM-equivalent shutdown byte.
+    Shutdown,
+}
+
+impl ApiRequest {
+    /// Serialises the request as one JSON line (fixed key order, explicit
+    /// `"api_version"`).
+    pub fn to_json(&self) -> String {
+        let head = format!("{{\"api_version\":\"{API_VERSION}\",");
+        match self {
+            ApiRequest::Eval(spec) => {
+                format!("{head}\"kind\":\"eval\",{}}}", spec.to_json_fields())
+            }
+            ApiRequest::Sweep { spec, rate, constraints } => format!(
+                "{head}\"kind\":\"sweep\",\"spec\":{},\"rate\":{},\"constraints\":{}}}",
+                sweep_spec_to_json(spec),
+                rate_to_json(rate),
+                constraints_to_json(constraints),
+            ),
+            ApiRequest::Status => format!("{head}\"kind\":\"status\"}}"),
+            ApiRequest::Shutdown => format!("{head}\"kind\":\"shutdown\"}}"),
+        }
+    }
+
+    /// Strictly parses one request line: bad JSON, missing/unknown fields
+    /// and out-of-range values are [`ApiErrorCode::BadRequest`]; a wrong
+    /// `"api_version"` is [`ApiErrorCode::VersionMismatch`].
+    pub fn from_json(line: &str) -> Result<ApiRequest, ApiError> {
+        let value = Json::parse(line).map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let mut f = Fields::new("request", &value)?;
+        let version = f.req_str("api_version")?;
+        if version != API_VERSION {
+            return Err(ApiError::version_mismatch(version));
+        }
+        let request = match f.req_str("kind")? {
+            "eval" => ApiRequest::Eval(EvalSpec::from_fields(&mut f)?),
+            "sweep" => ApiRequest::Sweep {
+                spec: sweep_spec_from_value(f.req("spec")?)?,
+                rate: rate_from_value(f.req("rate")?)?,
+                constraints: f
+                    .get_non_null("constraints")
+                    .map(constraints_from_value)
+                    .transpose()?
+                    .unwrap_or_default(),
+            },
+            "status" => ApiRequest::Status,
+            "shutdown" => ApiRequest::Shutdown,
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown request kind {other:?}; expected eval, sweep, status or shutdown"
+                )))
+            }
+        };
+        f.finish()?;
+        Ok(request)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------------
+
+/// Daemon queue and cache statistics, the payload of a `status` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// Jobs admitted and not yet fully answered.
+    pub in_flight: u64,
+    /// The admission bound ([`ApiErrorCode::Busy`] beyond it).
+    pub max_pending: u64,
+    /// `true` once a shutdown has been requested.
+    pub draining: bool,
+    /// Evaluations stored in the cache.
+    pub cache_entries: u64,
+    /// Cache lookups answered from the map.
+    pub cache_hits: u64,
+    /// Cache lookups that had to simulate.
+    pub cache_misses: u64,
+}
+
+/// One server response line.
+///
+/// Result payloads are **byte-stable**: an `eval_result` for a given
+/// request is identical whether it was simulated or answered from the
+/// cache (cache statistics live in the `status` response instead), which
+/// is what lets the daemon integration tests pin responses against the
+/// golden Table 1 fixture across restarts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiResponse {
+    /// The result of one `eval` request: the golden-fixture cell line plus
+    /// the full report.
+    EvalResult(Box<EvalReport>),
+    /// Streamed per-point progress of a running sweep (delivered before
+    /// the final [`ApiResponse::SweepResult`]; completion order, not index
+    /// order).
+    SweepPoint {
+        /// Sweep index of the finished point.
+        index: usize,
+        /// Total points in the sweep.
+        total: usize,
+        /// The point's Table 1 style label.
+        label: String,
+        /// Whether the evaluation cache answered it.
+        cache_hit: bool,
+        /// Whether the point is physically feasible.
+        feasible: bool,
+    },
+    /// The final result of a `sweep` request.
+    SweepResult {
+        /// Indices into `reports` admitted by the constraints, best first.
+        admitted: Vec<usize>,
+        /// Every evaluated point, in sweep order.
+        reports: Vec<EvalReport>,
+    },
+    /// Queue and cache statistics.
+    Status(StatusInfo),
+    /// Shutdown acknowledged: the cache snapshot was written (`persisted`
+    /// entries), or `None` when no snapshot path is configured / the write
+    /// failed.
+    ShutdownAck {
+        /// Evaluations persisted to the snapshot.
+        persisted: Option<u64>,
+    },
+    /// A structured failure.
+    Error(ApiError),
+}
+
+impl ApiResponse {
+    /// Serialises the response as one JSON line.
+    pub fn to_json(&self) -> String {
+        let head = format!("{{\"api_version\":\"{API_VERSION}\",");
+        match self {
+            ApiResponse::EvalResult(report) => format!(
+                "{head}\"kind\":\"eval_result\",\"cell\":{},\"report\":{}}}",
+                table1_cell_json(report),
+                report_to_json(report),
+            ),
+            ApiResponse::SweepPoint { index, total, label, cache_hit, feasible } => format!(
+                "{head}\"kind\":\"sweep_point\",\"index\":{index},\"total\":{total},\
+                 \"label\":{},\"cache_hit\":{cache_hit},\"feasible\":{feasible}}}",
+                Json::str(label.clone()).encode(),
+            ),
+            ApiResponse::SweepResult { admitted, reports } => {
+                let indices = admitted.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+                let best = admitted
+                    .first()
+                    .and_then(|&i| reports.get(i))
+                    .map_or("null".to_owned(), |r| Json::str(r.config.label()).encode());
+                let body = reports.iter().map(report_to_json).collect::<Vec<_>>().join(",");
+                format!(
+                    "{head}\"kind\":\"sweep_result\",\"points\":{},\"admitted\":[{indices}],\
+                     \"best\":{best},\"reports\":[{body}]}}",
+                    reports.len(),
+                )
+            }
+            ApiResponse::Status(s) => format!(
+                "{head}\"kind\":\"status_result\",\"in_flight\":{},\"max_pending\":{},\
+                 \"draining\":{},\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}}}",
+                s.in_flight,
+                s.max_pending,
+                s.draining,
+                s.cache_entries,
+                s.cache_hits,
+                s.cache_misses,
+            ),
+            ApiResponse::ShutdownAck { persisted } => format!(
+                "{head}\"kind\":\"shutdown_ack\",\"persisted\":{}}}",
+                persisted.map_or("null".to_owned(), |n| n.to_string()),
+            ),
+            ApiResponse::Error(e) => format!(
+                "{head}\"kind\":\"error\",\"code\":\"{}\",\"message\":{}}}",
+                e.code.as_str(),
+                Json::str(e.message.clone()).encode(),
+            ),
+        }
+    }
+
+    /// Strictly parses one response line.
+    ///
+    /// `eval_result`/`sweep_result` payloads are only parseable when their
+    /// reports are (reports carrying a `sim_error` are one-way, see
+    /// [`report_from_json`]).
+    pub fn from_json(line: &str) -> Result<ApiResponse, ApiError> {
+        let value = Json::parse(line).map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let mut f = Fields::new("response", &value)?;
+        let version = f.req_str("api_version")?;
+        if version != API_VERSION {
+            return Err(ApiError::version_mismatch(version));
+        }
+        let response = match f.req_str("kind")? {
+            "eval_result" => {
+                let _cell = f.req("cell")?; // derived from the report; consumed, not re-checked
+                let report = report::report_from_value(f.req("report")?)?;
+                ApiResponse::EvalResult(Box::new(report))
+            }
+            "sweep_point" => ApiResponse::SweepPoint {
+                index: f.req_usize("index")?,
+                total: f.req_usize("total")?,
+                label: f.req_str("label")?.to_owned(),
+                cache_hit: f.req_bool("cache_hit")?,
+                feasible: f.req_bool("feasible")?,
+            },
+            "sweep_result" => {
+                let points = f.req_usize("points")?;
+                let admitted = f
+                    .req("admitted")?
+                    .as_array()
+                    .ok_or_else(|| {
+                        ApiError::bad_request("response: \"admitted\" must be an array")
+                    })?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64().and_then(|n| usize::try_from(n).ok()).ok_or_else(|| {
+                            ApiError::bad_request("response: admitted indices must be integers")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let _best = f.req("best")?; // derived; consumed, not re-checked
+                let reports = f
+                    .req("reports")?
+                    .as_array()
+                    .ok_or_else(|| ApiError::bad_request("response: \"reports\" must be an array"))?
+                    .iter()
+                    .map(report::report_from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if reports.len() != points {
+                    return Err(ApiError::bad_request(format!(
+                        "response: {points} points declared but {} reports present",
+                        reports.len()
+                    )));
+                }
+                ApiResponse::SweepResult { admitted, reports }
+            }
+            "status_result" => {
+                let in_flight = f.req_u64("in_flight")?;
+                let max_pending = f.req_u64("max_pending")?;
+                let draining = f.req_bool("draining")?;
+                let mut cache = Fields::new("status cache", f.req("cache")?)?;
+                let info = StatusInfo {
+                    in_flight,
+                    max_pending,
+                    draining,
+                    cache_entries: cache.req_u64("entries")?,
+                    cache_hits: cache.req_u64("hits")?,
+                    cache_misses: cache.req_u64("misses")?,
+                };
+                cache.finish()?;
+                ApiResponse::Status(info)
+            }
+            "shutdown_ack" => ApiResponse::ShutdownAck {
+                persisted: f
+                    .get_non_null("persisted")
+                    .map(|v| {
+                        v.as_u64().ok_or_else(|| {
+                            ApiError::bad_request(
+                                "response: \"persisted\" must be an integer or null",
+                            )
+                        })
+                    })
+                    .transpose()?,
+            },
+            "error" => {
+                let code_str = f.req_str("code")?;
+                let code = ApiErrorCode::from_str_opt(code_str).ok_or_else(|| {
+                    ApiError::bad_request(format!("response: unknown error code {code_str:?}"))
+                })?;
+                ApiResponse::Error(ApiError { code, message: f.req_str("message")?.to_owned() })
+            }
+            other => return Err(ApiError::bad_request(format!("unknown response kind {other:?}"))),
+        };
+        f.finish()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_isa::MachineConfig;
+
+    fn cam_spec() -> EvalSpec {
+        EvalSpec::new(ConfigSpec::new(TableKind::Cam, 3, 1))
+    }
+
+    #[test]
+    fn eval_request_round_trips() {
+        let mut spec = cam_spec();
+        spec.entries = 16;
+        spec.workload = Some(Workload::burst_overload());
+        spec.faults = Some(FaultPlan::storm());
+        let request = ApiRequest::Eval(spec);
+        let line = request.to_json();
+        assert!(line.starts_with("{\"api_version\":\"v1\",\"kind\":\"eval\","), "{line}");
+        assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
+        // And the serialisation itself is a fixed point.
+        assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+    }
+
+    #[test]
+    fn sweep_request_round_trips() {
+        let request = ApiRequest::Sweep {
+            spec: SweepSpec {
+                buses: vec![1, 3],
+                replication: vec![1, 2],
+                kinds: vec![TableKind::Cam, TableKind::BalancedTree],
+                entries: 8,
+                workload: Some(Workload::steady_forward()),
+                faults: None,
+            },
+            rate: LineRate::GIGE,
+            constraints: Constraints {
+                max_power_w: 3.5,
+                max_area_mm2: 60.0,
+                max_scenario_drops: Some(10),
+                max_unrecovered_faults: None,
+            },
+        };
+        let line = request.to_json();
+        assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
+        assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+    }
+
+    #[test]
+    fn status_and_shutdown_round_trip() {
+        for request in [ApiRequest::Status, ApiRequest::Shutdown] {
+            let line = request.to_json();
+            assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let line = ApiRequest::Status.to_json().replace('}', ",\"bogus\":1}");
+        let err = ApiRequest::from_json(&line).unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+        assert!(err.message.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_is_structured() {
+        let line = ApiRequest::Status.to_json().replace("\"v1\"", "\"v0\"");
+        let err = ApiRequest::from_json(&line).unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::VersionMismatch);
+        assert!(err.message.contains("v0"), "{err}");
+        // Missing version entirely is a bad request.
+        let err = ApiRequest::from_json("{\"kind\":\"status\"}").unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn garbage_and_wrong_shapes_are_bad_requests() {
+        for bad in ["", "not json", "[]", "42", "{\"api_version\":\"v1\"}"] {
+            let err = ApiRequest::from_json(bad).unwrap_err();
+            assert_eq!(err.code, ApiErrorCode::BadRequest, "{bad:?}");
+        }
+        let err =
+            ApiRequest::from_json("{\"api_version\":\"v1\",\"kind\":\"teapot\"}").unwrap_err();
+        assert!(err.message.contains("teapot"), "{err}");
+    }
+
+    #[test]
+    fn zero_entries_and_zero_buses_are_rejected_not_panics() {
+        let mut spec = cam_spec();
+        spec.entries = 0;
+        let err = ApiRequest::from_json(&ApiRequest::Eval(spec).to_json()).unwrap_err();
+        assert!(err.message.contains("entries"), "{err}");
+
+        let line = ApiRequest::Eval(cam_spec()).to_json().replace("\"buses\":3", "\"buses\":0");
+        let err = ApiRequest::from_json(&line).unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn rate_validation_matches_line_rate_new() {
+        assert!(validated_rate(10e9, 1040).is_ok());
+        for bad in [0.0, -1.0, f64::INFINITY, f64::NAN, f64::MIN_POSITIVE / 2.0] {
+            assert!(validated_rate(bad, 1040).is_err(), "{bad}");
+        }
+        assert!(validated_rate(10e9, 0).is_err());
+    }
+
+    #[test]
+    fn config_spec_inverts_every_in_tree_shape() {
+        let mut shapes = ArchConfig::table1_cells();
+        shapes.push(ArchConfig::with_replication(TableKind::Trie, 4, 2));
+        shapes.push(ArchConfig::with_replication(TableKind::Cam, 2, 1).with_memory_ports(3));
+        for config in shapes {
+            let spec = ConfigSpec::from_config(&config)
+                .unwrap_or_else(|| panic!("{} must be expressible", config.label()));
+            assert_eq!(spec.to_config().unwrap(), config);
+        }
+        // Asymmetric replication has no wire spelling.
+        let machine = MachineConfig::new(2).with_fu_count(taco_isa::FuKind::Matcher, 2);
+        let odd = ArchConfig::new(machine, TableKind::Cam);
+        assert_eq!(ConfigSpec::from_config(&odd), None);
+    }
+
+    #[test]
+    fn name_parsers_list_alternatives() {
+        assert_eq!(parse_table_kind("tree"), Ok(TableKind::BalancedTree));
+        assert!(parse_table_kind("btree").unwrap_err().contains("balanced-tree"));
+        assert!(parse_workload_name("nope").unwrap_err().contains("steady-forward"));
+        assert!(parse_fault_plan_name("nope").unwrap_err().contains("storm"));
+        assert_eq!(parse_workload_name("table-churn"), Ok(Workload::table_churn()));
+        assert_eq!(parse_fault_plan_name("storm"), Ok(FaultPlan::storm()));
+        assert!(parse_machine_shape(TableKind::Cam, "3x1").is_ok());
+        assert!(parse_machine_shape(TableKind::Cam, "9x9").is_err());
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let response = ApiResponse::Error(ApiError::busy("queue full (4 in flight)"));
+        let line = response.to_json();
+        assert!(line.contains("\"code\":\"busy\""), "{line}");
+        assert_eq!(ApiResponse::from_json(&line).unwrap(), response);
+    }
+
+    #[test]
+    fn status_response_round_trips() {
+        let response = ApiResponse::Status(StatusInfo {
+            in_flight: 2,
+            max_pending: 8,
+            draining: false,
+            cache_entries: 11,
+            cache_hits: 40,
+            cache_misses: 11,
+        });
+        let line = response.to_json();
+        assert_eq!(ApiResponse::from_json(&line).unwrap(), response);
+        assert_eq!(ApiResponse::from_json(&line).unwrap().to_json(), line);
+    }
+
+    #[test]
+    fn shutdown_ack_round_trips_with_and_without_snapshot() {
+        for persisted in [Some(9), None] {
+            let line = ApiResponse::ShutdownAck { persisted }.to_json();
+            assert_eq!(
+                ApiResponse::from_json(&line).unwrap(),
+                ApiResponse::ShutdownAck { persisted }
+            );
+        }
+    }
+}

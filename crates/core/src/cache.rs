@@ -18,6 +18,7 @@
 //! value, which is benign and keeps the hot path lock-free during compute.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -25,6 +26,7 @@ use taco_workload::{FaultPlan, Workload};
 
 use crate::arch::ArchConfig;
 use crate::evaluate::{cycles_per_datagram, evaluate_request, EvalReport};
+use crate::rate::LineRate;
 use crate::request::EvalRequest;
 
 /// Full evaluation key: the architecture instance, the routing-table size,
@@ -54,6 +56,102 @@ impl EvalKey {
             faults: request.faults,
         }
     }
+
+    /// Rebuilds the request this key was derived from (the key is a
+    /// lossless projection of every field but the cache-excluded trace
+    /// path) — what snapshot persistence serialises.
+    fn to_request(&self) -> EvalRequest {
+        EvalRequest {
+            config: self.config.clone(),
+            line_rate: LineRate {
+                bits_per_second: f64::from_bits(self.rate_bits),
+                packet_bytes: self.packet_bytes,
+            },
+            entries: self.entries,
+            workload: self.workload,
+            faults: self.faults,
+            trace: None,
+        }
+    }
+}
+
+/// The snapshot format identifier (first header token).
+const SNAPSHOT_MAGIC: &str = "taco-evalcache-snapshot";
+
+/// The snapshot format version (second header token); bump on any change
+/// to the entry schema so stale snapshots are discarded, not misread.
+const SNAPSHOT_VERSION: &str = "v1";
+
+/// FNV-1a 64-bit over the snapshot body — cheap, std-only corruption
+/// detection (truncated writes, hand edits), not cryptographic integrity.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a cache snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not carry the snapshot header.
+    MissingHeader,
+    /// The snapshot was written by a different format version.
+    VersionSkew {
+        /// The version token the file carries.
+        found: String,
+    },
+    /// The body does not match the recorded checksum (truncation,
+    /// corruption, hand edit).
+    ChecksumMismatch,
+    /// One body entry failed to parse.
+    Entry {
+        /// 1-based line number in the snapshot file.
+        line: usize,
+        /// The parse failure.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::MissingHeader => {
+                write!(f, "not a {SNAPSHOT_MAGIC} file (missing header)")
+            }
+            SnapshotError::VersionSkew { found } => {
+                write!(f, "snapshot version {found:?} is not the supported {SNAPSHOT_VERSION:?}")
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot body fails its checksum"),
+            SnapshotError::Entry { line, message } => {
+                write!(f, "snapshot line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// What one [`EvalCache::save_snapshot`] call wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Report entries written to the file.
+    pub persisted: u64,
+    /// Cached reports with no wire form, skipped: reports carrying a
+    /// [`sim_error`](EvalReport::sim_error) (one-way by design) and
+    /// machine configurations outside the wire-expressible family.
+    pub skipped: u64,
 }
 
 /// A keyed memo of evaluation results, shareable across threads.
@@ -150,6 +248,119 @@ impl EvalCache {
     pub fn reset_counters(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Writes every cached report to `path` as a versioned, checksummed
+    /// snapshot the daemon reloads on boot.
+    ///
+    /// Format: a `taco-evalcache-snapshot v1` header line, a
+    /// `checksum <fnv1a64-hex>` line over the body, then one
+    /// `{"request":…,"report":…}` JSON line per entry (the wire codecs
+    /// from [`crate::api`]), sorted so the file is byte-stable for a given
+    /// cache content.  Reports with no wire form are skipped and counted
+    /// (see [`SnapshotStats`]); the rate-independent cycles memo is *not*
+    /// persisted — it backs only the in-process scaling ablation.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be written.
+    pub fn save_snapshot(&self, path: &Path) -> Result<SnapshotStats, SnapshotError> {
+        let mut lines = Vec::new();
+        let mut skipped = 0u64;
+        {
+            let reports = self.reports.lock().expect("cache lock");
+            for (key, report) in reports.iter() {
+                let spec = if report.sim_error.is_none() {
+                    crate::api::EvalSpec::from_request(&key.to_request())
+                } else {
+                    None
+                };
+                match spec {
+                    Some(spec) => lines.push(format!(
+                        "{{\"request\":{},\"report\":{}}}",
+                        spec.to_json(),
+                        crate::api::report_to_json(report)
+                    )),
+                    None => skipped += 1,
+                }
+            }
+        }
+        lines.sort_unstable();
+        let mut body = String::new();
+        for line in &lines {
+            body.push_str(line);
+            body.push('\n');
+        }
+        let content = format!(
+            "{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION}\nchecksum {:016x}\n{body}",
+            fnv1a64(body.as_bytes())
+        );
+        std::fs::write(path, content)?;
+        Ok(SnapshotStats { persisted: lines.len() as u64, skipped })
+    }
+
+    /// Loads a snapshot written by [`EvalCache::save_snapshot`], inserting
+    /// its reports into this cache, and returns how many entries were
+    /// loaded.
+    ///
+    /// Strict by design: a corrupt, truncated or version-skewed snapshot
+    /// is rejected as a whole (the structured error says why) and the
+    /// cache is left exactly as it was — callers warn and start cold, they
+    /// never panic and never trust a half-read file.
+    ///
+    /// # Errors
+    ///
+    /// Every [`SnapshotError`] variant is reachable: IO failure, a foreign
+    /// file, a version bump, a checksum mismatch, or an entry that fails
+    /// the strict wire parse.
+    pub fn load_snapshot(&self, path: &Path) -> Result<u64, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        let Some((header, rest)) = text.split_once('\n') else {
+            return Err(SnapshotError::MissingHeader);
+        };
+        let Some((magic, version)) = header.split_once(' ') else {
+            return Err(SnapshotError::MissingHeader);
+        };
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::MissingHeader);
+        }
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionSkew { found: version.to_owned() });
+        }
+        let Some((checksum_line, body)) = rest.split_once('\n') else {
+            return Err(SnapshotError::MissingHeader);
+        };
+        let recorded = checksum_line
+            .strip_prefix("checksum ")
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or(SnapshotError::MissingHeader)?;
+        if fnv1a64(body.as_bytes()) != recorded {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        // Parse the whole body before touching the cache: a bad entry must
+        // not leave a half-loaded state behind.
+        let mut entries = Vec::new();
+        for (i, line) in body.lines().enumerate() {
+            let file_line = i + 3;
+            let entry = (|| -> Result<(EvalKey, EvalReport), crate::api::ApiError> {
+                let value = crate::api::json::Json::parse(line)
+                    .map_err(|e| crate::api::ApiError::bad_request(e.to_string()))?;
+                let mut f = crate::api::Fields::new("snapshot entry", &value)?;
+                let spec = crate::api::EvalSpec::from_value(f.req("request")?)?;
+                let report = crate::api::report_from_value(f.req("report")?)?;
+                f.finish()?;
+                let request = spec.to_request()?;
+                Ok((EvalKey::new(&request), report))
+            })()
+            .map_err(|e| SnapshotError::Entry { line: file_line, message: e.to_string() })?;
+            entries.push(entry);
+        }
+        let count = entries.len() as u64;
+        let mut reports = self.reports.lock().expect("cache lock");
+        for (key, report) in entries {
+            reports.insert(key, report);
+        }
+        Ok(count)
     }
 }
 
@@ -268,5 +479,130 @@ mod tests {
         let a = EvalCache::global() as *const EvalCache;
         let b = EvalCache::global() as *const EvalCache;
         assert_eq!(a, b);
+    }
+
+    fn temp_snapshot(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("taco-cache-test-{name}-{}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_byte_stable() {
+        use taco_workload::Workload;
+        let cache = EvalCache::new();
+        let cam = request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        let tree =
+            request(ArchConfig::three_bus_one_fu(TableKind::BalancedTree), LineRate::GIGE, 8)
+                .workload(Workload::steady_forward());
+        cache.evaluate(&cam);
+        cache.evaluate(&tree);
+
+        let path = temp_snapshot("roundtrip");
+        let stats = cache.save_snapshot(&path).expect("save");
+        assert_eq!(stats, SnapshotStats { persisted: 2, skipped: 0 });
+        let first = std::fs::read(&path).expect("read");
+        cache.save_snapshot(&path).expect("save again");
+        assert_eq!(first, std::fs::read(&path).expect("read"), "byte-stable");
+
+        let warm = EvalCache::new();
+        assert_eq!(warm.load_snapshot(&path).expect("load"), 2);
+        let (report, hit) = warm.evaluate_recorded(&cam);
+        assert!(hit, "loaded snapshot must answer the exact request");
+        assert_eq!(report, cache.evaluate(&cam));
+        let (_, hit) = warm.evaluate_recorded(&tree);
+        assert!(hit);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_and_skewed_snapshots_are_structured_errors() {
+        let cache = EvalCache::new();
+        cache.evaluate(&request(
+            ArchConfig::three_bus_one_fu(TableKind::Cam),
+            LineRate::TEN_GBE,
+            8,
+        ));
+        let path = temp_snapshot("corrupt");
+        cache.save_snapshot(&path).expect("save");
+        let good = std::fs::read_to_string(&path).expect("read");
+
+        // Flip a body byte: checksum mismatch.
+        std::fs::write(&path, good.replace("\"entries\":8", "\"entries\":9")).unwrap();
+        assert!(matches!(
+            EvalCache::new().load_snapshot(&path),
+            Err(SnapshotError::ChecksumMismatch)
+        ));
+
+        // Bump the version: skew, reported with the found token.
+        std::fs::write(&path, good.replace("snapshot v1", "snapshot v9")).unwrap();
+        match EvalCache::new().load_snapshot(&path) {
+            Err(SnapshotError::VersionSkew { found }) => assert_eq!(found, "v9"),
+            other => panic!("expected version skew, got {other:?}"),
+        }
+
+        // A foreign file: missing header.
+        std::fs::write(&path, "not a snapshot at all\n").unwrap();
+        assert!(matches!(EvalCache::new().load_snapshot(&path), Err(SnapshotError::MissingHeader)));
+
+        // A missing file: IO.
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(EvalCache::new().load_snapshot(&path), Err(SnapshotError::Io(_))));
+    }
+
+    #[test]
+    fn bad_entries_reject_the_whole_snapshot() {
+        let cache = EvalCache::new();
+        cache.evaluate(&request(
+            ArchConfig::three_bus_one_fu(TableKind::Cam),
+            LineRate::TEN_GBE,
+            8,
+        ));
+        let path = temp_snapshot("badentry");
+        cache.save_snapshot(&path).expect("save");
+        let good = std::fs::read_to_string(&path).expect("read");
+        // Re-checksum a body whose entry is valid JSON but fails the strict
+        // parse (unknown field) — the load must fail atomically.
+        let (header_and_sum, body) = good.split_once("\n").unwrap();
+        let (_sum, body) = body.split_once('\n').unwrap();
+        let bad_body = body.replacen("{\"request\":", "{\"zzz\":1,\"request\":", 1);
+        let content = format!(
+            "{header_and_sum}\nchecksum {:016x}\n{bad_body}",
+            super::fnv1a64(bad_body.as_bytes())
+        );
+        std::fs::write(&path, content).unwrap();
+        let warm = EvalCache::new();
+        match warm.load_snapshot(&path) {
+            Err(SnapshotError::Entry { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("zzz"), "{message}");
+            }
+            other => panic!("expected entry error, got {other:?}"),
+        }
+        assert!(warm.is_empty(), "a rejected snapshot must not half-load");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unrepresentable_reports_are_skipped_with_a_count() {
+        use taco_isa::{FuKind, MachineConfig};
+        let cache = EvalCache::new();
+        cache.evaluate(&request(
+            ArchConfig::three_bus_one_fu(TableKind::Cam),
+            LineRate::TEN_GBE,
+            8,
+        ));
+        // An asymmetric machine outside the wire-expressible family: its
+        // report is skipped whether it simulated or died with a sim_error.
+        let odd = ArchConfig::new(
+            MachineConfig::three_bus_one_fu().with_fu_count(FuKind::Matcher, 2),
+            TableKind::Cam,
+        );
+        cache.evaluate(&request(odd, LineRate::TEN_GBE, 8));
+
+        let path = temp_snapshot("skips");
+        let stats = cache.save_snapshot(&path).expect("save");
+        assert_eq!(stats, SnapshotStats { persisted: 1, skipped: 1 });
+        let warm = EvalCache::new();
+        assert_eq!(warm.load_snapshot(&path).expect("load"), 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -32,6 +32,25 @@ const CYCLE_BUDGET: u64 = 50_000_000;
 /// the regime where queueing and overload are actually visible.)
 const SCENARIO_TICK_SECONDS: f64 = 10e-6;
 
+/// A failure of the [`EvalRequest::trace`](EvalRequest::trace) side
+/// channel: the evaluation itself succeeded, but the Chrome timeline could
+/// not be produced (unwritable path, failed replay).  Carried on the
+/// report instead of being dropped on stderr so programmatic callers — and
+/// the wire API — can see it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// The path the timeline was meant to be written to.
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not write trace {}: {}", self.path, self.message)
+    }
+}
+
 /// The co-analysis result for one architecture instance — one cell of
 /// Table 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +91,10 @@ pub struct EvalReport {
     /// any.  A report carrying one is infeasible by construction: the
     /// instance cannot execute its own microcode, so no clock rescues it.
     pub sim_error: Option<SimError>,
+    /// A failure of the requested trace side channel, if any.  Unlike
+    /// [`EvalReport::sim_error`] this does not invalidate the report: the
+    /// measurement completed, only the timeline file is missing.
+    pub trace_error: Option<TraceError>,
 }
 
 impl EvalReport {
@@ -248,6 +271,7 @@ fn error_report(request: &EvalRequest, rtu_latency: u32, error: SimError) -> Eva
         stats: SimStats::default(),
         scenario: None,
         sim_error: Some(error),
+        trace_error: None,
     }
 }
 
@@ -316,20 +340,22 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
     }
     let estimate = estimator.estimate(&config.machine, freq);
 
-    // Side effect, not a result: replay the converged measurement run under
-    // a ChromeTracer and write the timeline out.  IO problems are reported,
-    // never allowed to change the evaluation.
-    if let Some(path) = &request.trace {
+    // Side effect on the report, never on the numbers: replay the converged
+    // measurement run under a ChromeTracer and write the timeline out.  IO
+    // problems surface as a structured `trace_error` — an unwritable path
+    // must not be silently dropped, and must not change the evaluation.
+    let trace_error = request.trace.as_ref().and_then(|path| {
         let mut chrome = taco_sim::ChromeTracer::new(config.machine.buses());
         match traced_measure(config, &routes, rtu_latency, request.faults.as_ref(), &mut chrome) {
-            Ok(traced_stats) => {
-                if let Err(e) = std::fs::write(path, chrome.finish(traced_stats.cycles)) {
-                    eprintln!("warning: could not write trace {}: {e}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: traced replay failed: {e}"),
+            Ok(traced_stats) => std::fs::write(path, chrome.finish(traced_stats.cycles))
+                .err()
+                .map(|e| TraceError { path: path.display().to_string(), message: e.to_string() }),
+            Err(e) => Some(TraceError {
+                path: path.display().to_string(),
+                message: format!("traced replay failed: {e}"),
+            }),
         }
-    }
+    });
 
     let scenario = request.workload.as_ref().map(|workload| {
         let service = scenario_service_per_tick(cycles);
@@ -353,17 +379,8 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
         stats,
         scenario,
         sim_error: None,
+        trace_error,
     }
-}
-
-/// Evaluates one architecture instance against a line-rate target.
-///
-/// Deprecated positional form of the pipeline: every new evaluation knob
-/// would have grown another parameter at every call site.  Build an
-/// [`EvalRequest`] and call [`EvalRequest::run`] instead.
-#[deprecated(note = "build an `EvalRequest` and call its `run()` method instead")]
-pub fn evaluate(config: &ArchConfig, line_rate: LineRate, table_entries: usize) -> EvalReport {
-    evaluate_request(&EvalRequest::new(config.clone()).rate(line_rate).entries(table_entries))
 }
 
 /// Measures only the cycles-per-datagram of a configuration at a given
@@ -434,15 +451,6 @@ mod tests {
         assert!(text.contains("cam 3BUS/1FU"), "{text}");
         assert!(text.contains("cycles/datagram"), "{text}");
         assert!(text.contains("mm2"), "{text}");
-    }
-
-    #[test]
-    fn deprecated_wrapper_matches_the_request_pipeline() {
-        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
-        #[allow(deprecated)]
-        let old = evaluate(&config, LineRate::TEN_GBE, 8);
-        let new = EvalRequest::new(config).rate(LineRate::TEN_GBE).entries(8).run();
-        assert_eq!(old, new);
     }
 
     #[test]
@@ -535,6 +543,19 @@ mod tests {
         let cam = cycles_per_datagram(&ArchConfig::three_bus_one_fu(TableKind::Cam), 64);
         assert!(scenario_service_per_tick(seq) < scenario_service_per_tick(cam));
         assert!(scenario_service_per_tick(f64::INFINITY) >= 1, "budget is never zero");
+    }
+
+    #[test]
+    fn unwritable_trace_path_surfaces_as_a_structured_error() {
+        let path = std::env::temp_dir().join("taco-no-such-dir").join("trace.json");
+        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        let traced = EvalRequest::new(config.clone()).entries(8).trace(&path).run();
+        let err = traced.trace_error.clone().expect("unwritable path must be surfaced");
+        assert!(err.path.contains("taco-no-such-dir"), "{err}");
+        assert!(!err.message.is_empty());
+        // Only the side channel failed: the measurement matches a plain run.
+        let plain = EvalRequest::new(config).entries(8).run();
+        assert_eq!(EvalReport { trace_error: None, ..traced }, plain);
     }
 
     #[test]

@@ -10,16 +10,19 @@
 //!
 //! 1. [`ArchConfig`] names an architecture instance: a TTA machine
 //!    configuration × a routing-table organisation;
-//! 2. [`evaluate()`](evaluate()) runs the cycle-accurate router for the instance
-//!    (`taco-router` + `taco-sim`), converts measured cycles-per-datagram
-//!    into the minimum clock for a [`LineRate`] target, and feeds that
-//!    clock to the physical estimator (`taco-estimate`) — producing an
-//!    [`EvalReport`] with required speed, bus utilisation, area, power and
-//!    feasibility;
+//! 2. [`EvalRequest::run`] (backed by [`evaluate_request()`]) runs the
+//!    cycle-accurate router for the instance (`taco-router` + `taco-sim`),
+//!    converts measured cycles-per-datagram into the minimum clock for a
+//!    [`LineRate`] target, and feeds that clock to the physical estimator
+//!    (`taco-estimate`) — producing an [`EvalReport`] with required speed,
+//!    bus utilisation, area, power and feasibility;
 //! 3. [`table1()`](table1()) evaluates the paper's nine cells and [`table1::render`]
 //!    prints them in the paper's layout;
 //! 4. [`explore`] automates the design-space sweep the paper lists as
-//!    future work: grid × constraints → ranked surviving configurations.
+//!    future work: grid × constraints → ranked surviving configurations;
+//! 5. [`api`] is the versioned JSON wire form of all of the above — the
+//!    schema the `taco-served` daemon speaks and the shared validation
+//!    path behind the CLI flags.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@
 //! assert!(cam.required_frequency_hz < seq.required_frequency_hz / 10.0);
 //! ```
 
+pub mod api;
 pub mod arch;
 pub mod cache;
 pub mod evaluate;
@@ -46,13 +50,12 @@ pub mod rate;
 pub mod request;
 pub mod table1;
 
+pub use api::{ApiError, ApiErrorCode, ApiRequest, ApiResponse, ConfigSpec, EvalSpec, StatusInfo};
 pub use arch::{ArchConfig, RoutingTableKind};
-pub use cache::EvalCache;
-#[allow(deprecated)]
-pub use evaluate::evaluate;
+pub use cache::{EvalCache, SnapshotError, SnapshotStats};
 pub use evaluate::{
     benchmark_routes, cycles_per_datagram, evaluate_request, max_sustainable_rate_bps,
-    trace_request, EvalReport,
+    trace_request, EvalReport, TraceError,
 };
 pub use explorer::{
     explore, explore_serial, explore_with, grid, scaling_sweep, scaling_sweep_with, Constraints,

@@ -114,8 +114,9 @@ impl EvalRequest {
 
     /// Requests a Chrome-trace capture of the measurement run (the final
     /// fixed-point iteration), written to `path` as `about://tracing` /
-    /// Perfetto-loadable JSON.  IO failures are reported on stderr, never
-    /// fatal — a missing trace must not change the evaluation result.
+    /// Perfetto-loadable JSON.  IO failures surface as a structured
+    /// [`EvalReport::trace_error`], never a panic — a missing trace must
+    /// not change the evaluation's numbers.
     pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace = Some(path.into());
         self

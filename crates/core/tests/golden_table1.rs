@@ -17,29 +17,13 @@
 //! platform-independent for the arithmetic this pipeline does; infeasible
 //! cells carry `null` area/power (the paper's "NA").
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use taco_core::{table1, EvalReport, LineRate};
+use taco_core::api::table1_cell_json;
+use taco_core::{table1, LineRate};
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table1.json")
-}
-
-fn cell_json(report: &EvalReport) -> String {
-    let mut line = format!(
-        "{{\"label\":\"{}\",\"min_freq_hz\":{},\"bus_utilization\":{}",
-        report.config.label(),
-        report.required_frequency_hz,
-        report.bus_utilization,
-    );
-    match report.estimate.feasible() {
-        Some(e) => {
-            let _ = write!(line, ",\"area_mm2\":{},\"power_w\":{}}}", e.area_mm2, e.power_w);
-        }
-        None => line.push_str(",\"area_mm2\":null,\"power_w\":null}"),
-    }
-    line
 }
 
 fn snapshot() -> String {
@@ -47,7 +31,7 @@ fn snapshot() -> String {
     let mut out = String::new();
     for report in &reports {
         assert!(report.sim_error.is_none(), "cell failed to simulate: {report}");
-        out.push_str(&cell_json(report));
+        out.push_str(&table1_cell_json(report));
         out.push('\n');
     }
     out

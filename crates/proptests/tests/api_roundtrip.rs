@@ -1,0 +1,144 @@
+//! Property tests for the `v1` wire API: randomised requests round-trip
+//! through JSON exactly, and arbitrary byte soup never panics the strict
+//! parser.
+//!
+//! The in-workspace suite (`crates/core/tests/api_roundtrip.rs`)
+//! enumerates the builtin cross product; this registry-gated suite covers
+//! the *randomised* remainder — arbitrary bus/replication/memory-port
+//! counts, arbitrary finite line rates, reseeded workloads and fault
+//! plans, and adversarial constraint corners.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use proptest::sample::Index;
+
+use taco::eval::api::{ApiRequest, ApiResponse, ConfigSpec, EvalSpec};
+use taco::eval::{Constraints, FaultPlan, LineRate, SweepSpec, Workload};
+use taco::routing::TableKind;
+
+fn arb_kind() -> impl Strategy<Value = TableKind> {
+    prop_oneof![
+        Just(TableKind::Sequential),
+        Just(TableKind::BalancedTree),
+        Just(TableKind::Cam),
+        Just(TableKind::Trie),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = ConfigSpec> {
+    (arb_kind(), 1u8..=8, 1u8..=4, 1u8..=4).prop_map(
+        |(table, buses, replication, memory_ports)| ConfigSpec {
+            table,
+            buses,
+            replication,
+            memory_ports,
+        },
+    )
+}
+
+fn arb_rate() -> impl Strategy<Value = LineRate> {
+    // Positive *normal* floats and non-zero packet sizes — exactly the
+    // domain `validated_rate` admits.
+    (1.0f64..1e13, 1u32..=65535)
+        .prop_map(|(bits_per_second, packet_bytes)| LineRate::new(bits_per_second, packet_bytes))
+}
+
+fn arb_workload() -> impl Strategy<Value = Option<Workload>> {
+    proptest::option::of((any::<Index>(), any::<u64>()).prop_map(|(index, seed)| {
+        let builtin = Workload::builtin();
+        builtin[index.index(builtin.len())].with_seed(seed)
+    }))
+}
+
+fn arb_faults() -> impl Strategy<Value = Option<FaultPlan>> {
+    proptest::option::of((any::<Index>(), any::<u64>()).prop_map(|(index, seed)| {
+        let builtin = FaultPlan::builtin();
+        let mut plan = builtin[index.index(builtin.len())].1;
+        plan.seed = seed;
+        plan
+    }))
+}
+
+fn arb_constraints() -> impl Strategy<Value = Constraints> {
+    (
+        -1e6f64..1e6,
+        -1e6f64..1e6,
+        proptest::option::of(any::<u64>()),
+        proptest::option::of(any::<u64>()),
+    )
+        .prop_map(|(max_power_w, max_area_mm2, max_scenario_drops, max_unrecovered_faults)| {
+            Constraints { max_power_w, max_area_mm2, max_scenario_drops, max_unrecovered_faults }
+        })
+}
+
+fn assert_identity(request: &ApiRequest) -> Result<(), TestCaseError> {
+    let line = request.to_json();
+    let parsed = match ApiRequest::from_json(&line) {
+        Ok(parsed) => parsed,
+        Err(e) => return Err(TestCaseError::fail(format!("own serialisation rejected: {e}\n{line}"))),
+    };
+    prop_assert_eq!(&parsed, request, "{}", line);
+    prop_assert_eq!(parsed.to_json(), line, "re-serialisation drifted");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn random_eval_requests_round_trip(
+        config in arb_config(),
+        rate in arb_rate(),
+        entries in 1usize..=65536,
+        workload in arb_workload(),
+        faults in arb_faults(),
+    ) {
+        let mut spec = EvalSpec::new(config);
+        spec.rate = rate;
+        spec.entries = entries;
+        spec.workload = workload;
+        spec.faults = faults;
+        assert_identity(&ApiRequest::Eval(spec))?;
+    }
+
+    #[test]
+    fn random_sweep_requests_round_trip(
+        buses in proptest::collection::vec(1u8..=8, 1..4),
+        replication in proptest::collection::vec(1u8..=4, 1..4),
+        kinds in proptest::collection::vec(arb_kind(), 1..5),
+        entries in 1usize..=4096,
+        workload in arb_workload(),
+        faults in arb_faults(),
+        rate in arb_rate(),
+        constraints in arb_constraints(),
+    ) {
+        let spec = SweepSpec { buses, replication, kinds, entries, workload, faults };
+        assert_identity(&ApiRequest::Sweep { spec, rate, constraints })?;
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics_the_strict_parsers(line in ".*") {
+        // Any outcome is fine; aborting the daemon is not.
+        let _ = ApiRequest::from_json(&line);
+        let _ = ApiResponse::from_json(&line);
+    }
+
+    #[test]
+    fn mutated_valid_requests_never_panic(
+        config in arb_config(),
+        rate in arb_rate(),
+        cut in any::<Index>(),
+        junk in "[ \t{}\\[\\]:,\"0-9a-z]{0,12}",
+    ) {
+        // Splice junk into a real request line at a random point: the
+        // parser must answer with a structured error or a parse, never a
+        // panic.
+        let mut spec = EvalSpec::new(config);
+        spec.rate = rate;
+        let line = ApiRequest::Eval(spec).to_json();
+        // The serialised form is pure ASCII, so any split point is a
+        // char boundary.
+        let at = cut.index(line.len() + 1);
+        let mutated = format!("{}{junk}{}", &line[..at], &line[at..]);
+        let _ = ApiRequest::from_json(&mutated);
+    }
+}

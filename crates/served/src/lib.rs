@@ -1,0 +1,536 @@
+#![warn(missing_docs)]
+
+//! `taco-served` — a long-running batch evaluation daemon.
+//!
+//! The paper's pitch is *fast turn-around*: evaluating an architecture
+//! takes milliseconds once the simulator is warm, so the natural way to
+//! serve a design team is a resident process that keeps the
+//! [`EvalCache`] hot across requests.  This crate is that process — a
+//! std-only TCP daemon speaking the versioned [`taco_core::api`] wire
+//! protocol, one JSON line per request, newline-delimited JSON responses
+//! back:
+//!
+//! * **single evaluations** ([`ApiRequest::Eval`]) and **whole sweeps**
+//!   ([`ApiRequest::Sweep`]) run as queued batch jobs, fanned out over the
+//!   `taco_core::pool` worker pool;
+//! * sweeps stream per-point progress lines
+//!   ([`ApiResponse::SweepPoint`]) while they run, via the
+//!   [`SweepObserver`] trait;
+//! * a bounded job queue provides admission control: beyond
+//!   [`ServerConfig::max_pending`] in-flight jobs, submissions are
+//!   rejected with a structured `429`-style [`ApiErrorCode::Busy`] error
+//!   instead of queueing without bound (or hanging);
+//! * on [`ApiRequest::Shutdown`] the daemon drains in-flight work,
+//!   persists the cache to the configured snapshot path and exits
+//!   gracefully; on boot it re-loads that snapshot, so a restarted daemon
+//!   answers repeat requests byte-identically *and* instantly.
+//!
+//! Responses are byte-stable by construction (see
+//! [`ApiResponse::to_json`]), so clients may pin them against golden
+//! fixtures regardless of cache state.
+//!
+//! ```no_run
+//! use taco_served::{request_lines, Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default())?;
+//! let addr = server.local_addr();
+//! std::thread::spawn(move || server.run());
+//! let lines =
+//!     request_lines(addr, "{\"api_version\":\"v1\",\"kind\":\"status\"}")?;
+//! println!("{}", lines[0]);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+#[allow(unused_imports)] // doc links
+use taco_core::api::ApiErrorCode;
+use taco_core::api::{ApiError, ApiRequest, ApiResponse, StatusInfo};
+use taco_core::{explore_with, pool, EvalCache, ExploreOptions, PointRecord, SweepObserver};
+
+/// How long the daemon waits for a connected client to send its one
+/// request line before giving up on the connection.  Bounds how long a
+/// silent client can delay a graceful shutdown.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Bound of the per-job response channel.  A slow reader applies
+/// backpressure to the sweep workers instead of buffering the whole
+/// result set in memory.
+const PROGRESS_BUFFER: usize = 64;
+
+/// Daemon configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Address to listen on.  Port `0` picks an ephemeral port — read it
+    /// back with [`Server::local_addr`].
+    pub addr: String,
+    /// Admission bound: jobs admitted but not yet fully answered.
+    /// Submissions beyond it receive a structured `busy` error.  Values
+    /// below 1 are treated as 1.
+    pub max_pending: usize,
+    /// Cache snapshot path: loaded (if present and usable) on
+    /// [`Server::bind`], written on graceful shutdown.  `None` serves
+    /// from a cold cache and persists nothing.
+    pub snapshot: Option<PathBuf>,
+    /// Worker threads for sweep fan-out (`0` = one per core, the
+    /// [`pool::default_threads`] rule).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    /// Loopback on an ephemeral port, 4 job slots, no snapshot, all
+    /// cores.
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:0".to_owned(), max_pending: 4, snapshot: None, threads: 0 }
+    }
+}
+
+/// One admitted job: the parsed request plus the channel its response
+/// lines flow back through (the connection handler drains the other
+/// end).
+struct Job {
+    request: ApiRequest,
+    tx: SyncSender<String>,
+}
+
+/// Queue state behind the one daemon mutex.
+struct QueueInner {
+    /// Admitted jobs not yet picked up by the runner.
+    jobs: VecDeque<Job>,
+    /// Jobs admitted and not yet fully written back (queued + running +
+    /// streaming).  This — not `jobs.len()` — is what admission bounds:
+    /// a job holds its slot until its client has the complete response.
+    in_flight: usize,
+    /// A shutdown has been requested; no further jobs are admitted.
+    draining: bool,
+    /// The drain finished; the runner and accept loop should exit.
+    stopped: bool,
+}
+
+/// Everything the connection handlers, the job runner and the accept
+/// loop share.
+struct Shared {
+    queue: Mutex<QueueInner>,
+    /// Signalled when a job is queued or `stopped` is set (runner waits).
+    work: Condvar,
+    /// Signalled when `in_flight` drops (the shutdown drain waits).
+    idle: Condvar,
+    cache: EvalCache,
+    max_pending: usize,
+    threads: usize,
+    snapshot: Option<PathBuf>,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn status(&self) -> StatusInfo {
+        let q = self.queue.lock().unwrap();
+        StatusInfo {
+            in_flight: q.in_flight as u64,
+            max_pending: self.max_pending as u64,
+            draining: q.draining,
+            cache_entries: self.cache.len() as u64,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+}
+
+/// The daemon: a bound listener plus the shared queue and cache.
+///
+/// [`Server::bind`] acquires the port (and warms the cache from the
+/// snapshot); [`Server::run`] serves until a client sends a `shutdown`
+/// request.
+pub struct Server {
+    listener: TcpListener,
+    shared: Shared,
+}
+
+impl Server {
+    /// Binds the listener and prepares the cache.
+    ///
+    /// An existing snapshot at [`ServerConfig::snapshot`] is loaded into
+    /// the cache; a corrupt, truncated or version-skewed snapshot is
+    /// *discarded with a warning* on stderr — a bad file on disk must
+    /// never keep the daemon from starting.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let cache = EvalCache::new();
+        if let Some(path) = &config.snapshot {
+            if path.exists() {
+                match cache.load_snapshot(path) {
+                    Ok(entries) => {
+                        eprintln!(
+                            "taco-served: warmed cache with {entries} entries from {}",
+                            path.display()
+                        );
+                    }
+                    Err(e) => eprintln!(
+                        "taco-served: discarding unusable snapshot {}: {e}",
+                        path.display()
+                    ),
+                }
+            }
+        }
+        let threads = if config.threads == 0 { pool::default_threads() } else { config.threads };
+        Ok(Server {
+            listener,
+            shared: Shared {
+                queue: Mutex::new(QueueInner {
+                    jobs: VecDeque::new(),
+                    in_flight: 0,
+                    draining: false,
+                    stopped: false,
+                }),
+                work: Condvar::new(),
+                idle: Condvar::new(),
+                cache,
+                max_pending: config.max_pending.max(1),
+                threads,
+                snapshot: config.snapshot,
+                addr,
+            },
+        })
+    }
+
+    /// The bound address (the resolved port when the config asked for
+    /// port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves requests until a graceful shutdown completes.
+    ///
+    /// Blocking: spawn it on a thread if the caller needs to keep
+    /// working.  One scoped thread runs jobs FIFO; each accepted
+    /// connection gets a scoped handler thread that reads one request
+    /// line, answers (streaming, for sweeps) and closes.
+    pub fn run(self) -> io::Result<()> {
+        let shared = &self.shared;
+        thread::scope(|s| {
+            s.spawn(|| run_jobs(shared));
+            for conn in self.listener.incoming() {
+                if shared.queue.lock().unwrap().stopped {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                s.spawn(move || serve_connection(stream, shared));
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Writes one response line and flushes it (clients read line-by-line,
+/// so every line must hit the socket as soon as it exists).
+fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// One connection: read a request line, dispatch, answer, close.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut line = String::new();
+    if BufReader::new(read_half).read_line(&mut line).is_err() {
+        return;
+    }
+    let mut writer = stream;
+    let request = match ApiRequest::from_json(line.trim_end()) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = write_line(&mut writer, &ApiResponse::Error(e).to_json());
+            return;
+        }
+    };
+    match request {
+        ApiRequest::Status => {
+            let _ = write_line(&mut writer, &ApiResponse::Status(shared.status()).to_json());
+        }
+        ApiRequest::Shutdown => shutdown(&mut writer, shared),
+        job @ (ApiRequest::Eval(_) | ApiRequest::Sweep { .. }) => {
+            submit_job(job, &mut writer, shared)
+        }
+    }
+}
+
+/// Admission control and response streaming for eval/sweep jobs.
+fn submit_job(request: ApiRequest, writer: &mut TcpStream, shared: &Shared) {
+    let rx = {
+        let mut q = shared.queue.lock().unwrap();
+        if q.draining || q.stopped {
+            drop(q);
+            let _ = write_line(writer, &ApiResponse::Error(ApiError::shutting_down()).to_json());
+            return;
+        }
+        if q.in_flight >= shared.max_pending {
+            let message = format!(
+                "{} of {} job slots in use; retry after a slot drains",
+                q.in_flight, shared.max_pending
+            );
+            drop(q);
+            let _ = write_line(writer, &ApiResponse::Error(ApiError::busy(message)).to_json());
+            return;
+        }
+        q.in_flight += 1;
+        let (tx, rx) = mpsc::sync_channel(PROGRESS_BUFFER);
+        q.jobs.push_back(Job { request, tx });
+        shared.work.notify_one();
+        rx
+    };
+
+    // Stream until the runner drops its sender.  If the client has gone
+    // away, keep draining the channel anyway — the runner must never
+    // block on a dead connection's backpressure.
+    let mut sink_ok = true;
+    while let Ok(line) = rx.recv() {
+        if sink_ok {
+            sink_ok = write_line(writer, &line).is_ok();
+        }
+    }
+
+    let mut q = shared.queue.lock().unwrap();
+    q.in_flight -= 1;
+    shared.idle.notify_all();
+}
+
+/// Graceful shutdown: stop admitting, drain, persist, acknowledge, stop.
+fn shutdown(writer: &mut TcpStream, shared: &Shared) {
+    {
+        let mut q = shared.queue.lock().unwrap();
+        if q.draining || q.stopped {
+            drop(q);
+            let _ = write_line(writer, &ApiResponse::Error(ApiError::shutting_down()).to_json());
+            return;
+        }
+        q.draining = true;
+        while !(q.jobs.is_empty() && q.in_flight == 0) {
+            q = shared.idle.wait(q).unwrap();
+        }
+    }
+    // Snapshot failures degrade to `persisted: null` plus a warning —
+    // shutdown must complete even on a read-only disk.
+    let persisted =
+        shared.snapshot.as_ref().and_then(|path| match shared.cache.save_snapshot(path) {
+            Ok(stats) => Some(stats.persisted),
+            Err(e) => {
+                eprintln!(
+                    "taco-served: could not persist cache snapshot to {}: {e}",
+                    path.display()
+                );
+                None
+            }
+        });
+    let _ = write_line(writer, &ApiResponse::ShutdownAck { persisted }.to_json());
+    shared.queue.lock().unwrap().stopped = true;
+    shared.work.notify_all();
+    // Unblock the accept loop so `Server::run` can observe `stopped`.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// The job runner: pops admitted jobs FIFO and executes them, one at a
+/// time (each sweep fans out internally over the worker pool).
+fn run_jobs(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.stopped {
+                    return;
+                }
+                q = shared.work.wait(q).unwrap();
+            }
+        };
+        execute(shared, job);
+    }
+}
+
+/// Runs one job, sending response lines through its channel.  Dropping
+/// `job` (and with it the sender) is what tells the connection handler
+/// the response is complete.
+fn execute(shared: &Shared, job: Job) {
+    let respond = |response: ApiResponse| {
+        let _ = job.tx.send(response.to_json());
+    };
+    match &job.request {
+        ApiRequest::Eval(spec) => match spec.to_request() {
+            Ok(request) => {
+                let (report, _cache_hit) = shared.cache.evaluate_recorded(&request);
+                respond(ApiResponse::EvalResult(Box::new(report)));
+            }
+            Err(e) => respond(ApiResponse::Error(e)),
+        },
+        ApiRequest::Sweep { spec, rate, constraints } => {
+            let progress = ChannelProgress { tx: Mutex::new(job.tx.clone()) };
+            let opts = ExploreOptions {
+                threads: shared.threads,
+                cache: Some(&shared.cache),
+                observer: &progress,
+            };
+            let exploration = explore_with(spec, *rate, constraints, &opts);
+            respond(ApiResponse::SweepResult {
+                admitted: exploration.admitted,
+                reports: exploration.all,
+            });
+        }
+        // `serve_connection` answers these inline; they are never queued.
+        ApiRequest::Status | ApiRequest::Shutdown => {
+            respond(ApiResponse::Error(ApiError::internal(
+                "control requests are answered inline, never queued",
+            )));
+        }
+    }
+}
+
+/// Streams [`ApiResponse::SweepPoint`] lines into a job's response
+/// channel as the explorer's workers finish points (completion order).
+///
+/// The sender sits behind a mutex only because [`SweepObserver`]
+/// requires `Sync` and `SyncSender` is not `Sync` on the project's
+/// minimum toolchain.
+struct ChannelProgress {
+    tx: Mutex<SyncSender<String>>,
+}
+
+impl SweepObserver for ChannelProgress {
+    fn on_point(&self, record: &PointRecord<'_>) {
+        let line = ApiResponse::SweepPoint {
+            index: record.index,
+            total: record.total,
+            label: record.report.config.label(),
+            cache_hit: record.cache_hit,
+            feasible: record.report.is_feasible(),
+        }
+        .to_json();
+        let _ = self.tx.lock().unwrap().send(line);
+    }
+}
+
+/// Connects, sends one request line and returns the reader for the
+/// response stream — the client half of the protocol, used by the CLI
+/// and the integration tests to read streamed sweep progress
+/// incrementally.
+pub fn open_request(
+    addr: impl ToSocketAddrs,
+    request_line: &str,
+) -> io::Result<BufReader<TcpStream>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request_line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    Ok(BufReader::new(stream))
+}
+
+/// [`open_request`], collecting the whole response: one string per line,
+/// in arrival order (for sweeps: the progress lines, then the result).
+pub fn request_lines(addr: impl ToSocketAddrs, request_line: &str) -> io::Result<Vec<String>> {
+    open_request(addr, request_line)?.lines().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_core::api::{ApiErrorCode, ConfigSpec, EvalSpec};
+    use taco_core::RoutingTableKind;
+
+    fn start(config: ServerConfig) -> (SocketAddr, thread::JoinHandle<io::Result<()>>) {
+        let server = Server::bind(config).expect("bind loopback");
+        let addr = server.local_addr();
+        (addr, thread::spawn(move || server.run()))
+    }
+
+    fn shut_down(addr: SocketAddr) {
+        let lines = request_lines(addr, &ApiRequest::Shutdown.to_json()).expect("shutdown");
+        match ApiResponse::from_json(&lines[0]).expect("parse ack") {
+            ApiResponse::ShutdownAck { .. } => {}
+            other => panic!("expected shutdown_ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn status_then_shutdown_completes_the_run() {
+        let (addr, handle) = start(ServerConfig::default());
+        let lines = request_lines(addr, &ApiRequest::Status.to_json()).expect("status");
+        assert_eq!(lines.len(), 1);
+        match ApiResponse::from_json(&lines[0]).expect("parse status") {
+            ApiResponse::Status(info) => {
+                assert_eq!(info.in_flight, 0);
+                assert_eq!(info.max_pending, 4);
+                assert!(!info.draining);
+                assert_eq!(info.cache_entries, 0);
+            }
+            other => panic!("expected status_result, got {other:?}"),
+        }
+        shut_down(addr);
+        handle.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn eval_responses_are_byte_stable_across_cache_hits() {
+        let (addr, handle) = start(ServerConfig::default());
+        let mut spec = EvalSpec::new(ConfigSpec::new(RoutingTableKind::Cam, 3, 1));
+        spec.entries = 8;
+        let line = ApiRequest::Eval(spec).to_json();
+        let cold = request_lines(addr, &line).expect("cold eval");
+        let warm = request_lines(addr, &line).expect("warm eval");
+        assert_eq!(cold, warm, "cache hits must not change response bytes");
+        assert_eq!(cold.len(), 1);
+        match ApiResponse::from_json(&cold[0]).expect("parse eval result") {
+            ApiResponse::EvalResult(report) => assert_eq!(report.table_entries, 8),
+            other => panic!("expected eval_result, got {other:?}"),
+        }
+        shut_down(addr);
+        handle.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn malformed_and_version_skewed_requests_get_structured_errors() {
+        let (addr, handle) = start(ServerConfig::default());
+        let cases = [
+            ("this is not json", ApiErrorCode::BadRequest),
+            ("{\"api_version\":\"v0\",\"kind\":\"status\"}", ApiErrorCode::VersionMismatch),
+            ("{\"api_version\":\"v1\",\"kind\":\"status\",\"extra\":1}", ApiErrorCode::BadRequest),
+        ];
+        for (request, expected) in cases {
+            let lines = request_lines(addr, request).expect("error response");
+            assert_eq!(lines.len(), 1, "{request}");
+            match ApiResponse::from_json(&lines[0]).expect("parse error") {
+                ApiResponse::Error(e) => assert_eq!(e.code, expected, "{request}"),
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+        shut_down(addr);
+        handle.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn second_shutdown_reports_shutting_down() {
+        let (addr, handle) = start(ServerConfig::default());
+        // Two concurrent shutdowns: exactly one gets the ack, the other a
+        // structured shutting_down error (or a refused connection if it
+        // arrives after the listener stopped — both are graceful).
+        shut_down(addr);
+        if let Ok(lines) = request_lines(addr, &ApiRequest::Shutdown.to_json()) {
+            if let Some(first) = lines.first() {
+                match ApiResponse::from_json(first).expect("parse") {
+                    ApiResponse::Error(e) => assert_eq!(e.code, ApiErrorCode::ShuttingDown),
+                    other => panic!("expected shutting_down, got {other:?}"),
+                }
+            }
+        }
+        handle.join().expect("server thread").expect("clean exit");
+    }
+}

@@ -44,6 +44,19 @@ impl LatencyHistogram {
         Self::default()
     }
 
+    /// Reassembles a histogram from its serialised integer parts (the
+    /// non-derived fields of the JSON record) — the wire layer's inverse
+    /// of serialisation.  Percentiles and the mean are derived, so a
+    /// reassembled histogram reproduces them exactly.
+    pub fn from_parts(
+        buckets: [u64; LATENCY_BUCKETS],
+        count: u64,
+        total_ticks: u64,
+        max: u64,
+    ) -> Self {
+        LatencyHistogram { buckets, count, total: total_ticks, max }
+    }
+
     /// Records one sample of `ticks` latency.
     pub fn record(&mut self, ticks: u64) {
         let idx = match ticks {
@@ -302,6 +315,19 @@ mod tests {
         h.record(1 << 40);
         h.record(1 << 41);
         assert_eq!(h.p99(), 1 << 41);
+    }
+
+    #[test]
+    fn from_parts_inverts_the_serialised_fields() {
+        let mut h = LatencyHistogram::new();
+        for t in [0, 1, 5, 100, 1 << 40] {
+            h.record(t);
+        }
+        let rebuilt =
+            LatencyHistogram::from_parts(*h.buckets(), h.count(), h.total_ticks(), h.max());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.p99(), h.p99());
+        assert_eq!(rebuilt.mean_milli(), h.mean_milli());
     }
 
     #[test]

@@ -36,6 +36,13 @@ cargo test -q --offline -p taco-workload --test differential malformed_frames_dr
 cargo test -q --offline -p taco-core --test fault_determinism
 
 echo
+echo "== tier-1: wire API round-trip + daemon loopback suites (explicit) =="
+# The v1 wire schema's identity property over every builtin combination,
+# and the daemon's golden-fixture/admission/persistence contract.
+cargo test -q --offline -p taco-core --test api_roundtrip
+cargo test -q --offline -p taco-served --test daemon
+
+echo
 echo "== perf gate: disabled-tracer table1 smoke =="
 # The tracer — and the fault-injection hooks, which share its
 # monomorphisation discipline — must cost nothing when off.
@@ -74,6 +81,40 @@ else
         echo "perf gate ok: best-of-3 ${best} ms <= ${limit} ms (baseline ${baseline} ms)"
     fi
 fi
+
+echo
+echo "== daemon smoke: ephemeral-port serve / status / shutdown =="
+# End-to-end over a real socket: boot the daemon on an ephemeral port,
+# read the advertised address, make one request, check the response is a
+# well-formed v1 line, and shut down cleanly (exit code 0 both sides).
+cargo build --release --offline -q -p taco-bench --bin taco-cli
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/taco-cli serve --addr 127.0.0.1:0 > "$smoke_dir/serve.out" &
+serve_pid=$!
+addr=
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^taco-served listening on //p' "$smoke_dir/serve.out")
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "daemon smoke FAILED: serve never advertised its address"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+status_line=$(./target/release/taco-cli status --addr "$addr")
+case "$status_line" in
+    '{"api_version":"v1","kind":"status_result",'*) ;;
+    *)
+        echo "daemon smoke FAILED: malformed status response: $status_line"
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+        ;;
+esac
+./target/release/taco-cli shutdown --addr "$addr" > /dev/null
+wait "$serve_pid"
+echo "daemon smoke ok: $addr answered $status_line"
 
 echo
 echo "== tier-1 passed =="

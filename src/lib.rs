@@ -14,6 +14,7 @@
 //! | [`estimate`] | `taco-estimate` | area/power/feasibility estimation |
 //! | [`router`] | `taco-router` | the IPv6 router application |
 //! | [`eval`] | `taco-core` | architecture evaluation + design-space exploration |
+//! | [`served`] | `taco-served` | batch evaluation daemon behind the versioned wire API |
 //!
 //! # Examples
 //!
@@ -34,4 +35,5 @@ pub use taco_ipv6 as ipv6;
 pub use taco_isa as isa;
 pub use taco_router as router;
 pub use taco_routing as routing;
+pub use taco_served as served;
 pub use taco_sim as sim;
