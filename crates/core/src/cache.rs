@@ -22,6 +22,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use taco_sim::StepMode;
 use taco_workload::{FaultPlan, Workload};
 
 use crate::arch::ArchConfig;
@@ -59,7 +60,9 @@ impl EvalKey {
 
     /// Rebuilds the request this key was derived from (the key is a
     /// lossless projection of every field but the cache-excluded trace
-    /// path) — what snapshot persistence serialises.
+    /// path and step mode) — what snapshot persistence serialises.  Only
+    /// compiled-mode results enter the cache, so the rebuilt request is
+    /// pinned to [`StepMode::Compiled`] regardless of the process default.
     fn to_request(&self) -> EvalRequest {
         EvalRequest {
             config: self.config.clone(),
@@ -71,6 +74,7 @@ impl EvalKey {
             workload: self.workload,
             faults: self.faults,
             trace: None,
+            step_mode: StepMode::Compiled,
         }
     }
 }
@@ -191,6 +195,13 @@ impl EvalCache {
     /// [`EvalCache::evaluate`], also reporting whether the result came from
     /// the cache (`true` = hit) — the flag sweep observers record.
     pub fn evaluate_recorded(&self, request: &EvalRequest) -> (EvalReport, bool) {
+        // Interpretive-mode runs exist to double-check the compiled path;
+        // memoizing them (or answering them from compiled-mode entries)
+        // would defeat that purpose, so they bypass the cache entirely.
+        if request.step_mode != StepMode::Compiled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (evaluate_request(request), false);
+        }
         let key = EvalKey::new(request);
         if let Some(report) = self.reports.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -389,6 +400,29 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(first, second);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn interpretive_requests_bypass_the_memo() {
+        let cache = EvalCache::new();
+        let compiled = request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        let interpretive = compiled.clone().step_mode(StepMode::Interpretive);
+
+        let (reference, hit) = cache.evaluate_recorded(&interpretive);
+        assert!(!hit);
+        assert!(cache.is_empty(), "interpretive runs must not populate the cache");
+
+        // A second interpretive run re-evaluates rather than hitting.
+        let (again, hit2) = cache.evaluate_recorded(&interpretive);
+        assert!(!hit2);
+        assert_eq!(reference, again);
+
+        // The compiled twin misses (nothing was cached for it), lands in the
+        // cache, and agrees with the interpretive reference.
+        let (fast, hit3) = cache.evaluate_recorded(&compiled);
+        assert!(!hit3);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(fast, reference, "both step modes must report identically");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use taco_router::microcode::MicrocodeOptions;
 use taco_router::traffic::TrafficGen;
 use taco_routing::cam::CamSpec;
 use taco_routing::{PortId, Route, SequentialTable, TableKind};
-use taco_sim::{SimError, SimStats};
+use taco_sim::{SimError, SimStats, StepMode};
 use taco_workload::{run_scenario_with_faults, FaultPlan, ScenarioConfig, ScenarioMetrics};
 
 use crate::arch::ArchConfig;
@@ -158,9 +158,13 @@ fn build_router(
     config: &ArchConfig,
     routes: &[Route],
     rtu_latency: u32,
+    mode: StepMode,
 ) -> Result<CycleRouter, SimError> {
     let opts = MicrocodeOptions::default();
-    CycleRouter::for_kind(config.table, &config.machine, routes, rtu_latency, &opts)
+    let mut router =
+        CycleRouter::for_kind(config.table, &config.machine, routes, rtu_latency, &opts)?;
+    router.set_step_mode(mode);
+    Ok(router)
 }
 
 /// Builds the transient-stall injector a fault plan asks for, if any; the
@@ -184,11 +188,13 @@ fn measure(
     routes: &[Route],
     rtu_latency: u32,
     faults: Option<&FaultPlan>,
+    mode: StepMode,
 ) -> Result<(f64, f64, SimStats), SimError> {
-    let mut router = build_router(config, routes, rtu_latency)?;
-    for d in measurement_datagrams(routes) {
-        router.enqueue(PortId(0), &d).expect("measurement datagrams fit the buffer");
-    }
+    let mut router = build_router(config, routes, rtu_latency, mode)?;
+    let datagrams = measurement_datagrams(routes);
+    router
+        .enqueue_batch(datagrams.iter().map(|d| (PortId(0), d)))
+        .expect("measurement datagrams fit the buffer");
     let stats = match stall_injector(faults) {
         Some(mut injector) => router.run_fault_injected(CYCLE_BUDGET, &mut injector)?,
         None => router.run(CYCLE_BUDGET)?,
@@ -206,12 +212,14 @@ fn traced_measure(
     routes: &[Route],
     rtu_latency: u32,
     faults: Option<&FaultPlan>,
+    mode: StepMode,
     tracer: &mut dyn taco_sim::Tracer,
 ) -> Result<SimStats, SimError> {
-    let mut router = build_router(config, routes, rtu_latency)?;
-    for d in measurement_datagrams(routes) {
-        router.enqueue(PortId(0), &d).expect("measurement datagrams fit the buffer");
-    }
+    let mut router = build_router(config, routes, rtu_latency, mode)?;
+    let datagrams = measurement_datagrams(routes);
+    router
+        .enqueue_batch(datagrams.iter().map(|d| (PortId(0), d)))
+        .expect("measurement datagrams fit the buffer");
     match stall_injector(faults) {
         Some(mut injector) => router.run_fault_traced(CYCLE_BUDGET, &mut injector, tracer),
         None => router.run_traced(CYCLE_BUDGET, tracer),
@@ -247,6 +255,7 @@ pub fn trace_request(
         &routes,
         report.rtu_latency_cycles,
         request.faults.as_ref(),
+        request.step_mode,
         tracer,
     )
 }
@@ -311,7 +320,8 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
     let mut rtu_latency = 1u32;
     let (cycles, util, freq, stats) = loop {
         let (cycles, util, stats) =
-            match measure(config, &routes, rtu_latency, request.faults.as_ref()) {
+            match measure(config, &routes, rtu_latency, request.faults.as_ref(), request.step_mode)
+            {
                 Ok(m) => m,
                 Err(e) => return error_report(request, rtu_latency, e),
             };
@@ -327,7 +337,7 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
     };
 
     // Charge the program store for the actual microcode image.
-    let program_bits = match build_router(config, &routes, rtu_latency) {
+    let program_bits = match build_router(config, &routes, rtu_latency, request.step_mode) {
         Ok(router) => taco_isa::encode(router.processor().program(), &config.machine)
             .map(|e| e.total_bits())
             .unwrap_or(0),
@@ -346,7 +356,14 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
     // must not be silently dropped, and must not change the evaluation.
     let trace_error = request.trace.as_ref().and_then(|path| {
         let mut chrome = taco_sim::ChromeTracer::new(config.machine.buses());
-        match traced_measure(config, &routes, rtu_latency, request.faults.as_ref(), &mut chrome) {
+        match traced_measure(
+            config,
+            &routes,
+            rtu_latency,
+            request.faults.as_ref(),
+            request.step_mode,
+            &mut chrome,
+        ) {
             Ok(traced_stats) => std::fs::write(path, chrome.finish(traced_stats.cycles))
                 .err()
                 .map(|e| TraceError { path: path.display().to_string(), message: e.to_string() }),
@@ -388,7 +405,9 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
 /// is wanted).  Infinite when the instance cannot be simulated.
 pub fn cycles_per_datagram(config: &ArchConfig, table_entries: usize) -> f64 {
     let routes = benchmark_routes(table_entries);
-    measure(config, &routes, 2, None).map(|(cycles, _, _)| cycles).unwrap_or(f64::INFINITY)
+    measure(config, &routes, 2, None, StepMode::default())
+        .map(|(cycles, _, _)| cycles)
+        .unwrap_or(f64::INFINITY)
 }
 
 #[cfg(test)]
@@ -421,7 +440,8 @@ pub fn max_sustainable_rate_bps(
     let routes = benchmark_routes(table_entries);
     let f_max = Estimator::new().max_frequency_hz() * 0.999; // just under NA
     let rtu_latency = CamSpec::paper_default().search_cycles(f_max) as u32;
-    let Ok((cycles, _, _)) = measure(config, &routes, rtu_latency, None) else {
+    let Ok((cycles, _, _)) = measure(config, &routes, rtu_latency, None, StepMode::default())
+    else {
         return 0.0;
     };
     (f_max / cycles) * 8.0 * f64::from(packet_bytes)

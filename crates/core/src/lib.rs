@@ -65,4 +65,5 @@ pub use observer::{PointRecord, Silent, StderrProgress, SweepObserver, SweepSumm
 pub use rate::LineRate;
 pub use request::EvalRequest;
 pub use table1::table1;
+pub use taco_sim::StepMode;
 pub use taco_workload::{FaultMetrics, FaultPlan, ScenarioMetrics, Workload, DEFAULT_FAULT_SEED};

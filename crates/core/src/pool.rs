@@ -17,25 +17,47 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Environment variable overriding the worker count (`0` or unparsable
-/// values fall back to the detected parallelism).
+/// Environment variable overriding the worker count.  Must be a positive
+/// integer when set; anything else (including `0`) aborts at startup —
+/// a user who typed `TACO_THREADS=1O` wants an error, not a silent sweep
+/// at some other parallelism.
 pub const THREADS_ENV: &str = "TACO_THREADS";
 
 /// The worker count used by the high-level sweep entry points: the
 /// `TACO_THREADS` environment variable if set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`].
+///
+/// # Panics
+///
+/// Panics with an explanatory message when `TACO_THREADS` is set but is
+/// not a positive integer.
 pub fn default_threads() -> usize {
-    threads_from(std::env::var(THREADS_ENV).ok().as_deref())
+    resolve_threads(std::env::var(THREADS_ENV).ok().as_deref())
 }
 
-/// Pure core of [`default_threads`], separated for testing.
-fn threads_from(var: Option<&str>) -> usize {
-    if let Some(n) = var.and_then(|v| v.trim().parse::<usize>().ok()) {
-        if n >= 1 {
-            return n;
-        }
+/// [`default_threads`] with the environment read factored out; panics on
+/// invalid values, naming the variable.
+fn resolve_threads(var: Option<&str>) -> usize {
+    match threads_from(var) {
+        Ok(n) => n,
+        Err(why) => panic!("{THREADS_ENV}: {why}"),
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Pure core of [`default_threads`], separated for testing.  `None` and
+/// whitespace-only values mean "not configured" and autodetect; anything
+/// else must parse as an integer `>= 1`.
+fn threads_from(var: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = var.map(str::trim).filter(|v| !v.is_empty()) else {
+        return Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    };
+    match raw.parse::<usize>() {
+        Ok(0) => Err(format!("must be a positive worker count, got {raw:?}")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "must be a positive worker count, got {raw:?} (unset it to autodetect parallelism)"
+        )),
+    }
 }
 
 /// Applies `f` to every item on up to `threads` worker threads and returns
@@ -123,12 +145,36 @@ mod tests {
 
     #[test]
     fn env_override_parsing() {
-        assert_eq!(threads_from(Some("3")), 3);
-        assert_eq!(threads_from(Some(" 12 ")), 12);
-        // Invalid or non-positive values fall back to autodetection (>= 1).
-        assert!(threads_from(Some("0")) >= 1);
-        assert!(threads_from(Some("not-a-number")) >= 1);
-        assert!(threads_from(None) >= 1);
+        assert_eq!(threads_from(Some("3")), Ok(3));
+        assert_eq!(threads_from(Some(" 12 ")), Ok(12));
+        // Unset (or set-but-blank) autodetects.
+        assert!(threads_from(None).unwrap() >= 1);
+        assert!(threads_from(Some("  ")).unwrap() >= 1);
+        // Anything else set is a configuration error, loudly: a silent
+        // fallback used to turn a typo into a full-width parallel sweep.
+        for bad in ["0", "not-a-number", "-2", "1O", "3.5", "+"] {
+            let err = threads_from(Some(bad)).unwrap_err();
+            assert!(err.contains("positive worker count"), "{bad}: {err}");
+            assert!(err.contains(&format!("{:?}", bad.trim())), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn valid_override_resolves() {
+        assert_eq!(resolve_threads(Some("4")), 4);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "TACO_THREADS: must be a positive worker count, got \"abc\"")]
+    fn invalid_override_aborts_loudly() {
+        resolve_threads(Some("abc"));
+    }
+
+    #[test]
+    #[should_panic(expected = "TACO_THREADS: must be a positive worker count, got \"0\"")]
+    fn zero_override_aborts_loudly() {
+        resolve_threads(Some("0"));
     }
 
     #[test]

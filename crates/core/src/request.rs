@@ -28,6 +28,7 @@
 
 use std::path::PathBuf;
 
+use taco_sim::StepMode;
 use taco_workload::{FaultPlan, Workload};
 
 use crate::arch::ArchConfig;
@@ -62,6 +63,12 @@ pub struct EvalRequest {
     /// so a cache hit skips it — trace through an uncached
     /// [`run`](EvalRequest::run) when the file matters.
     pub trace: Option<PathBuf>,
+    /// Which simulator step loop the measurement uses (see
+    /// [`taco_sim::StepMode`]).  Both loops produce identical metrics —
+    /// the interpretive path exists as the executable reference for
+    /// debugging — so only [`StepMode::Compiled`] results are memoized in
+    /// the evaluation cache.
+    pub step_mode: StepMode,
 }
 
 impl EvalRequest {
@@ -78,6 +85,7 @@ impl EvalRequest {
             workload: None,
             faults: None,
             trace: None,
+            step_mode: StepMode::default(),
         }
     }
 
@@ -122,6 +130,14 @@ impl EvalRequest {
         self
     }
 
+    /// Overrides the simulator step loop ([`StepMode::Interpretive`] forces
+    /// the reference path; useful when bisecting a suspected compiled-path
+    /// divergence).
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
+        self
+    }
+
     /// Runs the full co-analysis pipeline for this request.
     pub fn run(&self) -> EvalReport {
         evaluate_request(self)
@@ -141,6 +157,7 @@ mod tests {
         assert!(r.workload.is_none());
         assert!(r.faults.is_none());
         assert!(r.trace.is_none());
+        assert_eq!(r.step_mode, StepMode::Compiled);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Compiled-vs-interpretive differential suite.
+//!
+//! The compiled step path (pre-decoded move schedules, `taco_sim::sched`)
+//! must be an *invisible* optimisation: every workload × table organisation
+//! × fault preset has to produce byte-identical scenario metrics and
+//! simulator counters under both step modes, and the compiled results must
+//! not depend on how many pool workers evaluated them.  Any divergence here
+//! means the compiled loop drifted from the interpretive reference.
+
+use taco_core::pool::ordered_map;
+use taco_core::{
+    evaluate_request, ArchConfig, EvalRequest, FaultPlan, ScenarioMetrics, StepMode, Workload,
+};
+use taco_routing::TableKind;
+
+const TABLE_KINDS: [TableKind; 4] =
+    [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam, TableKind::Trie];
+
+/// Small enough to keep 100+ evaluations fast in debug builds, large
+/// enough that every organisation takes its characteristic search path.
+const ENTRIES: usize = 10;
+
+fn fault_presets() -> Vec<(&'static str, Option<FaultPlan>)> {
+    let mut presets = vec![("none", None)];
+    presets.extend(FaultPlan::builtin().into_iter().map(|(name, plan)| (name, Some(plan))));
+    presets
+}
+
+/// Every builtin workload × table kind × fault preset (4 × 4 × 6 = 96),
+/// labelled for failure messages.
+fn matrix() -> Vec<(String, EvalRequest)> {
+    let mut requests = Vec::new();
+    for kind in TABLE_KINDS {
+        for workload in Workload::builtin() {
+            for (fault_name, plan) in fault_presets() {
+                let label = format!("{kind:?}/{}/{fault_name}", workload.name());
+                let mut request = EvalRequest::new(ArchConfig::three_bus_one_fu(kind))
+                    .entries(ENTRIES)
+                    .workload(workload);
+                if let Some(plan) = plan {
+                    request = request.faults(plan);
+                }
+                requests.push((label, request));
+            }
+        }
+    }
+    requests
+}
+
+/// The byte-exact observable surface of one evaluation: scenario metrics
+/// JSON plus simulator counter JSON.
+fn fingerprint(request: &EvalRequest) -> (String, String) {
+    let report = evaluate_request(request);
+    assert!(report.sim_error.is_none(), "{request:?} failed: {report}");
+    let scenario = report.scenario.as_ref().map_or_else(String::new, ScenarioMetrics::to_json);
+    (scenario, report.stats.to_json())
+}
+
+#[test]
+fn every_cell_is_byte_identical_across_step_modes() {
+    let cells = matrix();
+    let compiled = ordered_map(&cells, 4, |_, (_, request)| {
+        fingerprint(&request.clone().step_mode(StepMode::Compiled))
+    });
+    let interpretive = ordered_map(&cells, 4, |_, (_, request)| {
+        fingerprint(&request.clone().step_mode(StepMode::Interpretive))
+    });
+    for (((label, _), fast), reference) in cells.iter().zip(&compiled).zip(&interpretive) {
+        assert_eq!(fast.0, reference.0, "{label}: scenario metrics diverged");
+        assert_eq!(fast.1, reference.1, "{label}: simulator counters diverged");
+    }
+}
+
+#[test]
+fn compiled_full_reports_match_interpretive() {
+    // Byte-identical JSON is the wire contract; full-report equality also
+    // pins the derived floats (cycles/datagram, utilisation, clock) that
+    // never reach the JSON surface at full precision.  A sparser sample —
+    // one workload per kind, faulted and not — keeps this affordable.
+    for kind in TABLE_KINDS {
+        for plan in [None, Some(FaultPlan::stalls())] {
+            let mut request = EvalRequest::new(ArchConfig::three_bus_one_fu(kind))
+                .entries(ENTRIES)
+                .workload(Workload::steady_forward());
+            if let Some(plan) = plan {
+                request = request.faults(plan);
+            }
+            let compiled = evaluate_request(&request.clone().step_mode(StepMode::Compiled));
+            let interpretive = evaluate_request(&request.step_mode(StepMode::Interpretive));
+            assert_eq!(compiled, interpretive, "{kind:?} report diverged across step modes");
+        }
+    }
+}
+
+#[test]
+fn compiled_results_are_thread_count_invariant() {
+    // A stratified sample (every 5th cell walks all kinds, workloads and
+    // fault presets across the run) keeps the debug-build cost down; the
+    // full matrix already ran in the step-mode test above.
+    let cells: Vec<_> = matrix().into_iter().step_by(5).collect();
+    let serial = ordered_map(&cells, 1, |_, (_, request)| {
+        fingerprint(&request.clone().step_mode(StepMode::Compiled))
+    });
+    let parallel = ordered_map(&cells, 4, |_, (_, request)| {
+        fingerprint(&request.clone().step_mode(StepMode::Compiled))
+    });
+    for (((label, _), one), four) in cells.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(one, four, "{label}: compiled result depends on worker count");
+    }
+}

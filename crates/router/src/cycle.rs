@@ -6,10 +6,13 @@
 //! the iPPU and reads forwarded datagrams back from the oPPU.  The
 //! resulting cycle counts are the raw material of the paper's Table 1.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use taco_ipv6::Datagram;
-use taco_isa::{opt, schedule, MachineConfig, MoveSeq};
+use taco_isa::{opt, schedule, MachineConfig, MoveSeq, Program};
 use taco_routing::{BalancedTreeTable, CamTable, LpmTable, PortId, TableKind};
-use taco_sim::{Processor, RtuBackend, RtuConfig, RtuResult, SimError, SimStats};
+use taco_sim::{Processor, RtuBackend, RtuConfig, RtuResult, SimError, SimStats, StepMode};
 
 use crate::layout::{
     bytes_to_words, datagram_to_words, dgram_slot, serialize_sequential, serialize_tree,
@@ -43,6 +46,53 @@ pub struct CycleRouter {
     malformed_rejected: u64,
 }
 
+/// Cache key for scheduled forwarding programs: the microcode is a pure
+/// function of the table kind, the machine shape, the generator options and
+/// one size parameter (the padded entry count for the sequential scan, zero
+/// for the fixed-shape engines).
+type ProgramKey = (TableKind, MachineConfig, MicrocodeOptions, usize);
+
+fn program_cache() -> &'static Mutex<HashMap<ProgramKey, Arc<Program>>> {
+    static CACHE: OnceLock<Mutex<HashMap<ProgramKey, Arc<Program>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the scheduled, label-resolved program for `key`, generating (and
+/// memoizing) it on first use.  Scheduling and optimising microcode costs
+/// far more than a simulator run over a handful of datagrams, and the
+/// evaluation pipeline rebuilds routers constantly — per measurement, per
+/// CAM-latency fixed-point iteration, per scenario tick — always from the
+/// same few (kind, machine, options) triples, so the hit rate is high and
+/// the cache stays small.  The entries are immutable and shared by `Arc`.
+fn cached_program(
+    kind: TableKind,
+    config: &MachineConfig,
+    opts: &MicrocodeOptions,
+    param: usize,
+    generate: impl FnOnce() -> MoveSeq,
+) -> Result<Arc<Program>, SimError> {
+    let key = (kind, config.clone(), *opts, param);
+    if let Some(p) = program_cache().lock().expect("program cache poisoned").get(&key) {
+        return Ok(Arc::clone(p));
+    }
+    let mut seq = generate();
+    opt::optimize(&mut seq);
+    let mut program = schedule(&seq, config);
+    program.resolve_labels().map_err(SimError::UnresolvedLabel)?;
+    debug_assert_eq!(
+        taco_isa::validate_schedule(&program, config),
+        Ok(()),
+        "generated {kind} microcode failed structural validation"
+    );
+    let program = Arc::new(program);
+    program_cache()
+        .lock()
+        .expect("program cache poisoned")
+        .entry(key)
+        .or_insert_with(|| Arc::clone(&program));
+    Ok(program)
+}
+
 impl CycleRouter {
     /// Builds a router whose table is scanned **sequentially** in memory.
     ///
@@ -61,8 +111,11 @@ impl CycleRouter {
         let padded_entries = image.len() / crate::layout::SEQ_ENTRY_WORDS as usize;
         let tuned =
             MicrocodeOptions { screen_word: crate::microcode::choose_screen_word(table), ..*opts };
-        let seq = sequential_program(padded_entries, &tuned);
-        Self::build(TableKind::Sequential, config, seq, image, None)
+        let program =
+            cached_program(TableKind::Sequential, config, &tuned, padded_entries, || {
+                sequential_program(padded_entries, &tuned)
+            })?;
+        Self::build(TableKind::Sequential, config, program, image, None)
     }
 
     /// Builds a router over the **balanced-tree** image.
@@ -76,8 +129,9 @@ impl CycleRouter {
         opts: &MicrocodeOptions,
     ) -> Result<Self, SimError> {
         let image = serialize_tree(table);
-        let seq = tree_program(opts);
-        Self::build(TableKind::BalancedTree, config, seq, image, None)
+        let program =
+            cached_program(TableKind::BalancedTree, config, opts, 0, || tree_program(opts))?;
+        Self::build(TableKind::BalancedTree, config, program, image, None)
     }
 
     /// Builds a router over the **unibit-trie** image — the software
@@ -93,8 +147,10 @@ impl CycleRouter {
         opts: &MicrocodeOptions,
     ) -> Result<Self, SimError> {
         let image = crate::layout::serialize_trie(table);
-        let seq = crate::microcode::trie_program(opts);
-        Self::build(TableKind::Trie, config, seq, image, None)
+        let program = cached_program(TableKind::Trie, config, opts, 0, || {
+            crate::microcode::trie_program(opts)
+        })?;
+        Self::build(TableKind::Trie, config, program, image, None)
     }
 
     /// Builds a router whose lookups go to a **CAM-backed RTU** with the
@@ -112,9 +168,9 @@ impl CycleRouter {
         rtu_latency: u32,
         opts: &MicrocodeOptions,
     ) -> Result<Self, SimError> {
-        let seq = cam_program(opts);
+        let program = cached_program(TableKind::Cam, config, opts, 0, || cam_program(opts))?;
         let rtu = RtuConfig::new(Box::new(CamBackend(table))).with_latency(rtu_latency);
-        Self::build(TableKind::Cam, config, seq, Vec::new(), Some(rtu))
+        Self::build(TableKind::Cam, config, program, Vec::new(), Some(rtu))
     }
 
     /// Builds a router for any table organisation from a plain route list —
@@ -153,19 +209,11 @@ impl CycleRouter {
     fn build(
         kind: TableKind,
         config: &MachineConfig,
-        mut seq: MoveSeq,
+        program: Arc<Program>,
         image: Vec<u32>,
         rtu: Option<RtuConfig>,
     ) -> Result<Self, SimError> {
-        opt::optimize(&mut seq);
-        let mut program = schedule(&seq, config);
-        program.resolve_labels().map_err(SimError::UnresolvedLabel)?;
-        debug_assert_eq!(
-            taco_isa::validate_schedule(&program, config),
-            Ok(()),
-            "generated {kind} microcode failed structural validation"
-        );
-        let mut processor = Processor::new(config.clone(), program)?;
+        let mut processor = Processor::new_shared(config.clone(), program)?;
         processor.memory_mut().load(TABLE_BASE, &image)?;
         if let Some(rtu) = rtu {
             processor.set_rtu(rtu);
@@ -181,6 +229,37 @@ impl CycleRouter {
     /// The underlying simulator, for fine-grained inspection.
     pub fn processor(&self) -> &Processor {
         &self.processor
+    }
+
+    /// Which step loop the underlying simulator uses (see
+    /// [`taco_sim::StepMode`]).
+    pub fn step_mode(&self) -> StepMode {
+        self.processor.step_mode()
+    }
+
+    /// Selects the simulator step loop — compiled (pre-decoded schedule)
+    /// or interpretive (the reference path).  Metrics are identical either
+    /// way; this is a perf/debug switch.
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.processor.set_step_mode(mode);
+    }
+
+    /// Enqueues a whole batch of `(port, datagram)` pairs back-to-back, so
+    /// one `run` drains them through the pipeline in a single compiled
+    /// schedule walk instead of paying per-datagram setup.
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::enqueue`]; datagrams enqueued before the failing
+    /// one stay queued.
+    pub fn enqueue_batch<'a>(
+        &mut self,
+        batch: impl IntoIterator<Item = (PortId, &'a Datagram)>,
+    ) -> Result<(), SimError> {
+        for (port, datagram) in batch {
+            self.enqueue(port, datagram)?;
+        }
+        Ok(())
     }
 
     /// Copies `datagram` into the next buffer slot and queues it at the
@@ -596,6 +675,56 @@ mod tests {
             r.run(10_000_000).unwrap();
             assert_eq!(r.forwarded()[0].0, PortId(2), "{kind}");
         }
+    }
+
+    #[test]
+    fn identical_configurations_share_one_scheduled_program() {
+        let config = MachineConfig::three_bus_one_fu();
+        let a = seq_router(config.clone());
+        let b = seq_router(config);
+        assert!(
+            std::ptr::eq(a.processor().program(), b.processor().program()),
+            "same (kind, machine, options, size) must hit the program cache"
+        );
+    }
+
+    #[test]
+    fn different_table_sizes_get_different_sequential_programs() {
+        let config = MachineConfig::three_bus_one_fu();
+        let small = SequentialTable::from_routes([route("2001:db8::/32", 1)]);
+        let large = SequentialTable::from_routes(
+            (0..50u16).map(|i| route(&format!("2001:db8:{i:x}::/48"), i)),
+        );
+        let a = CycleRouter::sequential(&config, &small, &MicrocodeOptions::default()).unwrap();
+        let b = CycleRouter::sequential(&config, &large, &MicrocodeOptions::default()).unwrap();
+        assert!(!std::ptr::eq(a.processor().program(), b.processor().program()));
+    }
+
+    #[test]
+    fn enqueue_batch_matches_sequential_enqueues() {
+        let d1 = dgram("2001:db8:aa::5", 64);
+        let d2 = dgram("2001:db8:bb::5", 64);
+        let mut batched = seq_router(MachineConfig::three_bus_one_fu());
+        batched.enqueue_batch([(PortId(0), &d1), (PortId(1), &d2)]).unwrap();
+        let mut single = seq_router(MachineConfig::three_bus_one_fu());
+        single.enqueue(PortId(0), &d1).unwrap();
+        single.enqueue(PortId(1), &d2).unwrap();
+        assert_eq!(batched.run(1_000_000).unwrap(), single.run(1_000_000).unwrap());
+        assert_eq!(batched.forwarded(), single.forwarded());
+    }
+
+    #[test]
+    fn step_modes_forward_identically() {
+        let mut outputs = Vec::new();
+        for mode in [taco_sim::StepMode::Compiled, taco_sim::StepMode::Interpretive] {
+            let mut r = seq_router(MachineConfig::three_bus_one_fu());
+            r.set_step_mode(mode);
+            assert_eq!(r.step_mode(), mode);
+            r.enqueue(PortId(0), &dgram("2001:db8:aa::5", 64)).unwrap();
+            r.enqueue(PortId(0), &dgram("9999::1", 64)).unwrap();
+            outputs.push((r.run(1_000_000).unwrap(), r.forwarded()));
+        }
+        assert_eq!(outputs[0], outputs[1]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use taco_isa::{CodeBuilder, FuKind, MoveSeq};
 use crate::layout::{MISS_IFACE, NULL_PTR, SEQ_ENTRY_WORDS, TABLE_BASE};
 
 /// Options shared by the three generators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MicrocodeOptions {
     /// Parallel scan lanes for the sequential table (1..=3).  Three lanes
     /// use three virtual Matcher/Counter/Comparator instances — the paper's

@@ -20,9 +20,11 @@ struct Node {
 
 /// A binary (unibit) trie over prefix bits.
 ///
-/// Nodes live in an arena; child pointers are indices.  Freed nodes are not
-/// reclaimed (the table is small and long-lived), but removal clears routes
-/// correctly.
+/// Nodes live in an arena; child pointers are indices.  Removal prunes
+/// now-empty branches bottom-up and returns their nodes to a free list that
+/// [`insert`](LpmTable::insert) draws from before growing the arena, so a
+/// churning table (route flaps, link flaps) keeps a bounded arena instead
+/// of leaking one node per prefix bit per cycle.
 ///
 /// # Examples
 ///
@@ -41,12 +43,14 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct TrieTable {
     nodes: Vec<Node>,
+    /// Arena indices of pruned nodes, reused by the next inserts.
+    free: Vec<usize>,
     len: usize,
 }
 
 impl Default for TrieTable {
     fn default() -> Self {
-        TrieTable { nodes: vec![Node::default()], len: 0 }
+        TrieTable { nodes: vec![Node::default()], free: Vec::new(), len: 0 }
     }
 }
 
@@ -65,10 +69,16 @@ impl TrieTable {
         t
     }
 
-    /// Total number of trie nodes currently allocated (a size metric for
-    /// the scaling ablation).
+    /// Total number of arena slots, including free-listed ones (a size
+    /// metric for the scaling ablation; under churn this stays bounded
+    /// because pruned nodes are reused).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Arena slots currently sitting on the free list, awaiting reuse.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
     }
 
     /// Flattened view of the node arena for serialisation into processor
@@ -103,8 +113,16 @@ impl LpmTable for TrieTable {
             idx = match self.nodes[idx].children[b] {
                 Some(c) => c,
                 None => {
-                    self.nodes.push(Node::default());
-                    let c = self.nodes.len() - 1;
+                    let c = match self.free.pop() {
+                        Some(slot) => {
+                            self.nodes[slot] = Node::default();
+                            slot
+                        }
+                        None => {
+                            self.nodes.push(Node::default());
+                            self.nodes.len() - 1
+                        }
+                    };
                     self.nodes[idx].children[b] = Some(c);
                     c
                 }
@@ -118,12 +136,31 @@ impl LpmTable for TrieTable {
     }
 
     fn remove(&mut self, prefix: &Ipv6Prefix) -> Option<Route> {
-        let idx = self.walk(prefix)?;
-        let old = self.nodes[idx].route.take();
-        if old.is_some() {
-            self.len -= 1;
+        let mut path = Vec::with_capacity(usize::from(prefix.len()));
+        let mut idx = 0usize;
+        for bit in 0..prefix.len() {
+            let b = prefix.addr().bit(bit) as usize;
+            let child = self.nodes[idx].children[b]?;
+            path.push((idx, b));
+            idx = child;
         }
-        old
+        let old = self.nodes[idx].route.take()?;
+        self.len -= 1;
+        // Prune the now-dead tail of the walk: every node left with no
+        // route and no children goes back to the free list.  Stops at the
+        // first node another prefix still needs (the root is never on the
+        // path, so it is never freed).
+        let mut cur = idx;
+        for (parent, b) in path.into_iter().rev() {
+            let node = &self.nodes[cur];
+            if node.route.is_some() || node.children.iter().any(Option::is_some) {
+                break;
+            }
+            self.nodes[parent].children[b] = None;
+            self.free.push(cur);
+            cur = parent;
+        }
+        Some(old)
     }
 
     fn lookup(&self, addr: &Ipv6Address) -> Lookup {
@@ -163,6 +200,7 @@ impl LpmTable for TrieTable {
 
     fn clear(&mut self) {
         self.nodes = vec![Node::default()];
+        self.free.clear();
         self.len = 0;
     }
 }
@@ -254,5 +292,72 @@ mod tests {
     fn routes_collects_all() {
         let t = TrieTable::from_routes([r("::/0", 0), r("8000::/1", 1)]);
         assert_eq!(t.routes().len(), 2);
+    }
+
+    #[test]
+    fn removal_prunes_the_dead_branch() {
+        let mut t = TrieTable::new();
+        t.insert(r("2001:db8::/32", 1));
+        let grown = t.node_count();
+        assert_eq!(grown, 33); // root + 32 prefix bits
+        t.remove(&"2001:db8::/32".parse().unwrap());
+        assert_eq!(t.free_count(), 32, "every non-root node of the branch is reclaimed");
+        // The freed slots satisfy the next insert without growing the arena.
+        t.insert(r("fe80::/10", 2));
+        assert_eq!(t.node_count(), grown);
+        assert_eq!(t.lookup(&a("fe80::9")).route().unwrap().interface(), PortId(2));
+    }
+
+    #[test]
+    fn pruning_stops_at_shared_branches() {
+        let mut t = TrieTable::new();
+        t.insert(r("2001:db8::/32", 1));
+        t.insert(r("2001:db8::/48", 2)); // extends the /32 walk by 16 nodes
+        t.remove(&"2001:db8::/48".parse().unwrap());
+        assert_eq!(t.free_count(), 16, "only the /48 tail is pruned");
+        assert_eq!(t.lookup(&a("2001:db8::1")).route().unwrap().interface(), PortId(1));
+        // Removing a prefix that still has descendants frees nothing.
+        let mut t = TrieTable::from_routes([r("2001:db8::/32", 1), r("2001:db8::/48", 2)]);
+        t.remove(&"2001:db8::/32".parse().unwrap());
+        assert_eq!(t.free_count(), 0);
+        assert_eq!(t.lookup(&a("2001:db8::1")).route().unwrap().interface(), PortId(2));
+    }
+
+    #[test]
+    fn churn_keeps_the_arena_bounded() {
+        // A flapping route used to leak ~#prefix-bits arena nodes per
+        // insert/remove cycle; with the free list the arena must stay at
+        // its high-water mark.
+        let mut t = TrieTable::from_routes([r("::/0", 0), r("2001:db8::/32", 1)]);
+        let high_water = {
+            t.insert(r("2001:db8:aaaa::/48", 7));
+            t.node_count()
+        };
+        t.remove(&"2001:db8:aaaa::/48".parse().unwrap());
+        for flap in 0..1_000u16 {
+            let route = r("2001:db8:aaaa::/48", flap);
+            t.insert(route);
+            assert_eq!(t.remove(&route.prefix()).unwrap().interface(), PortId(flap));
+            assert!(
+                t.node_count() <= high_water,
+                "arena leaked: {} nodes after {} flaps (high water {})",
+                t.node_count(),
+                flap + 1,
+                high_water
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(&a("2001:db8::1")).route().unwrap().interface(), PortId(1));
+    }
+
+    #[test]
+    fn clear_resets_the_free_list() {
+        let mut t = TrieTable::from_routes([r("2001:db8::/32", 1)]);
+        t.remove(&"2001:db8::/32".parse().unwrap());
+        assert!(t.free_count() > 0);
+        t.clear();
+        assert_eq!((t.node_count(), t.free_count(), t.len()), (1, 0, 0));
+        t.insert(r("8000::/1", 4));
+        assert_eq!(t.lookup(&a("9000::1")).route().unwrap().interface(), PortId(4));
     }
 }

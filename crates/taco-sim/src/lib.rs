@@ -47,6 +47,7 @@ pub mod error;
 pub mod memory;
 pub mod processor;
 pub mod rtu;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 pub mod units;
@@ -57,5 +58,6 @@ pub use processor::{
     FaultInjector, NoFaults, PeriodicStall, Processor, StepOutcome, Trace, DEFAULT_MEMORY_WORDS,
 };
 pub use rtu::{MapRtu, NullRtu, RtuBackend, RtuConfig, RtuResult};
+pub use sched::StepMode;
 pub use stats::SimStats;
 pub use trace::{ChromeTracer, NullTracer, RingTracer, TraceCounters, TraceEvent, Tracer};

@@ -21,12 +21,14 @@
 //! microcode run at any clock/CAM-latency ratio.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use taco_isa::{FuKind, FuRef, Instruction, MachineConfig, PortDir, PortRef, Program, Source};
 
 use crate::error::SimError;
 use crate::memory::DataMemory;
 use crate::rtu::{RtuConfig, RtuResult};
+use crate::sched::{self, DDst, DGuard, DSrc, DTrig, DecodedProgram, StepMode};
 use crate::stats::SimStats;
 use crate::trace::{NullTracer, TraceEvent, Tracer};
 use crate::units::DatapathFu;
@@ -151,7 +153,10 @@ struct RtuState {
 #[derive(Debug)]
 pub struct Processor {
     config: MachineConfig,
-    program: Program,
+    program: Arc<Program>,
+    decoded: Arc<DecodedProgram>,
+    step_mode: StepMode,
+    trigger_counts: Vec<u64>,
     pc: usize,
     halted: bool,
     cycle: u64,
@@ -217,7 +222,7 @@ impl Processor {
     /// * [`SimError::InvalidFuIndex`] if the program references FU instances
     ///   the configuration lacks.
     pub fn new(config: MachineConfig, program: Program) -> Result<Self, SimError> {
-        Self::with_memory(config, program, DEFAULT_MEMORY_WORDS)
+        Self::with_memory_shared(config, Arc::new(program), DEFAULT_MEMORY_WORDS)
     }
 
     /// Like [`Processor::new`] with an explicit memory size in words.
@@ -228,6 +233,31 @@ impl Processor {
     pub fn with_memory(
         config: MachineConfig,
         program: Program,
+        memory_words: u32,
+    ) -> Result<Self, SimError> {
+        Self::with_memory_shared(config, Arc::new(program), memory_words)
+    }
+
+    /// Like [`Processor::new`] but sharing an already-built program, so
+    /// many processors instantiated from the same microcode (the
+    /// cycle-router program cache, the CAM latency fixed point) skip the
+    /// per-instance clone.
+    ///
+    /// # Errors
+    ///
+    /// See [`Processor::new`].
+    pub fn new_shared(config: MachineConfig, program: Arc<Program>) -> Result<Self, SimError> {
+        Self::with_memory_shared(config, program, DEFAULT_MEMORY_WORDS)
+    }
+
+    /// [`Processor::new_shared`] with an explicit memory size in words.
+    ///
+    /// # Errors
+    ///
+    /// See [`Processor::new`].
+    pub fn with_memory_shared(
+        config: MachineConfig,
+        program: Arc<Program>,
         memory_words: u32,
     ) -> Result<Self, SimError> {
         validate(&config, &program)?;
@@ -251,9 +281,14 @@ impl Processor {
         }
         datapath.push((FuRef::new(FuKind::Liu, 0), DatapathFu::new_liu(Vec::new())));
         let stats = SimStats { buses: config.buses(), ..SimStats::default() };
+        let decoded = Arc::new(sched::decode(&config, &program, &datapath)?);
+        let trigger_counts = vec![0; decoded.trigger_fus.len()];
         Ok(Processor {
             config,
             program,
+            decoded,
+            step_mode: StepMode::default(),
+            trigger_counts,
             pc: 0,
             halted: false,
             cycle: 0,
@@ -283,6 +318,26 @@ impl Processor {
     /// The loaded program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Which step loop [`Processor::run`] and friends use (see
+    /// [`StepMode`]); defaults to [`StepMode::env_default`].
+    pub fn step_mode(&self) -> StepMode {
+        self.step_mode
+    }
+
+    /// Selects the step loop for subsequent runs.  Both modes execute the
+    /// same cycle semantics — this is a perf/debug switch, not a
+    /// behavioural one.
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.step_mode = mode;
+    }
+
+    /// The instantiated datapath FU layout, in decode order (used by the
+    /// pre-decoder's tests).
+    #[cfg(test)]
+    pub(crate) fn datapath_layout(&self) -> &[(FuRef, DatapathFu)] {
+        &self.datapath
     }
 
     /// Data memory (read side).
@@ -754,6 +809,12 @@ impl Processor {
         tracer: &mut T,
         faults: &mut F,
     ) -> Result<SimStats, SimError> {
+        // The text trace formats each instruction word per cycle, which
+        // only the interpretive loop can do; everything else (tracers,
+        // fault injectors) runs compiled.
+        if self.step_mode == StepMode::Compiled && self.trace.is_none() {
+            return self.run_compiled_with(budget, tracer, faults);
+        }
         let start = self.cycle;
         while !self.halted {
             if self.cycle - start >= budget {
@@ -762,6 +823,249 @@ impl Processor {
             self.step_with_faults(tracer, faults)?;
         }
         Ok(self.stats.clone())
+    }
+
+    /// Runs the pre-decoded schedule to completion, then folds the flat
+    /// per-slot trigger counters into the `BTreeMap` statistics — on every
+    /// exit path, so stats agree with the interpretive loop even when the
+    /// run errors out mid-cycle.
+    fn run_compiled_with<T: Tracer + ?Sized, F: FaultInjector + ?Sized>(
+        &mut self,
+        budget: u64,
+        tracer: &mut T,
+        faults: &mut F,
+    ) -> Result<SimStats, SimError> {
+        let result = self.compiled_loop(budget, tracer, faults);
+        self.fold_trigger_counts();
+        result?;
+        Ok(self.stats.clone())
+    }
+
+    fn fold_trigger_counts(&mut self) {
+        let decoded = Arc::clone(&self.decoded);
+        for (slot, fu) in decoded.trigger_fus.iter().enumerate() {
+            let n = std::mem::take(&mut self.trigger_counts[slot]);
+            if n > 0 {
+                *self.stats.fu_triggers.entry(fu.kind).or_insert(0) += n;
+                *self.stats.fu_instance_triggers.entry(*fu).or_insert(0) += n;
+            }
+        }
+    }
+
+    /// The compiled step loop: a walk over the flat [`DecodedProgram`]
+    /// built at construction.  Replays the interpretive loop
+    /// ([`Processor::step_with_faults`]) phase for phase — same stall and
+    /// fault bookkeeping, same read/conflict/write ordering, same trace
+    /// events in the same order — with all decoding already done.
+    fn compiled_loop<T: Tracer + ?Sized, F: FaultInjector + ?Sized>(
+        &mut self,
+        budget: u64,
+        tracer: &mut T,
+        faults: &mut F,
+    ) -> Result<(), SimError> {
+        let decoded = Arc::clone(&self.decoded);
+        let start = self.cycle;
+        let len = self.program.instructions.len();
+        let mut writes: Vec<(DDst, u32, u8)> = Vec::with_capacity(usize::from(self.config.buses()));
+        while !self.halted {
+            if self.cycle - start >= budget {
+                return Err(SimError::Watchdog { budget });
+            }
+            if self.pc >= len {
+                self.halted = true;
+                break;
+            }
+            if faults.active() {
+                if faults.steals_cycle(self.cycle) {
+                    if !self.fault_open {
+                        self.fault_open = true;
+                        tracer.event(&TraceEvent::FaultStallBegin { cycle: self.cycle });
+                    }
+                    self.cycle += 1;
+                    self.stats.cycles += 1;
+                    self.stats.injected_stall_cycles += 1;
+                    continue;
+                }
+                if self.fault_open {
+                    self.fault_open = false;
+                    tracer.event(&TraceEvent::FaultStallEnd { cycle: self.cycle });
+                }
+            }
+            let meta = decoded.ins[self.pc];
+
+            if meta.rtu_sensitive && self.cycle < self.rtu.ready_at {
+                if !self.stall_open {
+                    self.stall_open = true;
+                    tracer.event(&TraceEvent::StallBegin { cycle: self.cycle });
+                }
+                self.cycle += 1;
+                self.stats.cycles += 1;
+                self.stats.stall_cycles += 1;
+                continue;
+            }
+            if self.stall_open {
+                self.stall_open = false;
+                tracer.event(&TraceEvent::StallEnd { cycle: self.cycle });
+            }
+
+            // --- read phase -----------------------------------------------
+            writes.clear();
+            for mv in &decoded.moves[meta.start as usize..meta.end as usize] {
+                let pass = match mv.guard {
+                    DGuard::Always => true,
+                    DGuard::Rtu { negate } => self.rtu.hit != negate,
+                    DGuard::IppuPending { negate } => self.ippu_queue.is_empty() == negate,
+                    DGuard::Datapath { index, signal, negate } => {
+                        self.datapath[usize::from(index)].1.guard(signal) != negate
+                    }
+                };
+                if !pass {
+                    self.stats.moves_squashed += 1;
+                    tracer.event(&TraceEvent::MoveSquashed {
+                        cycle: self.cycle,
+                        bus: mv.bus,
+                        pc: self.pc as u32,
+                    });
+                    continue;
+                }
+                let value = match mv.src {
+                    DSrc::Imm(v) => v,
+                    DSrc::Reg(i) => self.regs[usize::from(i)],
+                    DSrc::MmuResult(i) => self.mmus[usize::from(i)].r,
+                    DSrc::RtuIface => self.rtu.iface,
+                    DSrc::RtuNh => self.rtu.nh,
+                    DSrc::IppuPtr => self.ippu_ptr,
+                    DSrc::IppuIface => self.ippu_iface,
+                    DSrc::Datapath(i, port) => self.datapath[usize::from(i)].1.read_result(port),
+                };
+                self.stats.moves_executed += 1;
+                tracer.event(&TraceEvent::MoveExecuted {
+                    cycle: self.cycle,
+                    bus: mv.bus,
+                    pc: self.pc as u32,
+                });
+                writes.push((mv.dst, value, mv.bus));
+            }
+
+            // Conflict detection — only instructions with statically
+            // aliased destinations can conflict dynamically, so the scan is
+            // skipped for the (vast) conflict-free majority.
+            if meta.may_conflict {
+                for (i, w) in writes.iter().enumerate() {
+                    if writes[..i].iter().any(|e| e.0 == w.0) {
+                        return Err(if matches!(w.0, DDst::Jump(_)) {
+                            SimError::DoublePcWrite { cycle: self.cycle }
+                        } else {
+                            // Recover the original PortRef for the error
+                            // from the instruction word (cold path).
+                            let port = self.program.instructions[self.pc].slots[usize::from(w.2)]
+                                .as_ref()
+                                .expect("decoded move maps to an occupied slot")
+                                .dst;
+                            SimError::PortConflict { port, cycle: self.cycle }
+                        });
+                    }
+                }
+            }
+
+            // --- write phase: operands and registers first, then triggers -
+            let mut jump: Option<u32> = None;
+            for &(dst, value, _) in writes.iter().filter(|w| !w.0.is_trigger()) {
+                match dst {
+                    DDst::Reg { idx, .. } => self.regs[usize::from(idx)] = value,
+                    DDst::MmuAddr(i) => self.mmus[usize::from(i)].addr = value,
+                    DDst::RtuKey { k, .. } => self.rtu.k[usize::from(k)] = value,
+                    DDst::OppuIface(_) => self.oppu_iface = value,
+                    DDst::DatapathOperand(i, port) => {
+                        self.datapath[usize::from(i)].1.write_operand(port, value);
+                    }
+                    DDst::Jump(_) | DDst::Trigger { .. } => unreachable!(),
+                }
+            }
+            for &(dst, value, _) in writes.iter().filter(|w| w.0.is_trigger()) {
+                let (kind, slot) = match dst {
+                    DDst::Jump(_) => {
+                        jump = Some(value);
+                        continue;
+                    }
+                    DDst::Trigger { kind, slot } => (kind, usize::from(slot)),
+                    _ => unreachable!(),
+                };
+                let fu = decoded.trigger_fus[slot];
+                tracer.event(&TraceEvent::FuTriggered { cycle: self.cycle, fu });
+                match kind {
+                    DTrig::MmuRead(i) => {
+                        let addr = self.mmus[usize::from(i)].addr;
+                        self.mmus[usize::from(i)].r = self.mem.read(addr)?;
+                    }
+                    DTrig::MmuWrite(i) => {
+                        let addr = self.mmus[usize::from(i)].addr;
+                        self.mem.write(addr, value)?;
+                    }
+                    DTrig::Rtu(_) => {
+                        let key = [self.rtu.k[0], self.rtu.k[1], self.rtu.k[2], value];
+                        match self.rtu.config.backend.lookup(key) {
+                            Some(RtuResult { iface, handle }) => {
+                                self.rtu.iface = iface;
+                                self.rtu.nh = handle;
+                                self.rtu.hit = true;
+                            }
+                            None => {
+                                self.rtu.iface = u32::MAX;
+                                self.rtu.nh = 0;
+                                self.rtu.hit = false;
+                            }
+                        }
+                        self.rtu.ready_at = self.cycle + u64::from(self.rtu.config.latency);
+                    }
+                    DTrig::IppuPop(_) => {
+                        if let Some((ptr, iface)) = self.ippu_queue.pop_front() {
+                            self.ippu_ptr = ptr;
+                            self.ippu_iface = iface;
+                            tracer.event(&TraceEvent::DatagramBegin {
+                                cycle: self.cycle,
+                                ptr,
+                                iface,
+                            });
+                        }
+                    }
+                    DTrig::OppuEmit(_) => {
+                        tracer.event(&TraceEvent::DatagramEnd {
+                            cycle: self.cycle,
+                            ptr: value,
+                            iface: self.oppu_iface,
+                        });
+                        self.oppu_out.push((value, self.oppu_iface));
+                    }
+                    DTrig::Datapath(i, port) => {
+                        self.datapath[usize::from(i)].1.trigger(port, value);
+                    }
+                }
+                let retire = if matches!(kind, DTrig::Rtu(_)) {
+                    self.rtu.ready_at.max(self.cycle + 1)
+                } else {
+                    self.cycle + 1
+                };
+                tracer.event(&TraceEvent::FuRetired { cycle: retire, fu });
+                self.trigger_counts[slot] += 1;
+            }
+
+            // --- PC update -------------------------------------------------
+            self.cycle += 1;
+            self.stats.cycles += 1;
+            match jump {
+                Some(t) if (t as usize) < len => self.pc = t as usize,
+                Some(t) if t as usize == len => self.halted = true,
+                Some(t) => return Err(SimError::JumpOutOfRange { target: t, len }),
+                None => {
+                    self.pc += 1;
+                    if self.pc >= len {
+                        self.halted = true;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Runs until the program halts, with `faults` injecting transient
@@ -799,7 +1103,7 @@ impl Processor {
 /// `PortRef::new` canonicalises against the register vocabulary, so this
 /// can only fail for struct-literal `PortRef`s carrying a bogus name —
 /// exactly the malformed-microcode case [`validate`] screens for.
-fn register_index(p: PortRef) -> Result<usize, SimError> {
+pub(crate) fn register_index(p: PortRef) -> Result<usize, SimError> {
     p.port
         .strip_prefix('r')
         .and_then(|s| s.parse::<usize>().ok())
@@ -1325,6 +1629,165 @@ mod fault_tests {
             (stats, p.reg(0))
         };
         assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod step_mode_tests {
+    use super::*;
+    use crate::rtu::{MapRtu, RtuResult};
+    use crate::trace::RingTracer;
+    use taco_isa::asm;
+
+    /// Builds the same processor twice — one per step mode — from `text`.
+    fn pair(text: &str, config: MachineConfig) -> (Processor, Processor) {
+        let mut prog = asm::parse(text).unwrap();
+        prog.resolve_labels().unwrap();
+        let prog = Arc::new(prog);
+        let mut compiled = Processor::new_shared(config.clone(), Arc::clone(&prog)).unwrap();
+        compiled.set_step_mode(StepMode::Compiled);
+        let mut interp = Processor::new_shared(config, prog).unwrap();
+        interp.set_step_mode(StepMode::Interpretive);
+        (compiled, interp)
+    }
+
+    fn routed_rtu() -> RtuConfig {
+        let mut backend = MapRtu::new();
+        backend.insert([1, 2, 3, 4], RtuResult { iface: 9, handle: 1 });
+        RtuConfig::new(Box::new(backend)).with_latency(5)
+    }
+
+    /// Programs covering every decoded source/destination/guard shape,
+    /// including RTU stalls, guard squashes and PPU datagram flow.
+    const PROGRAMS: &[&str] = &[
+        "0 -> cnt0.tset | 9 -> cnt0.stop
+         loop: 1 -> cnt0.tinc | cnt0.r -> regs0.r1
+         !cnt0.done @loop -> nc0.pc
+         cnt0.r -> regs0.r0
+",
+        "1 -> rtu0.k0 | ?rtu0.hit 1 -> regs0.r1
+         2 -> rtu0.k1
+         3 -> rtu0.k2
+         4 -> rtu0.t
+         rtu0.iface -> regs0.r0 | !rtu0.hit 7 -> regs0.r2
+",
+        "0 -> ippu0.tpop
+         ippu0.iface -> oppu0.iface
+         ippu0.ptr -> oppu0.t
+         ?ippu0.pending 1 -> regs0.r0
+",
+        "16 -> mmu0.addr
+         77 -> mmu0.twrite
+         0 -> mmu0.tread
+         mmu0.r -> regs0.r2 | 1 -> liu0.t
+         liu0.r -> regs0.r3
+         0 -> csum0.tclr
+         0x00010203 -> csum0.tadd
+         csum0.r -> regs0.r4
+",
+    ];
+
+    fn prep(p: &mut Processor) {
+        p.set_rtu(routed_rtu());
+        p.set_local_info(vec![0x11, 0x22]);
+        p.push_input(0x100, 2);
+        p.push_input(0x140, 3);
+    }
+
+    #[test]
+    fn both_modes_agree_on_state_stats_and_events() {
+        for text in PROGRAMS {
+            let (mut compiled, mut interp) = pair(text, MachineConfig::new(2));
+            prep(&mut compiled);
+            prep(&mut interp);
+            let mut ring_c = RingTracer::new(65_536);
+            let mut ring_i = RingTracer::new(65_536);
+            let stats_c = compiled.run_traced(10_000, &mut ring_c).unwrap();
+            let stats_i = interp.run_traced(10_000, &mut ring_i).unwrap();
+            assert_eq!(stats_c, stats_i, "stats diverged for {text:?}");
+            assert_eq!(compiled.cycles(), interp.cycles());
+            assert_eq!(compiled.pc(), interp.pc());
+            for r in 0..16 {
+                assert_eq!(compiled.reg(r), interp.reg(r), "r{r} diverged for {text:?}");
+            }
+            assert_eq!(compiled.outputs(), interp.outputs());
+            assert_eq!(compiled.pending_inputs(), interp.pending_inputs());
+            assert_eq!(ring_c.events(), ring_i.events(), "trace events diverged for {text:?}");
+        }
+    }
+
+    #[test]
+    fn both_modes_agree_under_fault_injection() {
+        for text in PROGRAMS {
+            let (mut compiled, mut interp) = pair(text, MachineConfig::new(2));
+            prep(&mut compiled);
+            prep(&mut interp);
+            let mut ring_c = RingTracer::new(65_536);
+            let mut ring_i = RingTracer::new(65_536);
+            let stats_c = compiled
+                .run_fault_traced(10_000, &mut PeriodicStall::new(5, 2), &mut ring_c)
+                .unwrap();
+            let stats_i = interp
+                .run_fault_traced(10_000, &mut PeriodicStall::new(5, 2), &mut ring_i)
+                .unwrap();
+            assert_eq!(stats_c, stats_i, "fault-injected stats diverged for {text:?}");
+            assert!(stats_c.injected_stall_cycles > 0);
+            assert_eq!(ring_c.events(), ring_i.events());
+            assert_eq!(compiled.outputs(), interp.outputs());
+        }
+    }
+
+    #[test]
+    fn both_modes_agree_on_errors() {
+        let cases: &[(&str, u64)] = &[
+            ("1 -> regs0.r0 | 2 -> regs0.r0\n", 10), // port conflict
+            ("0 -> nc0.pc | 0 -> nc0.pc\n", 10),     // double PC write
+            ("3 -> nc0.pc\n", 10),                   // jump out of range
+            ("loop: @loop -> nc0.pc\n", 50),         // watchdog
+        ];
+        for &(text, budget) in cases {
+            let (mut compiled, mut interp) = pair(text, MachineConfig::new(2));
+            let err_c = compiled.run(budget).unwrap_err();
+            let err_i = interp.run(budget).unwrap_err();
+            assert_eq!(err_c, err_i, "errors diverged for {text:?}");
+            assert_eq!(compiled.stats(), interp.stats());
+        }
+    }
+
+    #[test]
+    fn memory_fault_leaves_identical_stats_in_both_modes() {
+        let text = "1 -> cnt0.tinc\n9999999 -> mmu0.addr\n0 -> mmu0.tread\n";
+        let build = |mode: StepMode| {
+            let mut prog = asm::parse(text).unwrap();
+            prog.resolve_labels().unwrap();
+            let mut p = Processor::with_memory(MachineConfig::new(1), prog, 16).unwrap();
+            p.set_step_mode(mode);
+            p
+        };
+        let mut compiled = build(StepMode::Compiled);
+        let mut interp = build(StepMode::Interpretive);
+        let err_c = compiled.run(10).unwrap_err();
+        let err_i = interp.run(10).unwrap_err();
+        assert_eq!(err_c, err_i);
+        // The counter trigger before the fault must be folded into the
+        // compiled stats too.
+        assert_eq!(compiled.stats(), interp.stats());
+        assert_eq!(compiled.stats().triggers(FuKind::Counter), 1);
+    }
+
+    #[test]
+    fn compiled_runs_resume_across_run_calls() {
+        let text = "0 -> ippu0.tpop\nippu0.iface -> oppu0.iface\nippu0.ptr -> oppu0.t\n";
+        let (mut compiled, mut interp) = pair(text, MachineConfig::new(1));
+        for p in [&mut compiled, &mut interp] {
+            p.push_input(0xa, 1);
+            p.run(1_000).unwrap();
+            // A second run on the halted processor is a clean no-op in
+            // both modes.
+            p.run(1_000).unwrap();
+        }
+        assert_eq!(compiled.stats(), interp.stats());
+        assert_eq!(compiled.drain_outputs(), interp.drain_outputs());
     }
 }
 

@@ -36,6 +36,14 @@ cargo test -q --offline -p taco-workload --test differential malformed_frames_dr
 cargo test -q --offline -p taco-core --test fault_determinism
 
 echo
+echo "== tier-1: compiled-vs-interpretive step-mode differential (explicit) =="
+# Every builtin workload x table kind x fault preset must produce
+# byte-identical scenario metrics and simulator counters under both step
+# loops, independent of pool worker count.
+cargo test -q --offline -p taco-core --test step_mode_differential
+cargo test -q --offline -p taco-workload --test differential step_modes_forward_identically_on_every_kind
+
+echo
 echo "== tier-1: wire API round-trip + daemon loopback suites (explicit) =="
 # The v1 wire schema's identity property over every builtin combination,
 # and the daemon's golden-fixture/admission/persistence contract.
@@ -60,8 +68,10 @@ if [[ "${PERF_GATE:-on}" == "off" ]]; then
 else
     cargo build --release --offline -q -p taco-bench --bin trace
     best=
+    runs=()
     for _ in 1 2 3; do
         ms=$(./target/release/trace --smoke 10)
+        runs+=("$ms")
         if [[ -z "$best" || "$ms" -lt "$best" ]]; then
             best=$ms
         fi
@@ -73,13 +83,19 @@ else
         baseline=$(cat "$baseline_file")
         limit=$((baseline * 105 / 100 + 25))
         if [[ "$best" -gt "$limit" ]]; then
-            echo "perf gate FAILED: best-of-3 ${best} ms > ${limit} ms"
-            echo "  (baseline ${baseline} ms + 5% + 25 ms grace)"
+            echo "perf gate FAILED: best-of-3 ${best} ms > limit ${limit} ms (baseline ${baseline} ms)"
+            echo "  runs: ${runs[*]} ms; limit = baseline ${baseline} ms + 5% + 25 ms grace"
             echo "  slower machine? PERF_GATE=bless re-baselines; PERF_GATE=off skips"
             exit 1
         fi
-        echo "perf gate ok: best-of-3 ${best} ms <= ${limit} ms (baseline ${baseline} ms)"
+        echo "perf gate ok: best-of-3 ${best} ms <= ${limit} ms (baseline ${baseline} ms; runs ${runs[*]} ms)"
     fi
+
+    echo
+    echo "== bench artefact: compiled vs interpretive Table 1 cells =="
+    # Per-cell wall times for both step loops, written to the checked-in
+    # BENCH_table1.json so the measured speedup travels with the repo.
+    ./target/release/trace --smoke 10 --bench-json BENCH_table1.json
 fi
 
 echo
