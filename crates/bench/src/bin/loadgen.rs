@@ -1,0 +1,344 @@
+//! `loadgen` — concurrent-client load generator for the `taco-served`
+//! daemon.
+//!
+//! The daemon's event-loop rewrite claims one thing above all: a
+//! persistent v2 session with in-flight pipelining sustains far more
+//! evaluations per second than the v1 one-request-per-connection
+//! dialect, because the per-request accept/handshake/teardown work
+//! disappears.  This binary measures that claim on loopback:
+//!
+//! 1. an in-process daemon is started and one evaluation point is warmed
+//!    into its cache, so every measured request takes the inline
+//!    cache-hit fast path — the numbers isolate *serving* cost, not
+//!    simulation cost;
+//! 2. for each client count, N threads hammer the daemon twice — once
+//!    opening a fresh connection per request (the v1 baseline), once
+//!    over a single persistent session with a window of in-flight
+//!    requests each — recording per-request latency into per-thread
+//!    [`LatencyHistogram`]s (microsecond ticks) that merge into the
+//!    percentile report;
+//! 3. a cold default sweep is then timed through the sharding
+//!    coordinator at each requested worker count.
+//!
+//! `--json PATH` writes the `BENCH_served.json` artefact that
+//! `scripts/verify.sh` regenerates and EXPERIMENTS.md quotes.
+//!
+//! ```text
+//! cargo run -p taco-bench --release --bin loadgen -- \
+//!     [--clients LIST] [--requests N] [--window N] [--shards LIST] \
+//!     [--json PATH]
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::SocketAddr;
+use std::process::exit;
+use std::thread;
+use std::time::Instant;
+
+use taco_bench::cli::Cli;
+use taco_core::api::{ApiRequest, ApiResponse, ConfigSpec, EvalSpec, WireResponse};
+use taco_core::{Constraints, LineRate, RoutingTableKind, SweepSpec};
+use taco_served::{request_lines, sharded_sweep, Server, ServerConfig, Session};
+use taco_workload::LatencyHistogram;
+
+/// The measured request: a single-bus CAM evaluation, tiny table.  It is
+/// warmed once so every timed request is an inline cache hit.
+fn probe() -> ApiRequest {
+    let mut spec = EvalSpec::new(ConfigSpec::new(RoutingTableKind::Cam, 1, 1));
+    spec.entries = 8;
+    ApiRequest::Eval(spec)
+}
+
+fn start_server() -> (SocketAddr, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServerConfig::default()).unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot bind a loopback daemon: {e}");
+        exit(1);
+    });
+    let addr = server.local_addr();
+    (addr, thread::spawn(move || server.run()))
+}
+
+fn shut_down(addr: SocketAddr) {
+    let _ = request_lines(addr, &ApiRequest::Shutdown.to_json());
+}
+
+fn expect_eval(response: &ApiResponse) {
+    if !matches!(response, ApiResponse::EvalResult(_)) {
+        eprintln!("loadgen: daemon answered {response:?} instead of an eval_result");
+        exit(1);
+    }
+}
+
+/// The daemon serialises canonically, so a v2 response's id sits at a
+/// fixed prefix.  Parsing just the envelope head keeps the measured hot
+/// loop cheap on the client side — on small machines a full
+/// [`ApiResponse`] parse per response would contend with the daemon for
+/// CPU and the benchmark would measure the client, not the server.
+fn fast_id(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix("{\"api_version\":\"v2\",\"id\":")?;
+    rest[..rest.find(',')?].parse().ok()
+}
+
+/// Cheap response validation for the measured loops: the first response
+/// each client sees is parsed strictly; the rest only have their kind
+/// checked by substring.
+fn expect_eval_line(line: &str, strict: bool) {
+    if strict {
+        expect_eval(&WireResponse::from_json(line).expect("well-formed response").response);
+    } else if !line.contains("\"kind\":\"eval_result\"") {
+        eprintln!("loadgen: daemon answered {line:?} instead of an eval_result");
+        exit(1);
+    }
+}
+
+/// One phase's merged measurement.
+struct Measured {
+    wall_secs: f64,
+    requests: u64,
+    latency: LatencyHistogram,
+}
+
+impl Measured {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.wall_secs
+    }
+}
+
+/// N clients, each opening a fresh connection per request — the v1
+/// one-shot baseline.
+fn run_oneshot(addr: SocketAddr, clients: usize, requests: usize) -> Measured {
+    let line = probe().to_json();
+    let started = Instant::now();
+    let histograms: Vec<LatencyHistogram> = thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let line = &line;
+                s.spawn(move || {
+                    let mut histogram = LatencyHistogram::new();
+                    for i in 0..requests {
+                        let t0 = Instant::now();
+                        let lines = request_lines(addr, line).unwrap_or_else(|e| {
+                            eprintln!("loadgen: one-shot request failed: {e}");
+                            exit(1);
+                        });
+                        histogram.record(t0.elapsed().as_micros() as u64);
+                        expect_eval_line(&lines[0], i == 0);
+                    }
+                    histogram
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut latency = LatencyHistogram::new();
+    for h in &histograms {
+        latency.merge(h);
+    }
+    Measured { wall_secs, requests: (clients * requests) as u64, latency }
+}
+
+/// N clients, each holding one persistent v2 session with `window`
+/// requests in flight — the event loop's native mode.
+fn run_session(addr: SocketAddr, clients: usize, requests: usize, window: usize) -> Measured {
+    let request = probe();
+    let started = Instant::now();
+    let histograms: Vec<LatencyHistogram> = thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let request = &request;
+                s.spawn(move || {
+                    let mut histogram = LatencyHistogram::new();
+                    let mut session = Session::connect(addr).unwrap_or_else(|e| {
+                        eprintln!("loadgen: cannot open a session: {e}");
+                        exit(1);
+                    });
+                    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+                    let mut sent = 0usize;
+                    let mut done = 0usize;
+                    while done < requests {
+                        while sent < requests && sent_at.len() < window {
+                            let id = session.send(request).unwrap_or_else(|e| {
+                                eprintln!("loadgen: session send failed: {e}");
+                                exit(1);
+                            });
+                            sent_at.insert(id, Instant::now());
+                            sent += 1;
+                        }
+                        let line = session.recv_line().unwrap_or_else(|e| {
+                            eprintln!("loadgen: session recv failed: {e}");
+                            exit(1);
+                        });
+                        let t0 = fast_id(&line)
+                            .and_then(|id| sent_at.remove(&id))
+                            .expect("response for an in-flight id");
+                        histogram.record(t0.elapsed().as_micros() as u64);
+                        expect_eval_line(&line, done == 0);
+                        done += 1;
+                    }
+                    histogram
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut latency = LatencyHistogram::new();
+    for h in &histograms {
+        latency.merge(h);
+    }
+    Measured { wall_secs, requests: (clients * requests) as u64, latency }
+}
+
+struct LoadRow {
+    clients: usize,
+    baseline: Measured,
+    session: Measured,
+}
+
+struct ShardRow {
+    shards: usize,
+    sweep_ms: f64,
+    points: usize,
+}
+
+/// Times one cold sharded sweep across `shards` fresh workers.
+fn run_shards(shards: usize) -> ShardRow {
+    let mut workers = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..shards {
+        let (addr, handle) = start_server();
+        workers.push(addr);
+        handles.push(handle);
+    }
+    let spec = SweepSpec::default();
+    let constraints = Constraints::default();
+    let started = Instant::now();
+    let exploration = sharded_sweep(&workers, &spec, LineRate::TEN_GBE, &constraints)
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: sharded sweep failed: {e}");
+            exit(1);
+        });
+    let sweep_ms = started.elapsed().as_secs_f64() * 1e3;
+    for addr in workers {
+        shut_down(addr);
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    ShardRow { shards, sweep_ms, points: exploration.all.len() }
+}
+
+fn parse_list(cli: &Cli, what: &str, raw: &str) -> Vec<usize> {
+    let list: Result<Vec<usize>, _> =
+        raw.split(',').map(|part| part.trim().parse::<usize>()).collect();
+    match list {
+        Ok(values) if !values.is_empty() && values.iter().all(|&v| v > 0) => values,
+        _ => cli.fail(&format!("{what} must be a comma-separated list of positive integers")),
+    }
+}
+
+fn render_json(rows: &[LoadRow], shards: &[ShardRow], requests: usize, window: usize) -> String {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"requests_per_client\": {requests},\n"));
+    json.push_str(&format!("  \"session_window\": {window},\n"));
+    json.push_str("  \"load\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"oneshot_rps\": {:.0}, \"session_rps\": {:.0}, \
+             \"speedup\": {:.2}, \"oneshot_p50_us\": {}, \"oneshot_p99_us\": {}, \
+             \"session_p50_us\": {}, \"session_p90_us\": {}, \"session_p99_us\": {}}}{sep}\n",
+            row.clients,
+            row.baseline.rps(),
+            row.session.rps(),
+            row.session.rps() / row.baseline.rps(),
+            row.baseline.latency.p50(),
+            row.baseline.latency.p99(),
+            row.session.latency.p50(),
+            row.session.latency.p90(),
+            row.session.latency.p99(),
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"sharded_sweep\": [\n");
+    for (i, row) in shards.iter().enumerate() {
+        let sep = if i + 1 < shards.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"points\": {}, \"cold_sweep_ms\": {:.1}}}{sep}\n",
+            row.shards, row.points, row.sweep_ms
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let cli = Cli::new("loadgen", "measure taco-served throughput and latency on loopback")
+        .opt("--clients", "LIST", "comma-separated concurrent client counts (default 8,64,256)")
+        .opt("--requests", "N", "measured requests per client (default 200)")
+        .opt("--window", "N", "in-flight requests per v2 session (default 8)")
+        .opt("--shards", "LIST", "comma-separated shard worker counts (default 1,3)")
+        .opt("--json", "PATH", "also write the measurements as a JSON artefact");
+    let args = cli.parse_or_exit();
+    let clients = parse_list(&cli, "--clients", args.opt("--clients").unwrap_or("8,64,256"));
+    let requests: usize =
+        args.opt_parsed("--requests").unwrap_or_else(|e| cli.fail(&e)).unwrap_or(200);
+    let window: usize =
+        args.opt_parsed("--window").unwrap_or_else(|e| cli.fail(&e)).unwrap_or(8).max(1);
+    let shard_counts = parse_list(&cli, "--shards", args.opt("--shards").unwrap_or("1,3"));
+
+    let (addr, handle) = start_server();
+    // Warm the probe point: the measured phases must hit the inline
+    // cache path so they benchmark serving, not simulation.
+    let lines = request_lines(addr, &probe().to_json()).expect("warmup request");
+    expect_eval(&ApiResponse::from_json(&lines[0]).expect("warmup response"));
+    // A short unmeasured burst settles one-time costs (the daemon's
+    // response memo, thread stacks, allocator warm-up) before timing.
+    run_session(addr, 2, 100, window);
+
+    println!("loadgen: {} requests/client, session window {window}, daemon at {addr}", requests);
+    println!(
+        "{:>8} | {:>12} {:>11} | {:>12} {:>11} {:>11} | {:>7}",
+        "clients", "oneshot rps", "p50 us", "session rps", "p50 us", "p99 us", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &n in &clients {
+        let baseline = run_oneshot(addr, n, requests);
+        let session = run_session(addr, n, requests, window);
+        println!(
+            "{:>8} | {:>12.0} {:>11} | {:>12.0} {:>11} {:>11} | {:>6.2}x",
+            n,
+            baseline.rps(),
+            baseline.latency.p50(),
+            session.rps(),
+            session.latency.p50(),
+            session.latency.p99(),
+            session.rps() / baseline.rps(),
+        );
+        rows.push(LoadRow { clients: n, baseline, session });
+    }
+    shut_down(addr);
+    let _ = handle.join();
+
+    let mut shard_rows = Vec::new();
+    for &count in &shard_counts {
+        let row = run_shards(count);
+        println!(
+            "sharded sweep: {} worker(s), {} points, cold wall {:.1} ms",
+            row.shards, row.points, row.sweep_ms
+        );
+        shard_rows.push(row);
+    }
+
+    if let Some(path) = args.opt("--json") {
+        let json = render_json(&rows, &shard_rows, requests, window);
+        let mut file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            exit(1);
+        });
+        file.write_all(json.as_bytes()).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

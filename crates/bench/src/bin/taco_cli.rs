@@ -5,7 +5,7 @@
 //! cargo run -p taco-bench --release --bin taco-cli -- serve [--addr A] \
 //!     [--max-pending N] [--snapshot PATH] [--threads N]
 //! cargo run -p taco-bench --release --bin taco-cli -- submit --addr A \
-//!     [--table1 | --sweep] [--entries N]
+//!     [--table1 | --sweep] [--entries N] [--shards A,B,C]
 //! cargo run -p taco-bench --release --bin taco-cli -- status --addr A
 //! cargo run -p taco-bench --release --bin taco-cli -- shutdown --addr A
 //! ```
@@ -16,19 +16,25 @@
 //! evaluations, `--sweep` submits the default design-space grid as one
 //! batch job (per-point progress streams back while it runs), and with
 //! neither flag one raw `v1` request line is read from stdin and sent
-//! verbatim.  All responses are printed to stdout exactly as received —
-//! one JSON line each, byte-stable, pipeable into `jq` or a golden diff.
-//! The exit code is 0 only if the daemon answered without a protocol
-//! error.
+//! verbatim.  `--sweep --shards A,B,C` instead splits the grid across
+//! several daemons through the v2 sharding coordinator and prints the
+//! merged result (identical bytes to an unsharded sweep result, minus
+//! the progress lines).  All responses are printed to stdout exactly as
+//! received — one JSON line each, byte-stable, pipeable into `jq` or a
+//! golden diff.  A structured `busy` rejection is retried with bounded
+//! exponential backoff before it is surfaced.  The exit code is 0 only
+//! if the daemon answered without a protocol error.
 
 use std::io::{BufRead, Write};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Duration;
 
 use taco_bench::cli::{Cli, Parsed};
 use taco_core::api::{ApiRequest, ApiResponse, ConfigSpec, EvalSpec};
 use taco_core::{ArchConfig, Constraints, LineRate, SweepSpec};
-use taco_served::{open_request, Server, ServerConfig};
+use taco_served::{open_request, sharded_sweep, Server, ServerConfig};
 
 fn print_overview() {
     println!("taco-cli — client/server front end for the taco-served evaluation daemon");
@@ -135,6 +141,64 @@ fn exchange(addr: &str, request_line: &str) -> String {
     last
 }
 
+/// How many times `submit` retries a `busy` rejection, and the backoff
+/// schedule's bounds: 50 ms doubling per attempt, capped at 800 ms.
+const BUSY_RETRIES: u32 = 5;
+const BUSY_BASE_DELAY: Duration = Duration::from_millis(50);
+const BUSY_MAX_DELAY: Duration = Duration::from_millis(800);
+
+/// [`exchange`], but a structured `busy` answer — the daemon's explicit
+/// "try again later" ([`taco_core::ApiErrorCode::is_retryable`]) — is retried with
+/// bounded exponential backoff instead of surfacing immediately.  The
+/// transient rejections go to stderr; stdout only carries the attempt
+/// that produced a real response stream.
+fn exchange_retrying(addr: &str, request_line: &str) -> String {
+    let mut delay = BUSY_BASE_DELAY;
+    let mut attempts = 0u32;
+    loop {
+        let reader = open_request(addr, request_line).unwrap_or_else(|e| {
+            eprintln!("taco-cli: cannot reach the daemon at {addr}: {e}");
+            exit(1);
+        });
+        let mut last = String::new();
+        let mut retry = false;
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.unwrap_or_else(|e| {
+                eprintln!("taco-cli: connection lost mid-response: {e}");
+                exit(1);
+            });
+            // A busy rejection is always the first (and only) line.
+            if i == 0 && attempts < BUSY_RETRIES {
+                if let Ok(ApiResponse::Error(e)) = ApiResponse::from_json(&line) {
+                    if e.code.is_retryable() {
+                        attempts += 1;
+                        eprintln!(
+                            "taco-cli: daemon is busy ({}); retry {attempts}/{BUSY_RETRIES} \
+                             in {} ms",
+                            e.message,
+                            delay.as_millis()
+                        );
+                        retry = true;
+                        break;
+                    }
+                }
+            }
+            println!("{line}");
+            last = line;
+        }
+        if retry {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(BUSY_MAX_DELAY);
+            continue;
+        }
+        if last.is_empty() {
+            eprintln!("taco-cli: the daemon closed the connection without answering");
+            exit(1);
+        }
+        return last;
+    }
+}
+
 /// Exits 1 if the final response line is a protocol error (so scripts can
 /// branch on the exit code instead of parsing JSON).
 fn check(final_line: &str) {
@@ -155,18 +219,52 @@ fn control(rest: Vec<String>, name: &'static str, request: ApiRequest) {
     check(&exchange(&addr, &request.to_json()));
 }
 
+/// Resolves every comma-separated address in `--shards`.
+fn parse_shards(cli: &Cli, raw: &str) -> Vec<SocketAddr> {
+    raw.split(',')
+        .map(str::trim)
+        .map(|part| {
+            part.to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+                .unwrap_or_else(|| cli.fail(&format!("--shards: cannot resolve {part:?}")))
+        })
+        .collect()
+}
+
 fn submit(rest: Vec<String>) {
     let cli = Cli::new("taco-cli submit", "submit evaluation jobs to a running daemon")
         .flag("--table1", "submit the paper's nine Table 1 cells as eval requests")
         .flag("--sweep", "submit the default design-space grid as one batch job")
-        .opt("--addr", "ADDR", "daemon address (required)")
-        .opt("--entries", "N", "override the routing-table size for --table1/--sweep");
+        .opt("--addr", "ADDR", "daemon address (required unless --shards is given)")
+        .opt("--entries", "N", "override the routing-table size for --table1/--sweep")
+        .opt("--shards", "A,B,C", "split --sweep across these worker daemons (v2 sharding)");
     let args = cli.parse_args_or_exit(rest);
-    let addr = required_addr(&cli, &args);
     let entries: Option<usize> = args.opt_parsed("--entries").unwrap_or_else(|e| cli.fail(&e));
     if args.flag("--table1") && args.flag("--sweep") {
         cli.fail("--table1 and --sweep are mutually exclusive");
     }
+    if let Some(raw) = args.opt("--shards") {
+        if !args.flag("--sweep") {
+            cli.fail("--shards only applies to --sweep");
+        }
+        let workers = parse_shards(&cli, raw);
+        let mut spec = SweepSpec::default();
+        if let Some(n) = entries {
+            spec.entries = n;
+        }
+        let constraints = Constraints::default();
+        let exploration = sharded_sweep(&workers, &spec, LineRate::TEN_GBE, &constraints)
+            .unwrap_or_else(|e| {
+                eprintln!("taco-cli: sharded sweep failed: {e}");
+                exit(1);
+            });
+        let merged =
+            ApiResponse::SweepResult { admitted: exploration.admitted, reports: exploration.all };
+        println!("{}", merged.to_json());
+        return;
+    }
+    let addr = required_addr(&cli, &args);
     if args.flag("--table1") {
         for config in ArchConfig::table1_cells() {
             let spec =
@@ -175,7 +273,7 @@ fn submit(rest: Vec<String>) {
             if let Some(n) = entries {
                 eval.entries = n;
             }
-            check(&exchange(&addr, &ApiRequest::Eval(eval).to_json()));
+            check(&exchange_retrying(&addr, &ApiRequest::Eval(eval).to_json()));
         }
     } else if args.flag("--sweep") {
         let mut spec = SweepSpec::default();
@@ -186,13 +284,14 @@ fn submit(rest: Vec<String>) {
             spec,
             rate: LineRate::TEN_GBE,
             constraints: Constraints::default(),
+            shard: None,
         };
-        check(&exchange(&addr, &request.to_json()));
+        check(&exchange_retrying(&addr, &request.to_json()));
     } else {
         let mut line = String::new();
         if std::io::stdin().read_line(&mut line).unwrap_or(0) == 0 {
             cli.fail("no job given: pass --table1 or --sweep, or pipe a request line to stdin");
         }
-        check(&exchange(&addr, line.trim_end()));
+        check(&exchange_retrying(&addr, line.trim_end()));
     }
 }

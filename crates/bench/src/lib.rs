@@ -18,6 +18,7 @@
 //! | `cargo bench -p taco-bench --bench optimizer` | the Fig. 3 schedule pipeline |
 //! | `cargo bench -p taco-bench --bench simulator` | raw simulator throughput |
 //! | `cargo run -p taco-bench --release --bin taco-cli` | client/server front end for the `taco-served` daemon |
+//! | `cargo run -p taco-bench --release --bin loadgen` | daemon throughput/latency under concurrent persistent clients (`BENCH_served.json`) |
 
 pub mod cli;
 

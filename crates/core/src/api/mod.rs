@@ -3,7 +3,24 @@
 //!
 //! Everything that crosses a process boundary — a `taco-served` request, a
 //! cache snapshot entry, a client response — is one line of strict JSON
-//! with an explicit `"api_version"` field (schema [`API_VERSION`]).  The
+//! with an explicit `"api_version"` field.  Two schema versions coexist:
+//!
+//! * [`API_VERSION`] (`"v1"`) is the original one-shot dialect — one
+//!   request per connection, responses in submission order, no request
+//!   identity.  [`ApiRequest::from_json`]/[`ApiResponse::from_json`] speak
+//!   it and reject everything else, which is what keeps the golden daemon
+//!   fixtures byte-stable.
+//! * [`API_VERSION_V2`] (`"v2"`) is the multiplexed session dialect: every
+//!   request carries a client-chosen `"id"` echoed on all of its response
+//!   lines, so many requests can be in flight on one persistent connection
+//!   and their (possibly interleaved) streams can be told apart.  The v2
+//!   envelope also admits the sweep-sharding fields (`"shard"`) and the
+//!   cache-exchange operations (`cache_export`/`cache_import`) that the
+//!   coordinator uses to split one sweep across worker daemons.
+//!   [`WireRequest`]/[`WireResponse`] sniff the version and parse either
+//!   dialect.
+//!
+//! The
 //! same types also back the in-process entry points: [`EvalSpec`] is the
 //! validated construction path for [`EvalRequest`], and the name-based
 //! parsers ([`parse_table_kind`], [`parse_workload_name`],
@@ -27,6 +44,7 @@ pub(crate) use report::report_from_value;
 pub use report::{report_from_json, report_to_json, table1_cell_json};
 
 use taco_routing::TableKind;
+use taco_sim::StepMode;
 use taco_workload::{FaultPlan, Workload};
 
 use crate::arch::ArchConfig;
@@ -36,8 +54,12 @@ use crate::rate::LineRate;
 use crate::request::EvalRequest;
 use json::Json;
 
-/// The wire schema version this module speaks.
+/// The one-shot wire schema version (one request per connection).
 pub const API_VERSION: &str = "v1";
+
+/// The multiplexed session schema version (persistent connections, every
+/// request id-tagged, sweep sharding and cache exchange available).
+pub const API_VERSION_V2: &str = "v2";
 
 /// Machine-readable failure classes, the `"code"` field of an error
 /// response.
@@ -58,6 +80,23 @@ pub enum ApiErrorCode {
 }
 
 impl ApiErrorCode {
+    /// Every machine code, in wire-spelling order — the single exhaustive
+    /// list the server, `taco-cli` and the round-trip tests share, so a
+    /// new code cannot exist without a wire spelling and a parse.
+    pub const ALL: [ApiErrorCode; 5] = [
+        ApiErrorCode::BadRequest,
+        ApiErrorCode::VersionMismatch,
+        ApiErrorCode::Busy,
+        ApiErrorCode::ShuttingDown,
+        ApiErrorCode::Internal,
+    ];
+
+    /// `true` for the codes a client may retry verbatim after a delay (the
+    /// daemon was healthy but temporarily unable to admit the request).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ApiErrorCode::Busy)
+    }
+
     /// The wire spelling of the code.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -98,12 +137,14 @@ impl ApiError {
         ApiError { code: ApiErrorCode::BadRequest, message: message.into() }
     }
 
-    /// A [`ApiErrorCode::VersionMismatch`] error naming both versions.
+    /// A [`ApiErrorCode::VersionMismatch`] error naming the found version
+    /// and the supported ones.
     pub fn version_mismatch(found: &str) -> Self {
         ApiError {
             code: ApiErrorCode::VersionMismatch,
             message: format!(
-                "api_version {found:?} is not supported; this server speaks {API_VERSION:?}"
+                "api_version {found:?} is not supported; this server speaks {API_VERSION:?} \
+                 and {API_VERSION_V2:?}"
             ),
         }
     }
@@ -303,6 +344,25 @@ pub fn parse_fault_plan_name(name: &str) -> Result<FaultPlan, String> {
         let names: Vec<&str> = FaultPlan::builtin().iter().map(|(n, _)| *n).collect();
         format!("unknown fault plan {name:?}; expected one of: {}", names.join(", "))
     })
+}
+
+/// Parses a simulator step mode by its wire spelling (`compiled`,
+/// `interpretive`) — the single source the wire schema and the CLI flags
+/// share, mirroring `TACO_STEP_MODE`'s accepted values.
+pub fn parse_step_mode(name: &str) -> Result<StepMode, String> {
+    match name {
+        "compiled" => Ok(StepMode::Compiled),
+        "interpretive" => Ok(StepMode::Interpretive),
+        other => Err(format!("unknown step mode {other:?}; expected compiled or interpretive")),
+    }
+}
+
+/// The wire spelling of a step mode ([`parse_step_mode`]'s inverse).
+pub fn step_mode_name(mode: StepMode) -> &'static str {
+    match mode {
+        StepMode::Compiled => "compiled",
+        StepMode::Interpretive => "interpretive",
+    }
 }
 
 /// Validates a line rate the way [`LineRate::new`] does, as a `Result`
@@ -581,11 +641,18 @@ pub struct EvalSpec {
     pub workload: Option<Workload>,
     /// Optional deterministic fault plan.
     pub faults: Option<FaultPlan>,
+    /// Which simulator step loop runs the measurement (wire spelling
+    /// `"step_mode"`, omitted when [`StepMode::Compiled`] — the default —
+    /// so pre-existing request lines keep their bytes).  Interpretive
+    /// requests deliberately bypass the [`EvalCache`](crate::EvalCache)
+    /// memo end to end: a reference double-check answered from cache would
+    /// check nothing.
+    pub step_mode: StepMode,
 }
 
 impl EvalSpec {
     /// A spec for `config` with the paper's defaults (10 GbE, 100 entries,
-    /// no workload, no faults).
+    /// no workload, no faults, compiled step loop).
     pub fn new(config: ConfigSpec) -> Self {
         EvalSpec {
             config,
@@ -593,6 +660,7 @@ impl EvalSpec {
             entries: EvalRequest::DEFAULT_ENTRIES,
             workload: None,
             faults: None,
+            step_mode: StepMode::Compiled,
         }
     }
 
@@ -609,7 +677,7 @@ impl EvalSpec {
         if let Some(faults) = self.faults {
             request = request.faults(faults);
         }
-        Ok(request)
+        Ok(request.step_mode(self.step_mode))
     }
 
     /// The wire spelling of `request` (trace path dropped — it is not part
@@ -622,6 +690,7 @@ impl EvalSpec {
             entries: request.entries,
             workload: request.workload,
             faults: request.faults,
+            step_mode: request.step_mode,
         })
     }
 
@@ -641,6 +710,11 @@ impl EvalSpec {
         if let Some(p) = &self.faults {
             s.push_str(",\"faults\":");
             s.push_str(&fault_plan_to_json(p));
+        }
+        if self.step_mode != StepMode::Compiled {
+            s.push_str(",\"step_mode\":\"");
+            s.push_str(step_mode_name(self.step_mode));
+            s.push('"');
         }
         s
     }
@@ -671,6 +745,15 @@ impl EvalSpec {
             entries: f.req_usize("entries")?,
             workload: f.get_non_null("workload").map(workload_from_value).transpose()?,
             faults: f.get_non_null("faults").map(fault_plan_from_value).transpose()?,
+            step_mode: match f.get_non_null("step_mode") {
+                None => StepMode::Compiled,
+                Some(v) => {
+                    let name = v.as_str().ok_or_else(|| {
+                        ApiError::bad_request("eval spec: \"step_mode\" must be a string")
+                    })?;
+                    parse_step_mode(name).map_err(ApiError::bad_request)?
+                }
+            },
         };
         if spec.entries == 0 {
             return Err(ApiError::bad_request("entries must be >= 1"));
@@ -798,12 +881,51 @@ pub(crate) fn constraints_from_value(value: &Json) -> Result<Constraints, ApiErr
 // Requests.
 // ---------------------------------------------------------------------------
 
+/// One worker's slice of a sharded sweep: the grid points whose sweep
+/// index `i` satisfies `i % stride == offset`.
+///
+/// The coordinator sends the *same* [`SweepSpec`] to every worker with a
+/// distinct offset, so each worker derives the identical global grid and
+/// evaluates a disjoint round-robin stripe of it — indices stay global,
+/// which is what lets the coordinator merge results back into sweep order
+/// without a translation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepShard {
+    /// This worker's stripe (`0 <= offset < stride`).
+    pub offset: u32,
+    /// Total number of workers the sweep is split across (≥ 1).
+    pub stride: u32,
+}
+
+impl SweepShard {
+    fn to_json(self) -> String {
+        format!("{{\"offset\":{},\"stride\":{}}}", self.offset, self.stride)
+    }
+
+    fn from_value(value: &Json) -> Result<SweepShard, ApiError> {
+        let mut f = Fields::new("shard", value)?;
+        let shard = SweepShard { offset: f.req_u32("offset")?, stride: f.req_u32("stride")? };
+        f.finish()?;
+        if shard.stride == 0 {
+            return Err(ApiError::bad_request("shard: \"stride\" must be >= 1"));
+        }
+        if shard.offset >= shard.stride {
+            return Err(ApiError::bad_request(format!(
+                "shard: \"offset\" ({}) must be < \"stride\" ({})",
+                shard.offset, shard.stride
+            )));
+        }
+        Ok(shard)
+    }
+}
+
 /// One client request, the unit of the wire protocol (one JSON line each).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ApiRequest {
     /// Evaluate a single architecture instance.
     Eval(EvalSpec),
-    /// Run a whole sweep as one batch job.
+    /// Run a whole sweep — or, with `shard` set (v2 sessions only), one
+    /// round-robin stripe of it — as one batch job.
     Sweep {
         /// The exploration grid.
         spec: SweepSpec,
@@ -811,37 +933,121 @@ pub enum ApiRequest {
         rate: LineRate,
         /// Admission constraints for the ranking.
         constraints: Constraints,
+        /// `Some` when this daemon evaluates only its stripe of the grid
+        /// and answers with a [`ApiResponse::ShardResult`] for the
+        /// coordinator to merge.  Requires the v2 envelope.
+        shard: Option<SweepShard>,
     },
     /// Ask the daemon for queue and cache statistics.
     Status,
     /// Ask the daemon to drain, persist its cache and exit — the
     /// SIGTERM-equivalent shutdown byte.
     Shutdown,
+    /// Ask the daemon for its evaluation cache as a snapshot string
+    /// (answered with [`ApiResponse::CacheSnapshot`]) — how a coordinator
+    /// collects what each shard learned.  Requires the v2 envelope.
+    CacheExport,
+    /// Merge a snapshot string (the [`ApiResponse::CacheSnapshot`] body)
+    /// into the daemon's evaluation cache — how a coordinator shares the
+    /// merged cache back to every shard.  Requires the v2 envelope.
+    CacheImport {
+        /// The snapshot text, exactly as `cache_export` returned it.
+        body: String,
+    },
 }
 
 impl ApiRequest {
-    /// Serialises the request as one JSON line (fixed key order, explicit
-    /// `"api_version"`).
-    pub fn to_json(&self) -> String {
-        let head = format!("{{\"api_version\":\"{API_VERSION}\",");
+    /// The request's JSON members after the envelope (no braces, starting
+    /// at `"kind"`) — shared by the v1 and v2 serialisers.
+    fn body_fields(&self) -> String {
         match self {
-            ApiRequest::Eval(spec) => {
-                format!("{head}\"kind\":\"eval\",{}}}", spec.to_json_fields())
+            ApiRequest::Eval(spec) => format!("\"kind\":\"eval\",{}", spec.to_json_fields()),
+            ApiRequest::Sweep { spec, rate, constraints, shard } => {
+                let mut s = format!(
+                    "\"kind\":\"sweep\",\"spec\":{},\"rate\":{},\"constraints\":{}",
+                    sweep_spec_to_json(spec),
+                    rate_to_json(rate),
+                    constraints_to_json(constraints),
+                );
+                if let Some(shard) = shard {
+                    s.push_str(",\"shard\":");
+                    s.push_str(&shard.to_json());
+                }
+                s
             }
-            ApiRequest::Sweep { spec, rate, constraints } => format!(
-                "{head}\"kind\":\"sweep\",\"spec\":{},\"rate\":{},\"constraints\":{}}}",
-                sweep_spec_to_json(spec),
-                rate_to_json(rate),
-                constraints_to_json(constraints),
-            ),
-            ApiRequest::Status => format!("{head}\"kind\":\"status\"}}"),
-            ApiRequest::Shutdown => format!("{head}\"kind\":\"shutdown\"}}"),
+            ApiRequest::Status => "\"kind\":\"status\"".to_owned(),
+            ApiRequest::Shutdown => "\"kind\":\"shutdown\"".to_owned(),
+            ApiRequest::CacheExport => "\"kind\":\"cache_export\"".to_owned(),
+            ApiRequest::CacheImport { body } => {
+                format!("\"kind\":\"cache_import\",\"body\":{}", Json::str(body.clone()).encode())
+            }
         }
     }
 
-    /// Strictly parses one request line: bad JSON, missing/unknown fields
-    /// and out-of-range values are [`ApiErrorCode::BadRequest`]; a wrong
-    /// `"api_version"` is [`ApiErrorCode::VersionMismatch`].
+    /// Serialises the request as one v1 JSON line (fixed key order,
+    /// explicit `"api_version"`).  The v2-only requests (`cache_export`,
+    /// `cache_import`, sharded sweeps) have no valid v1 spelling — send
+    /// them through [`ApiRequest::to_json_v2`].
+    pub fn to_json(&self) -> String {
+        format!("{{\"api_version\":\"{API_VERSION}\",{}}}", self.body_fields())
+    }
+
+    /// Serialises the request as one v2 JSON line carrying the
+    /// client-chosen `id` that every response line for this request will
+    /// echo.
+    pub fn to_json_v2(&self, id: u64) -> String {
+        format!("{{\"api_version\":\"{API_VERSION_V2}\",\"id\":{id},{}}}", self.body_fields())
+    }
+
+    /// Parses the fields after the envelope.  `v2` gates the
+    /// session-dialect extensions: sweep sharding and the cache-exchange
+    /// kinds are structured `bad_request` errors in a v1 line.
+    fn from_fields(mut f: Fields<'_>, v2: bool) -> Result<ApiRequest, ApiError> {
+        let request = match f.req_str("kind")? {
+            "eval" => ApiRequest::Eval(EvalSpec::from_fields(&mut f)?),
+            "sweep" => {
+                let shard = f.get_non_null("shard").map(SweepShard::from_value).transpose()?;
+                if shard.is_some() && !v2 {
+                    return Err(ApiError::bad_request(format!(
+                        "sweep: \"shard\" requires api_version {API_VERSION_V2:?}"
+                    )));
+                }
+                ApiRequest::Sweep {
+                    spec: sweep_spec_from_value(f.req("spec")?)?,
+                    rate: rate_from_value(f.req("rate")?)?,
+                    constraints: f
+                        .get_non_null("constraints")
+                        .map(constraints_from_value)
+                        .transpose()?
+                        .unwrap_or_default(),
+                    shard,
+                }
+            }
+            "status" => ApiRequest::Status,
+            "shutdown" => ApiRequest::Shutdown,
+            kind @ ("cache_export" | "cache_import") if !v2 => {
+                return Err(ApiError::bad_request(format!(
+                    "{kind} requires api_version {API_VERSION_V2:?}"
+                )))
+            }
+            "cache_export" => ApiRequest::CacheExport,
+            "cache_import" => ApiRequest::CacheImport { body: f.req_str("body")?.to_owned() },
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown request kind {other:?}; expected eval, sweep, status, shutdown, \
+                     cache_export or cache_import"
+                )))
+            }
+        };
+        f.finish()?;
+        Ok(request)
+    }
+
+    /// Strictly parses one **v1** request line: bad JSON, missing/unknown
+    /// fields and out-of-range values are [`ApiErrorCode::BadRequest`]; a
+    /// wrong `"api_version"` (including `"v2"`) is
+    /// [`ApiErrorCode::VersionMismatch`].  Session-aware servers parse
+    /// through [`WireRequest::from_json`] instead.
     pub fn from_json(line: &str) -> Result<ApiRequest, ApiError> {
         let value = Json::parse(line).map_err(|e| ApiError::bad_request(e.to_string()))?;
         let mut f = Fields::new("request", &value)?;
@@ -849,28 +1055,63 @@ impl ApiRequest {
         if version != API_VERSION {
             return Err(ApiError::version_mismatch(version));
         }
-        let request = match f.req_str("kind")? {
-            "eval" => ApiRequest::Eval(EvalSpec::from_fields(&mut f)?),
-            "sweep" => ApiRequest::Sweep {
-                spec: sweep_spec_from_value(f.req("spec")?)?,
-                rate: rate_from_value(f.req("rate")?)?,
-                constraints: f
-                    .get_non_null("constraints")
-                    .map(constraints_from_value)
-                    .transpose()?
-                    .unwrap_or_default(),
-            },
-            "status" => ApiRequest::Status,
-            "shutdown" => ApiRequest::Shutdown,
-            other => {
-                return Err(ApiError::bad_request(format!(
-                    "unknown request kind {other:?}; expected eval, sweep, status or shutdown"
-                )))
-            }
-        };
-        f.finish()?;
-        Ok(request)
+        ApiRequest::from_fields(f, false)
     }
+}
+
+/// A version-sniffed request envelope: the parse every `taco-served`
+/// connection runs on each frame, accepting both dialects.
+///
+/// `id` is `None` for a v1 line (the one-shot dialect has no request
+/// identity) and `Some` for a v2 line (where `"id"` is mandatory) — so
+/// the envelope itself tells the server which session semantics the
+/// client expects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// The client-chosen request id (v2), or `None` (v1).
+    pub id: Option<u64>,
+    /// The request proper.
+    pub request: ApiRequest,
+}
+
+impl WireRequest {
+    /// Serialises with the dialect implied by `id`.
+    pub fn to_json(&self) -> String {
+        match self.id {
+            Some(id) => self.request.to_json_v2(id),
+            None => self.request.to_json(),
+        }
+    }
+
+    /// Strictly parses one request line of either dialect.
+    pub fn from_json(line: &str) -> Result<WireRequest, ApiError> {
+        let value = Json::parse(line).map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let mut f = Fields::new("request", &value)?;
+        match f.req_str("api_version")? {
+            v if v == API_VERSION => {
+                if f.get("id").is_some() {
+                    return Err(ApiError::bad_request(format!(
+                        "\"id\" requires api_version {API_VERSION_V2:?}"
+                    )));
+                }
+                Ok(WireRequest { id: None, request: ApiRequest::from_fields(f, false)? })
+            }
+            v if v == API_VERSION_V2 => {
+                let id = f.req_u64("id")?;
+                Ok(WireRequest { id: Some(id), request: ApiRequest::from_fields(f, true)? })
+            }
+            other => Err(ApiError::version_mismatch(other)),
+        }
+    }
+}
+
+/// Best-effort extraction of the `"id"` member from a line that failed
+/// the strict parse, so a v2 error response can still be correlated with
+/// the request that caused it (`None` when even that much is unreadable —
+/// the server then answers with `"id":null`).
+pub fn salvage_request_id(line: &str) -> Option<u64> {
+    let value = Json::parse(line).ok()?;
+    value.as_object()?.iter().find(|(k, _)| k == "id")?.1.as_u64()
 }
 
 // ---------------------------------------------------------------------------
@@ -882,6 +1123,10 @@ impl ApiRequest {
 pub struct StatusInfo {
     /// Jobs admitted and not yet fully answered.
     pub in_flight: u64,
+    /// Admitted jobs still waiting for a runner thread — the current
+    /// queue depth, which together with the cache counters distinguishes
+    /// a cold cache from a saturated queue when diagnosing slow clients.
+    pub queued: u64,
     /// The admission bound ([`ApiErrorCode::Busy`] beyond it).
     pub max_pending: u64,
     /// `true` once a shutdown has been requested.
@@ -937,23 +1182,47 @@ pub enum ApiResponse {
         /// Evaluations persisted to the snapshot.
         persisted: Option<u64>,
     },
+    /// The final result of a sharded `sweep` request: this worker's stripe
+    /// only, with **global** sweep indices so the coordinator can merge
+    /// stripes back into sweep order.  Ranking against constraints happens
+    /// at the coordinator, over the merged set.
+    ShardResult {
+        /// Total points in the full (unsharded) grid.
+        total: usize,
+        /// Global sweep index of each report, in stripe order (ascending).
+        indices: Vec<usize>,
+        /// The stripe's evaluated points, parallel to `indices`.
+        reports: Vec<EvalReport>,
+    },
+    /// The daemon's evaluation cache, serialised with
+    /// [`crate::EvalCache::to_snapshot_string`].
+    CacheSnapshot {
+        /// The snapshot text (embeds its own checksum).
+        body: String,
+    },
+    /// Acknowledges a `cache_import`: the cache now holds `entries`
+    /// evaluations.
+    CacheLoaded {
+        /// Cache size after the merge.
+        entries: u64,
+    },
     /// A structured failure.
     Error(ApiError),
 }
 
 impl ApiResponse {
-    /// Serialises the response as one JSON line.
-    pub fn to_json(&self) -> String {
-        let head = format!("{{\"api_version\":\"{API_VERSION}\",");
+    /// The response's JSON members after the envelope (no braces, starting
+    /// at `"kind"`) — shared by the v1 and v2 serialisers.
+    fn body_fields(&self) -> String {
         match self {
             ApiResponse::EvalResult(report) => format!(
-                "{head}\"kind\":\"eval_result\",\"cell\":{},\"report\":{}}}",
+                "\"kind\":\"eval_result\",\"cell\":{},\"report\":{}",
                 table1_cell_json(report),
                 report_to_json(report),
             ),
             ApiResponse::SweepPoint { index, total, label, cache_hit, feasible } => format!(
-                "{head}\"kind\":\"sweep_point\",\"index\":{index},\"total\":{total},\
-                 \"label\":{},\"cache_hit\":{cache_hit},\"feasible\":{feasible}}}",
+                "\"kind\":\"sweep_point\",\"index\":{index},\"total\":{total},\
+                 \"label\":{},\"cache_hit\":{cache_hit},\"feasible\":{feasible}",
                 Json::str(label.clone()).encode(),
             ),
             ApiResponse::SweepResult { admitted, reports } => {
@@ -964,15 +1233,16 @@ impl ApiResponse {
                     .map_or("null".to_owned(), |r| Json::str(r.config.label()).encode());
                 let body = reports.iter().map(report_to_json).collect::<Vec<_>>().join(",");
                 format!(
-                    "{head}\"kind\":\"sweep_result\",\"points\":{},\"admitted\":[{indices}],\
-                     \"best\":{best},\"reports\":[{body}]}}",
+                    "\"kind\":\"sweep_result\",\"points\":{},\"admitted\":[{indices}],\
+                     \"best\":{best},\"reports\":[{body}]",
                     reports.len(),
                 )
             }
             ApiResponse::Status(s) => format!(
-                "{head}\"kind\":\"status_result\",\"in_flight\":{},\"max_pending\":{},\
-                 \"draining\":{},\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}}}",
+                "\"kind\":\"status_result\",\"in_flight\":{},\"queued\":{},\"max_pending\":{},\
+                 \"draining\":{},\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}",
                 s.in_flight,
+                s.queued,
                 s.max_pending,
                 s.draining,
                 s.cache_entries,
@@ -980,29 +1250,56 @@ impl ApiResponse {
                 s.cache_misses,
             ),
             ApiResponse::ShutdownAck { persisted } => format!(
-                "{head}\"kind\":\"shutdown_ack\",\"persisted\":{}}}",
+                "\"kind\":\"shutdown_ack\",\"persisted\":{}",
                 persisted.map_or("null".to_owned(), |n| n.to_string()),
             ),
+            ApiResponse::ShardResult { total, indices, reports } => {
+                let idx = indices.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+                let body = reports.iter().map(report_to_json).collect::<Vec<_>>().join(",");
+                format!(
+                    "\"kind\":\"shard_result\",\"total\":{total},\"indices\":[{idx}],\
+                     \"reports\":[{body}]"
+                )
+            }
+            ApiResponse::CacheSnapshot { body } => {
+                format!("\"kind\":\"cache_snapshot\",\"body\":{}", Json::str(body.clone()).encode())
+            }
+            ApiResponse::CacheLoaded { entries } => {
+                format!("\"kind\":\"cache_loaded\",\"entries\":{entries}")
+            }
             ApiResponse::Error(e) => format!(
-                "{head}\"kind\":\"error\",\"code\":\"{}\",\"message\":{}}}",
+                "\"kind\":\"error\",\"code\":\"{}\",\"message\":{}",
                 e.code.as_str(),
                 Json::str(e.message.clone()).encode(),
             ),
         }
     }
 
-    /// Strictly parses one response line.
-    ///
-    /// `eval_result`/`sweep_result` payloads are only parseable when their
-    /// reports are (reports carrying a `sim_error` are one-way, see
-    /// [`report_from_json`]).
-    pub fn from_json(line: &str) -> Result<ApiResponse, ApiError> {
-        let value = Json::parse(line).map_err(|e| ApiError::bad_request(e.to_string()))?;
-        let mut f = Fields::new("response", &value)?;
-        let version = f.req_str("api_version")?;
-        if version != API_VERSION {
-            return Err(ApiError::version_mismatch(version));
-        }
+    /// The response's JSON members after the envelope, as
+    /// [`ApiResponse::to_json`] / [`ApiResponse::to_json_v2`] would emit
+    /// them (no braces, starting at `"kind"`).  Front ends that memoise a
+    /// serialised response body and splice version/id envelopes around it
+    /// (the daemon's inline cache-hit fast path) use this instead of
+    /// re-serialising per request.
+    pub fn body_json(&self) -> String {
+        self.body_fields()
+    }
+
+    /// Serialises the response as one v1 JSON line.
+    pub fn to_json(&self) -> String {
+        format!("{{\"api_version\":\"{API_VERSION}\",{}}}", self.body_fields())
+    }
+
+    /// Serialises the response as one v2 JSON line echoing the request's
+    /// `id` (`None` → `"id":null`, for errors on frames too broken to
+    /// carry one).
+    pub fn to_json_v2(&self, id: Option<u64>) -> String {
+        let id = id.map_or("null".to_owned(), |n| n.to_string());
+        format!("{{\"api_version\":\"{API_VERSION_V2}\",\"id\":{id},{}}}", self.body_fields())
+    }
+
+    /// Parses the fields after the envelope.
+    fn from_fields(mut f: Fields<'_>) -> Result<ApiResponse, ApiError> {
         let response = match f.req_str("kind")? {
             "eval_result" => {
                 let _cell = f.req("cell")?; // derived from the report; consumed, not re-checked
@@ -1049,11 +1346,13 @@ impl ApiResponse {
             }
             "status_result" => {
                 let in_flight = f.req_u64("in_flight")?;
+                let queued = f.req_u64("queued")?;
                 let max_pending = f.req_u64("max_pending")?;
                 let draining = f.req_bool("draining")?;
                 let mut cache = Fields::new("status cache", f.req("cache")?)?;
                 let info = StatusInfo {
                     in_flight,
+                    queued,
                     max_pending,
                     draining,
                     cache_entries: cache.req_u64("entries")?,
@@ -1075,6 +1374,37 @@ impl ApiResponse {
                     })
                     .transpose()?,
             },
+            "shard_result" => {
+                let total = f.req_usize("total")?;
+                let indices = f
+                    .req("indices")?
+                    .as_array()
+                    .ok_or_else(|| ApiError::bad_request("response: \"indices\" must be an array"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64().and_then(|n| usize::try_from(n).ok()).ok_or_else(|| {
+                            ApiError::bad_request("response: shard indices must be integers")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let reports = f
+                    .req("reports")?
+                    .as_array()
+                    .ok_or_else(|| ApiError::bad_request("response: \"reports\" must be an array"))?
+                    .iter()
+                    .map(report::report_from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if indices.len() != reports.len() {
+                    return Err(ApiError::bad_request(format!(
+                        "response: {} shard indices but {} reports present",
+                        indices.len(),
+                        reports.len()
+                    )));
+                }
+                ApiResponse::ShardResult { total, indices, reports }
+            }
+            "cache_snapshot" => ApiResponse::CacheSnapshot { body: f.req_str("body")?.to_owned() },
+            "cache_loaded" => ApiResponse::CacheLoaded { entries: f.req_u64("entries")? },
             "error" => {
                 let code_str = f.req_str("code")?;
                 let code = ApiErrorCode::from_str_opt(code_str).ok_or_else(|| {
@@ -1086,6 +1416,68 @@ impl ApiResponse {
         };
         f.finish()?;
         Ok(response)
+    }
+
+    /// Strictly parses one **v1** response line.
+    ///
+    /// `eval_result`/`sweep_result` payloads are only parseable when their
+    /// reports are (reports carrying a `sim_error` are one-way, see
+    /// [`report_from_json`]).  Session-aware clients parse through
+    /// [`WireResponse::from_json`] instead.
+    pub fn from_json(line: &str) -> Result<ApiResponse, ApiError> {
+        let value = Json::parse(line).map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let mut f = Fields::new("response", &value)?;
+        let version = f.req_str("api_version")?;
+        if version != API_VERSION {
+            return Err(ApiError::version_mismatch(version));
+        }
+        ApiResponse::from_fields(f)
+    }
+}
+
+/// A version-sniffed response envelope, the receive side of a
+/// [`WireRequest`] exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// `true` when the line used the v2 envelope (which always carries an
+    /// `"id"` member, possibly `null`).
+    pub v2: bool,
+    /// The echoed request id: `None` for a v1 line, or for a v2 error
+    /// whose offending frame carried no salvageable id (`"id":null`).
+    pub id: Option<u64>,
+    /// The response proper.
+    pub response: ApiResponse,
+}
+
+impl WireResponse {
+    /// Serialises with the dialect selected by `v2`.
+    pub fn to_json(&self) -> String {
+        if self.v2 {
+            self.response.to_json_v2(self.id)
+        } else {
+            self.response.to_json()
+        }
+    }
+
+    /// Strictly parses one response line of either dialect.
+    pub fn from_json(line: &str) -> Result<WireResponse, ApiError> {
+        let value = Json::parse(line).map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let mut f = Fields::new("response", &value)?;
+        match f.req_str("api_version")? {
+            v if v == API_VERSION => {
+                Ok(WireResponse { v2: false, id: None, response: ApiResponse::from_fields(f)? })
+            }
+            v if v == API_VERSION_V2 => {
+                let id = match f.req("id")? {
+                    v if v.is_null() => None,
+                    v => Some(v.as_u64().ok_or_else(|| {
+                        ApiError::bad_request("response: \"id\" must be an integer or null")
+                    })?),
+                };
+                Ok(WireResponse { v2: true, id, response: ApiResponse::from_fields(f)? })
+            }
+            other => Err(ApiError::version_mismatch(other)),
+        }
     }
 }
 
@@ -1130,8 +1522,10 @@ mod tests {
                 max_scenario_drops: Some(10),
                 max_unrecovered_faults: None,
             },
+            shard: None,
         };
         let line = request.to_json();
+        assert!(!line.contains("shard"), "unsharded sweeps keep their v1 bytes: {line}");
         assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
         assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
     }
@@ -1235,6 +1629,7 @@ mod tests {
     fn status_response_round_trips() {
         let response = ApiResponse::Status(StatusInfo {
             in_flight: 2,
+            queued: 1,
             max_pending: 8,
             draining: false,
             cache_entries: 11,
@@ -1255,5 +1650,143 @@ mod tests {
                 ApiResponse::ShutdownAck { persisted }
             );
         }
+    }
+
+    #[test]
+    fn step_mode_is_omitted_at_default_and_round_trips_otherwise() {
+        // Compiled (the default) must not change pre-existing v1 bytes.
+        let line = ApiRequest::Eval(cam_spec()).to_json();
+        assert!(!line.contains("step_mode"), "{line}");
+
+        let mut spec = cam_spec();
+        spec.step_mode = StepMode::Interpretive;
+        let request = ApiRequest::Eval(spec);
+        let line = request.to_json();
+        assert!(line.contains("\"step_mode\":\"interpretive\""), "{line}");
+        assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
+        assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+
+        // Unknown modes are structured bad requests naming the options.
+        let bad = line.replace("interpretive", "warp-speed");
+        let err = ApiRequest::from_json(&bad).unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+        assert!(err.message.contains("warp-speed"), "{err}");
+        assert!(err.message.contains("compiled"), "{err}");
+    }
+
+    #[test]
+    fn step_mode_survives_the_request_round_trip() {
+        let mut spec = cam_spec();
+        spec.step_mode = StepMode::Interpretive;
+        let request = spec.to_request().unwrap();
+        assert_eq!(request.step_mode, StepMode::Interpretive);
+        assert_eq!(EvalSpec::from_request(&request).unwrap().step_mode, StepMode::Interpretive);
+    }
+
+    #[test]
+    fn v2_envelope_round_trips_and_requires_an_id() {
+        let wire = WireRequest { id: Some(7), request: ApiRequest::Status };
+        let line = wire.to_json();
+        assert!(line.starts_with("{\"api_version\":\"v2\",\"id\":7,"), "{line}");
+        assert_eq!(WireRequest::from_json(&line).unwrap(), wire);
+        assert_eq!(WireRequest::from_json(&line).unwrap().to_json(), line);
+
+        // A v1 line sniffs as id-less through the same entry point.
+        let v1 = WireRequest { id: None, request: ApiRequest::Status };
+        assert_eq!(WireRequest::from_json(&v1.to_json()).unwrap(), v1);
+
+        // v2 without an id, and v1 with one, are both structured errors.
+        let err =
+            WireRequest::from_json("{\"api_version\":\"v2\",\"kind\":\"status\"}").unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+        let err = WireRequest::from_json("{\"api_version\":\"v1\",\"id\":1,\"kind\":\"status\"}")
+            .unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+        assert!(err.message.contains("v2"), "{err}");
+
+        // Unknown versions stay a version mismatch naming both dialects.
+        let err =
+            WireRequest::from_json("{\"api_version\":\"v3\",\"kind\":\"status\"}").unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::VersionMismatch);
+        assert!(err.message.contains("v1") && err.message.contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn sharded_sweeps_are_v2_only_and_validated() {
+        let shard = |offset, stride| ApiRequest::Sweep {
+            spec: SweepSpec::default(),
+            rate: LineRate::GIGE,
+            constraints: Constraints::default(),
+            shard: Some(SweepShard { offset, stride }),
+        };
+        let line = shard(1, 3).to_json_v2(42);
+        let wire = WireRequest::from_json(&line).unwrap();
+        assert_eq!(wire.id, Some(42));
+        assert_eq!(wire.request, shard(1, 3));
+        assert_eq!(wire.to_json(), line);
+
+        // The same body under a v1 envelope is rejected, not ignored.
+        let err = WireRequest::from_json(&shard(1, 3).to_json()).unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+        assert!(err.message.contains("v2"), "{err}");
+
+        // Out-of-range stripes are structured errors.
+        for (offset, stride) in [(0, 0), (3, 3), (5, 2)] {
+            let err = WireRequest::from_json(&shard(offset, stride).to_json_v2(1)).unwrap_err();
+            assert_eq!(err.code, ApiErrorCode::BadRequest, "{offset}/{stride}");
+        }
+    }
+
+    #[test]
+    fn cache_exchange_round_trips_and_is_v2_only() {
+        for request in
+            [ApiRequest::CacheExport, ApiRequest::CacheImport { body: "snap\nline\n".into() }]
+        {
+            let line = request.to_json_v2(9);
+            let wire = WireRequest::from_json(&line).unwrap();
+            assert_eq!(wire.request, request);
+            assert_eq!(wire.to_json(), line);
+
+            let err = ApiRequest::from_json(&request.to_json()).unwrap_err();
+            assert_eq!(err.code, ApiErrorCode::BadRequest);
+            assert!(err.message.contains("v2"), "{err}");
+        }
+        let responses = [
+            ApiResponse::CacheSnapshot { body: "snap \"quoted\"\n".into() },
+            ApiResponse::CacheLoaded { entries: 17 },
+        ];
+        for response in responses {
+            let line = response.to_json_v2(Some(9));
+            let wire = WireResponse::from_json(&line).unwrap();
+            assert_eq!(wire.id, Some(9));
+            assert_eq!(wire.response, response);
+            assert_eq!(wire.to_json(), line);
+        }
+    }
+
+    #[test]
+    fn v2_error_lines_carry_a_null_id_when_unsalvageable() {
+        let response = ApiResponse::Error(ApiError::bad_request("unparseable frame"));
+        let line = response.to_json_v2(None);
+        assert!(line.starts_with("{\"api_version\":\"v2\",\"id\":null,"), "{line}");
+        let wire = WireResponse::from_json(&line).unwrap();
+        assert!(wire.v2 && wire.id.is_none());
+        assert_eq!(wire.response, response);
+
+        assert_eq!(salvage_request_id("{\"id\":31,\"kind\":\"nope\""), None);
+        assert_eq!(salvage_request_id("{\"id\":31,\"bogus\":{}}"), Some(31));
+        assert_eq!(salvage_request_id("{\"id\":\"nope\"}"), None);
+        assert_eq!(salvage_request_id("garbage"), None);
+    }
+
+    #[test]
+    fn error_codes_enumerate_exhaustively() {
+        for code in ApiErrorCode::ALL {
+            assert_eq!(ApiErrorCode::from_str_opt(code.as_str()), Some(code));
+        }
+        assert!(ApiErrorCode::Busy.is_retryable());
+        let transient: Vec<_> =
+            ApiErrorCode::ALL.iter().copied().filter(|c| c.is_retryable()).collect();
+        assert_eq!(transient, [ApiErrorCode::Busy]);
     }
 }

@@ -192,6 +192,26 @@ impl EvalCache {
         self.evaluate_recorded(request).0
     }
 
+    /// The cached report for this exact request, if present — the
+    /// serving-layer fast path, answerable without occupying a worker.
+    ///
+    /// A hit increments the hit counter exactly as
+    /// [`EvalCache::evaluate_recorded`] would; a miss counts nothing,
+    /// because the caller is expected to follow up with
+    /// `evaluate_recorded`, which records the miss when the simulation
+    /// actually runs — so the counters add up identically whichever path
+    /// answered.  Interpretive requests always return `None` without
+    /// touching the counters: they bypass the memo by design.
+    pub fn lookup_recorded(&self, request: &EvalRequest) -> Option<EvalReport> {
+        if request.step_mode != StepMode::Compiled {
+            return None;
+        }
+        let key = EvalKey::new(request);
+        let report = self.reports.lock().expect("cache lock").get(&key).cloned()?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(report)
+    }
+
     /// [`EvalCache::evaluate`], also reporting whether the result came from
     /// the cache (`true` = hit) — the flag sweep observers record.
     pub fn evaluate_recorded(&self, request: &EvalRequest) -> (EvalReport, bool) {
@@ -276,6 +296,16 @@ impl EvalCache {
     ///
     /// [`SnapshotError::Io`] if the file cannot be written.
     pub fn save_snapshot(&self, path: &Path) -> Result<SnapshotStats, SnapshotError> {
+        let (content, stats) = self.to_snapshot_string();
+        std::fs::write(path, content)?;
+        Ok(stats)
+    }
+
+    /// Serialises the cache in the [`EvalCache::save_snapshot`] format
+    /// without touching the filesystem — what the daemon's `cache_export`
+    /// request ships over the wire so a sweep coordinator can pool what
+    /// each shard learned.  Byte-stable for a given cache content.
+    pub fn to_snapshot_string(&self) -> (String, SnapshotStats) {
         let mut lines = Vec::new();
         let mut skipped = 0u64;
         {
@@ -306,8 +336,7 @@ impl EvalCache {
             "{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION}\nchecksum {:016x}\n{body}",
             fnv1a64(body.as_bytes())
         );
-        std::fs::write(path, content)?;
-        Ok(SnapshotStats { persisted: lines.len() as u64, skipped })
+        (content, SnapshotStats { persisted: lines.len() as u64, skipped })
     }
 
     /// Loads a snapshot written by [`EvalCache::save_snapshot`], inserting
@@ -326,6 +355,17 @@ impl EvalCache {
     /// the strict wire parse.
     pub fn load_snapshot(&self, path: &Path) -> Result<u64, SnapshotError> {
         let text = std::fs::read_to_string(path)?;
+        self.load_snapshot_str(&text)
+    }
+
+    /// [`EvalCache::load_snapshot`] from an in-memory string — the receive
+    /// side of [`EvalCache::to_snapshot_string`], used by the daemon's
+    /// `cache_import` request.  Same all-or-nothing strictness.
+    ///
+    /// # Errors
+    ///
+    /// Every non-IO [`SnapshotError`] variant.
+    pub fn load_snapshot_str(&self, text: &str) -> Result<u64, SnapshotError> {
         let Some((header, rest)) = text.split_once('\n') else {
             return Err(SnapshotError::MissingHeader);
         };
@@ -513,6 +553,48 @@ mod tests {
         let a = EvalCache::global() as *const EvalCache;
         let b = EvalCache::global() as *const EvalCache;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookup_counts_hits_but_never_misses() {
+        let cache = EvalCache::new();
+        let req = request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+
+        assert_eq!(cache.lookup_recorded(&req), None);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0), "a lookup miss counts nothing");
+
+        let (stored, _) = cache.evaluate_recorded(&req);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert_eq!(cache.lookup_recorded(&req), Some(stored));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1), "a lookup hit counts as a hit");
+
+        // Interpretive requests never consult the memo, even when the
+        // compiled twin is cached.
+        let interpretive = req.step_mode(StepMode::Interpretive);
+        assert_eq!(cache.lookup_recorded(&interpretive), None);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn snapshot_string_round_trips_without_the_filesystem() {
+        let cache = EvalCache::new();
+        let req = request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8);
+        cache.evaluate(&req);
+
+        let (body, stats) = cache.to_snapshot_string();
+        assert_eq!(stats, SnapshotStats { persisted: 1, skipped: 0 });
+        let warm = EvalCache::new();
+        assert_eq!(warm.load_snapshot_str(&body).expect("load"), 1);
+        let (_, hit) = warm.evaluate_recorded(&req);
+        assert!(hit);
+
+        // Merging is idempotent and additive.
+        assert_eq!(warm.load_snapshot_str(&body).expect("reload"), 1);
+        assert_eq!(warm.len(), 1);
+        assert!(matches!(
+            EvalCache::new().load_snapshot_str("junk"),
+            Err(SnapshotError::MissingHeader)
+        ));
     }
 
     fn temp_snapshot(name: &str) -> std::path::PathBuf {

@@ -192,7 +192,11 @@ pub fn grid(spec: &SweepSpec) -> Vec<ArchConfig> {
 
 /// Filters and ranks: admitted indices ordered by (power, area, sweep
 /// index) — a deterministic total order.
-fn rank(all: &[EvalReport], constraints: &Constraints) -> Vec<usize> {
+///
+/// Public so a sharding coordinator can merge stripe results from several
+/// workers back into sweep order and rank the union exactly as a local
+/// [`explore`] would have.
+pub fn rank_reports(all: &[EvalReport], constraints: &Constraints) -> Vec<usize> {
     let mut admitted: Vec<usize> =
         (0..all.len()).filter(|&i| constraints.admits(&all[i])).collect();
     // `admits` only passes feasible estimates today, but ranking must not
@@ -257,7 +261,7 @@ pub fn explore_with(
         report
     });
 
-    let admitted = rank(&all, constraints);
+    let admitted = rank_reports(&all, constraints);
     opts.observer.on_summary(&SweepSummary {
         points: total,
         cache_hits: sweep_hits.load(Ordering::Relaxed),
@@ -278,7 +282,7 @@ pub fn explore_serial(
         .iter()
         .map(|config| evaluate_request(&spec.request(config, line_rate)))
         .collect();
-    let admitted = rank(&all, constraints);
+    let admitted = rank_reports(&all, constraints);
     Exploration { all, admitted }
 }
 

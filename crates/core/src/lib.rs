@@ -50,7 +50,10 @@ pub mod rate;
 pub mod request;
 pub mod table1;
 
-pub use api::{ApiError, ApiErrorCode, ApiRequest, ApiResponse, ConfigSpec, EvalSpec, StatusInfo};
+pub use api::{
+    parse_step_mode, salvage_request_id, step_mode_name, ApiError, ApiErrorCode, ApiRequest,
+    ApiResponse, ConfigSpec, EvalSpec, StatusInfo, SweepShard, WireRequest, WireResponse,
+};
 pub use arch::{ArchConfig, RoutingTableKind};
 pub use cache::{EvalCache, SnapshotError, SnapshotStats};
 pub use evaluate::{
@@ -58,8 +61,8 @@ pub use evaluate::{
     trace_request, EvalReport, TraceError,
 };
 pub use explorer::{
-    explore, explore_serial, explore_with, grid, scaling_sweep, scaling_sweep_with, Constraints,
-    Exploration, ExploreOptions, SweepSpec,
+    explore, explore_serial, explore_with, grid, rank_reports, scaling_sweep, scaling_sweep_with,
+    Constraints, Exploration, ExploreOptions, SweepSpec,
 };
 pub use observer::{PointRecord, Silent, StderrProgress, SweepObserver, SweepSummary};
 pub use rate::LineRate;

@@ -11,8 +11,10 @@
 //! stays cheap.  (The `crates/proptests` package runs the same property
 //! over *randomised* specs, registry-gated.)
 
-use taco_core::api::{ApiRequest, ConfigSpec, EvalSpec};
-use taco_core::{Constraints, FaultPlan, LineRate, RoutingTableKind, SweepSpec, Workload};
+use taco_core::api::{ApiRequest, ConfigSpec, EvalSpec, SweepShard, WireRequest};
+use taco_core::{
+    Constraints, FaultPlan, LineRate, RoutingTableKind, StepMode, SweepSpec, Workload,
+};
 
 const KINDS: [RoutingTableKind; 4] = [
     RoutingTableKind::Sequential,
@@ -99,7 +101,7 @@ fn every_builtin_sweep_combination_round_trips() {
             for constraints in constraint_corners {
                 for rate in RATES {
                     let spec = SweepSpec { workload, faults: fault, ..SweepSpec::default() };
-                    assert_round_trip(&ApiRequest::Sweep { spec, rate, constraints });
+                    assert_round_trip(&ApiRequest::Sweep { spec, rate, constraints, shard: None });
                 }
             }
         }
@@ -110,4 +112,40 @@ fn every_builtin_sweep_combination_round_trips() {
 fn control_requests_round_trip() {
     assert_round_trip(&ApiRequest::Status);
     assert_round_trip(&ApiRequest::Shutdown);
+}
+
+/// One encode→parse→re-encode cycle under the v2 envelope, asserting
+/// identity of the request, the id, and the bytes.
+fn assert_round_trip_v2(request: &ApiRequest, id: u64) {
+    let line = request.to_json_v2(id);
+    let wire = WireRequest::from_json(&line)
+        .unwrap_or_else(|e| panic!("own v2 serialisation must parse: {e}\n{line}"));
+    assert_eq!(wire.id, Some(id), "{line}");
+    assert_eq!(&wire.request, request, "{line}");
+    assert_eq!(wire.request.to_json_v2(id), line, "re-serialisation must be byte-identical");
+}
+
+/// The v2-only wire surface: session ids on every kind, sweep shards,
+/// explicit step modes, and the cache-exchange kinds.
+#[test]
+fn v2_session_kinds_round_trip() {
+    let mut interpretive = EvalSpec::new(ConfigSpec::new(RoutingTableKind::Cam, 3, 1));
+    interpretive.step_mode = StepMode::Interpretive;
+    assert_round_trip(&ApiRequest::Eval(interpretive.clone()));
+    let sharded = ApiRequest::Sweep {
+        spec: SweepSpec::default(),
+        rate: LineRate::TEN_GBE,
+        constraints: Constraints::default(),
+        shard: Some(SweepShard { offset: 2, stride: 3 }),
+    };
+    for (id, request) in [
+        (0u64, ApiRequest::Eval(interpretive)),
+        (7, sharded),
+        (u64::MAX, ApiRequest::CacheExport),
+        (31, ApiRequest::CacheImport { body: "snapshot\ntext\n".into() }),
+        (1, ApiRequest::Status),
+        (2, ApiRequest::Shutdown),
+    ] {
+        assert_round_trip_v2(&request, id);
+    }
 }

@@ -148,6 +148,7 @@ fn over_capacity_submissions_get_a_structured_busy_error() {
         },
         rate: LineRate::TEN_GBE,
         constraints: Constraints::default(),
+        shard: None,
     };
     let mut spec = EvalSpec::new(ConfigSpec::new(RoutingTableKind::Cam, 3, 1));
     spec.entries = 8;
@@ -233,6 +234,7 @@ fn shutdown_drains_in_flight_work_before_acknowledging() {
         },
         rate: LineRate::TEN_GBE,
         constraints: Constraints::default(),
+        shard: None,
     };
     let stream = open_request(addr, &sweep.to_json()).expect("open sweep");
 

@@ -57,6 +57,19 @@ impl LatencyHistogram {
         LatencyHistogram { buckets, count, total: total_ticks, max }
     }
 
+    /// Folds another histogram into this one, as if every sample of
+    /// `other` had been recorded here — how per-thread load-generator
+    /// histograms combine into one fleet-wide distribution without
+    /// cross-thread locking on the record path.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+
     /// Records one sample of `ticks` latency.
     pub fn record(&mut self, ticks: u64) {
         let idx = match ticks {
@@ -315,6 +328,33 @@ mod tests {
         h.record(1 << 40);
         h.record(1 << 41);
         assert_eq!(h.p99(), 1 << 41);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_everything_in_one_histogram() {
+        let samples_a = [0u64, 1, 5, 100, 1 << 40];
+        let samples_b = [3u64, 8, 8, 1 << 41];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for t in samples_a {
+            a.record(t);
+            combined.record(t);
+        }
+        for t in samples_b {
+            b.record(t);
+            combined.record(t);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.p99(), combined.p99());
+
+        // Merging an empty histogram is the identity, both ways.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&combined);
+        assert_eq!(empty, combined);
+        combined.merge(&LatencyHistogram::new());
+        assert_eq!(empty, combined);
     }
 
     #[test]

@@ -45,10 +45,13 @@ cargo test -q --offline -p taco-workload --test differential step_modes_forward_
 
 echo
 echo "== tier-1: wire API round-trip + daemon loopback suites (explicit) =="
-# The v1 wire schema's identity property over every builtin combination,
-# and the daemon's golden-fixture/admission/persistence contract.
+# The wire schema's identity property over every builtin combination,
+# the daemon's golden-fixture/admission/persistence contract, and the
+# framing robustness suite (split reads, pipelined frames, oversized
+# rejection, mid-request disconnects, v2 sessions, sharded sweeps).
 cargo test -q --offline -p taco-core --test api_roundtrip
 cargo test -q --offline -p taco-served --test daemon
+cargo test -q --offline -p taco-served --test framing
 
 echo
 echo "== perf gate: disabled-tracer table1 smoke =="
@@ -131,6 +134,24 @@ esac
 ./target/release/taco-cli shutdown --addr "$addr" > /dev/null
 wait "$serve_pid"
 echo "daemon smoke ok: $addr answered $status_line"
+
+echo
+echo "== loadgen smoke: concurrent sessions + sharded sweep =="
+# End-to-end load test of the event loop: loadgen boots its own daemons
+# on ephemeral ports, hammers them with concurrent one-shot and
+# persistent-session clients, times a cold sharded sweep, and rewrites
+# the checked-in BENCH_served.json artefact (same settings as the
+# committed run, ~5 s wall).  The hard timeout turns any event-loop
+# deadlock — a reader waiting on a writer that will never flush — into
+# a loud failure instead of a hung CI job.
+cargo build --release --offline -q -p taco-bench --bin loadgen
+if ! timeout 120 ./target/release/loadgen \
+        --clients 8,64,256 --requests 200 --shards 1,3 \
+        --json BENCH_served.json; then
+    echo "loadgen smoke FAILED (non-zero exit or 120 s deadlock timeout)"
+    exit 1
+fi
+echo "loadgen smoke ok: BENCH_served.json regenerated"
 
 echo
 echo "== tier-1 passed =="
