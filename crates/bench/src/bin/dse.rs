@@ -175,6 +175,7 @@ fn main() {
         }
         taco_routing::TableKind::BalancedTree => taco_router::microcode::tree_program(&opts),
         taco_routing::TableKind::Trie => taco_router::microcode::trie_program(&opts),
+        taco_routing::TableKind::Patricia => taco_router::microcode::patricia_program(&opts),
         taco_routing::TableKind::Cam => taco_router::microcode::cam_program(&opts),
     };
     let program = taco_isa::schedule(&seq, &best.config.machine);

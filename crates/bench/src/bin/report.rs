@@ -63,6 +63,7 @@ fn main() {
     println!();
     let mut kinds = TableKind::PAPER_KINDS.to_vec();
     kinds.push(TableKind::Trie);
+    kinds.push(TableKind::Patricia);
     for kind in kinds {
         let config = ArchConfig::one_bus_one_fu(kind);
         print!("| {kind} (1 bus) |");

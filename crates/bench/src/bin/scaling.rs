@@ -32,6 +32,7 @@ fn main() {
     );
     let mut kinds = TableKind::PAPER_KINDS.to_vec();
     kinds.push(TableKind::Trie); // the software baseline, as a fourth series
+    kinds.push(TableKind::Patricia); // path-compressed: depth tracks branching, not size
     for kind in kinds {
         println!("== {kind} ==");
         print!("{:<22}", "config \\ entries");

@@ -1,6 +1,7 @@
-//! Regenerates the paper's Table 1: estimated minimum clock frequencies,
+//! Regenerates the extended Table 1: estimated minimum clock frequencies,
 //! bus utilisation, processor areas and average power consumption for the
-//! nine routing-table × architecture configurations.
+//! twelve routing-table × architecture configurations (the paper's nine
+//! plus the three PATRICIA rows).
 //!
 //! ```text
 //! cargo run -p taco-bench --release --bin table1 [entries] [packet_bytes] [--csv]

@@ -12,8 +12,9 @@
 //!
 //! `serve` runs the daemon in the foreground and prints the bound address
 //! on stdout (ask for port 0 to get an ephemeral one).  `submit` sends
-//! jobs: `--table1` submits the paper's nine Table 1 cells as single
-//! evaluations, `--sweep` submits the default design-space grid as one
+//! jobs: `--table1` submits the twelve extended Table 1 cells (the
+//! paper's nine plus the PATRICIA column) as single evaluations,
+//! `--sweep` submits the default design-space grid as one
 //! batch job (per-point progress streams back while it runs), and with
 //! neither flag one raw `v1` request line is read from stdin and sent
 //! verbatim.  `--sweep --shards A,B,C` instead splits the grid across
@@ -234,7 +235,7 @@ fn parse_shards(cli: &Cli, raw: &str) -> Vec<SocketAddr> {
 
 fn submit(rest: Vec<String>) {
     let cli = Cli::new("taco-cli submit", "submit evaluation jobs to a running daemon")
-        .flag("--table1", "submit the paper's nine Table 1 cells as eval requests")
+        .flag("--table1", "submit the twelve extended Table 1 cells as eval requests")
         .flag("--sweep", "submit the default design-space grid as one batch job")
         .opt("--addr", "ADDR", "daemon address (required unless --shards is given)")
         .opt("--entries", "N", "override the routing-table size for --table1/--sweep")

@@ -301,18 +301,21 @@ pub(crate) fn f64_json(x: f64) -> String {
 // ---------------------------------------------------------------------------
 
 /// Parses a routing-table organisation by its display name (`sequential`,
-/// `balanced-tree`, `cam`, `trie`; aliases `seq`, `tree`).  The error
-/// message lists the accepted names — shared verbatim by the `trace`
-/// binary and the wire schema.
+/// `balanced-tree`, `cam`, `trie`, `patricia`; aliases `seq`, `tree`,
+/// `pat`).  The error message lists the accepted names — shared verbatim
+/// by the `trace` binary and the wire schema (both v1 and v2 dialects
+/// funnel through here, so an unknown kind is a structured `bad_request`
+/// on every path).
 pub fn parse_table_kind(name: &str) -> Result<TableKind, String> {
     match name {
         "sequential" | "seq" => Ok(TableKind::Sequential),
         "balanced-tree" | "tree" => Ok(TableKind::BalancedTree),
         "cam" => Ok(TableKind::Cam),
         "trie" => Ok(TableKind::Trie),
+        "patricia" | "pat" => Ok(TableKind::Patricia),
         other => Err(format!(
-            "unknown table kind {other:?}; expected sequential, balanced-tree, cam or trie \
-             (aliases: seq, tree)"
+            "unknown table kind {other:?}; expected sequential, balanced-tree, cam, trie or \
+             patricia (aliases: seq, tree, pat)"
         )),
     }
 }
@@ -1608,7 +1611,16 @@ mod tests {
     #[test]
     fn name_parsers_list_alternatives() {
         assert_eq!(parse_table_kind("tree"), Ok(TableKind::BalancedTree));
+        assert_eq!(parse_table_kind("patricia"), Ok(TableKind::Patricia));
+        assert_eq!(parse_table_kind("pat"), Ok(TableKind::Patricia));
         assert!(parse_table_kind("btree").unwrap_err().contains("balanced-tree"));
+        assert!(parse_table_kind("btree").unwrap_err().contains("patricia"));
+        // Every display name must round-trip through the parser — the wire
+        // serialises kinds by `Display`, so a kind the parser rejects
+        // could be emitted but never read back.
+        for kind in TableKind::ALL_KINDS {
+            assert_eq!(parse_table_kind(&kind.to_string()), Ok(kind));
+        }
         assert!(parse_workload_name("nope").unwrap_err().contains("steady-forward"));
         assert!(parse_fault_plan_name("nope").unwrap_err().contains("storm"));
         assert_eq!(parse_workload_name("table-churn"), Ok(Workload::table_churn()));

@@ -256,6 +256,7 @@ fn scenario_from_value(value: &Json) -> Result<ScenarioMetrics, ApiError> {
         update_latency: histogram_from_value("update latency histogram", f.req("update_latency")?)?,
         ripng_sent: f.req_u64("ripng_sent")?,
         throughput_milli: f.req_u64("throughput_milli")?,
+        table_memory_words: f.req_u64("table_memory_words")?,
         faults: f.get_non_null("faults").map(fault_metrics_from_value).transpose()?,
     };
     f.finish()?;

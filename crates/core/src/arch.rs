@@ -42,11 +42,16 @@ impl ArchConfig {
         Self::new(MachineConfig::three_bus_three_fu(), table)
     }
 
-    /// All nine cells of the paper's Table 1, in the paper's row-major
-    /// order (sequential, balanced tree, CAM × the three configurations).
+    /// All twelve cells of the extended Table 1, in the paper's row-major
+    /// order: the paper's nine (sequential, balanced tree, CAM × the three
+    /// configurations) plus a path-compressed PATRICIA row — the
+    /// organisation that keeps both the probe count and the memory
+    /// footprint bounded at internet-size tables.
     pub fn table1_cells() -> Vec<ArchConfig> {
-        let mut cells = Vec::with_capacity(9);
-        for kind in TableKind::PAPER_KINDS {
+        let mut cells = Vec::with_capacity(12);
+        for kind in
+            [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam, TableKind::Patricia]
+        {
             cells.push(Self::one_bus_one_fu(kind));
             cells.push(Self::three_bus_one_fu(kind));
             cells.push(Self::three_bus_three_fu(kind));
@@ -99,13 +104,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table1_has_nine_cells_in_paper_order() {
+    fn table1_has_twelve_cells_in_paper_order() {
         let cells = ArchConfig::table1_cells();
-        assert_eq!(cells.len(), 9);
+        assert_eq!(cells.len(), 12);
         assert_eq!(cells[0].table, TableKind::Sequential);
         assert_eq!(cells[0].machine.buses(), 1);
         assert_eq!(cells[8].table, TableKind::Cam);
         assert_eq!(cells[8].machine.fu_count(FuKind::Matcher), 3);
+        // The PATRICIA column rides below the paper's nine cells, so the
+        // original rows keep their indices.
+        assert_eq!(cells[9].table, TableKind::Patricia);
+        assert_eq!(cells[11].machine.fu_count(FuKind::Counter), 3);
     }
 
     #[test]

@@ -10,16 +10,18 @@ use crate::evaluate::EvalReport;
 use crate::rate::LineRate;
 use crate::request::EvalRequest;
 
-/// Evaluates all nine cells of the paper's Table 1 (three routing-table
-/// implementations × three architecture configurations) and returns the
-/// reports in the paper's row order.
+/// Evaluates all twelve cells of the extended Table 1 (the paper's three
+/// routing-table implementations plus the path-compressed PATRICIA
+/// organisation, × three architecture configurations) and returns the
+/// reports in the paper's row order — the paper's nine cells first.
 ///
 /// `entries` is the routing-table size (the paper's constraint is "a
 /// maximum size of 100 entries").
 ///
-/// Cells are answered from the process-global [`EvalCache`]: the nine
-/// Table 1 points are a subset of the default exploration grid, so a
-/// sweep that already ran in this process makes this call (nearly) free.
+/// Cells are answered from the process-global [`EvalCache`]: the paper's
+/// nine Table 1 points are a subset of the default exploration grid, so a
+/// sweep that already ran in this process makes most of this call
+/// (nearly) free.
 pub fn table1(line_rate: LineRate, entries: usize) -> Vec<EvalReport> {
     let cache = EvalCache::global();
     ArchConfig::table1_cells()
@@ -129,9 +131,10 @@ mod tests {
         let reports = table1(LineRate::TEN_GBE_MIN_FRAMES, 2);
         let csv = to_csv(&reports);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 10); // header + 9 cells
+        assert_eq!(lines.len(), 13); // header + 12 cells
         assert!(lines[0].starts_with("table,config,"));
         assert!(lines[1].starts_with("sequential,"));
+        assert!(lines[10].starts_with("patricia,"));
         // Infeasible rows leave the physical columns empty.
         assert!(csv.contains(",false,,"));
     }
@@ -142,15 +145,17 @@ mod tests {
         // cost stays low; the full 100-entry table is exercised by the
         // table1 bench binary and the integration tests.
         let reports = table1(LineRate::TEN_GBE_MIN_FRAMES, 3);
-        assert_eq!(reports.len(), 9);
+        assert_eq!(reports.len(), 12);
         let text = render(&reports);
         assert!(text.contains("NA"), "min-frame 10GbE must overwhelm something:\n{text}");
         assert!(text.contains("sequential"));
         assert!(text.contains("balanced-tree"));
         assert!(text.contains("cam"));
-        // Row order matches the paper.
+        assert!(text.contains("patricia"));
+        // Row order matches the paper, with the PATRICIA column appended.
         assert_eq!(reports[0].config.table, TableKind::Sequential);
         assert_eq!(reports[3].config.table, TableKind::BalancedTree);
         assert_eq!(reports[6].config.table, TableKind::Cam);
+        assert_eq!(reports[9].config.table, TableKind::Patricia);
     }
 }

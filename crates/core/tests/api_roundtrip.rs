@@ -16,11 +16,12 @@ use taco_core::{
     Constraints, FaultPlan, LineRate, RoutingTableKind, StepMode, SweepSpec, Workload,
 };
 
-const KINDS: [RoutingTableKind; 4] = [
+const KINDS: [RoutingTableKind; 5] = [
     RoutingTableKind::Sequential,
     RoutingTableKind::BalancedTree,
     RoutingTableKind::Cam,
     RoutingTableKind::Trie,
+    RoutingTableKind::Patricia,
 ];
 
 /// The machine shapes of Table 1 plus an asymmetric-ish corner (4 buses,
@@ -72,7 +73,7 @@ fn every_builtin_eval_combination_round_trips() {
             }
         }
     }
-    // 4 kinds × 4 shapes × 3 rates × (1 + builtins) × (1 + plans): the
+    // 5 kinds × 4 shapes × 3 rates × (1 + builtins) × (1 + plans): the
     // count pins the enumeration itself so a shrinking builtin list
     // cannot silently hollow the test out.
     let expected = KINDS.len()
@@ -81,7 +82,7 @@ fn every_builtin_eval_combination_round_trips() {
         * (1 + Workload::builtin().len())
         * (1 + FaultPlan::builtin().len());
     assert_eq!(combinations, expected);
-    assert!(combinations >= 4 * 4 * 3 * 5 * 6, "builtin lists shrank: {combinations}");
+    assert!(combinations >= 5 * 4 * 3 * 5 * 6, "builtin lists shrank: {combinations}");
 }
 
 #[test]

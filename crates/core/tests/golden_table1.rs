@@ -1,6 +1,7 @@
-//! Golden snapshot of the paper's Table 1.
+//! Golden snapshot of the extended Table 1.
 //!
-//! Pins the nine cells' `min_freq`, `bus_utilization`, `area` and `power`
+//! Pins the twelve cells' (the paper's nine plus the PATRICIA rows)
+//! `min_freq`, `bus_utilization`, `area` and `power`
 //! as a byte-stable JSON fixture in `tests/golden/table1.json`.  Any
 //! change to the simulator, microcode generator, scheduler or estimator
 //! that moves a Table 1 number shows up here as a diff against the
@@ -63,15 +64,19 @@ fn table1_matches_golden_fixture() {
 #[test]
 fn golden_fixture_shape() {
     // Independent of the simulation: the checked-in fixture itself must be
-    // nine one-line JSON objects with the four pinned keys.
+    // twelve one-line JSON objects with the four pinned keys, the last
+    // three of them the PATRICIA rows.
     let golden = std::fs::read_to_string(fixture_path()).expect("fixture present");
     let lines: Vec<&str> = golden.lines().collect();
-    assert_eq!(lines.len(), 9, "one line per Table 1 cell");
-    for line in lines {
+    assert_eq!(lines.len(), 12, "one line per Table 1 cell");
+    for line in &lines {
         assert!(line.starts_with("{\"label\":\""), "{line}");
         assert!(line.ends_with('}'), "{line}");
         for key in ["\"min_freq_hz\":", "\"bus_utilization\":", "\"area_mm2\":", "\"power_w\":"] {
             assert!(line.contains(key), "{key} missing from {line}");
         }
+    }
+    for line in &lines[9..] {
+        assert!(line.starts_with("{\"label\":\"patricia "), "{line}");
     }
 }

@@ -13,8 +13,7 @@ use taco_core::{
 };
 use taco_routing::TableKind;
 
-const TABLE_KINDS: [TableKind; 4] =
-    [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam, TableKind::Trie];
+const TABLE_KINDS: [TableKind; 5] = TableKind::ALL_KINDS;
 
 /// Small enough to keep 100+ evaluations fast in debug builds, large
 /// enough that every organisation takes its characteristic search path.
@@ -26,7 +25,7 @@ fn fault_presets() -> Vec<(&'static str, Option<FaultPlan>)> {
     presets
 }
 
-/// Every builtin workload × table kind × fault preset (4 × 4 × 6 = 96),
+/// Every builtin workload × table kind × fault preset (5 × 4 × 6 = 120),
 /// labelled for failure messages.
 fn matrix() -> Vec<(String, EvalRequest)> {
     let mut requests = Vec::new();

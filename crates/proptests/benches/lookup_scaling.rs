@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use taco_core::benchmark_routes;
 use taco_routing::{
-    BalancedTreeTable, CamTable, LpmTable, SequentialTable, TrieTable,
+    BalancedTreeTable, CamTable, LpmTable, PatriciaTable, SequentialTable, TrieTable,
 };
 
 fn bench_lookup(c: &mut Criterion) {
@@ -18,6 +18,7 @@ fn bench_lookup(c: &mut Criterion) {
         let tree = BalancedTreeTable::from_routes(routes.iter().copied());
         let cam = CamTable::from_routes(routes.iter().copied());
         let trie = TrieTable::from_routes(routes.iter().copied());
+        let pat = PatriciaTable::from_routes(routes.iter().copied());
 
         group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
             b.iter(|| probes.iter().map(|a| seq.lookup(a).steps()).sum::<u32>())
@@ -30,6 +31,9 @@ fn bench_lookup(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
             b.iter(|| probes.iter().map(|a| trie.lookup(a).steps()).sum::<u32>())
+        });
+        group.bench_with_input(BenchmarkId::new("patricia", n), &n, |b, _| {
+            b.iter(|| probes.iter().map(|a| pat.lookup(a).steps()).sum::<u32>())
         });
     }
     group.finish();

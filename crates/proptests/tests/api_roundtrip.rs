@@ -23,6 +23,7 @@ fn arb_kind() -> impl Strategy<Value = TableKind> {
         Just(TableKind::BalancedTree),
         Just(TableKind::Cam),
         Just(TableKind::Trie),
+        Just(TableKind::Patricia),
     ]
 }
 

@@ -1,7 +1,7 @@
-//! Property test: the four longest-prefix-match engines (sequential scan,
-//! balanced tree, CAM, trie) are observationally identical — same matched
-//! prefix for every address, on arbitrary route sets, through arbitrary
-//! insert/remove histories.
+//! Property test: the five longest-prefix-match engines (sequential scan,
+//! balanced tree, CAM, trie, PATRICIA) are observationally identical —
+//! same matched prefix for every address, on arbitrary route sets,
+//! through arbitrary insert/remove histories.
 
 #![cfg(feature = "proptest")]
 
@@ -9,7 +9,8 @@ use proptest::prelude::*;
 
 use taco::ipv6::{Ipv6Address, Ipv6Prefix};
 use taco::routing::{
-    BalancedTreeTable, CamTable, LpmTable, PortId, Route, SequentialTable, TrieTable,
+    BalancedTreeTable, CamTable, LpmTable, PatriciaTable, PortId, Route, SequentialTable,
+    TrieTable,
 };
 
 fn arb_prefix() -> impl Strategy<Value = Ipv6Prefix> {
@@ -43,10 +44,12 @@ proptest! {
         let tree = BalancedTreeTable::from_routes(all.iter().copied());
         let cam = CamTable::from_routes(all.iter().copied());
         let trie = TrieTable::from_routes(all.iter().copied());
+        let pat = PatriciaTable::from_routes(all.iter().copied());
 
         prop_assert_eq!(seq.len(), tree.len());
         prop_assert_eq!(seq.len(), cam.len());
         prop_assert_eq!(seq.len(), trie.len());
+        prop_assert_eq!(seq.len(), pat.len());
 
         for idx in probes {
             // Probe both a route-interior address and a perturbed one.
@@ -63,6 +66,8 @@ proptest! {
                     "cam disagrees at {}", probe);
                 prop_assert_eq!(trie.lookup(&probe).into_route().map(|r| r.prefix()), expect,
                     "trie disagrees at {}", probe);
+                prop_assert_eq!(pat.lookup(&probe).into_route().map(|r| r.prefix()), expect,
+                    "patricia disagrees at {}", probe);
             }
         }
     }
@@ -77,6 +82,7 @@ proptest! {
         let mut tree = BalancedTreeTable::from_routes(routes.iter().copied());
         let mut cam = CamTable::from_routes(routes.iter().copied());
         let mut trie = TrieTable::from_routes(routes.iter().copied());
+        let mut pat = PatriciaTable::from_routes(routes.iter().copied());
 
         for idx in remove {
             let p = routes[idx.index(routes.len())].prefix();
@@ -84,11 +90,13 @@ proptest! {
             prop_assert_eq!(tree.remove(&p).map(|r| r.prefix()), a);
             prop_assert_eq!(cam.remove(&p).map(|r| r.prefix()), a);
             prop_assert_eq!(trie.remove(&p).map(|r| r.prefix()), a);
+            prop_assert_eq!(pat.remove(&p).map(|r| r.prefix()), a);
         }
         let expect = seq.lookup(&probe).into_route().map(|r| r.prefix());
         prop_assert_eq!(tree.lookup(&probe).into_route().map(|r| r.prefix()), expect);
         prop_assert_eq!(cam.lookup(&probe).into_route().map(|r| r.prefix()), expect);
         prop_assert_eq!(trie.lookup(&probe).into_route().map(|r| r.prefix()), expect);
+        prop_assert_eq!(pat.lookup(&probe).into_route().map(|r| r.prefix()), expect);
     }
 
     #[test]
@@ -98,7 +106,8 @@ proptest! {
         let mut tree = BalancedTreeTable::new();
         let mut cam = CamTable::new();
         let mut trie = TrieTable::new();
-        for t in [&mut seq as &mut dyn LpmTable, &mut tree, &mut cam, &mut trie] {
+        let mut pat = PatriciaTable::new();
+        for t in [&mut seq as &mut dyn LpmTable, &mut tree, &mut cam, &mut trie, &mut pat] {
             prop_assert!(t.insert(route).is_none());
             let old = t.insert(updated);
             prop_assert_eq!(old.map(|r| r.interface()), Some(route.interface()));

@@ -153,6 +153,25 @@ impl CycleRouter {
         Self::build(TableKind::Trie, config, program, image, None)
     }
 
+    /// Builds a router over the **PATRICIA** image — the path-compressed
+    /// engine whose walk visits one node per *branching* bit, keeping both
+    /// probes and table words bounded at internet-size tables.
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleRouter::sequential`].
+    pub fn patricia(
+        config: &MachineConfig,
+        table: &taco_routing::PatriciaTable,
+        opts: &MicrocodeOptions,
+    ) -> Result<Self, SimError> {
+        let image = crate::layout::serialize_patricia(table);
+        let program = cached_program(TableKind::Patricia, config, opts, 0, || {
+            crate::microcode::patricia_program(opts)
+        })?;
+        Self::build(TableKind::Patricia, config, program, image, None)
+    }
+
     /// Builds a router whose lookups go to a **CAM-backed RTU** with the
     /// given search latency in cycles (`ceil(40 ns × f_clk)` for the
     /// paper's part — see [`CamSpec::search_cycles`]).
@@ -201,6 +220,9 @@ impl CycleRouter {
             }
             TableKind::Trie => {
                 Self::trie(config, &taco_routing::TrieTable::from_routes(routes), opts)
+            }
+            TableKind::Patricia => {
+                Self::patricia(config, &taco_routing::PatriciaTable::from_routes(routes), opts)
             }
             TableKind::Cam => Self::cam(config, CamTable::from_routes(routes), rtu_latency, opts),
         }
@@ -584,6 +606,65 @@ mod tests {
     }
 
     #[test]
+    fn patricia_forwards_longest_match() {
+        let table = taco_routing::PatriciaTable::from_routes([
+            route("2001:db8::/32", 1),
+            route("2001:db8:aa::/48", 2),
+            route("::/0", 3),
+        ]);
+        let mut r = CycleRouter::patricia(
+            &MachineConfig::three_bus_one_fu(),
+            &table,
+            &MicrocodeOptions::default(),
+        )
+        .unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8:aa::5", 64)).unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8:bb::5", 64)).unwrap();
+        r.enqueue(PortId(0), &dgram("9999::1", 64)).unwrap();
+        r.run(10_000_000).unwrap();
+        let ports: Vec<u16> = r.forwarded().iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ports, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn patricia_handles_host_route_and_miss() {
+        let table = taco_routing::PatriciaTable::from_routes([route("2001:db8::7/128", 5)]);
+        let mut r = CycleRouter::patricia(
+            &MachineConfig::three_bus_one_fu(),
+            &table,
+            &MicrocodeOptions::default(),
+        )
+        .unwrap();
+        r.enqueue(PortId(0), &dgram("2001:db8::7", 64)).unwrap(); // exact /128 hit
+        r.enqueue(PortId(0), &dgram("2001:db8::8", 64)).unwrap(); // miss
+        r.run(10_000_000).unwrap();
+        let ports: Vec<u16> = r.forwarded().iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ports, vec![5]);
+    }
+
+    #[test]
+    fn patricia_cost_tracks_branching_depth_not_size() {
+        let cost = |routes: Vec<taco_routing::Route>| -> u64 {
+            let table = taco_routing::PatriciaTable::from_routes(routes);
+            let mut r = CycleRouter::patricia(
+                &MachineConfig::one_bus_one_fu(),
+                &table,
+                &MicrocodeOptions::default(),
+            )
+            .unwrap();
+            r.enqueue(PortId(0), &dgram("2001:db8:1::9", 64)).unwrap();
+            r.run(10_000_000).unwrap().cycles
+        };
+        // Same /48 depth, 4 vs 64 entries: the walk only pays for the extra
+        // *branching* levels (log2 of the fan-out), nowhere near the 16x a
+        // linear scan would charge for 16x the entries.
+        let small = cost((0..4u16).map(|i| route(&format!("2001:db8:{i:x}::/48"), i)).collect());
+        let large = cost((0..64u16).map(|i| route(&format!("2001:db8:{i:x}::/48"), i)).collect());
+        let ratio = large as f64 / small as f64;
+        assert!(ratio < 2.5, "patricia cost must track branch depth, not size: {small} vs {large}");
+    }
+
+    #[test]
     fn cam_forwards_and_stalls() {
         let table = CamTable::from_routes([route("2001:db8::/32", 1), route("::/0", 3)]);
         let mut r = CycleRouter::cam(
@@ -651,6 +732,7 @@ mod tests {
             CycleRouter::sequential(&config, &SequentialTable::new(), &opts).unwrap(),
             CycleRouter::tree(&config, &BalancedTreeTable::new(), &opts).unwrap(),
             CycleRouter::trie(&config, &taco_routing::TrieTable::new(), &opts).unwrap(),
+            CycleRouter::patricia(&config, &taco_routing::PatriciaTable::new(), &opts).unwrap(),
             CycleRouter::cam(&config, CamTable::new(), 2, &opts).unwrap(),
         ];
         for r in &mut routers {
@@ -666,9 +748,7 @@ mod tests {
         let opts = MicrocodeOptions::default();
         let routes =
             vec![route("2001:db8::/32", 1), route("2001:db8:aa::/48", 2), route("::/0", 3)];
-        for kind in
-            [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam, TableKind::Trie]
-        {
+        for kind in TableKind::ALL_KINDS {
             let mut r = CycleRouter::for_kind(kind, &config, &routes, 4, &opts).unwrap();
             assert_eq!(r.kind(), kind);
             r.enqueue(PortId(0), &dgram("2001:db8:aa::5", 64)).unwrap();

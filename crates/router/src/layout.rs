@@ -230,6 +230,58 @@ pub fn serialize_trie(table: &taco_routing::TrieTable) -> Vec<u32> {
     out
 }
 
+/// Words per PATRICIA node:
+/// `[left, right, iface, handle, branch_off, branch_mask, mask0, pfx0,
+/// mask1, pfx1, mask2, pfx2, mask3, pfx3, 0, 0]`.
+///
+/// `branch_off` is the datagram-relative word offset holding the node's
+/// branch bit (`DST_ADDR_WORD + len/32`) and `branch_mask` selects that
+/// bit within the word (`0` for /128 nodes, which are always leaves).  The
+/// interleaved mask/prefix pairs let the walk verify the *whole* node
+/// prefix — path compression skips bits, so the descent path does not
+/// imply them.
+pub const PAT_NODE_WORDS: u32 = 16;
+
+/// Serialises a PATRICIA table into its memory image, rooted at
+/// [`TABLE_BASE`].
+///
+/// The microcode verifies each node's masked prefix against the
+/// destination (mismatch ends the walk), remembers the last
+/// route-carrying node (`iface != MISS_IFACE`), and descends by the bit
+/// `branch_off`/`branch_mask` select; a null child ends the walk.
+pub fn serialize_patricia(table: &taco_routing::PatriciaTable) -> Vec<u32> {
+    let addr_of = |idx: Option<usize>| -> u32 {
+        match idx {
+            Some(i) => TABLE_BASE + i as u32 * PAT_NODE_WORDS,
+            None => NULL_PTR,
+        }
+    };
+    let mut out = Vec::new();
+    for (k, (prefix, route, left, right)) in table.flat_nodes().enumerate() {
+        out.push(addr_of(left));
+        out.push(addr_of(right));
+        out.push(route.map_or(MISS_IFACE, |r| u32::from(r.interface().0)));
+        out.push(k as u32);
+        let len = u32::from(prefix.len());
+        if len >= 128 {
+            out.push(DST_ADDR_WORD + 3);
+            out.push(0); // never branches: /128 nodes are leaves
+        } else {
+            out.push(DST_ADDR_WORD + len / 32);
+            out.push(1u32 << (31 - (len % 32)));
+        }
+        let mask = prefix.mask_words();
+        let pfx = prefix.addr().to_words();
+        for i in 0..4 {
+            out.push(mask[i]);
+            out.push(pfx[i]);
+        }
+        out.push(0);
+        out.push(0);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +354,49 @@ mod tests {
         assert_eq!(tree_depth(2), 2);
         assert_eq!(tree_depth(201), 8);
         assert_eq!(tree_depth(3), 2);
+    }
+
+    #[test]
+    fn patricia_image_compresses_paths_and_flags_branch_bits() {
+        let t = taco_routing::PatriciaTable::from_routes([r("2001:db8::/32", 3), r("::/0", 1)]);
+        let img = serialize_patricia(&t);
+        // Root (::/0 with the default route) plus one /32 leaf.
+        assert_eq!(img.len(), 2 * PAT_NODE_WORDS as usize);
+        let root = &img[..PAT_NODE_WORDS as usize];
+        assert_eq!(root[2], 1, "default route lives at the root");
+        assert_eq!(root[4], DST_ADDR_WORD, "branch bit 0 lives in dst word 0");
+        assert_eq!(root[5], 0x8000_0000);
+        assert_eq!(&root[6..14], &[0, 0, 0, 0, 0, 0, 0, 0], "::/0 masks nothing");
+        // The /32 leaf hangs off the root's 0-side (2001:... starts 001…).
+        assert_eq!(root[0], TABLE_BASE + PAT_NODE_WORDS);
+        assert_eq!(root[1], NULL_PTR);
+        let leaf = &img[PAT_NODE_WORDS as usize..];
+        assert_eq!(leaf[2], 3);
+        assert_eq!(leaf[4], DST_ADDR_WORD + 1, "/32 branches on bit 32 = word 1");
+        assert_eq!(leaf[5], 0x8000_0000);
+        assert_eq!(&leaf[6..10], &[0xffff_ffff, 0x2001_0db8, 0, 0]);
+    }
+
+    #[test]
+    fn patricia_host_route_never_branches() {
+        let t = taco_routing::PatriciaTable::from_routes([r("2001:db8::7/128", 2)]);
+        let img = serialize_patricia(&t);
+        let leaf = &img[PAT_NODE_WORDS as usize..];
+        assert_eq!(leaf[5], 0, "/128 branch mask is the never-matching zero");
+        assert_eq!(leaf[4], DST_ADDR_WORD + 3);
+        assert_eq!(&leaf[6..10], &[0xffff_ffff, 0x2001_0db8, 0xffff_ffff, 0]);
+    }
+
+    #[test]
+    fn full_patricia_workload_table_fits_the_table_area() {
+        // Path compression is what makes the full 100-entry table image fit
+        // where the unibit trie's (4 words x ~1 node per prefix bit) could
+        // not — the patricia column needs no differential route cap.
+        let t = taco_routing::PatriciaTable::from_routes(
+            (0..100u16).map(|i| r(&format!("2001:db8:{i:x}::/48"), i)),
+        );
+        let img_end = TABLE_BASE + serialize_patricia(&t).len() as u32;
+        assert!(img_end < DGRAM_BASE, "patricia image ({img_end:#x}) runs into datagram area");
     }
 
     #[test]

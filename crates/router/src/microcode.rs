@@ -528,6 +528,119 @@ pub fn trie_program(opts: &MicrocodeOptions) -> MoveSeq {
     b.finish()
 }
 
+/// Generates the forwarding program for a **PATRICIA** routing table
+/// serialised by [`serialize_patricia`](crate::layout::serialize_patricia)
+/// — path-compressed per Click's `BSDIP6Lookup` ("fast database updates,
+/// O(W) lookups").
+///
+/// Each iteration handles one node: verify the node's *entire* masked
+/// prefix against the destination (four interleaved mask/prefix pairs —
+/// the compressed bits are not implied by the descent path, so a mismatch
+/// ends the walk), remember the node as the candidate when it carries a
+/// route, then fetch the node's branch-bit descriptor
+/// (`branch_off`/`branch_mask`) to pick the left or right child.  A null
+/// child or a verify failure resolves to the deepest candidate.  The walk
+/// visits one node per *branching* bit instead of one per prefix bit,
+/// which is what lets internet-size tables keep O(W) probes with a
+/// fraction of the unibit trie's nodes.
+pub fn patricia_program(opts: &MicrocodeOptions) -> MoveSeq {
+    let mut b = CodeBuilder::new();
+    envelope_prologue(&mut b, opts);
+
+    let mmu = b.fu(FuKind::Mmu, 0);
+    let mf = b.alloc(FuKind::Matcher); // prefix-verify matcher
+    let m_bit = b.alloc(FuKind::Matcher); // branch-bit matcher
+    let p_null = b.alloc(FuKind::Comparator);
+    let p_miss = b.alloc(FuKind::Comparator);
+    let p_ok = b.alloc(FuKind::Comparator);
+    // One counter walks the node's word fields, the datagram-relative
+    // branch word *and* the child select: the chains must stay strictly
+    // sequential because every virtual counter folds onto the single
+    // physical instance of the 1-FU machines.
+    let c_word = b.alloc(FuKind::Counter);
+
+    // r8 = current node, r10 = candidate node, r3 = verify accumulator,
+    // r9 = branch-descriptor scratch.
+    b.mv(TABLE_BASE, b.reg(8));
+    b.mv(NULL_PTR, b.reg(10));
+
+    b.label("pat_walk");
+    // ---- verify the whole node prefix (mask/prefix pairs at +6..+14) ---
+    b.mv(1u32, b.reg(3));
+    b.mv(b.reg(8), c_word.port("tset"));
+    b.mv(6u32, c_word.port("tadd"));
+    for w in 0..4u8 {
+        b.mv(c_word.port("r"), mmu.port("addr")); // mask word
+        b.mv(0u32, mmu.port("tread"));
+        b.mv(mmu.port("r"), mf.port("mask"));
+        b.mv(0u32, c_word.port("tinc"));
+        b.mv(c_word.port("r"), mmu.port("addr")); // prefix word
+        b.mv(0u32, mmu.port("tread"));
+        b.mv(mmu.port("r"), mf.port("refv"));
+        if w < 3 {
+            b.mv(0u32, c_word.port("tinc"));
+        }
+        b.mv(b.reg(4 + w), mf.port("t"));
+        b.mv_unless(mf.guard("match"), 0u32, b.reg(3));
+    }
+    b.mv(1u32, p_ok.port("refv"));
+    b.mv(b.reg(3), p_ok.port("t"));
+    // Skipped bits disagreed: no descendant can match either — resolve.
+    b.jump_unless(p_ok.guard("eq"), "pat_resolve");
+
+    // ---- candidate: does this node carry a route? (iface word at +2) ---
+    b.mv(b.reg(8), c_word.port("tset"));
+    b.mv(2u32, c_word.port("tadd"));
+    b.mv(c_word.port("r"), mmu.port("addr"));
+    b.mv(0u32, mmu.port("tread"));
+    b.mv(MISS_IFACE, p_miss.port("refv"));
+    b.mv(mmu.port("r"), p_miss.port("t"));
+    b.mv_unless(p_miss.guard("eq"), b.reg(8), b.reg(10));
+
+    // ---- branch bit: dgram word at +4's offset, under +5's mask --------
+    b.mv(2u32, c_word.port("tadd")); // +2 → +4: branch_off
+    b.mv(c_word.port("r"), mmu.port("addr"));
+    b.mv(0u32, mmu.port("tread"));
+    b.mv(mmu.port("r"), b.reg(9)); // r9 = branch_off, for after +5
+    b.mv(0u32, c_word.port("tinc")); // +5: branch_mask
+    b.mv(c_word.port("r"), mmu.port("addr"));
+    b.mv(0u32, mmu.port("tread"));
+    b.mv(mmu.port("r"), m_bit.port("mask"));
+    // Bit set ⇔ (word & mask) != 0; test against zero so the /128
+    // never-branch mask reads as "bit clear" → left child (NULL).
+    b.mv(0u32, m_bit.port("refv"));
+    b.mv(b.reg(9), c_word.port("tset")); // counter := branch_off
+    b.mv(b.reg(0), c_word.port("tadd")); // + datagram base
+    b.mv(c_word.port("r"), mmu.port("addr")); // destination word
+    b.mv(0u32, mmu.port("tread"));
+    b.mv(mmu.port("r"), m_bit.port("t"));
+
+    // ---- child select: left at +0, right at +1 -------------------------
+    b.mv(b.reg(8), c_word.port("tset"));
+    b.mv_unless(m_bit.guard("match"), 1u32, c_word.port("tinc"));
+    b.mv(c_word.port("r"), mmu.port("addr"));
+    b.mv(0u32, mmu.port("tread"));
+    b.mv(mmu.port("r"), b.reg(8));
+    b.mv(NULL_PTR, p_null.port("refv"));
+    b.mv(b.reg(8), p_null.port("t"));
+    b.jump_unless(p_null.guard("eq"), "pat_walk");
+
+    // ---- resolve: the deepest verified candidate answers ---------------
+    b.label("pat_resolve");
+    b.mv(NULL_PTR, p_null.port("refv"));
+    b.mv(b.reg(10), p_null.port("t"));
+    b.jump_if(p_null.guard("eq"), "drop");
+    b.mv(b.reg(10), c_word.port("tset"));
+    b.mv(2u32, c_word.port("tadd"));
+    b.mv(c_word.port("r"), mmu.port("addr"));
+    b.mv(0u32, mmu.port("tread"));
+    b.mv(mmu.port("r"), b.reg(11));
+    b.jump("found");
+
+    envelope_epilogue(&mut b);
+    b.finish()
+}
+
 /// Generates the forwarding program for a **CAM-backed** Routing Table
 /// Unit: the four destination words go to the RTU's key registers, the
 /// trigger starts the external search, and the result read stalls the
@@ -599,7 +712,13 @@ mod tests {
     #[test]
     fn all_programs_schedule_on_all_paper_configs() {
         let opts = MicrocodeOptions::default();
-        let seqs = [sequential_program(100, &opts), tree_program(&opts), cam_program(&opts)];
+        let seqs = [
+            sequential_program(100, &opts),
+            tree_program(&opts),
+            cam_program(&opts),
+            trie_program(&opts),
+            patricia_program(&opts),
+        ];
         for config in [
             MachineConfig::one_bus_one_fu(),
             MachineConfig::three_bus_one_fu(),

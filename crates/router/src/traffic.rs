@@ -64,6 +64,115 @@ impl TrafficGen {
         routes
     }
 
+    /// A BGP-shaped prefix length, drawn from the measured length mass of
+    /// the global IPv6 table (dominated by /48 provider-independent and
+    /// /32 provider allocations, with a long tail of intermediate
+    /// aggregates and a few short RIR super-blocks).  Weights are
+    /// per-mille so the distribution is integer-exact and reproducible.
+    pub fn bgp_prefix_len(&mut self) -> u8 {
+        const LENGTH_MASS: [(u8, u16); 17] = [
+            (48, 470),
+            (32, 130),
+            (44, 60),
+            (40, 55),
+            (36, 45),
+            (29, 40),
+            (46, 30),
+            (64, 25),
+            (34, 25),
+            (30, 20),
+            (33, 20),
+            (45, 20),
+            (42, 15),
+            (35, 15),
+            (28, 10),
+            (24, 10),
+            (47, 10),
+        ];
+        let mut roll = self.rng.below(1000) as u16;
+        for (len, weight) in LENGTH_MASS {
+            if roll < weight {
+                return len;
+            }
+            roll -= weight;
+        }
+        48 // unreachable: the weights sum to 1000
+    }
+
+    /// A BGP-shaped global-unicast prefix: length from
+    /// [`TrafficGen::bgp_prefix_len`], address in `2000::/3`.
+    pub fn bgp_prefix(&mut self) -> Ipv6Prefix {
+        let len = self.bgp_prefix_len();
+        let mut octets = [0u8; 16];
+        self.rng.fill_bytes(&mut octets);
+        octets[0] = 0x20 | (octets[0] & 0x1f); // 2000::/3 global unicast
+        Ipv6Prefix::new(Ipv6Address::new(octets).truncated(len), len).expect("len <= 64")
+    }
+
+    /// An internet-shaped routing table of `n` distinct prefixes, the way
+    /// a BGP feed looks: a modest set of provider `/32` blocks, most
+    /// longer prefixes carved *inside* one of them (the nesting and
+    /// aliasing that separates a real LPM workload from uniform noise),
+    /// and the rest scattered provider-independent space.  Scales to
+    /// BGP-size tables (10k–1M entries) in one pass.
+    pub fn bgp_table(&mut self, n: usize, with_default: bool) -> Vec<Route> {
+        let providers = (n / 64).clamp(1, 4096);
+        let blocks: Vec<Ipv6Address> = (0..providers)
+            .map(|_| {
+                let mut octets = [0u8; 16];
+                self.rng.fill_bytes(&mut octets);
+                octets[0] = 0x20 | (octets[0] & 0x1f);
+                Ipv6Address::new(octets).truncated(32)
+            })
+            .collect();
+        let mut routes = Vec::with_capacity(n + 1);
+        let mut seen = std::collections::BTreeSet::new();
+        // The providers announce their own /32 aggregates alongside the
+        // customer more-specifics, so the blocks enter the table first.
+        for block in blocks.iter().take(n) {
+            let p = Ipv6Prefix::new(*block, 32).expect("/32");
+            if !seen.insert(p) {
+                continue;
+            }
+            routes.push(Route::new(
+                p,
+                self.link_local(),
+                PortId(self.rng.below(u64::from(self.ports)) as u16),
+                self.rng.range_inclusive(1, 8) as u8,
+            ));
+        }
+        while routes.len() < n {
+            let mut p = self.bgp_prefix();
+            // Roughly 70% of the more-specifics live inside a provider
+            // block: copy its top 32 bits under the drawn length.
+            if p.len() > 32 && self.rng.below(10) < 7 {
+                let block = blocks[self.rng.below(blocks.len() as u64) as usize];
+                let mut addr = p.addr().to_words();
+                addr[0] = block.to_words()[0];
+                p = Ipv6Prefix::new(Ipv6Address::from_words(addr).truncated(p.len()), p.len())
+                    .expect("len unchanged");
+            }
+            if !seen.insert(p) {
+                continue;
+            }
+            routes.push(Route::new(
+                p,
+                self.link_local(),
+                PortId(self.rng.below(u64::from(self.ports)) as u16),
+                self.rng.range_inclusive(1, 8) as u8,
+            ));
+        }
+        if with_default {
+            routes.push(Route::new(
+                Ipv6Prefix::DEFAULT_ROUTE,
+                self.link_local(),
+                PortId(self.rng.below(u64::from(self.ports)) as u16),
+                15,
+            ));
+        }
+        routes
+    }
+
     /// A random link-local address (`fe80::/64` host part).
     pub fn link_local(&mut self) -> Ipv6Address {
         let mut octets = [0u8; 16];
@@ -260,6 +369,45 @@ mod tests {
         assert!(wl.iter().all(|(p, _)| p.0 < 4));
         assert!(wl.iter().all(|(_, d)| d.payload().len() == 64));
         assert!(wl.iter().all(|(_, d)| d.header().hop_limit >= 2));
+    }
+
+    #[test]
+    fn bgp_table_is_deterministic_distinct_and_bgp_shaped() {
+        let routes = TrafficGen::new(11, 4).bgp_table(10_000, true);
+        assert_eq!(routes, TrafficGen::new(11, 4).bgp_table(10_000, true));
+        assert_eq!(routes.len(), 10_001);
+        let mut prefixes: Vec<_> = routes.iter().map(|r| r.prefix()).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), 10_001, "prefixes must be distinct");
+        // /48 dominates the length histogram, as in the global table.
+        let mut by_len = std::collections::BTreeMap::new();
+        for p in &prefixes {
+            *by_len.entry(p.len()).or_insert(0usize) += 1;
+        }
+        let n48 = by_len[&48];
+        assert!((3500..6000).contains(&n48), "/48 share off: {n48}");
+        assert!(by_len[&32] > by_len[&44], "/32 must outnumber /44");
+        // The nesting that stresses LPM: most long prefixes sit inside a
+        // shorter covering prefix from the same table.
+        let shorts: Vec<_> = prefixes.iter().filter(|p| p.len() == 32).collect();
+        let longs: Vec<_> = prefixes.iter().filter(|p| p.len() > 32).collect();
+        let nested = longs.iter().filter(|l| shorts.iter().any(|s| s.covers(l))).count();
+        assert!(
+            nested * 2 > longs.len(),
+            "expected mostly-nested more-specifics: {nested}/{}",
+            longs.len()
+        );
+    }
+
+    #[test]
+    fn bgp_lengths_stay_global_unicast_and_in_range() {
+        let mut g = TrafficGen::new(12, 4);
+        for _ in 0..500 {
+            let p = g.bgp_prefix();
+            assert!((24..=64).contains(&p.len()), "{p}");
+            assert_eq!(p.addr().to_words()[0] >> 29, 1, "{p} not in 2000::/3");
+        }
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! The cross-engine LPM differential oracle.
+//!
+//! Every routing-table organisation must give *identical* longest-prefix
+//! match answers — hit/miss, egress interface, next hop — because they all
+//! implement the same RFC 4632 semantics; only their cost models differ.
+//! These tests pit all five engines ([`TableKind::ALL_KINDS`]) against each
+//! other on seeded randomized tables up to BGP size (10k prefixes, with the
+//! nesting and aliasing of a real feed), so a correctness bug in any engine
+//! surfaces as a disagreement instead of silently skewing Table 1.
+
+use taco_ipv6::Ipv6Address;
+use taco_router::traffic::TrafficGen;
+use taco_routing::{LpmTable, PortId, Route, TableKind};
+
+/// The observable answer of one lookup, compared byte-for-byte.
+fn answer(
+    table: &dyn LpmTable,
+    dst: &Ipv6Address,
+) -> Option<(taco_ipv6::Ipv6Prefix, Ipv6Address, PortId)> {
+    table.lookup(dst).into_route().map(|r| (r.prefix(), r.next_hop(), r.interface()))
+}
+
+/// Asserts all five organisations answer `probes` identically over
+/// `routes`, returning the number of hits for sanity checks.
+fn assert_all_kinds_agree(routes: &[Route], probes: &[Ipv6Address]) -> usize {
+    let tables: Vec<(TableKind, Box<dyn LpmTable>)> =
+        TableKind::ALL_KINDS.iter().map(|k| (*k, k.build(routes))).collect();
+    let mut hits = 0usize;
+    for dst in probes {
+        let reference = answer(tables[0].1.as_ref(), dst);
+        for (kind, table) in &tables[1..] {
+            let got = answer(table.as_ref(), dst);
+            assert_eq!(got, reference, "{kind} disagrees with {} on {dst}", tables[0].0);
+        }
+        hits += usize::from(reference.is_some());
+    }
+    hits
+}
+
+#[test]
+fn five_engines_agree_on_a_bgp_table_at_10k_prefixes() {
+    let mut g = TrafficGen::new(0xB6F_0001, 8);
+    let routes = g.bgp_table(10_000, false);
+    // Probe mix: mostly addresses inside some route (often several nested
+    // candidates), the rest random global unicast that usually misses.
+    let probes: Vec<Ipv6Address> = (0..2_000)
+        .map(|i| {
+            if i % 4 != 0 {
+                let r = routes[(i * 2654435761) % routes.len()];
+                g.addr_in(&r.prefix())
+            } else {
+                g.addr_in(&"2000::/3".parse().unwrap())
+            }
+        })
+        .collect();
+    let hits = assert_all_kinds_agree(&routes, &probes);
+    assert!(hits >= 1_500, "probe mix should mostly hit: {hits}/2000");
+    assert!(hits < 2_000, "probe mix should include misses: {hits}/2000");
+}
+
+#[test]
+fn five_engines_agree_with_a_default_route_catching_the_misses() {
+    let mut g = TrafficGen::new(0xB6F_0002, 8);
+    let routes = g.bgp_table(10_000, true);
+    let probes: Vec<Ipv6Address> =
+        (0..1_000).map(|_| g.addr_in(&"2000::/3".parse().unwrap())).collect();
+    let hits = assert_all_kinds_agree(&routes, &probes);
+    assert_eq!(hits, 1_000, "the default route must catch everything");
+}
+
+#[test]
+fn five_engines_agree_on_aliased_and_nested_prefixes() {
+    // A hand-built worst case: a full nesting chain under one /16, two
+    // sibling /48s differing only in their last prefix bit (aliases), a
+    // host route, and a default — the shapes that break naive LPM.
+    let route = |p: &str, iface: u16| -> Route {
+        Route::new(p.parse().unwrap(), "fe80::1".parse().unwrap(), PortId(iface), 1)
+    };
+    let routes = vec![
+        route("::/0", 1),
+        route("2001::/16", 2),
+        route("2001:db8::/32", 3),
+        route("2001:db8:aa::/47", 4),
+        route("2001:db8:aa::/48", 5),
+        route("2001:db8:ab::/48", 6),
+        route("2001:db8:aa:bb::/64", 7),
+        route("2001:db8:aa:bb::77/128", 8),
+        route("4000::/2", 9),
+    ];
+    let mut g = TrafficGen::new(0xB6F_0003, 8);
+    let mut probes: Vec<Ipv6Address> = vec![
+        "2001:db8:aa:bb::77".parse().unwrap(), // the host route
+        "2001:db8:aa:bb::78".parse().unwrap(), // one off: the /64
+        "2001:db8:aa::1".parse().unwrap(),     // /48 over /47
+        "2001:db8:ab::1".parse().unwrap(),     // the alias sibling
+        "2001:db8:ff::1".parse().unwrap(),     // only the /32
+        "2001:ff::1".parse().unwrap(),         // only the /16
+        "9999::1".parse().unwrap(),            // the default
+        "5000::1".parse().unwrap(),            // the /2
+    ];
+    for r in &routes {
+        for _ in 0..32 {
+            probes.push(g.addr_in(&r.prefix()));
+        }
+    }
+    let hits = assert_all_kinds_agree(&routes, &probes);
+    assert_eq!(hits, probes.len(), "the default route catches everything");
+}
+
+#[test]
+fn five_engines_agree_under_seeded_random_tables_of_many_sizes() {
+    for (seed, n) in [(1u64, 10usize), (2, 100), (3, 1_000), (4, 4_000)] {
+        let mut g = TrafficGen::new(seed, 8);
+        let routes = g.bgp_table(n, seed % 2 == 0);
+        let probes: Vec<Ipv6Address> = (0..400)
+            .map(|i| {
+                if i % 3 == 0 {
+                    g.addr_in(&"2000::/3".parse().unwrap())
+                } else {
+                    let r = routes[(i * 40503) % routes.len()];
+                    g.addr_in(&r.prefix())
+                }
+            })
+            .collect();
+        assert_all_kinds_agree(&routes, &probes);
+    }
+}
+
+#[test]
+fn probe_counts_scale_the_way_each_organisation_promises() {
+    // Not just the answers: the *cost* signatures must keep their shapes
+    // at internet size — constant CAM, log tree, bounded-depth tries,
+    // linear scan — since Table 1's frequencies are probes x cycle cost.
+    let mut g = TrafficGen::new(0xB6F_0004, 8);
+    let routes = g.bgp_table(10_000, false);
+    let probes: Vec<Ipv6Address> = (0..200).map(|i| g.addr_in(&routes[i * 50].prefix())).collect();
+    let max_steps = |kind: TableKind| -> u32 {
+        let table = kind.build(&routes);
+        probes.iter().map(|d| table.lookup(d).steps()).max().unwrap()
+    };
+    assert_eq!(max_steps(TableKind::Cam), 1);
+    assert!(max_steps(TableKind::BalancedTree) <= 64);
+    assert!(max_steps(TableKind::Trie) <= 129, "unibit depth is prefix length");
+    assert!(max_steps(TableKind::Patricia) <= 65, "one probe per branching bit");
+    assert!(max_steps(TableKind::Sequential) > 1_000, "linear scan at 10k");
+}

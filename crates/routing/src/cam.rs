@@ -204,6 +204,12 @@ impl LpmTable for CamTable {
     fn clear(&mut self) {
         self.rows.clear();
     }
+
+    fn memory_words(&self) -> usize {
+        // 10 words per occupied row: the 136-bit match plane (4 value +
+        // 4 mask words) plus the result SRAM (interface, handle).
+        10 * self.rows.len()
+    }
 }
 
 impl FromIterator<Route> for CamTable {

@@ -15,8 +15,12 @@
 //!   SRAM, searching in a fixed ~40 ns regardless of table size (the paper's
 //!   third case);
 //!
-//! plus a [`TrieTable`] binary-trie baseline for cross-checking, since every
-//! engine must produce identical longest-prefix-match answers.
+//! plus two trie organisations: the unibit [`TrieTable`] baseline for
+//! cross-checking, and the path-compressed [`PatriciaTable`] that scales
+//! longest-prefix match to internet-size (BGP, ~200k-prefix) tables.  Every
+//! engine must produce identical longest-prefix-match answers; the
+//! pointer-based engines share the [`arena::Arena`] free-list node store so
+//! route churn keeps their memory bounded.
 //!
 //! All engines implement [`LpmTable`] and report the number of elementary
 //! probes each lookup performed ([`Lookup::steps`]); the cycle-accurate
@@ -43,8 +47,10 @@
 //! # }
 //! ```
 
+pub mod arena;
 pub mod cam;
 pub mod clock;
+pub mod patricia;
 pub mod ripng;
 pub mod route;
 pub mod sequential;
@@ -52,8 +58,10 @@ pub mod table;
 pub mod tree;
 pub mod trie;
 
-pub use cam::CamTable;
+pub use arena::Arena;
+pub use cam::{CamSpec, CamTable};
 pub use clock::SimTime;
+pub use patricia::PatriciaTable;
 pub use route::{PortId, Route};
 pub use sequential::SequentialTable;
 pub use table::{Lookup, LpmTable, TableKind};

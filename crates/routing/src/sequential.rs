@@ -119,6 +119,12 @@ impl LpmTable for SequentialTable {
     fn clear(&mut self) {
         self.entries.clear();
     }
+
+    fn memory_words(&self) -> usize {
+        // 12 words per serialised entry (`SEQ_ENTRY_WORDS`): interleaved
+        // mask/prefix pairs plus interface, handle and padding.
+        12 * self.entries.len()
+    }
 }
 
 impl FromIterator<Route> for SequentialTable {

@@ -8,8 +8,9 @@ use crate::route::Route;
 
 /// Which routing-table organisation an engine implements.
 ///
-/// These are the three alternatives of the paper's Table 1 plus the trie
-/// baseline used for cross-checking.
+/// These are the three alternatives of the paper's Table 1 plus the two
+/// trie organisations: the unibit baseline used for cross-checking and the
+/// path-compressed PATRICIA engine that scales to internet-size tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TableKind {
     /// Entries laid out sequentially in a cache memory; linear scan.
@@ -20,6 +21,9 @@ pub enum TableKind {
     Cam,
     /// Bitwise binary trie (reference baseline, not in the paper's table).
     Trie,
+    /// Path-compressed binary radix trie (PATRICIA); one node per
+    /// branching bit, internet-scale.
+    Patricia,
 }
 
 impl TableKind {
@@ -27,16 +31,46 @@ impl TableKind {
     pub const PAPER_KINDS: [TableKind; 3] =
         [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam];
 
+    /// Every organisation the repo implements, paper rows first — the
+    /// enumeration the differential oracles and the wire schema iterate.
+    pub const ALL_KINDS: [TableKind; 5] = [
+        TableKind::Sequential,
+        TableKind::BalancedTree,
+        TableKind::Cam,
+        TableKind::Trie,
+        TableKind::Patricia,
+    ];
+
     /// Builds an engine of this organisation, seeded with `routes` — the
     /// one construction path shared by the evaluation pipeline, the
     /// behavioural router and the scenario engine.
+    ///
+    /// The CAM model's paper-default capacity (8192 rows) is widened when
+    /// the seed exceeds it, so internet-size differential tables build on
+    /// every organisation.
     pub fn build(&self, routes: &[Route]) -> Box<dyn LpmTable> {
+        let n = routes.len();
         let routes = routes.iter().copied();
         match self {
             TableKind::Sequential => Box::new(crate::SequentialTable::from_routes(routes)),
             TableKind::BalancedTree => Box::new(crate::BalancedTreeTable::from_routes(routes)),
-            TableKind::Cam => Box::new(crate::CamTable::from_routes(routes)),
+            TableKind::Cam => {
+                let spec = crate::CamSpec::paper_default();
+                let mut cam = if n > spec.capacity {
+                    crate::CamTable::with_spec(crate::CamSpec {
+                        capacity: n.next_power_of_two(),
+                        ..spec
+                    })
+                } else {
+                    crate::CamTable::new()
+                };
+                for r in routes {
+                    cam.insert(r);
+                }
+                Box::new(cam)
+            }
             TableKind::Trie => Box::new(crate::TrieTable::from_routes(routes)),
+            TableKind::Patricia => Box::new(crate::PatriciaTable::from_routes(routes)),
         }
     }
 }
@@ -48,6 +82,7 @@ impl fmt::Display for TableKind {
             TableKind::BalancedTree => write!(f, "balanced-tree"),
             TableKind::Cam => write!(f, "cam"),
             TableKind::Trie => write!(f, "trie"),
+            TableKind::Patricia => write!(f, "patricia"),
         }
     }
 }
@@ -133,6 +168,13 @@ pub trait LpmTable {
 
     /// Removes every route.
     fn clear(&mut self);
+
+    /// The table's memory footprint in 32-bit words, under the same
+    /// serialised formats the cycle router loads into processor memory
+    /// (entry/node word counts mirror `taco-router`'s layout constants).
+    /// All-integer, so scenario metrics stay byte-stable; under churn the
+    /// arena-backed engines report their bounded high-water mark.
+    fn memory_words(&self) -> usize;
 }
 
 impl LpmTable for Box<dyn LpmTable> {
@@ -167,6 +209,10 @@ impl LpmTable for Box<dyn LpmTable> {
     fn clear(&mut self) {
         (**self).clear()
     }
+
+    fn memory_words(&self) -> usize {
+        (**self).memory_words()
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +241,7 @@ mod tests {
         assert_eq!(TableKind::BalancedTree.to_string(), "balanced-tree");
         assert_eq!(TableKind::Cam.to_string(), "cam");
         assert_eq!(TableKind::Trie.to_string(), "trie");
+        assert_eq!(TableKind::Patricia.to_string(), "patricia");
     }
 
     #[test]
@@ -203,6 +250,8 @@ mod tests {
             TableKind::PAPER_KINDS,
             [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam]
         );
+        assert_eq!(&TableKind::ALL_KINDS[..3], &TableKind::PAPER_KINDS);
+        assert_eq!(TableKind::ALL_KINDS.len(), 5);
     }
 
     #[test]
@@ -217,15 +266,34 @@ mod tests {
             ),
         ];
         let addr = "2001:db8:aa::5".parse().unwrap();
-        for kind in
-            [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam, TableKind::Trie]
-        {
+        for kind in TableKind::ALL_KINDS {
             let table = kind.build(&routes);
             assert_eq!(table.kind(), kind);
             assert_eq!(table.len(), 2);
             let hit = table.lookup(&addr);
             assert_eq!(hit.route().unwrap().interface(), PortId(2), "{kind}");
+            assert!(table.memory_words() > 0, "{kind}: footprint is never zero-for-free");
         }
+    }
+
+    #[test]
+    fn factory_widens_the_cam_past_its_paper_capacity() {
+        // 10k+ differential tables must build on the CAM organisation too;
+        // the paper-default 8192-row spec would panic on insert.
+        let routes: Vec<Route> = (0..9000u32)
+            .map(|i| {
+                let addr = taco_ipv6::Ipv6Address::from_words([0x2001_0000 | i, 0, 0, 0]);
+                Route::new(
+                    Ipv6Prefix::new(addr, 32).unwrap(),
+                    "fe80::1".parse().unwrap(),
+                    PortId((i % 4) as u16),
+                    1,
+                )
+            })
+            .collect();
+        let cam = TableKind::Cam.build(&routes);
+        assert_eq!(cam.len(), 9000);
+        assert!(cam.lookup(&"2001:1234::1".parse().unwrap()).is_hit());
     }
 
     #[test]

@@ -223,6 +223,12 @@ impl LpmTable for BalancedTreeTable {
         self.routes.clear();
         self.segments.clear();
     }
+
+    fn memory_words(&self) -> usize {
+        // 8 words per serialised tree node (`TREE_NODE_WORDS`), one node
+        // per range segment (up to `2n + 1` segments for `n` routes).
+        8 * self.segment_count()
+    }
 }
 
 impl FromIterator<Route> for BalancedTreeTable {

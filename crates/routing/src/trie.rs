@@ -9,6 +9,7 @@
 
 use taco_ipv6::{Ipv6Address, Ipv6Prefix};
 
+use crate::arena::Arena;
 use crate::route::Route;
 use crate::table::{Lookup, LpmTable, TableKind};
 
@@ -42,15 +43,13 @@ struct Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TrieTable {
-    nodes: Vec<Node>,
-    /// Arena indices of pruned nodes, reused by the next inserts.
-    free: Vec<usize>,
+    nodes: Arena<Node>,
     len: usize,
 }
 
 impl Default for TrieTable {
     fn default() -> Self {
-        TrieTable { nodes: vec![Node::default()], free: Vec::new(), len: 0 }
+        TrieTable { nodes: Arena::with_root(Node::default()), len: 0 }
     }
 }
 
@@ -73,12 +72,12 @@ impl TrieTable {
     /// metric for the scaling ablation; under churn this stays bounded
     /// because pruned nodes are reused).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.slot_count()
     }
 
     /// Arena slots currently sitting on the free list, awaiting reuse.
     pub fn free_count(&self) -> usize {
-        self.free.len()
+        self.nodes.free_count()
     }
 
     /// Flattened view of the node arena for serialisation into processor
@@ -113,16 +112,7 @@ impl LpmTable for TrieTable {
             idx = match self.nodes[idx].children[b] {
                 Some(c) => c,
                 None => {
-                    let c = match self.free.pop() {
-                        Some(slot) => {
-                            self.nodes[slot] = Node::default();
-                            slot
-                        }
-                        None => {
-                            self.nodes.push(Node::default());
-                            self.nodes.len() - 1
-                        }
-                    };
+                    let c = self.nodes.alloc(Node::default());
                     self.nodes[idx].children[b] = Some(c);
                     c
                 }
@@ -157,7 +147,7 @@ impl LpmTable for TrieTable {
                 break;
             }
             self.nodes[parent].children[b] = None;
-            self.free.push(cur);
+            self.nodes.release(cur);
             cur = parent;
         }
         Some(old)
@@ -199,9 +189,15 @@ impl LpmTable for TrieTable {
     }
 
     fn clear(&mut self) {
-        self.nodes = vec![Node::default()];
-        self.free.clear();
+        self.nodes.reset(Node::default());
         self.len = 0;
+    }
+
+    fn memory_words(&self) -> usize {
+        // 4 words per arena slot (`TRIE_NODE_WORDS`): left, right,
+        // interface, handle.  Counts free-listed slots too — the churn
+        // high-water mark is exactly what the footprint metric watches.
+        4 * self.node_count()
     }
 }
 

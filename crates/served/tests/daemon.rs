@@ -1,7 +1,7 @@
 //! Loopback integration tests for the `taco-served` daemon.
 //!
 //! The contract under test is the tentpole promise of the wire API: a
-//! batch of the paper's nine Table 1 cells answers **byte-identically**
+//! batch of the twelve extended Table 1 cells answers **byte-identically**
 //! to the golden fixture (`crates/core/tests/golden/table1.json`) whether
 //! the daemon computes cold, answers from its warm in-memory cache, or is
 //! restarted and answers from the persisted snapshot; over-capacity
@@ -46,8 +46,8 @@ fn status(addr: SocketAddr) -> taco_core::api::StatusInfo {
     }
 }
 
-/// The nine Table 1 cells as wire requests, in the paper's order (the
-/// golden fixture's line order).
+/// The twelve Table 1 cells as wire requests, in the paper's order with
+/// the PATRICIA rows appended (the golden fixture's line order).
 fn table1_requests() -> Vec<String> {
     ArchConfig::table1_cells()
         .into_iter()
@@ -71,7 +71,7 @@ fn submit_batch(addr: SocketAddr, requests: &[String]) -> Vec<String> {
 }
 
 #[test]
-fn nine_cell_batch_matches_golden_cold_and_from_persisted_snapshot() {
+fn twelve_cell_batch_matches_golden_cold_and_from_persisted_snapshot() {
     let dir = temp_dir("golden");
     let snapshot = dir.join("cache.snapshot");
     let config = ServerConfig { snapshot: Some(snapshot.clone()), ..ServerConfig::default() };
@@ -96,20 +96,20 @@ fn nine_cell_batch_matches_golden_cold_and_from_persisted_snapshot() {
         }
     }
 
-    // The batch was computed cold: nine lookups, nine misses.
+    // The batch was computed cold: twelve lookups, twelve misses.
     let cold_status = status(addr);
     assert_eq!(
         (cold_status.cache_entries, cold_status.cache_hits, cold_status.cache_misses),
-        (9, 0, 9)
+        (12, 0, 12)
     );
 
     // A warm re-submission in the same process is answered from memory,
     // byte-identically.
     assert_eq!(submit_batch(addr, &requests), cold);
-    assert_eq!(status(addr).cache_hits, 9);
+    assert_eq!(status(addr).cache_hits, 12);
 
-    // Graceful shutdown persists all nine entries...
-    assert_eq!(shut_down(addr), Some(9));
+    // Graceful shutdown persists all twelve entries...
+    assert_eq!(shut_down(addr), Some(12));
     handle.join().expect("server thread").expect("clean exit");
 
     // ...and a restarted daemon answers the same batch from the snapshot:
@@ -119,9 +119,9 @@ fn nine_cell_batch_matches_golden_cold_and_from_persisted_snapshot() {
     let warm_status = status(addr);
     assert_eq!(
         (warm_status.cache_entries, warm_status.cache_hits, warm_status.cache_misses),
-        (9, 9, 0)
+        (12, 12, 0)
     );
-    assert_eq!(shut_down(addr), Some(9));
+    assert_eq!(shut_down(addr), Some(12));
     handle.join().expect("server thread").expect("clean exit");
     std::fs::remove_dir_all(&dir).ok();
 }

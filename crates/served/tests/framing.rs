@@ -411,6 +411,44 @@ fn sharded_sweep_matches_the_local_explorer_and_pools_caches() {
 }
 
 #[test]
+fn sharded_patricia_sweep_is_byte_identical_to_the_local_explorer() {
+    // The PATRICIA organisation rides the same wire/shard machinery as the
+    // paper's kinds; this pins that a sweep over it — sharded across two
+    // workers — reproduces the local explorer's reports byte for byte once
+    // serialised, not merely structurally.
+    let spec = SweepSpec {
+        buses: vec![1, 3],
+        replication: vec![1],
+        kinds: vec![RoutingTableKind::Patricia, RoutingTableKind::Trie],
+        entries: 8,
+        workload: None,
+        faults: None,
+    };
+    let constraints = Constraints::default();
+    let local = explore(&spec, LineRate::TEN_GBE, &constraints);
+
+    let (a, ha) = start(ServerConfig::default());
+    let (b, hb) = start(ServerConfig::default());
+    let merged =
+        sharded_sweep(&[a, b], &spec, LineRate::TEN_GBE, &constraints).expect("sharded sweep");
+    assert_eq!(merged.all.len(), 4);
+    assert!(merged.all.iter().any(|r| r.config.table == RoutingTableKind::Patricia));
+    let serialise = |reports: &[taco_core::EvalReport]| -> String {
+        reports.iter().map(taco_core::api::table1_cell_json).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(
+        serialise(&merged.all),
+        serialise(&local.all),
+        "sharded patricia sweep must serialise byte-identically to the local explorer"
+    );
+    assert_eq!(merged.admitted, local.admitted);
+    shut_down(a);
+    shut_down(b);
+    ha.join().expect("join").expect("clean exit");
+    hb.join().expect("join").expect("clean exit");
+}
+
+#[test]
 fn shard_requests_are_v2_only_and_validated() {
     let (addr, handle) = start(ServerConfig::default());
     // A v1 frame smuggling a shard member is rejected before dispatch.

@@ -224,6 +224,12 @@ pub struct ScenarioMetrics {
     pub ripng_sent: u64,
     /// Forwarded datagrams per tick, in thousandths.
     pub throughput_milli: u64,
+    /// Peak routing-table image footprint over the run, in 32-bit words
+    /// ([`LpmTable::memory_words`](taco_routing::LpmTable::memory_words)
+    /// sampled after every tick).  All-integer, so churny runs stay
+    /// byte-deterministic; under insert/remove cycles this is the arena
+    /// high-water mark, which the bounded-churn tests pin.
+    pub table_memory_words: u64,
     /// Fault-injection record — `None` unless the run carried a
     /// [`FaultPlan`](crate::FaultPlan), so fault-free JSON stays byte
     /// identical to what it was before faults existed.
@@ -240,7 +246,8 @@ impl ScenarioMetrics {
              \"dropped_no_route\":{},\"dropped_overflow\":{},\
              \"max_queue_depth\":{},\"final_backlog\":{},\
              \"latency\":{},\"table_updates\":{},\"update_latency\":{},\
-             \"ripng_sent\":{},\"throughput_milli\":{}",
+             \"ripng_sent\":{},\"throughput_milli\":{},\
+             \"table_memory_words\":{}",
             self.scenario,
             self.kind,
             self.seed,
@@ -257,6 +264,7 @@ impl ScenarioMetrics {
             self.update_latency.to_json(),
             self.ripng_sent,
             self.throughput_milli,
+            self.table_memory_words,
         );
         if let Some(f) = &self.faults {
             let _ = write!(s, ",\"faults\":{}", f.to_json());
@@ -421,6 +429,7 @@ mod tests {
             update_latency: LatencyHistogram::new(),
             ripng_sent: 4,
             throughput_milli: 9000,
+            table_memory_words: 1040,
             faults: None,
         };
         let j = m.to_json();
@@ -432,7 +441,7 @@ mod tests {
 
         // Fault-free runs serialise without a faults key at all (byte
         // compatibility with pre-fault JSON); faulted runs append one.
-        assert!(j.ends_with("\"throughput_milli\":9000}"), "{j}");
+        assert!(j.ends_with("\"throughput_milli\":9000,\"table_memory_words\":1040}"), "{j}");
         assert!(!j.contains("\"faults\""));
         let faulted = ScenarioMetrics {
             faults: Some(crate::fault::FaultMetrics {

@@ -30,15 +30,17 @@ const CAM_LATENCY: u32 = 3;
 const ROUTER_ADDR: &str = "fe80::fe";
 
 /// Every routing-table organisation the repo implements — the paper's
-/// three plus the software trie baseline.
-const ALL_KINDS: [TableKind; 4] =
-    [TableKind::Sequential, TableKind::BalancedTree, TableKind::Cam, TableKind::Trie];
+/// three plus the software trie baseline and the path-compressed
+/// PATRICIA engine.
+const ALL_KINDS: [TableKind; 5] = TableKind::ALL_KINDS;
 
 /// The unibit trie serialises ~4 words per prefix bit, so a full
 /// 100-entry workload table overflows the simulator's 64 Ki-word data
 /// memory.  The trie rows run on a truncated slice — the reference sees
 /// the same slice, so agreement is unaffected (traffic to truncated
-/// routes becomes a no-route drop on both sides).
+/// routes becomes a no-route drop on both sides).  PATRICIA needs no cap:
+/// path compression keeps a 100-entry table at ≤201 16-word nodes, well
+/// inside the table area.
 const TRIE_ROUTE_CAP: usize = 32;
 
 /// The route slice organisation `kind` actually loads.

@@ -28,12 +28,24 @@ echo "== tier-1: golden + differential + fault suites (explicit) =="
 # Already part of the workspace run above; named here so a failure in the
 # pinned Table 1 fixture, the reference-vs-cycle differential (including
 # the malformed drop-class agreement test), or the fault-replay
-# determinism contract is unmistakable in the log.  Regenerate the fixture
-# after an intentional change with: BLESS=1 cargo test -p taco-core --test golden_table1
+# determinism contract is unmistakable in the log.  Regenerate fixtures
+# after an intentional change with:
+#   BLESS=1 cargo test -p taco-core --test golden_table1
+#   BLESS=1 cargo test -p taco-core --test golden_scaling
 cargo test -q --offline -p taco-core --test golden_table1
+cargo test -q --offline -p taco-core --test golden_scaling
 cargo test -q --offline -p taco-workload --test differential
 cargo test -q --offline -p taco-workload --test differential malformed_frames_drop_in_the_same_class_on_both_routers
 cargo test -q --offline -p taco-core --test fault_determinism
+
+echo
+echo "== tier-1: cross-engine LPM oracle + internet-scale churn suites (explicit) =="
+# The randomized five-kind LPM differential oracle (every organisation
+# agrees with a reference longest-prefix scan at 10k BGP-shaped prefixes)
+# and the 20k-prefix churn regression proving the arena engines' footprint
+# high-water mark does not move when the churn window doubles.
+cargo test -q --offline -p taco-router --test lpm_oracle
+cargo test -q --offline -p taco-workload --test churn_scale
 
 echo
 echo "== tier-1: compiled-vs-interpretive step-mode differential (explicit) =="
@@ -58,7 +70,7 @@ echo "== perf gate: disabled-tracer table1 smoke =="
 # The tracer — and the fault-injection hooks, which share its
 # monomorphisation discipline — must cost nothing when off.
 # `trace --smoke N` runs N
-# uncached nine-cell Table 1 sweeps with the NullTracer and prints the
+# uncached twelve-cell Table 1 sweeps with the NullTracer and prints the
 # wall time in ms; the best of three runs must stay within 5% (+25 ms
 # measurement grace) of the checked-in baseline.  The iteration count is
 # deliberately low so offline CI pays ~1 s for the gate.
@@ -99,6 +111,39 @@ else
     # Per-cell wall times for both step loops, written to the checked-in
     # BENCH_table1.json so the measured speedup travels with the repo.
     ./target/release/trace --smoke 10 --bench-json BENCH_table1.json
+fi
+
+echo
+echo "== churn gate: 100k-prefix bounded-arena smoke =="
+# Internet-scale churn end-to-end: the release-built `churn` bin seeds a
+# 100k-prefix BGP-shaped table, withdraws/re-advertises routes under live
+# traffic, and exits non-zero if the arena engines' footprint high-water
+# mark moves when the churn window doubles.  Its --json output is
+# all-integer and seeded, hence byte-stable across machines, so it is
+# diffed against a committed baseline.  The hard timeout turns a
+# scaling regression (or livelock) into a loud failure, not a hung job.
+#
+#   CHURN_GATE=off    skip (e.g. when iterating on unrelated code)
+#   CHURN_GATE=bless  re-baseline after an intentional metrics change
+churn_baseline=scripts/churn-smoke-baseline.json
+if [[ "${CHURN_GATE:-on}" == "off" ]]; then
+    echo "CHURN_GATE=off: skipped"
+else
+    cargo build --release --offline -q -p taco-bench --bin churn
+    if ! churn_actual=$(timeout 300 ./target/release/churn --json); then
+        echo "churn gate FAILED (unbounded arena, non-zero exit, or 300 s timeout)"
+        exit 1
+    fi
+    if [[ "${CHURN_GATE:-on}" == "bless" ]]; then
+        printf '%s\n' "$churn_actual" > "$churn_baseline"
+        echo "blessed new churn baseline: $churn_baseline"
+    elif ! diff "$churn_baseline" <(printf '%s\n' "$churn_actual"); then
+        echo "churn gate FAILED: 100k-prefix churn metrics drifted from $churn_baseline"
+        echo "  intentional change? CHURN_GATE=bless re-baselines, then review the diff"
+        exit 1
+    else
+        echo "churn gate ok: 100k-prefix churn matches $churn_baseline byte for byte"
+    fi
 fi
 
 echo

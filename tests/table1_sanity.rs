@@ -11,7 +11,9 @@ const ENTRIES: usize = 32;
 #[test]
 fn table1_reproduces_the_papers_structure() {
     let reports = table1::table1(LineRate::TEN_GBE, ENTRIES);
-    assert_eq!(reports.len(), 9);
+    // The paper's nine cells first (indices 0..9), then the appended
+    // PATRICIA row (see `ArchConfig::table1_cells`).
+    assert_eq!(reports.len(), 12);
 
     let freq = |kind: TableKind, cfg: usize| -> f64 {
         let idx = TableKind::PAPER_KINDS.iter().position(|k| *k == kind).expect("paper kind");
@@ -48,6 +50,14 @@ fn table1_reproduces_the_papers_structure() {
             reports[idx].bus_utilization
         );
     }
+
+    // The appended PATRICIA row keeps the same within-row structure: more
+    // interconnect never hurts, and its 1-bus cell saturates the bus.
+    let pat = |cfg: usize| reports[9 + cfg].required_frequency_hz;
+    assert_eq!(reports[9].config.table, TableKind::Patricia);
+    assert!(pat(1) < pat(0), "patricia: 3 buses must beat 1");
+    assert!(pat(2) <= pat(1) * 1.01, "patricia: 3 FUs must not lose");
+    assert!(reports[9].bus_utilization > 0.9);
 }
 
 #[test]
