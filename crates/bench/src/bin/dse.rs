@@ -5,16 +5,18 @@
 //! ```text
 //! cargo run -p taco-bench --release --bin dse \
 //!     [max_power_w] [max_area_mm2] [--stats] [--scenario NAME] [--max-drops N] \
-//!     [--faults NAME] [--max-unrecovered N] [--trace-best PATH]
+//!     [--faults NAME] [--max-unrecovered N] [--trace FILE] [--trace-best PATH]
 //! ```
 //!
 //! The sweep fans out across all cores (`TACO_THREADS` overrides) through
 //! the process-global evaluation cache, with per-point progress on stderr;
 //! `--stats` appends each point's raw simulator counters as JSON.
 //! `--scenario` replays a named behavioural workload (`steady-forward`,
-//! `burst-overload`, `ripng-convergence`, `table-churn`) on every grid
-//! point, and `--max-drops` disqualifies instances whose scenario dropped
-//! more than N datagrams.  `--faults` overlays a named deterministic fault
+//! `burst-overload`, `ripng-convergence`, `table-churn`, `mixed-plane`,
+//! `trace-replay`) on every grid point, and `--max-drops` disqualifies
+//! instances whose scenario dropped more than N datagrams.  `--trace FILE`
+//! instead replays the binary flow trace at FILE verbatim on every grid
+//! point (one in-memory copy shared by all workers).  `--faults` overlays a named deterministic fault
 //! plan (`storm`, `malformed`, `corruption`, `flaps`, `stalls`) on the
 //! scenario — defaulting the workload to `steady-forward` if `--scenario`
 //! was not given — and `--max-unrecovered` disqualifies instances that
@@ -37,6 +39,7 @@ fn main() {
         .opt("--max-drops", "N", "disqualify instances dropping more than N datagrams")
         .opt("--faults", "NAME", "overlay the named deterministic fault plan")
         .opt("--max-unrecovered", "N", "disqualify instances leaving more than N faults open")
+        .opt("--trace", "FILE", "replay the binary flow trace at FILE on every grid point")
         .opt("--trace-best", "PATH", "write a Chrome trace of the winning point to PATH")
         .positional("max_power_w", "power constraint, watts", Some("2.0"))
         .positional("max_area_mm2", "area constraint, mm^2", Some("50.0"));
@@ -60,16 +63,27 @@ fn main() {
     let max_area_mm2: f64 = args.pos_parsed("max_area_mm2").unwrap_or_else(|e| cli.fail(&e));
     let constraints =
         Constraints { max_power_w, max_area_mm2, max_scenario_drops, max_unrecovered_faults };
+    let trace = args.opt("--trace").map(|file| {
+        if args.opt("--scenario").is_some() {
+            cli.fail("--trace and --scenario are mutually exclusive (the trace IS the scenario)");
+        }
+        let trace = taco_core::FlowTrace::read(std::path::Path::new(file)).unwrap_or_else(|e| {
+            eprintln!("dse: cannot read trace {file:?}: {e}");
+            std::process::exit(1);
+        });
+        std::sync::Arc::new(trace)
+    });
     // A fault plan needs a scenario to act on: default the workload so
     // `--faults storm` alone does what it says.
-    let workload = match (&faults, workload) {
-        (Some(_), None) => {
+    let workload = match (&trace, &faults, workload) {
+        (Some(trace), _, _) => Some(trace.descriptor()),
+        (None, Some(_), None) => {
             eprintln!("--faults without --scenario: defaulting to the steady-forward workload");
             Some(Workload::steady_forward())
         }
-        (_, w) => w,
+        (None, _, w) => w,
     };
-    let spec = SweepSpec { workload, faults, ..SweepSpec::default() };
+    let spec = SweepSpec { workload, faults, trace, ..SweepSpec::default() };
 
     println!(
         "design-space exploration: {} buses x {} replications x {} table kinds, {} entries",

@@ -5,7 +5,8 @@
 //! cargo run -p taco-bench --release --bin taco-cli -- serve [--addr A] \
 //!     [--max-pending N] [--snapshot PATH] [--threads N]
 //! cargo run -p taco-bench --release --bin taco-cli -- submit --addr A \
-//!     [--table1 | --sweep] [--entries N] [--shards A,B,C]
+//!     [--table1 | --sweep | --trace FILE] [--kind NAME] [--entries N] \
+//!     [--shards A,B,C]
 //! cargo run -p taco-bench --release --bin taco-cli -- status --addr A
 //! cargo run -p taco-bench --release --bin taco-cli -- shutdown --addr A
 //! ```
@@ -17,7 +18,9 @@
 //! `--sweep` submits the default design-space grid as one
 //! batch job (per-point progress streams back while it runs), and with
 //! neither flag one raw `v1` request line is read from stdin and sent
-//! verbatim.  `--sweep --shards A,B,C` instead splits the grid across
+//! verbatim.  `--trace FILE` submits one evaluation that replays the
+//! binary flow trace at FILE (shipped inline over the wire; `--kind`
+//! picks the table organisation, default `cam`).  `--sweep --shards A,B,C` instead splits the grid across
 //! several daemons through the v2 sharding coordinator and prints the
 //! merged result (identical bytes to an unsharded sweep result, minus
 //! the progress lines).  All responses are printed to stdout exactly as
@@ -33,8 +36,8 @@ use std::process::exit;
 use std::time::Duration;
 
 use taco_bench::cli::{Cli, Parsed};
-use taco_core::api::{ApiRequest, ApiResponse, ConfigSpec, EvalSpec};
-use taco_core::{ArchConfig, Constraints, LineRate, SweepSpec};
+use taco_core::api::{parse_table_kind, ApiRequest, ApiResponse, ConfigSpec, EvalSpec, TraceRef};
+use taco_core::{ArchConfig, Constraints, FlowTrace, LineRate, SweepSpec};
 use taco_served::{open_request, sharded_sweep, Server, ServerConfig};
 
 fn print_overview() {
@@ -239,11 +242,14 @@ fn submit(rest: Vec<String>) {
         .flag("--sweep", "submit the default design-space grid as one batch job")
         .opt("--addr", "ADDR", "daemon address (required unless --shards is given)")
         .opt("--entries", "N", "override the routing-table size for --table1/--sweep")
-        .opt("--shards", "A,B,C", "split --sweep across these worker daemons (v2 sharding)");
+        .opt("--shards", "A,B,C", "split --sweep across these worker daemons (v2 sharding)")
+        .opt("--trace", "FILE", "submit one eval replaying the binary flow trace at FILE")
+        .opt("--kind", "NAME", "table organisation for --trace (default cam)");
     let args = cli.parse_args_or_exit(rest);
     let entries: Option<usize> = args.opt_parsed("--entries").unwrap_or_else(|e| cli.fail(&e));
-    if args.flag("--table1") && args.flag("--sweep") {
-        cli.fail("--table1 and --sweep are mutually exclusive");
+    let exclusive = [args.flag("--table1"), args.flag("--sweep"), args.opt("--trace").is_some()];
+    if exclusive.iter().filter(|&&given| given).count() > 1 {
+        cli.fail("--table1, --sweep and --trace are mutually exclusive");
     }
     if let Some(raw) = args.opt("--shards") {
         if !args.flag("--sweep") {
@@ -266,7 +272,22 @@ fn submit(rest: Vec<String>) {
         return;
     }
     let addr = required_addr(&cli, &args);
-    if args.flag("--table1") {
+    if let Some(file) = args.opt("--trace") {
+        // The trace is read and validated locally, then shipped inline so
+        // the daemon needs no access to this machine's filesystem.
+        let trace = FlowTrace::read(std::path::Path::new(file)).unwrap_or_else(|e| {
+            eprintln!("taco-cli: cannot read trace {file:?}: {e}");
+            exit(1);
+        });
+        let kind =
+            parse_table_kind(args.opt("--kind").unwrap_or("cam")).unwrap_or_else(|e| cli.fail(&e));
+        let mut eval = EvalSpec::new(ConfigSpec::new(kind, 3, 1));
+        if let Some(n) = entries {
+            eval.entries = n;
+        }
+        eval.trace = Some(TraceRef::inline(&trace));
+        check(&exchange_retrying(&addr, &ApiRequest::Eval(eval).to_json()));
+    } else if args.flag("--table1") {
         for config in ArchConfig::table1_cells() {
             let spec =
                 ConfigSpec::from_config(&config).expect("every Table 1 cell is wire-expressible");

@@ -43,9 +43,11 @@ mod report;
 pub(crate) use report::report_from_value;
 pub use report::{report_from_json, report_to_json, table1_cell_json};
 
+use std::sync::Arc;
+
 use taco_routing::TableKind;
 use taco_sim::StepMode;
-use taco_workload::{FaultPlan, Workload};
+use taco_workload::{FaultPlan, FlowTrace, Workload};
 
 use crate::arch::ArchConfig;
 use crate::evaluate::EvalReport;
@@ -538,6 +540,24 @@ pub(crate) fn workload_to_json(w: &Workload) -> String {
                  \"churn_every\":{churn_every},\"churn_size\":{churn_size}}}"
             )
         }
+        Workload::MixedPlane {
+            seed,
+            ticks,
+            neighbours,
+            routes_per_neighbour,
+            packets_per_tick,
+            burst_multiplier,
+            phase_len,
+        } => format!(
+            "{{\"name\":\"mixed-plane\",\"seed\":{seed},\"ticks\":{ticks},\
+             \"neighbours\":{neighbours},\"routes_per_neighbour\":{routes_per_neighbour},\
+             \"packets_per_tick\":{packets_per_tick},\"burst_multiplier\":{burst_multiplier},\
+             \"phase_len\":{phase_len}}}"
+        ),
+        Workload::TraceReplay { seed, ticks, flows, entries } => format!(
+            "{{\"name\":\"trace-replay\",\"seed\":{seed},\"ticks\":{ticks},\
+             \"flows\":{flows},\"entries\":{entries}}}"
+        ),
     }
 }
 
@@ -574,6 +594,21 @@ pub(crate) fn workload_from_value(value: &Json) -> Result<Workload, ApiError> {
             entries: f.req_u32("entries")?,
             churn_every: f.req_u32("churn_every")?,
             churn_size: f.req_u32("churn_size")?,
+        },
+        "mixed-plane" => Workload::MixedPlane {
+            seed: f.req_u64("seed")?,
+            ticks: f.req_u32("ticks")?,
+            neighbours: f.req_u32("neighbours")?,
+            routes_per_neighbour: f.req_u32("routes_per_neighbour")?,
+            packets_per_tick: f.req_u32("packets_per_tick")?,
+            burst_multiplier: f.req_u32("burst_multiplier")?,
+            phase_len: f.req_u32("phase_len")?,
+        },
+        "trace-replay" => Workload::TraceReplay {
+            seed: f.req_u64("seed")?,
+            ticks: f.req_u32("ticks")?,
+            flows: f.req_u32("flows")?,
+            entries: f.req_u32("entries")?,
         },
         other => {
             return Err(ApiError::bad_request(
@@ -621,6 +656,101 @@ pub(crate) fn fault_plan_from_value(value: &Json) -> Result<FaultPlan, ApiError>
     Ok(plan)
 }
 
+/// Lowercase hex of `bytes` — the wire encoding of an inline flow trace
+/// (hex rather than base64: std-only, trivially greppable, and the traces
+/// small enough to ship inline are small enough to double in size).
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        s.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    s
+}
+
+/// Decodes [`hex_encode`] output (either nibble case accepted).
+pub(crate) fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err(format!("hex body has odd length {}", s.len()));
+    }
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            let nibble = |c: u8| (c as char).to_digit(16).map(|d| d as u8);
+            match (nibble(pair[0]), nibble(pair[1])) {
+                (Some(hi), Some(lo)) => Ok(hi << 4 | lo),
+                _ => Err(format!(
+                    "hex body contains a non-hex byte pair {:?}",
+                    String::from_utf8_lossy(pair)
+                )),
+            }
+        })
+        .collect()
+}
+
+/// A flow trace in wire form: the full binary body shipped inline
+/// (hex-encoded), or a path on the **server's** filesystem for traces too
+/// large to inline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRef {
+    /// The [`FlowTrace::to_bytes`] body, hex-encoded.
+    Inline(String),
+    /// A trace file path resolved server-side at evaluation time.
+    Path(String),
+}
+
+impl TraceRef {
+    /// The inline wire form of `trace`.
+    pub fn inline(trace: &FlowTrace) -> TraceRef {
+        TraceRef::Inline(hex_encode(&trace.to_bytes()))
+    }
+
+    /// Decodes or loads the referenced trace; every failure (bad hex, IO,
+    /// a corrupt or version-skewed file) is a structured bad request.
+    pub fn resolve(&self) -> Result<FlowTrace, ApiError> {
+        match self {
+            TraceRef::Inline(hex) => {
+                let bytes =
+                    hex_decode(hex).map_err(|e| ApiError::bad_request(format!("trace: {e}")))?;
+                FlowTrace::from_bytes(&bytes)
+                    .map_err(|e| ApiError::bad_request(format!("trace: {e}")))
+            }
+            TraceRef::Path(path) => FlowTrace::read(std::path::Path::new(path))
+                .map_err(|e| ApiError::bad_request(format!("trace {path:?}: {e}"))),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            // Hex is [0-9a-f] only: no JSON escaping needed.
+            TraceRef::Inline(hex) => format!("{{\"inline\":\"{hex}\"}}"),
+            TraceRef::Path(path) => format!("{{\"path\":{}}}", Json::str(path.clone()).encode()),
+        }
+    }
+
+    fn from_value(value: &Json) -> Result<TraceRef, ApiError> {
+        let mut f = Fields::new("trace", value)?;
+        let inline = f.get_non_null("inline").map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ApiError::bad_request("trace: \"inline\" must be a hex string"))
+        });
+        let path = f.get_non_null("path").map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ApiError::bad_request("trace: \"path\" must be a string"))
+        });
+        f.finish()?;
+        match (inline, path) {
+            (Some(hex), None) => Ok(TraceRef::Inline(hex?)),
+            (None, Some(p)) => Ok(TraceRef::Path(p?)),
+            _ => Err(ApiError::bad_request(
+                "trace: exactly one of \"inline\" or \"path\" is required",
+            )),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // EvalSpec: the validated construction path for one evaluation.
 // ---------------------------------------------------------------------------
@@ -629,9 +759,11 @@ pub(crate) fn fault_plan_from_value(value: &Json) -> Result<FaultPlan, ApiError>
 /// schema, the CLI and programmatic callers share before an
 /// [`EvalRequest`] is built.
 ///
-/// The builder's `trace` side channel is deliberately absent: a trace path
-/// is process-local (it names a file on the *server's* filesystem), so it
-/// is not part of the wire schema.
+/// The builder's Chrome-timeline side channel ([`EvalRequest::trace`]) is
+/// deliberately absent: it names an output file on the *server's*
+/// filesystem and is not part of the result.  The `trace` member here is
+/// different — it is an **input** flow trace ([`TraceRef`]) the scenario
+/// replays verbatim.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalSpec {
     /// The architecture instance.
@@ -644,6 +776,12 @@ pub struct EvalSpec {
     pub workload: Option<Workload>,
     /// Optional deterministic fault plan.
     pub faults: Option<FaultPlan>,
+    /// Optional explicit flow trace (inline body or server-side path),
+    /// replayed verbatim instead of regenerating from the workload
+    /// descriptor.  When both `workload` and `trace` are present the
+    /// workload must equal the trace's descriptor — a mismatch is a
+    /// structured bad request, not a silent override.
+    pub trace: Option<TraceRef>,
     /// Which simulator step loop runs the measurement (wire spelling
     /// `"step_mode"`, omitted when [`StepMode::Compiled`] — the default —
     /// so pre-existing request lines keep their bytes).  Interpretive
@@ -663,11 +801,15 @@ impl EvalSpec {
             entries: EvalRequest::DEFAULT_ENTRIES,
             workload: None,
             faults: None,
+            trace: None,
             step_mode: StepMode::Compiled,
         }
     }
 
-    /// Builds the validated [`EvalRequest`] (no trace attached).
+    /// Builds the validated [`EvalRequest`], resolving any flow-trace
+    /// reference (an inline body decodes here; a path reads the server's
+    /// filesystem here, so a missing or corrupt file rejects the request
+    /// before any simulation runs).
     pub fn to_request(&self) -> Result<EvalRequest, ApiError> {
         if self.entries == 0 {
             return Err(ApiError::bad_request("entries must be >= 1"));
@@ -680,11 +822,24 @@ impl EvalSpec {
         if let Some(faults) = self.faults {
             request = request.faults(faults);
         }
+        if let Some(trace_ref) = &self.trace {
+            let trace = trace_ref.resolve()?;
+            if let Some(workload) = self.workload {
+                if workload != trace.descriptor() {
+                    return Err(ApiError::bad_request(
+                        "trace: the request's workload does not match the attached trace's \
+                         descriptor",
+                    ));
+                }
+            }
+            request = request.flow_trace(Arc::new(trace));
+        }
         Ok(request.step_mode(self.step_mode))
     }
 
-    /// The wire spelling of `request` (trace path dropped — it is not part
-    /// of the schema), or `None` when the machine configuration is not
+    /// The wire spelling of `request` (Chrome-timeline path dropped — it
+    /// is not part of the schema; an attached flow trace becomes an inline
+    /// [`TraceRef`]), or `None` when the machine configuration is not
     /// expressible on the wire.
     pub fn from_request(request: &EvalRequest) -> Option<EvalSpec> {
         Some(EvalSpec {
@@ -693,6 +848,7 @@ impl EvalSpec {
             entries: request.entries,
             workload: request.workload,
             faults: request.faults,
+            trace: request.flow_trace.as_ref().map(|t| TraceRef::inline(t)),
             step_mode: request.step_mode,
         })
     }
@@ -713,6 +869,10 @@ impl EvalSpec {
         if let Some(p) = &self.faults {
             s.push_str(",\"faults\":");
             s.push_str(&fault_plan_to_json(p));
+        }
+        if let Some(t) = &self.trace {
+            s.push_str(",\"trace\":");
+            s.push_str(&t.to_json());
         }
         if self.step_mode != StepMode::Compiled {
             s.push_str(",\"step_mode\":\"");
@@ -748,6 +908,7 @@ impl EvalSpec {
             entries: f.req_usize("entries")?,
             workload: f.get_non_null("workload").map(workload_from_value).transpose()?,
             faults: f.get_non_null("faults").map(fault_plan_from_value).transpose()?,
+            trace: f.get_non_null("trace").map(TraceRef::from_value).transpose()?,
             step_mode: match f.get_non_null("step_mode") {
                 None => StepMode::Compiled,
                 Some(v) => {
@@ -787,6 +948,12 @@ pub(crate) fn sweep_spec_to_json(spec: &SweepSpec) -> String {
     if let Some(p) = &spec.faults {
         s.push_str(",\"faults\":");
         s.push_str(&fault_plan_to_json(p));
+    }
+    if let Some(t) = &spec.trace {
+        // Always inline: a sharded sweep's workers must receive the records
+        // themselves, not a path on the coordinator's filesystem.
+        s.push_str(",\"trace\":");
+        s.push_str(&TraceRef::inline(t).to_json());
     }
     s.push('}');
     s
@@ -828,6 +995,10 @@ pub(crate) fn sweep_spec_from_value(value: &Json) -> Result<SweepSpec, ApiError>
         entries: f.req_usize("entries")?,
         workload: f.get_non_null("workload").map(workload_from_value).transpose()?,
         faults: f.get_non_null("faults").map(fault_plan_from_value).transpose()?,
+        trace: f
+            .get_non_null("trace")
+            .map(|v| TraceRef::from_value(v)?.resolve().map(Arc::new))
+            .transpose()?,
     };
     if spec.entries == 0 {
         return Err(ApiError::bad_request("sweep spec: entries must be >= 1"));
@@ -1517,6 +1688,7 @@ mod tests {
                 entries: 8,
                 workload: Some(Workload::steady_forward()),
                 faults: None,
+                trace: None,
             },
             rate: LineRate::GIGE,
             constraints: Constraints {
@@ -1531,6 +1703,78 @@ mod tests {
         assert!(!line.contains("shard"), "unsharded sweeps keep their v1 bytes: {line}");
         assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
         assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+    }
+
+    #[test]
+    fn trace_eval_requests_round_trip_inline_and_path() {
+        let trace = taco_workload::TraceGen::generate(9, 30, 5, 8);
+        let mut spec = cam_spec();
+        spec.entries = 8;
+        for trace_ref in [TraceRef::inline(&trace), TraceRef::Path("traces/reference.trace".into())]
+        {
+            spec.trace = Some(trace_ref);
+            let request = ApiRequest::Eval(spec.clone());
+            let line = request.to_json();
+            assert!(line.contains("\"trace\":{"), "{line}");
+            assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
+            assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+        }
+    }
+
+    #[test]
+    fn trace_sweep_requests_round_trip_with_resolved_records() {
+        let trace = taco_workload::TraceGen::generate(9, 30, 5, 8);
+        let request = ApiRequest::Sweep {
+            spec: SweepSpec {
+                buses: vec![1, 3],
+                replication: vec![1],
+                kinds: vec![TableKind::Cam],
+                entries: 8,
+                workload: None,
+                faults: None,
+                trace: Some(std::sync::Arc::new(trace)),
+            },
+            rate: LineRate::TEN_GBE,
+            constraints: Constraints::default(),
+            shard: None,
+        };
+        let line = request.to_json();
+        // Sweep traces always ship inline — a sharded worker needs the
+        // records, not a path on the coordinator's filesystem.
+        assert!(line.contains("\"trace\":{\"inline\":\""), "{line}");
+        assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
+        assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+    }
+
+    #[test]
+    fn trace_refs_require_exactly_one_of_inline_or_path() {
+        let parse = |json: &str| TraceRef::from_value(&Json::parse(json).unwrap());
+        for bad in
+            ["{}", "{\"inline\":\"00\",\"path\":\"x\"}", "{\"inline\":1}", "{\"other\":true}"]
+        {
+            let err = parse(bad).expect_err(bad);
+            assert_eq!(err.code, ApiErrorCode::BadRequest, "{bad}");
+        }
+        assert_eq!(parse("{\"inline\":\"00ff\"}").unwrap(), TraceRef::Inline("00ff".into()));
+        assert_eq!(parse("{\"path\":\"t.bin\"}").unwrap(), TraceRef::Path("t.bin".into()));
+    }
+
+    #[test]
+    fn trace_workload_mismatch_is_a_structured_bad_request() {
+        let trace = taco_workload::TraceGen::generate(9, 30, 5, 8);
+        let mut spec = cam_spec();
+        spec.entries = 8;
+        spec.trace = Some(TraceRef::inline(&trace));
+
+        // A workload equal to the trace's descriptor is accepted...
+        spec.workload = Some(trace.descriptor());
+        assert!(spec.to_request().is_ok());
+
+        // ...any other workload is rejected, not silently overridden.
+        spec.workload = Some(Workload::burst_overload());
+        let err = spec.to_request().expect_err("mismatched workload must be rejected");
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+        assert!(err.message.contains("descriptor"), "{}", err.message);
     }
 
     #[test]

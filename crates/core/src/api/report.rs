@@ -21,7 +21,9 @@ use std::collections::BTreeMap;
 use taco_estimate::{Estimate, ExternalCam, PhysicalEstimate};
 use taco_isa::{FuKind, FuRef};
 use taco_sim::SimStats;
-use taco_workload::{FaultMetrics, LatencyHistogram, ScenarioMetrics, Workload, LATENCY_BUCKETS};
+use taco_workload::{
+    FaultMetrics, FlowStats, LatencyHistogram, ScenarioMetrics, Workload, LATENCY_BUCKETS,
+};
 
 use super::json::Json;
 use super::{
@@ -209,6 +211,20 @@ fn histogram_from_value(ctx: &'static str, value: &Json) -> Result<LatencyHistog
     Ok(LatencyHistogram::from_parts(buckets, count, total_ticks, max))
 }
 
+fn flow_stats_from_value(value: &Json) -> Result<FlowStats, ApiError> {
+    let mut f = Fields::new("flow stats", value)?;
+    let stats = FlowStats {
+        flows: f.req_u64("flows")?,
+        packets: f.req_u64("packets")?,
+        max_flow_len: f.req_u64("max_flow_len")?,
+        small: f.req_u64("small")?,
+        medium: f.req_u64("medium")?,
+        large: f.req_u64("large")?,
+    };
+    f.finish()?;
+    Ok(stats)
+}
+
 fn fault_metrics_from_value(value: &Json) -> Result<FaultMetrics, ApiError> {
     let mut f = Fields::new("fault metrics", value)?;
     let metrics = FaultMetrics {
@@ -257,6 +273,7 @@ fn scenario_from_value(value: &Json) -> Result<ScenarioMetrics, ApiError> {
         ripng_sent: f.req_u64("ripng_sent")?,
         throughput_milli: f.req_u64("throughput_milli")?,
         table_memory_words: f.req_u64("table_memory_words")?,
+        flows: f.get_non_null("flows").map(flow_stats_from_value).transpose()?,
         faults: f.get_non_null("faults").map(fault_metrics_from_value).transpose()?,
     };
     f.finish()?;

@@ -44,6 +44,11 @@ struct EvalKey {
     packet_bytes: u32,
     workload: Option<Workload>,
     faults: Option<FaultPlan>,
+    /// Checksum of an attached flow trace's record body, `0` when the
+    /// request carries none.  An explicit trace and the descriptor-driven
+    /// regeneration of the *same* records hash differently here only if
+    /// the bytes differ — which is exactly when the results may differ.
+    trace_digest: u64,
 }
 
 impl EvalKey {
@@ -55,6 +60,7 @@ impl EvalKey {
             packet_bytes: request.line_rate.packet_bytes,
             workload: request.workload,
             faults: request.faults,
+            trace_digest: request.flow_trace.as_ref().map_or(0, |t| t.digest()),
         }
     }
 
@@ -74,6 +80,7 @@ impl EvalKey {
             workload: self.workload,
             faults: self.faults,
             trace: None,
+            flow_trace: None,
             step_mode: StepMode::Compiled,
         }
     }
@@ -153,8 +160,9 @@ pub struct SnapshotStats {
     /// Report entries written to the file.
     pub persisted: u64,
     /// Cached reports with no wire form, skipped: reports carrying a
-    /// [`sim_error`](EvalReport::sim_error) (one-way by design) and
-    /// machine configurations outside the wire-expressible family.
+    /// [`sim_error`](EvalReport::sim_error) (one-way by design), machine
+    /// configurations outside the wire-expressible family, and entries
+    /// keyed to an explicit flow trace (the records are not persisted).
     pub skipped: u64,
 }
 
@@ -311,7 +319,10 @@ impl EvalCache {
         {
             let reports = self.reports.lock().expect("cache lock");
             for (key, report) in reports.iter() {
-                let spec = if report.sim_error.is_none() {
+                // Entries keyed to an explicit flow trace cannot be rebuilt
+                // from the key alone (the records live outside the cache),
+                // so they are process-local: skipped on export, recounted.
+                let spec = if report.sim_error.is_none() && key.trace_digest == 0 {
                     crate::api::EvalSpec::from_request(&key.to_request())
                 } else {
                     None
@@ -520,6 +531,34 @@ mod tests {
         assert!(!hit_reseeded);
         let (_, hit_same) = cache.evaluate_recorded(&faulted);
         assert!(hit_same);
+    }
+
+    #[test]
+    fn trace_digest_is_part_of_the_key_and_snapshots_skip_it() {
+        use std::sync::Arc;
+        use taco_workload::TraceGen;
+        let cache = EvalCache::new();
+        let trace = Arc::new(TraceGen::generate(11, 20, 6, 8));
+        let descriptor =
+            request(ArchConfig::three_bus_one_fu(TableKind::Cam), LineRate::TEN_GBE, 8)
+                .workload(trace.descriptor());
+        let explicit = descriptor.clone().flow_trace(Arc::clone(&trace));
+
+        // Same descriptor, but the explicit trace is keyed separately.
+        cache.evaluate(&descriptor);
+        let (_, hit) = cache.evaluate_recorded(&explicit);
+        assert!(!hit, "an explicit trace is a distinct cache point");
+        let (_, hit2) = cache.evaluate_recorded(&explicit);
+        assert!(hit2, "the same trace digest hits");
+
+        // Export skips the trace-keyed entry: its records cannot be rebuilt
+        // from the key, so only the descriptor entry has a wire form.
+        let (body, stats) = cache.to_snapshot_string();
+        assert_eq!(stats, SnapshotStats { persisted: 1, skipped: 1 });
+        let warm = EvalCache::new();
+        assert_eq!(warm.load_snapshot_str(&body).expect("load"), 1);
+        let (_, desc_hit) = warm.evaluate_recorded(&descriptor);
+        assert!(desc_hit);
     }
 
     #[test]

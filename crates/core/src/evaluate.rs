@@ -10,7 +10,9 @@ use taco_router::traffic::TrafficGen;
 use taco_routing::cam::CamSpec;
 use taco_routing::{PortId, Route, SequentialTable, TableKind};
 use taco_sim::{SimError, SimStats, StepMode};
-use taco_workload::{run_scenario_with_faults, FaultPlan, ScenarioConfig, ScenarioMetrics};
+use taco_workload::{
+    run_scenario_with_faults, run_trace_replay, FaultPlan, ScenarioConfig, ScenarioMetrics,
+};
 
 use crate::arch::ArchConfig;
 use crate::rate::LineRate;
@@ -376,11 +378,13 @@ pub fn evaluate_request(request: &EvalRequest) -> EvalReport {
 
     let scenario = request.workload.as_ref().map(|workload| {
         let service = scenario_service_per_tick(cycles);
-        run_scenario_with_faults(
-            workload,
-            &ScenarioConfig::new(config.table).service_per_tick(service),
-            request.faults.as_ref(),
-        )
+        let scenario_config = ScenarioConfig::new(config.table).service_per_tick(service);
+        match &request.flow_trace {
+            // An attached flow trace is replayed verbatim; the workload
+            // descriptor only names its parameters in the report.
+            Some(trace) => run_trace_replay(trace, &scenario_config, request.faults.as_ref()),
+            None => run_scenario_with_faults(workload, &scenario_config, request.faults.as_ref()),
+        }
     });
 
     EvalReport {
@@ -553,6 +557,21 @@ mod tests {
         assert_eq!(sc.kind, TableKind::Cam);
         assert!(sc.offered > 0);
         assert!(sc.forwarded > 0, "{}", sc.to_json());
+    }
+
+    #[test]
+    fn explicit_flow_trace_matches_its_descriptor_replay() {
+        use std::sync::Arc;
+        use taco_workload::TraceGen;
+        let trace = Arc::new(TraceGen::generate(21, 40, 8, 12));
+        let config = ArchConfig::three_bus_one_fu(TableKind::Cam);
+        let explicit =
+            EvalRequest::new(config.clone()).entries(16).flow_trace(Arc::clone(&trace)).run();
+        let descriptor = EvalRequest::new(config).entries(16).workload(trace.descriptor()).run();
+        let a = explicit.scenario.expect("trace replay attaches metrics");
+        let b = descriptor.scenario.expect("descriptor replay attaches metrics");
+        assert_eq!(a.to_json(), b.to_json(), "verbatim replay must equal regeneration");
+        assert!(a.flows.is_some(), "trace replay reports per-flow stats");
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! pipeline, filter by the designer's constraints, and rank what survives.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use taco_routing::TableKind;
-use taco_workload::{FaultPlan, Workload};
+use taco_workload::{FaultPlan, FlowTrace, Workload};
 
 use crate::arch::ArchConfig;
 use crate::cache::EvalCache;
@@ -99,6 +100,11 @@ pub struct SweepSpec {
     /// (rankable via [`Constraints::max_unrecovered_faults`]); `None`
     /// sweeps fault-free.
     pub faults: Option<FaultPlan>,
+    /// Explicit flow trace every grid point replays verbatim (attaching it
+    /// also sets each point's workload to the trace's descriptor); `None`
+    /// replays `workload` as named.  One `Arc` is shared by every point —
+    /// the grid never clones the records.
+    pub trace: Option<Arc<FlowTrace>>,
 }
 
 impl Default for SweepSpec {
@@ -112,6 +118,7 @@ impl Default for SweepSpec {
             entries: 100,
             workload: None,
             faults: None,
+            trace: None,
         }
     }
 }
@@ -125,6 +132,9 @@ impl SweepSpec {
         }
         if let Some(faults) = self.faults {
             request = request.faults(faults);
+        }
+        if let Some(trace) = &self.trace {
+            request = request.flow_trace(Arc::clone(trace));
         }
         request
     }
@@ -326,6 +336,7 @@ mod tests {
             entries: 8,
             workload: None,
             faults: None,
+            trace: None,
         }
     }
 
@@ -363,6 +374,7 @@ mod tests {
             entries: 8,
             workload: Some(workload),
             faults: None,
+            trace: None,
         };
         // A generous physical budget so only the drop bound discriminates;
         // 10 GbE would mark the sequential row NA before drops matter.
@@ -384,6 +396,29 @@ mod tests {
         let survivors: Vec<TableKind> =
             filtered.admitted.iter().map(|&i| filtered.all[i].config.table).collect();
         assert_eq!(survivors, vec![TableKind::Cam], "the drop bound culls the sequential scan");
+    }
+
+    #[test]
+    fn trace_sweep_replays_the_same_records_at_every_point() {
+        use taco_workload::TraceGen;
+        let trace = Arc::new(TraceGen::generate(5, 30, 6, 8));
+        let spec = SweepSpec {
+            buses: vec![3],
+            replication: vec![1],
+            kinds: vec![TableKind::Cam, TableKind::BalancedTree],
+            entries: 8,
+            workload: None,
+            faults: None,
+            trace: Some(Arc::clone(&trace)),
+        };
+        let ex = explore(&spec, LineRate::GIGE, &Constraints::default());
+        assert_eq!(ex.all.len(), 2);
+        for r in &ex.all {
+            let sc = r.scenario.as_ref().expect("trace sweep replays at every point");
+            assert_eq!(sc.scenario, "trace-replay");
+            let flows = sc.flows.as_ref().expect("trace replay reports per-flow stats");
+            assert_eq!(flows.packets, sc.offered, "every offered datagram came from the trace");
+        }
     }
 
     #[test]

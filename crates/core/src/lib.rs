@@ -52,7 +52,7 @@ pub mod table1;
 
 pub use api::{
     parse_step_mode, salvage_request_id, step_mode_name, ApiError, ApiErrorCode, ApiRequest,
-    ApiResponse, ConfigSpec, EvalSpec, StatusInfo, SweepShard, WireRequest, WireResponse,
+    ApiResponse, ConfigSpec, EvalSpec, StatusInfo, SweepShard, TraceRef, WireRequest, WireResponse,
 };
 pub use arch::{ArchConfig, RoutingTableKind};
 pub use cache::{EvalCache, SnapshotError, SnapshotStats};
@@ -69,4 +69,7 @@ pub use rate::LineRate;
 pub use request::EvalRequest;
 pub use table1::table1;
 pub use taco_sim::StepMode;
-pub use taco_workload::{FaultMetrics, FaultPlan, ScenarioMetrics, Workload, DEFAULT_FAULT_SEED};
+pub use taco_workload::{
+    FaultMetrics, FaultPlan, FlowStats, FlowTrace, ScenarioMetrics, TraceFormatError, TraceGen,
+    Workload, DEFAULT_FAULT_SEED,
+};

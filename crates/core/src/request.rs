@@ -27,9 +27,10 @@
 //! ```
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use taco_sim::StepMode;
-use taco_workload::{FaultPlan, Workload};
+use taco_workload::{FaultPlan, FlowTrace, Workload};
 
 use crate::arch::ArchConfig;
 use crate::evaluate::{evaluate_request, EvalReport};
@@ -63,6 +64,12 @@ pub struct EvalRequest {
     /// so a cache hit skips it — trace through an uncached
     /// [`run`](EvalRequest::run) when the file matters.
     pub trace: Option<PathBuf>,
+    /// Optional explicit flow trace to replay.  When present (and the
+    /// workload is a trace replay), the scenario replays these records
+    /// verbatim instead of regenerating from the descriptor; the trace
+    /// digest **is** part of the cache key.  `Arc` keeps the request cheap
+    /// to clone even for large traces.
+    pub flow_trace: Option<Arc<FlowTrace>>,
     /// Which simulator step loop the measurement uses (see
     /// [`taco_sim::StepMode`]).  Both loops produce identical metrics —
     /// the interpretive path exists as the executable reference for
@@ -85,6 +92,7 @@ impl EvalRequest {
             workload: None,
             faults: None,
             trace: None,
+            flow_trace: None,
             step_mode: StepMode::default(),
         }
     }
@@ -130,6 +138,15 @@ impl EvalRequest {
         self
     }
 
+    /// Attaches an explicit flow trace and sets the workload to its
+    /// descriptor, so the replay uses these records verbatim while the
+    /// report still names the trace's parameters.
+    pub fn flow_trace(mut self, trace: Arc<FlowTrace>) -> Self {
+        self.workload = Some(trace.descriptor());
+        self.flow_trace = Some(trace);
+        self
+    }
+
     /// Overrides the simulator step loop ([`StepMode::Interpretive`] forces
     /// the reference path; useful when bisecting a suspected compiled-path
     /// divergence).
@@ -157,6 +174,7 @@ mod tests {
         assert!(r.workload.is_none());
         assert!(r.faults.is_none());
         assert!(r.trace.is_none());
+        assert!(r.flow_trace.is_none());
         assert_eq!(r.step_mode, StepMode::Compiled);
     }
 

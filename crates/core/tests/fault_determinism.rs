@@ -22,6 +22,7 @@ fn faulted_spec() -> SweepSpec {
         entries: 8,
         workload: Some(small_workload()),
         faults: Some(FaultPlan::storm()),
+        trace: None,
     }
 }
 

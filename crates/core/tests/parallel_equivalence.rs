@@ -72,6 +72,7 @@ fn repeated_sweep_hits_the_cache_and_reports_it() {
         entries: 8,
         workload: None,
         faults: None,
+        trace: None,
     };
     let constraints = Constraints::default();
     let cache = EvalCache::new();
@@ -161,6 +162,7 @@ fn equal_power_ties_rank_deterministically() {
         entries: 8,
         workload: None,
         faults: None,
+        trace: None,
     };
     let constraints = Constraints::default();
     let cache = EvalCache::new();

@@ -4,10 +4,13 @@
 //! threads evaluate it, and re-running the same seed must reproduce the
 //! run exactly.
 
+use std::sync::Arc;
+
 use taco_core::{
     explore_with, Constraints, EvalCache, EvalRequest, ExploreOptions, LineRate, RoutingTableKind,
     Silent, SweepSpec, Workload,
 };
+use taco_workload::TraceGen;
 
 fn scenario_spec() -> SweepSpec {
     SweepSpec {
@@ -17,13 +20,22 @@ fn scenario_spec() -> SweepSpec {
         entries: 8,
         workload: Some(Workload::burst_overload()),
         faults: None,
+        trace: None,
     }
 }
 
-fn scenario_jsons(threads: usize) -> Vec<String> {
+fn trace_spec() -> SweepSpec {
+    SweepSpec {
+        trace: Some(Arc::new(TraceGen::generate(33, 60, 10, 8))),
+        workload: None,
+        ..scenario_spec()
+    }
+}
+
+fn spec_jsons(spec: &SweepSpec, threads: usize) -> Vec<String> {
     let cache = EvalCache::new();
     let ex = explore_with(
-        &scenario_spec(),
+        spec,
         LineRate::TEN_GBE,
         &Constraints::default(),
         &ExploreOptions { threads, cache: Some(&cache), observer: &Silent },
@@ -34,12 +46,41 @@ fn scenario_jsons(threads: usize) -> Vec<String> {
         .collect()
 }
 
+fn scenario_jsons(threads: usize) -> Vec<String> {
+    spec_jsons(&scenario_spec(), threads)
+}
+
 #[test]
 fn scenario_metrics_are_byte_identical_across_thread_counts() {
     let serial = scenario_jsons(1);
     let parallel = scenario_jsons(4);
     assert_eq!(serial.len(), 4);
     assert_eq!(serial, parallel, "scenario JSON must not depend on the worker count");
+}
+
+#[test]
+fn trace_replay_metrics_are_byte_identical_across_thread_counts() {
+    let serial = spec_jsons(&trace_spec(), 1);
+    let parallel = spec_jsons(&trace_spec(), 4);
+    assert_eq!(serial.len(), 4);
+    assert_eq!(serial, parallel, "trace-replay JSON must not depend on the worker count");
+    for json in &serial {
+        assert!(json.contains("\"scenario\":\"trace-replay\""), "{json}");
+        assert!(json.contains("\"flows\":{"), "per-flow section must be present: {json}");
+    }
+}
+
+#[test]
+fn trace_replay_cache_hits_round_trip_bytes() {
+    let cache = EvalCache::new();
+    let spec = trace_spec();
+    let opts = ExploreOptions { threads: 2, cache: Some(&cache), observer: &Silent };
+    let cold = explore_with(&spec, LineRate::TEN_GBE, &Constraints::default(), &opts);
+    let warm = explore_with(&spec, LineRate::TEN_GBE, &Constraints::default(), &opts);
+    assert_eq!(cache.hits(), 4, "the repeat trace sweep is answered from the cache");
+    for (a, b) in cold.all.iter().zip(&warm.all) {
+        assert_eq!(a.scenario.as_ref().unwrap().to_json(), b.scenario.as_ref().unwrap().to_json());
+    }
 }
 
 #[test]

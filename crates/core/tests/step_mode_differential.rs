@@ -25,8 +25,10 @@ fn fault_presets() -> Vec<(&'static str, Option<FaultPlan>)> {
     presets
 }
 
-/// Every builtin workload × table kind × fault preset (5 × 4 × 6 = 120),
-/// labelled for failure messages.
+/// Every builtin workload × table kind × fault preset (5 × 6 × 6 = 180),
+/// labelled for failure messages.  The builtin list includes the
+/// `mixed-plane` and `trace-replay` workloads, so both new scenarios ride
+/// the full differential matrix.
 fn matrix() -> Vec<(String, EvalRequest)> {
     let mut requests = Vec::new();
     for kind in TABLE_KINDS {
@@ -87,6 +89,27 @@ fn compiled_full_reports_match_interpretive() {
             let compiled = evaluate_request(&request.clone().step_mode(StepMode::Compiled));
             let interpretive = evaluate_request(&request.step_mode(StepMode::Interpretive));
             assert_eq!(compiled, interpretive, "{kind:?} report diverged across step modes");
+        }
+    }
+}
+
+#[test]
+fn explicit_flow_traces_are_byte_identical_across_step_modes() {
+    // The matrix above replays traces regenerated from their descriptor;
+    // this pins the other entry point — an explicit in-memory trace
+    // attached to the request — across both step modes and a fault plan.
+    let trace = std::sync::Arc::new(taco_workload::TraceGen::generate(77, 50, 9, ENTRIES as u32));
+    for kind in TABLE_KINDS {
+        for plan in [None, Some(FaultPlan::stalls())] {
+            let mut request = EvalRequest::new(ArchConfig::three_bus_one_fu(kind))
+                .entries(ENTRIES)
+                .flow_trace(std::sync::Arc::clone(&trace));
+            if let Some(plan) = plan {
+                request = request.faults(plan);
+            }
+            let compiled = fingerprint(&request.clone().step_mode(StepMode::Compiled));
+            let interpretive = fingerprint(&request.step_mode(StepMode::Interpretive));
+            assert_eq!(compiled, interpretive, "{kind:?}: explicit trace diverged");
         }
     }
 }

@@ -1233,24 +1233,37 @@ pub fn sharded_sweep(
             .collect()
     });
 
-    // Merge stripes back into sweep order and pool the caches.
+    // Merge stripes back into sweep order and pool the caches.  The grid
+    // size comes from the first reply and every later reply must agree —
+    // tracked in an `Option` rather than by `slots.is_empty()`, because an
+    // empty grid (`total == 0`) is a legitimate first answer and must still
+    // flag a worker that later claims a non-empty grid.
     let mut slots: Vec<Option<EvalReport>> = Vec::new();
+    let mut seen_total: Option<usize> = None;
     let pooled = EvalCache::new();
     for reply in replies {
         let (total, indices, reports, snapshot) = reply?;
-        if slots.is_empty() {
-            slots.resize(total, None);
-        }
-        if slots.len() != total {
-            return Err(io::Error::other(format!(
-                "shard workers disagree on the grid size ({} vs {total})",
-                slots.len()
-            )));
+        match seen_total {
+            None => {
+                seen_total = Some(total);
+                slots.resize(total, None);
+            }
+            Some(seen) if seen != total => {
+                return Err(io::Error::other(format!(
+                    "shard workers disagree on the grid size ({seen} vs {total})"
+                )));
+            }
+            Some(_) => {}
         }
         for (index, report) in indices.into_iter().zip(reports) {
             let slot = slots.get_mut(index).ok_or_else(|| {
                 io::Error::other(format!("shard index {index} out of range 0..{total}"))
             })?;
+            if slot.is_some() {
+                return Err(io::Error::other(format!(
+                    "two shard workers both answered sweep point {index}"
+                )));
+            }
             *slot = Some(report);
         }
         pooled

@@ -127,6 +127,83 @@ fn twelve_cell_batch_matches_golden_cold_and_from_persisted_snapshot() {
 }
 
 #[test]
+fn trace_replay_over_the_wire_matches_in_process_replay_byte_for_byte() {
+    use taco_core::{EvalRequest, FlowTrace, TraceGen, TraceRef};
+
+    let dir = temp_dir("trace");
+    let path = dir.join("reference.trace");
+    TraceGen::generate(404, 80, 12, 8).write(&path).expect("write trace");
+    let trace = FlowTrace::read(&path).expect("read trace back");
+
+    // The in-process reference replay of the same on-disk trace.
+    let local = EvalRequest::new(ArchConfig::three_bus_one_fu(RoutingTableKind::Cam))
+        .entries(8)
+        .flow_trace(std::sync::Arc::new(trace.clone()))
+        .run();
+    let local_json = local.scenario.as_ref().expect("trace metrics").to_json();
+
+    let (addr, handle) = start(ServerConfig::default());
+    let mut spec = EvalSpec::new(ConfigSpec::new(RoutingTableKind::Cam, 3, 1));
+    spec.entries = 8;
+
+    // Inline submission — the wire form `taco-cli submit --trace` sends.
+    spec.trace = Some(TraceRef::inline(&trace));
+    let wire_json = |spec: &EvalSpec| {
+        let lines = request_lines(addr, &ApiRequest::Eval(spec.clone()).to_json()).expect("eval");
+        match ApiResponse::from_json(&lines[0]).expect("parse eval result") {
+            ApiResponse::EvalResult(report) => {
+                report.scenario.as_ref().expect("trace metrics over the wire").to_json()
+            }
+            other => panic!("expected eval_result, got {other:?}"),
+        }
+    };
+    assert_eq!(wire_json(&spec), local_json, "inline trace replay drifted from in-process");
+
+    // A server-side path reference resolves to the same bytes.
+    spec.trace = Some(TraceRef::Path(path.display().to_string()));
+    assert_eq!(wire_json(&spec), local_json, "path trace replay drifted from in-process");
+
+    shut_down(addr);
+    handle.join().expect("server thread").expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_and_missing_wire_traces_are_structured_bad_requests() {
+    use taco_core::TraceRef;
+
+    let (addr, handle) = start(ServerConfig::default());
+    let mut spec = EvalSpec::new(ConfigSpec::new(RoutingTableKind::Cam, 3, 1));
+    spec.entries = 8;
+
+    let expect_bad_request = |spec: &EvalSpec, needle: &str| {
+        let lines = request_lines(addr, &ApiRequest::Eval(spec.clone()).to_json()).expect("eval");
+        match ApiResponse::from_json(&lines[0]).expect("parse error") {
+            ApiResponse::Error(e) => {
+                assert_eq!(e.code, ApiErrorCode::BadRequest);
+                assert!(e.message.contains(needle), "{needle:?} not in {:?}", e.message);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    };
+
+    // Bad hex in an inline trace.
+    spec.trace = Some(TraceRef::Inline("zz".into()));
+    expect_bad_request(&spec, "trace");
+
+    // Valid hex that is not a trace body.
+    spec.trace = Some(TraceRef::Inline("00ff".into()));
+    expect_bad_request(&spec, "trace");
+
+    // A server-side path that does not exist.
+    spec.trace = Some(TraceRef::Path("/nonexistent/taco.trace".into()));
+    expect_bad_request(&spec, "trace");
+
+    shut_down(addr);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
 fn over_capacity_submissions_get_a_structured_busy_error() {
     // One job slot and one worker thread: while the sweep below runs, any
     // second submission must bounce with `busy` — and succeed on retry
@@ -145,6 +222,7 @@ fn over_capacity_submissions_get_a_structured_busy_error() {
             entries: 4096,
             workload: None,
             faults: None,
+            trace: None,
         },
         rate: LineRate::TEN_GBE,
         constraints: Constraints::default(),
@@ -231,6 +309,7 @@ fn shutdown_drains_in_flight_work_before_acknowledging() {
             entries: 8,
             workload: None,
             faults: None,
+            trace: None,
         },
         rate: LineRate::TEN_GBE,
         constraints: Constraints::default(),

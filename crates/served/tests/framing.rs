@@ -9,14 +9,14 @@
 //! non-default limits.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::thread;
 use std::time::Duration;
 
 use taco_core::api::{ApiErrorCode, ConfigSpec, EvalSpec};
 use taco_core::{
-    explore, ApiRequest, ApiResponse, Constraints, LineRate, RoutingTableKind, StepMode, SweepSpec,
-    WireResponse,
+    explore, ApiRequest, ApiResponse, Constraints, EvalCache, LineRate, RoutingTableKind, StepMode,
+    SweepSpec, WireRequest, WireResponse,
 };
 use taco_served::{request_lines, sharded_sweep, Server, ServerConfig, Session};
 
@@ -48,6 +48,7 @@ fn tiny_sweep() -> SweepSpec {
         entries: 8,
         workload: None,
         faults: None,
+        trace: None,
     }
 }
 
@@ -423,6 +424,7 @@ fn sharded_patricia_sweep_is_byte_identical_to_the_local_explorer() {
         entries: 8,
         workload: None,
         faults: None,
+        trace: None,
     };
     let constraints = Constraints::default();
     let local = explore(&spec, LineRate::TEN_GBE, &constraints);
@@ -446,6 +448,109 @@ fn sharded_patricia_sweep_is_byte_identical_to_the_local_explorer() {
     shut_down(b);
     ha.join().expect("join").expect("clean exit");
     hb.join().expect("join").expect("clean exit");
+}
+
+/// A scripted shard "worker" for merge-robustness tests: one v2 session,
+/// answering every sweep request with the canned `shard_result` and every
+/// cache export with a valid (empty) snapshot, until the coordinator hangs
+/// up.  The real daemon never misbehaves this way, so the coordinator's
+/// defences can only be exercised against a liar.
+fn fake_shard_worker(result: ApiResponse) -> (SocketAddr, thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake worker");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept coordinator");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).expect("read request") == 0 {
+                return;
+            }
+            let wire = WireRequest::from_json(line.trim_end()).expect("parse request");
+            let response = match wire.request {
+                ApiRequest::Sweep { .. } => result.clone(),
+                ApiRequest::CacheExport => {
+                    ApiResponse::CacheSnapshot { body: EvalCache::new().to_snapshot_string().0 }
+                }
+                other => panic!("unexpected request {other:?}"),
+            };
+            let frame = format!("{}\n", response.to_json_v2(wire.id));
+            writer.write_all(frame.as_bytes()).expect("write response");
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn zero_and_nonzero_shard_totals_are_a_grid_size_disagreement() {
+    // An empty grid (`total == 0`) is a legitimate first reply, but it
+    // must still collide with a second worker claiming four points — the
+    // old merge used the empty slot vector itself as the "first reply"
+    // sentinel, so this exact pairing slipped through unnoticed.
+    let empty = ApiResponse::ShardResult { total: 0, indices: vec![], reports: vec![] };
+    let four = ApiResponse::ShardResult { total: 4, indices: vec![], reports: vec![] };
+    let (a, ha) = fake_shard_worker(empty);
+    let (b, hb) = fake_shard_worker(four);
+    let err = sharded_sweep(&[a, b], &tiny_sweep(), LineRate::TEN_GBE, &Constraints::default())
+        .expect_err("a 0-vs-4 grid size disagreement must fail the merge");
+    assert!(err.to_string().contains("disagree on the grid size (0 vs 4)"), "{err}");
+    ha.join().expect("worker a exits");
+    hb.join().expect("worker b exits");
+}
+
+#[test]
+fn duplicate_shard_indices_are_rejected_not_overwritten() {
+    // A worker answering the same global index twice used to overwrite
+    // the first report silently; the merge must instead name the index in
+    // a structured error, because a duplicate means the stripes (and so
+    // the whole exploration) cannot be trusted.
+    let spec = tiny_sweep();
+    let report = explore(&spec, LineRate::TEN_GBE, &Constraints::default()).all[1].clone();
+    let doubled = ApiResponse::ShardResult {
+        total: 4,
+        indices: vec![1, 1],
+        reports: vec![report.clone(), report],
+    };
+    let (addr, handle) = fake_shard_worker(doubled);
+    let err = sharded_sweep(&[addr], &spec, LineRate::TEN_GBE, &Constraints::default())
+        .expect_err("a duplicate sweep index must fail the merge");
+    assert!(err.to_string().contains("both answered sweep point 1"), "{err}");
+    handle.join().expect("worker exits");
+}
+
+#[test]
+fn more_workers_than_grid_points_merges_empty_stripes_cleanly() {
+    // Three workers over a two-point grid: the third round-robin stripe is
+    // empty, and the worker must answer a valid empty `shard_result` (with
+    // the true total) that the coordinator merges without complaint.
+    let spec = SweepSpec {
+        buses: vec![1, 3],
+        replication: vec![1],
+        kinds: vec![RoutingTableKind::Cam],
+        entries: 8,
+        workload: None,
+        faults: None,
+        trace: None,
+    };
+    let constraints = Constraints::default();
+    let local = explore(&spec, LineRate::TEN_GBE, &constraints);
+    assert_eq!(local.all.len(), 2, "the grid must be smaller than the worker pool");
+
+    let (a, ha) = start(ServerConfig::default());
+    let (b, hb) = start(ServerConfig::default());
+    let (c, hc) = start(ServerConfig::default());
+    let merged = sharded_sweep(&[a, b, c], &spec, LineRate::TEN_GBE, &constraints)
+        .expect("an empty stripe is a first-class shard answer");
+    assert_eq!(merged.all, local.all, "shard merge must reproduce sweep order exactly");
+    assert_eq!(merged.admitted, local.admitted);
+    for addr in [a, b, c] {
+        shut_down(addr);
+    }
+    for handle in [ha, hb, hc] {
+        handle.join().expect("join").expect("clean exit");
+    }
 }
 
 #[test]

@@ -9,7 +9,10 @@
 //!
 //! * [`Workload`] — a named traffic pattern with all-integer parameters
 //!   (`steady-forward`, `burst-overload`, `ripng-convergence`,
-//!   `table-churn`), hashable so evaluation caches can key on it;
+//!   `table-churn`, `mixed-plane`, `trace-replay`), hashable so
+//!   evaluation caches can key on it;
+//! * [`FlowTrace`] / [`TraceGen`] — versioned, checksummed binary flow
+//!   traces and the seeded empirical generator behind `trace-replay`;
 //! * [`ScenarioConfig`] — the router under test: table organisation,
 //!   service rate, queue bound;
 //! * [`run_scenario`] — the engine: deterministic tick-by-tick replay;
@@ -34,10 +37,15 @@
 pub mod fault;
 pub mod metrics;
 pub mod scenario;
+pub mod trace;
 
 pub use fault::{FaultMetrics, FaultPlan, DEFAULT_FAULT_SEED};
-pub use metrics::{LatencyHistogram, ScenarioMetrics, LATENCY_BUCKETS};
+pub use metrics::{FlowStats, LatencyHistogram, ScenarioMetrics, LATENCY_BUCKETS};
 pub use scenario::{
-    run_scenario, run_scenario_with_faults, ScenarioConfig, Workload, DEFAULT_SEED, PORTS,
-    TICK_MILLIS,
+    run_scenario, run_scenario_with_faults, run_trace_replay, ScenarioConfig, Workload,
+    DEFAULT_SEED, PORTS, TICK_MILLIS,
+};
+pub use trace::{
+    FlowTrace, TraceFormatError, TraceGen, TraceRecord, MAX_PAYLOAD, RECORD_BYTES, TRACE_MAGIC,
+    TRACE_VERSION,
 };

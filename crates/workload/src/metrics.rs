@@ -189,6 +189,39 @@ impl LatencyHistogram {
     }
 }
 
+/// The all-integer per-flow section a trace replay adds to its metrics:
+/// how many flows the trace carried, how its packets split across the
+/// trimodal size classes, and how large the biggest flow was.  Absent
+/// (`None` in [`ScenarioMetrics::flows`]) for every non-trace workload,
+/// so their JSON stays byte-identical to what it was before traces
+/// existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowStats {
+    /// Distinct flow ids replayed.
+    pub flows: u64,
+    /// Trace records replayed (offered datagrams from the trace).
+    pub packets: u64,
+    /// Packets of the largest single flow.
+    pub max_flow_len: u64,
+    /// Packets with payload < 128 bytes (ack-sized mode).
+    pub small: u64,
+    /// Packets with payload in 128..=768 bytes (576-byte legacy mode).
+    pub medium: u64,
+    /// Packets with payload > 768 bytes (minimum-MTU mode).
+    pub large: u64,
+}
+
+impl FlowStats {
+    /// Stable JSON (integers only, fixed key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"flows\":{},\"packets\":{},\"max_flow_len\":{},\
+             \"small\":{},\"medium\":{},\"large\":{}}}",
+            self.flows, self.packets, self.max_flow_len, self.small, self.medium, self.large,
+        )
+    }
+}
+
 /// Everything one scenario run measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioMetrics {
@@ -230,6 +263,10 @@ pub struct ScenarioMetrics {
     /// byte-deterministic; under insert/remove cycles this is the arena
     /// high-water mark, which the bounded-churn tests pin.
     pub table_memory_words: u64,
+    /// Per-flow record — `None` unless the run replayed a flow trace, so
+    /// non-trace JSON stays byte identical to what it was before traces
+    /// existed.
+    pub flows: Option<FlowStats>,
     /// Fault-injection record — `None` unless the run carried a
     /// [`FaultPlan`](crate::FaultPlan), so fault-free JSON stays byte
     /// identical to what it was before faults existed.
@@ -266,6 +303,9 @@ impl ScenarioMetrics {
             self.throughput_milli,
             self.table_memory_words,
         );
+        if let Some(fl) = &self.flows {
+            let _ = write!(s, ",\"flows\":{}", fl.to_json());
+        }
         if let Some(f) = &self.faults {
             let _ = write!(s, ",\"faults\":{}", f.to_json());
         }
@@ -430,6 +470,7 @@ mod tests {
             ripng_sent: 4,
             throughput_milli: 9000,
             table_memory_words: 1040,
+            flows: None,
             faults: None,
         };
         let j = m.to_json();
@@ -453,5 +494,46 @@ mod tests {
         let fj = faulted.to_json();
         assert!(fj.contains(",\"faults\":{\"injected_malformed\":2,"), "{fj}");
         assert!(fj.ends_with("}}"), "{fj}");
+    }
+
+    #[test]
+    fn flows_section_appears_between_memory_and_faults() {
+        let m = ScenarioMetrics {
+            scenario: "trace-replay",
+            kind: TableKind::Cam,
+            seed: 7,
+            ticks: 10,
+            offered: 100,
+            forwarded: 90,
+            delivered: 2,
+            dropped_no_route: 8,
+            dropped_overflow: 0,
+            max_queue_depth: 5,
+            final_backlog: 0,
+            latency: LatencyHistogram::new(),
+            table_updates: 1,
+            update_latency: LatencyHistogram::new(),
+            ripng_sent: 4,
+            throughput_milli: 9000,
+            table_memory_words: 1040,
+            flows: Some(FlowStats {
+                flows: 12,
+                packets: 100,
+                max_flow_len: 40,
+                small: 60,
+                medium: 25,
+                large: 15,
+            }),
+            faults: Some(crate::fault::FaultMetrics::default()),
+        };
+        let j = m.to_json();
+        assert!(
+            j.contains(
+                "\"table_memory_words\":1040,\"flows\":{\"flows\":12,\"packets\":100,\
+                 \"max_flow_len\":40,\"small\":60,\"medium\":25,\"large\":15},\"faults\":{"
+            ),
+            "{j}"
+        );
+        assert!(!j.contains('.'), "integers only: {j}");
     }
 }

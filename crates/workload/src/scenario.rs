@@ -24,7 +24,8 @@ use taco_routing::ripng::InterfaceConfig;
 use taco_routing::{LpmTable, PortId, Route, SimTime, TableKind};
 
 use crate::fault::{FaultMetrics, FaultPlan};
-use crate::metrics::{LatencyHistogram, ScenarioMetrics};
+use crate::metrics::{FlowStats, LatencyHistogram, ScenarioMetrics};
+use crate::trace::{FlowTrace, TraceGen, TraceRecord};
 
 /// Router ports every scenario drives.
 pub const PORTS: u16 = 4;
@@ -111,17 +112,56 @@ pub enum Workload {
         /// …withdrawing (then re-advertising) this many routes.
         churn_size: u32,
     },
+    /// Alternating control-heavy and data-heavy phases: RIPng withdrawal
+    /// storms followed by re-advertisement while forwarding trickles,
+    /// then forwarding bursts at a multiplied rate — the mixed
+    /// control/data-plane load a real edge router carries.
+    MixedPlane {
+        /// RNG seed.
+        seed: u64,
+        /// Measured ticks.
+        ticks: u32,
+        /// Advertising neighbours (spread round-robin over the ports).
+        neighbours: u32,
+        /// Routes each neighbour advertises.
+        routes_per_neighbour: u32,
+        /// Data datagrams injected per tick in control phases.
+        packets_per_tick: u32,
+        /// Data-phase rate multiplier over `packets_per_tick`.
+        burst_multiplier: u32,
+        /// Length of each phase in ticks (control and data alternate).
+        phase_len: u32,
+    },
+    /// Replays a [`FlowTrace`](crate::trace::FlowTrace) — empirically
+    /// shaped, heavy-tailed flow traffic — regenerated deterministically
+    /// from this compact descriptor by
+    /// [`TraceGen`](crate::trace::TraceGen).  An externally supplied
+    /// trace file replays through
+    /// [`run_trace_replay`] instead.
+    TraceReplay {
+        /// Trace seed (also derives the routing table).
+        seed: u64,
+        /// Tick horizon of the trace.
+        ticks: u32,
+        /// Flows the trace carries.
+        flows: u32,
+        /// Routing-table size the destinations were drawn against.
+        entries: u32,
+    },
 }
 
 impl Workload {
     /// The scenario's name (`steady-forward`, `burst-overload`,
-    /// `ripng-convergence`, `table-churn`).
+    /// `ripng-convergence`, `table-churn`, `mixed-plane`,
+    /// `trace-replay`).
     pub fn name(&self) -> &'static str {
         match self {
             Workload::SteadyForward { .. } => "steady-forward",
             Workload::BurstOverload { .. } => "burst-overload",
             Workload::RipngConvergence { .. } => "ripng-convergence",
             Workload::TableChurn { .. } => "table-churn",
+            Workload::MixedPlane { .. } => "mixed-plane",
+            Workload::TraceReplay { .. } => "trace-replay",
         }
     }
 
@@ -131,7 +171,9 @@ impl Workload {
             Workload::SteadyForward { seed, .. }
             | Workload::BurstOverload { seed, .. }
             | Workload::RipngConvergence { seed, .. }
-            | Workload::TableChurn { seed, .. } => *seed,
+            | Workload::TableChurn { seed, .. }
+            | Workload::MixedPlane { seed, .. }
+            | Workload::TraceReplay { seed, .. } => *seed,
         }
     }
 
@@ -141,7 +183,9 @@ impl Workload {
             Workload::SteadyForward { seed, .. }
             | Workload::BurstOverload { seed, .. }
             | Workload::RipngConvergence { seed, .. }
-            | Workload::TableChurn { seed, .. } => *seed = new_seed,
+            | Workload::TableChurn { seed, .. }
+            | Workload::MixedPlane { seed, .. }
+            | Workload::TraceReplay { seed, .. } => *seed = new_seed,
         }
         self
     }
@@ -152,7 +196,9 @@ impl Workload {
             Workload::SteadyForward { ticks, .. }
             | Workload::BurstOverload { ticks, .. }
             | Workload::RipngConvergence { ticks, .. }
-            | Workload::TableChurn { ticks, .. } => *ticks,
+            | Workload::TableChurn { ticks, .. }
+            | Workload::MixedPlane { ticks, .. }
+            | Workload::TraceReplay { ticks, .. } => *ticks,
         }
     }
 
@@ -164,6 +210,8 @@ impl Workload {
             Workload::burst_overload(),
             Workload::ripng_convergence(),
             Workload::table_churn(),
+            Workload::mixed_plane(),
+            Workload::trace_replay(),
         ]
     }
 
@@ -217,6 +265,28 @@ impl Workload {
             churn_every: 40,
             churn_size: 10,
         }
+    }
+
+    /// The default `mixed-plane` scenario: 30-tick control phases (a
+    /// withdrawal storm, then re-advertisement) alternating with 30-tick
+    /// forwarding bursts at 4× the base rate.
+    pub fn mixed_plane() -> Workload {
+        Workload::MixedPlane {
+            seed: DEFAULT_SEED,
+            ticks: 240,
+            neighbours: 4,
+            routes_per_neighbour: 25,
+            packets_per_tick: 12,
+            burst_multiplier: 4,
+            phase_len: 30,
+        }
+    }
+
+    /// The default `trace-replay` scenario: the reference empirical trace
+    /// (heavy-tailed flows, trimodal sizes, popular prefixes) regenerated
+    /// from [`DEFAULT_SEED`].
+    pub fn trace_replay() -> Workload {
+        Workload::TraceReplay { seed: DEFAULT_SEED, ticks: 240, flows: 64, entries: 100 }
     }
 }
 
@@ -384,6 +454,7 @@ impl Harness {
             ripng_sent: 0,
             throughput_milli: 0,
             table_memory_words: 0,
+            flows: None,
             faults: None,
         };
         Harness {
@@ -437,6 +508,7 @@ impl Harness {
             ripng_sent: 0,
             throughput_milli: 0,
             table_memory_words: 0,
+            flows: None,
             faults: None,
         };
         self.overflow_baseline = self.router.cards().iter().map(|c| c.dropped_overflow()).sum();
@@ -492,6 +564,56 @@ impl Harness {
                 self.fifos[usize::from(port.0)].push_back((self.tick, ArrivalKind::Data));
             }
         }
+    }
+
+    /// Injects one recorded trace datagram verbatim — no RNG draw, so the
+    /// replay is the trace and nothing else.
+    fn inject_record(&mut self, r: &TraceRecord) {
+        self.metrics.offered += 1;
+        let datagram = Datagram::builder(Ipv6Address::new(r.src), Ipv6Address::new(r.dst))
+            .hop_limit(64)
+            .flow_label(r.flow_id & 0xf_ffff)
+            .payload(NextHeader::Udp, vec![0u8; usize::from(r.payload_len)])
+            .build();
+        let port = PortId(u16::from(r.linecard) % PORTS);
+        if self.router.card_mut(port).receive(datagram) {
+            self.fifos[usize::from(port.0)].push_back((self.tick, ArrivalKind::Data));
+        }
+    }
+
+    /// Replays `trace` through the measured window: seeds the derived
+    /// routing table, injects each record at its tick, and accumulates
+    /// the per-flow section.
+    fn replay_trace(&mut self, trace: &FlowTrace) {
+        let routes = trace.table();
+        self.seed_table(&routes);
+        self.reset_measurement();
+        let mut per_flow: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        let mut stats = FlowStats::default();
+        let records = trace.records();
+        let mut next = 0usize;
+        // Seeding advanced the engine clock; record ticks are offsets from
+        // the start of the measured window.
+        let base = self.tick;
+        for _ in 0..trace.ticks {
+            self.fault_tick(&routes);
+            while next < records.len() && u64::from(records[next].tick) + base <= self.tick {
+                let r = &records[next];
+                *per_flow.entry(r.flow_id).or_insert(0) += 1;
+                stats.packets += 1;
+                match r.payload_len {
+                    0..=127 => stats.small += 1,
+                    128..=768 => stats.medium += 1,
+                    _ => stats.large += 1,
+                }
+                self.inject_record(r);
+                next += 1;
+            }
+            self.service_tick();
+        }
+        stats.flows = per_flow.len() as u64;
+        stats.max_flow_len = per_flow.values().copied().max().unwrap_or(0);
+        self.metrics.flows = Some(stats);
     }
 
     /// One tick of the fault plan: links coming back up re-advertise, due
@@ -848,7 +970,71 @@ pub fn run_scenario_with_faults(
                 h.service_tick();
             }
         }
+        Workload::MixedPlane {
+            ticks,
+            neighbours,
+            routes_per_neighbour,
+            packets_per_tick,
+            burst_multiplier,
+            phase_len,
+            ..
+        } => {
+            let tables: Vec<Vec<Route>> = (0..neighbours)
+                .map(|_| h.gen.table(routes_per_neighbour as usize, false))
+                .collect();
+            let all: Vec<Route> = tables.iter().flatten().copied().collect();
+            h.seed_table(&all);
+            h.reset_measurement();
+            let phase = phase_len.max(1);
+            for t in 0..ticks {
+                let in_control = (t / phase) % 2 == 0;
+                if in_control {
+                    // Control storm: each neighbour withdraws its table at
+                    // the phase start, then re-advertises mid-phase — the
+                    // RIPng convergence churn a flapping peer causes.
+                    if t % phase == 0 {
+                        for (n, table) in tables.iter().enumerate() {
+                            h.inject_update(n as u32, table, true);
+                        }
+                    } else if t % phase == phase / 2 {
+                        for (n, table) in tables.iter().enumerate() {
+                            h.inject_update(n as u32, table, false);
+                        }
+                    }
+                    h.inject_data(&all, packets_per_tick as usize);
+                } else {
+                    // Data burst: the forwarding plane floods while the
+                    // control plane is quiet.
+                    h.inject_data(&all, (packets_per_tick * burst_multiplier.max(1)) as usize);
+                }
+                h.fault_tick(&all);
+                h.service_tick();
+            }
+        }
+        Workload::TraceReplay { seed, ticks, flows, entries } => {
+            let trace = TraceGen::generate(seed, ticks, flows, entries);
+            h.replay_trace(&trace);
+        }
     }
+    h.finish()
+}
+
+/// Replays an explicit [`FlowTrace`] — typically one loaded from disk or
+/// received over the wire — against a router provisioned per `config`,
+/// with an optional [`FaultPlan`] layered on top.
+///
+/// For a trace regenerated from its own descriptor this is byte-identical
+/// to [`run_scenario_with_faults`] on [`Workload::TraceReplay`]; for an
+/// externally supplied trace the records are replayed verbatim while the
+/// header's `(seed, entries)` still derive the routing table.
+pub fn run_trace_replay(
+    trace: &FlowTrace,
+    config: &ScenarioConfig,
+    faults: Option<&FaultPlan>,
+) -> ScenarioMetrics {
+    let descriptor = trace.descriptor();
+    let mut h = Harness::new(&descriptor, config, faults);
+    h.replay_trace(trace);
     h.finish()
 }
 
@@ -1035,6 +1221,47 @@ mod tests {
         assert!(f.injected_corruptions > 0);
         assert_eq!(f.recovered, 0, "{}", m.to_json());
         assert!(f.unrecovered > 0, "{}", m.to_json());
+    }
+
+    #[test]
+    fn mixed_plane_exercises_both_planes() {
+        let m = run_scenario(&Workload::mixed_plane(), &ScenarioConfig::new(TableKind::Cam));
+        assert!(m.forwarded > 0, "{}", m.to_json());
+        assert!(m.table_updates > 0, "withdraw/re-advertise storms: {}", m.to_json());
+        // Withdrawn slices must cost forwards while they are out.
+        assert!(m.dropped_no_route > 0, "{}", m.to_json());
+        assert!(m.flows.is_none(), "only trace replays carry a flow section");
+        // Determinism.
+        let again = run_scenario(&Workload::mixed_plane(), &ScenarioConfig::new(TableKind::Cam));
+        assert_eq!(m.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn trace_replay_regenerates_from_the_descriptor() {
+        let w = Workload::TraceReplay { seed: 5, ticks: 120, flows: 32, entries: 40 };
+        let cfg = ScenarioConfig::new(TableKind::Cam);
+        let m = run_scenario(&w, &cfg);
+        let f = m.flows.expect("trace replays carry a flow section");
+        assert!(f.flows > 0 && f.flows <= 32, "{}", m.to_json());
+        assert_eq!(f.packets, m.offered, "{}", m.to_json());
+        assert!(f.small > 0, "{}", m.to_json());
+        assert!(m.forwarded > 0, "{}", m.to_json());
+        assert_eq!(m.to_json(), run_scenario(&w, &cfg).to_json());
+    }
+
+    #[test]
+    fn explicit_trace_matches_the_descriptor_replay() {
+        let w = Workload::TraceReplay { seed: 5, ticks: 120, flows: 32, entries: 40 };
+        let cfg = ScenarioConfig::new(TableKind::BalancedTree);
+        let from_descriptor = run_scenario(&w, &cfg);
+        let trace = TraceGen::generate(5, 120, 32, 40);
+        let explicit = run_trace_replay(&trace, &cfg, None);
+        assert_eq!(from_descriptor.to_json(), explicit.to_json());
+        // And it composes with faults deterministically.
+        let a = run_trace_replay(&trace, &cfg, Some(&FaultPlan::malformed()));
+        let b = run_trace_replay(&trace, &cfg, Some(&FaultPlan::malformed()));
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.faults.is_some() && a.flows.is_some());
     }
 
     #[test]

@@ -153,8 +153,10 @@ fn traffic_for(w: &Workload) -> (Vec<Route>, Vec<Datagram>) {
     let entries = match *w {
         Workload::SteadyForward { entries, .. }
         | Workload::BurstOverload { entries, .. }
-        | Workload::TableChurn { entries, .. } => entries,
-        Workload::RipngConvergence { neighbours, routes_per_neighbour, .. } => {
+        | Workload::TableChurn { entries, .. }
+        | Workload::TraceReplay { entries, .. } => entries,
+        Workload::RipngConvergence { neighbours, routes_per_neighbour, .. }
+        | Workload::MixedPlane { neighbours, routes_per_neighbour, .. } => {
             neighbours * routes_per_neighbour
         }
     } as usize;

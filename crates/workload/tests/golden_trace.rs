@@ -1,0 +1,94 @@
+//! Golden snapshot of the binary flow-trace format.
+//!
+//! A small blessed reference trace is checked in at
+//! `tests/golden/reference.trace`, together with the byte-stable
+//! `ScenarioMetrics` JSON of its CAM replay in
+//! `tests/golden/reference_metrics.json`.  Between them they pin three
+//! contracts at once: the generator (the same seed must keep producing
+//! the same records), the on-disk format (the strict reader must keep
+//! accepting old files byte-for-byte), and the replay (the scenario
+//! engine must keep deriving the same metrics from the same records).
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p taco-workload --test golden_trace
+//! ```
+//!
+//! then review both fixture diffs like any other code change.
+
+use std::path::PathBuf;
+
+use taco_routing::TableKind;
+use taco_workload::{run_trace_replay, FlowTrace, ScenarioConfig, TraceGen};
+
+/// The blessed generator parameters.  Deliberately small: the binary
+/// fixture stays a few KiB while still exercising multi-flow interleaving
+/// and every packet-size mode.
+const SEED: u64 = 2002;
+const TICKS: u32 = 120;
+const FLOWS: u32 = 12;
+const ENTRIES: u32 = 16;
+
+fn golden(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn reference() -> FlowTrace {
+    TraceGen::generate(SEED, TICKS, FLOWS, ENTRIES)
+}
+
+fn replay_json(trace: &FlowTrace) -> String {
+    let config = ScenarioConfig::new(TableKind::Cam).service_per_tick(24);
+    run_trace_replay(trace, &config, None).to_json()
+}
+
+#[test]
+fn reference_trace_matches_the_blessed_fixture() {
+    let current = reference().to_bytes();
+    let path = golden("reference.trace");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &current).expect("write fixture");
+        eprintln!("blessed {} ({} bytes)", path.display(), current.len());
+        return;
+    }
+    let blessed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with \
+             BLESS=1 cargo test -p taco-workload --test golden_trace",
+            path.display()
+        )
+    });
+    assert_eq!(
+        current, blessed,
+        "the generated trace drifted from the blessed bytes; if the change \
+         is intentional, regenerate with BLESS=1 and review the diff"
+    );
+    // And the strict reader accepts the checked-in file as-is.
+    let read_back = FlowTrace::from_bytes(&blessed).expect("blessed fixture parses");
+    assert_eq!(read_back.digest(), reference().digest());
+}
+
+#[test]
+fn reference_replay_matches_the_blessed_metrics() {
+    let trace = reference();
+    let current = format!("{}\n", replay_json(&trace));
+    let path = golden("reference_metrics.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &current).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let blessed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with \
+             BLESS=1 cargo test -p taco-workload --test golden_trace",
+            path.display()
+        )
+    });
+    assert_eq!(
+        current, blessed,
+        "the reference replay drifted from the blessed metrics; if the \
+         change is intentional, regenerate with BLESS=1 and review the diff"
+    );
+}

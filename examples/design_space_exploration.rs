@@ -19,6 +19,7 @@ fn main() {
         entries: 32,
         workload: None,
         faults: None,
+        trace: None,
     };
     let constraints =
         Constraints { max_power_w: 0.5, max_area_mm2: 10.0, ..Constraints::default() };

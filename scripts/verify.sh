@@ -56,6 +56,17 @@ cargo test -q --offline -p taco-core --test step_mode_differential
 cargo test -q --offline -p taco-workload --test differential step_modes_forward_identically_on_every_kind
 
 echo
+echo "== tier-1: trace-replay suites (explicit) =="
+# The binary flow-trace pipeline: the blessed reference trace and its
+# replay metrics (regenerate intentional changes with
+#   BLESS=1 cargo test -p taco-workload --test golden_trace
+# ), the strict-reader rejection tests, and the byte-identity of
+# trace-replay metrics across thread counts and cache hits.
+cargo test -q --offline -p taco-workload --test golden_trace
+cargo test -q --offline -p taco-workload --lib trace
+cargo test -q --offline -p taco-core --test scenario_determinism trace_replay
+
+echo
 echo "== tier-1: wire API round-trip + daemon loopback suites (explicit) =="
 # The wire schema's identity property over every builtin combination,
 # the daemon's golden-fixture/admission/persistence contract, and the
@@ -179,6 +190,20 @@ esac
 ./target/release/taco-cli shutdown --addr "$addr" > /dev/null
 wait "$serve_pid"
 echo "daemon smoke ok: $addr answered $status_line"
+
+echo
+echo "== tracegen smoke: generate / write / read / replay =="
+# The flow-trace pipeline end to end in release mode: tracegen generates a
+# BGP-session-sized trace, round-trips it through disk, replays it, and
+# self-checks digests and packet accounting — any failure is a non-zero
+# exit.  The hard timeout turns a generator or replay livelock into a
+# loud failure instead of a hung CI job.
+cargo build --release --offline -q -p taco-bench --bin tracegen
+if ! timeout 120 ./target/release/tracegen --seed 7 --ticks 4000 --flows 128 --entries 256; then
+    echo "tracegen smoke FAILED (non-zero exit or 120 s timeout)"
+    exit 1
+fi
+echo "tracegen smoke ok"
 
 echo
 echo "== loadgen smoke: concurrent sessions + sharded sweep =="
