@@ -24,6 +24,13 @@
 //! re-runs the winning design point's measurement under a Chrome tracer
 //! and writes the timeline JSON to PATH (load it in Perfetto or
 //! `chrome://tracing`).
+//!
+//! `--cores`, `--topology` and `--coherence` take comma-separated lists
+//! and extend the sweep with multicore axes (e.g. `--cores 4 --topology
+//! mesh --coherence mesi`): each grid point is then also evaluated as an
+//! N-core system with private coherent table caches over the chosen
+//! interconnect.  A core count of 1 collapses the interconnect axes to
+//! the single-core default, exactly as the wire `SweepSpec` does.
 
 use taco_bench::cli::Cli;
 use taco_core::api::{parse_fault_plan_name, parse_workload_name};
@@ -31,6 +38,13 @@ use taco_core::{
     explore_with, pool, table1, Constraints, EvalCache, ExploreOptions, LineRate, StderrProgress,
     SweepSpec, Workload,
 };
+use taco_isa::{CoherenceProtocol, Topology, MAX_CORES};
+
+/// Parses a comma-separated list with `parse`, failing the CLI on the
+/// first element `parse` rejects.
+fn parse_list<T>(cli: &Cli, raw: &str, parse: impl Fn(&str) -> Result<T, String>) -> Vec<T> {
+    raw.split(',').map(|item| parse(item.trim()).unwrap_or_else(|e| cli.fail(&e))).collect()
+}
 
 fn main() {
     let cli = Cli::new("dse", "automated design-space exploration with constraint filtering")
@@ -41,6 +55,9 @@ fn main() {
         .opt("--max-unrecovered", "N", "disqualify instances leaving more than N faults open")
         .opt("--trace", "FILE", "replay the binary flow trace at FILE on every grid point")
         .opt("--trace-best", "PATH", "write a Chrome trace of the winning point to PATH")
+        .opt("--cores", "LIST", "core counts to sweep, comma-separated (default 1)")
+        .opt("--topology", "LIST", "interconnects to sweep: shared-bus, mesh (default shared-bus)")
+        .opt("--coherence", "LIST", "coherence protocols to sweep: msi, mesi (default mesi)")
         .positional("max_power_w", "power constraint, watts", Some("2.0"))
         .positional("max_area_mm2", "area constraint, mm^2", Some("50.0"));
     let args = cli.parse_or_exit();
@@ -83,7 +100,47 @@ fn main() {
         }
         (None, _, w) => w,
     };
-    let spec = SweepSpec { workload, faults, trace, ..SweepSpec::default() };
+    // The multicore axes resolve through the same name tables the wire
+    // protocol uses, so `dse` and the daemon reject the same spellings.
+    let cores = args.opt("--cores").map_or_else(
+        || vec![1],
+        |raw| {
+            parse_list(&cli, raw, |item| {
+                item.parse::<u8>()
+                    .ok()
+                    .filter(|&n| (1..=MAX_CORES).contains(&n))
+                    .ok_or_else(|| format!("--cores entries must be 1..={MAX_CORES}, got {item:?}"))
+            })
+        },
+    );
+    let topologies = args.opt("--topology").map_or_else(
+        || vec![Topology::SharedBus],
+        |raw| {
+            parse_list(&cli, raw, |item| {
+                Topology::by_name(item).ok_or_else(|| {
+                    let names: Vec<&str> = Topology::ALL.iter().map(|t| t.name()).collect();
+                    format!("unknown topology {item:?}; expected one of: {}", names.join(", "))
+                })
+            })
+        },
+    );
+    let protocols = args.opt("--coherence").map_or_else(
+        || vec![CoherenceProtocol::Mesi],
+        |raw| {
+            parse_list(&cli, raw, |item| {
+                CoherenceProtocol::by_name(item).ok_or_else(|| {
+                    let names: Vec<&str> =
+                        CoherenceProtocol::ALL.iter().map(|p| p.name()).collect();
+                    format!(
+                        "unknown coherence protocol {item:?}; expected one of: {}",
+                        names.join(", ")
+                    )
+                })
+            })
+        },
+    );
+    let spec =
+        SweepSpec { workload, faults, trace, cores, topologies, protocols, ..SweepSpec::default() };
 
     println!(
         "design-space exploration: {} buses x {} replications x {} table kinds, {} entries",
@@ -92,6 +149,15 @@ fn main() {
         spec.kinds.len(),
         spec.entries
     );
+    if spec.cores != [1] {
+        let names = |items: Vec<String>| items.join(", ");
+        println!(
+            "multicore axes: cores [{}] x topologies [{}] x protocols [{}]",
+            names(spec.cores.iter().map(u8::to_string).collect()),
+            names(spec.topologies.iter().map(|t| t.name().to_owned()).collect()),
+            names(spec.protocols.iter().map(|p| p.name().to_owned()).collect()),
+        );
+    }
     println!(
         "constraints: power <= {max_power_w} W, area <= {max_area_mm2} mm2, target {}",
         LineRate::TEN_GBE

@@ -8,11 +8,17 @@
 //! Each run is fully deterministic in the printed seed: the grid is fanned
 //! out over the worker pool (`TACO_THREADS` overrides) and then re-run
 //! serially, and the two passes must agree byte-for-byte — the bin fails
-//! loudly if they ever diverge.  `--json` prints one `ScenarioMetrics`
-//! JSON line per cell instead of the table.
+//! loudly if they ever diverge.  A multicore smoke follows: `table-churn`
+//! replayed on 2- and 4-core systems under a hard wall-clock timeout, so
+//! a coherence livelock fails the bin instead of hanging CI.  `--json`
+//! prints one `ScenarioMetrics` JSON line per cell instead of the table.
+
+use std::sync::mpsc;
+use std::time::Duration;
 
 use taco_bench::cli::Cli;
 use taco_core::pool;
+use taco_isa::{SystemConfig, Topology};
 use taco_routing::TableKind;
 use taco_workload::{run_scenario, ScenarioConfig, ScenarioMetrics, Workload, DEFAULT_SEED};
 
@@ -38,6 +44,57 @@ fn sweep(seed: u64, threads: usize) -> Vec<ScenarioMetrics> {
     })
 }
 
+/// Wall-clock ceiling for one multicore smoke cell.  The cells finish in
+/// well under a second; the ceiling exists so a coherence-protocol
+/// regression that livelocks the snooping loop fails this bin loudly
+/// instead of hanging CI forever.
+const SMOKE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Replays `table-churn` on multicore systems (the workload whose table
+/// writes generate the most invalidation traffic) under a hard timeout,
+/// and checks the runs are deterministic and actually measured coherence.
+fn multicore_smoke(seed: u64) {
+    let workload = Workload::table_churn().with_seed(seed);
+    for (cores, topology) in [(2, Topology::SharedBus), (4, Topology::Mesh)] {
+        let system = SystemConfig::with_cores(cores).topology(topology);
+        let config = ScenarioConfig::new(TableKind::Cam)
+            .service_per_tick(SERVICE_PER_TICK)
+            .queue_capacity(QUEUE_CAPACITY)
+            .system(system);
+        let (tx, rx) = mpsc::channel();
+        let worker = std::thread::spawn(move || {
+            let first = run_scenario(&workload, &config);
+            let second = run_scenario(&workload, &config);
+            let _ = tx.send((first, second));
+        });
+        let (first, second) = rx.recv_timeout(SMOKE_TIMEOUT).unwrap_or_else(|_| {
+            eprintln!(
+                "multicore smoke: {cores}-core {} cell exceeded {}s — aborting",
+                topology.name(),
+                SMOKE_TIMEOUT.as_secs()
+            );
+            std::process::exit(1);
+        });
+        worker.join().expect("smoke worker panicked");
+        assert_eq!(
+            first.to_json(),
+            second.to_json(),
+            "multicore replay must be deterministic ({cores}-core {})",
+            topology.name()
+        );
+        let coherence = first.coherence.unwrap_or_else(|| {
+            panic!("multicore runs must measure coherence ({cores}-core {})", topology.name())
+        });
+        eprintln!(
+            "multicore smoke: {cores}-core {} ok ({} reads, {} invalidations, {} stall cycles)",
+            topology.name(),
+            coherence.reads,
+            coherence.invalidations,
+            coherence.stall_cycles
+        );
+    }
+}
+
 fn main() {
     let default_seed = DEFAULT_SEED.to_string();
     let cli = Cli::new("scenarios", "replay every built-in workload over the three table kinds")
@@ -59,6 +116,8 @@ fn main() {
     let agree = parallel.iter().zip(&serial).all(|(a, b)| a.to_json() == b.to_json());
     assert!(agree, "parallel sweep diverged from the serial reference");
     eprintln!("parallel == serial: ok ({} cells)", parallel.len());
+
+    multicore_smoke(seed);
 
     if json {
         for m in &parallel {

@@ -26,7 +26,7 @@
 use std::time::Instant;
 
 use taco_bench::cli::Cli;
-use taco_core::api::{parse_machine_shape, parse_table_kind};
+use taco_core::api::{parse_machine_spec, parse_table_kind};
 use taco_core::{evaluate_request, trace_request, ArchConfig, EvalRequest, StepMode};
 use taco_sim::{ChromeTracer, RingTracer, TraceEvent};
 
@@ -213,7 +213,7 @@ fn main() {
         .opt("--smoke", "ITERS", "perf-gate smoke: ITERS uncached nine-cell runs, print wall ms")
         .opt("--bench-json", "PATH", "write per-cell compiled-vs-interpretive wall times as JSON")
         .positional("kind", "table organisation: sequential, balanced-tree, cam, trie", Some("cam"))
-        .positional("config", "machine shape: 1x1, 3x1, 3x3", Some("3x1"))
+        .positional("config", "machine shape: 1x1, 3x1, 3x3 (Table 1 labels accepted)", Some("3x1"))
         .positional("entries", "routing-table size", Some("16"));
     let args = cli.parse_or_exit();
     let smoke_iters = args.opt_parsed::<u32>("--smoke").unwrap_or_else(|e| cli.fail(&e));
@@ -230,7 +230,9 @@ fn main() {
     // The same name parsers the wire API uses — one validation dialect
     // across the CLI, the daemon and the builder.
     let kind = parse_table_kind(args.pos("kind")).unwrap_or_else(|e| cli.fail(&e));
-    let config = parse_machine_shape(kind, args.pos("config")).unwrap_or_else(|e| cli.fail(&e));
+    let config = parse_machine_spec(kind, args.pos("config"))
+        .and_then(|spec| spec.to_config().map_err(|e| e.to_string()))
+        .unwrap_or_else(|e| cli.fail(&e));
     let entries: usize = args.pos_parsed("entries").unwrap_or_else(|e| cli.fail(&e));
 
     let request = EvalRequest::new(config.clone()).entries(entries);

@@ -24,9 +24,17 @@
 //! same types also back the in-process entry points: [`EvalSpec`] is the
 //! validated construction path for [`EvalRequest`], and the name-based
 //! parsers ([`parse_table_kind`], [`parse_workload_name`],
-//! [`parse_fault_plan_name`], [`parse_machine_shape`]) are the single
+//! [`parse_fault_plan_name`], [`parse_machine_spec`]) are the single
 //! source of truth the `dse`/`trace` binaries and the wire layer share, so
 //! a workload name means the same thing on a command line and on a socket.
+//!
+//! Machine configurations cross the wire as a [`MachineSpec`]: the
+//! per-core [`ConfigSpec`] plus the multi-core [`SystemConfig`] built
+//! from it.  The codec is form-sniffed — a default single-core system
+//! keeps the original flat `{"table":...,"buses":...}` spelling (so every
+//! pre-multicore request line and golden fixture keeps its bytes), and a
+//! non-default system nests the core under a `"core"` member alongside
+//! `"cores"`, `"cache"`, `"interconnect"` and `"coherence"`.
 //!
 //! Parsing is *strict*: unknown fields are rejected (a typo'd option must
 //! not be silently ignored), version mismatches are reported as
@@ -45,6 +53,9 @@ pub use report::{report_from_json, report_to_json, table1_cell_json};
 
 use std::sync::Arc;
 
+use taco_isa::{
+    CacheConfig, CoherenceProtocol, InterconnectConfig, SystemConfig, Topology, MAX_CORES,
+};
 use taco_routing::TableKind;
 use taco_sim::StepMode;
 use taco_workload::{FaultPlan, FlowTrace, Workload};
@@ -235,6 +246,13 @@ impl<'a> Fields<'a> {
             .map_err(|_| ApiError::bad_request(format!("{ctx}: {name:?} must fit in 32 bits")))
     }
 
+    pub(crate) fn req_u16(&mut self, name: &str) -> Result<u16, ApiError> {
+        let ctx = self.ctx;
+        let v = self.req_u64(name)?;
+        u16::try_from(v)
+            .map_err(|_| ApiError::bad_request(format!("{ctx}: {name:?} must fit in 16 bits")))
+    }
+
     pub(crate) fn req_u8(&mut self, name: &str) -> Result<u8, ApiError> {
         let ctx = self.ctx;
         let v = self.req_u64(name)?;
@@ -322,15 +340,43 @@ pub fn parse_table_kind(name: &str) -> Result<TableKind, String> {
     }
 }
 
-/// Parses a machine shape (`1x1`, `3x1`, `3x3`, or the Table 1 labels
-/// `1BUS/1FU` / `3BUS/1FU`) into an architecture instance over `kind`.
-pub fn parse_machine_shape(kind: TableKind, shape: &str) -> Result<ArchConfig, String> {
-    match shape {
-        "1x1" | "1BUS/1FU" => Ok(ArchConfig::one_bus_one_fu(kind)),
-        "3x1" | "3BUS/1FU" => Ok(ArchConfig::three_bus_one_fu(kind)),
-        "3x3" => Ok(ArchConfig::three_bus_three_fu(kind)),
-        other => Err(format!("unknown machine config {other:?}; expected 1x1, 3x1 or 3x3")),
+/// Every accepted machine-shape spelling: the canonical
+/// `<buses>x<replication>` shape first, then its documented aliases (the
+/// paper's Table 1 column labels).  [`parse_machine_spec`] matches against
+/// this table **and** generates its error message from it, so the list of
+/// spellings an error names cannot drift from what the parser accepts.
+const MACHINE_SPELLINGS: &[(&[&str], u8, u8)] = &[
+    (&["1x1", "1BUS/1FU"], 1, 1),
+    (&["3x1", "3BUS/1FU"], 3, 1),
+    (&["3x3", "3bus/3CNT,3CMP,3M"], 3, 3),
+];
+
+/// Parses a machine shape (`1x1`, `3x1`, `3x3`, or the Table 1 label
+/// aliases `1BUS/1FU`, `3BUS/1FU`, `3bus/3CNT,3CMP,3M`) into a
+/// single-core [`MachineSpec`] over `kind` — the one shape parser the
+/// wire schema, `taco-cli` and the bench binaries share.  Compose with
+/// [`MachineSpec::with_system`] to scale the parsed shape to a multi-core
+/// system.  The error message lists every accepted spelling, generated
+/// from the same table the parser matches against.
+pub fn parse_machine_spec(kind: TableKind, shape: &str) -> Result<MachineSpec, String> {
+    for &(names, buses, replication) in MACHINE_SPELLINGS {
+        if names.contains(&shape) {
+            return Ok(MachineSpec::new(ConfigSpec::new(kind, buses, replication)));
+        }
     }
+    let accepted: Vec<&str> =
+        MACHINE_SPELLINGS.iter().flat_map(|&(names, _, _)| names.iter().copied()).collect();
+    Err(format!("unknown machine config {shape:?}; expected one of: {}", accepted.join(", ")))
+}
+
+/// Parses a machine shape into an architecture instance over `kind`.
+#[deprecated(
+    note = "use parse_machine_spec, which returns the wire-level MachineSpec and accepts \
+            every documented alias"
+)]
+pub fn parse_machine_shape(kind: TableKind, shape: &str) -> Result<ArchConfig, String> {
+    parse_machine_spec(kind, shape)
+        .map(|spec| spec.to_config().expect("builtin shapes construct valid machines"))
 }
 
 /// Looks a builtin workload up by name; the error lists the valid names
@@ -475,6 +521,190 @@ impl ConfigSpec {
         spec.to_config()?; // validate ranges eagerly
         Ok(spec)
     }
+}
+
+/// The structured wire shape of a whole machine: one per-core
+/// [`ConfigSpec`] plus the multi-core [`SystemConfig`] built from it.
+///
+/// The codec is **form-sniffed** for compatibility.  A default
+/// (single-core) system serialises as the flat [`ConfigSpec`] form —
+/// byte-identical to the pre-multicore schema, which is what keeps every
+/// v1/v2 golden fixture passing unmodified.  A non-default system nests
+/// the per-core spec under a `"core"` member:
+///
+/// ```json
+/// {"core":{"table":"cam","buses":3,"replication":1,"memory_ports":1},
+///  "cores":4,"cache":{"lines":64,"line_words":4},
+///  "interconnect":{"topology":"mesh","latency":2},"coherence":"mesi"}
+/// ```
+///
+/// [`MachineSpec::from_value`] sniffs on the presence of `"core"` and
+/// accepts either form; in the nested form `"cores"`, `"cache"`,
+/// `"interconnect"` and `"coherence"` may each be omitted and default to
+/// the single-core system's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// The per-core machine: table organisation, buses, replication and
+    /// memory ports.
+    pub core: ConfigSpec,
+    /// The system built from the cores: count, private table caches,
+    /// interconnect and coherence protocol.
+    pub system: SystemConfig,
+}
+
+impl From<ConfigSpec> for MachineSpec {
+    fn from(core: ConfigSpec) -> Self {
+        MachineSpec::new(core)
+    }
+}
+
+impl MachineSpec {
+    /// A single-core (default-system) spec over `core`.
+    pub fn new(core: ConfigSpec) -> Self {
+        MachineSpec { core, system: SystemConfig::default() }
+    }
+
+    /// Returns a copy with the given multi-core system.
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Builds the architecture instance, validating every range (core
+    /// counts, cache geometry and interconnect latency are structured
+    /// errors here, where the panicking constructors would abort a
+    /// server).
+    pub fn to_config(&self) -> Result<ArchConfig, ApiError> {
+        if self.system.cores == 0 || self.system.cores > MAX_CORES {
+            return Err(ApiError::bad_request(format!(
+                "config: \"cores\" must be 1..={MAX_CORES}, got {}",
+                self.system.cores
+            )));
+        }
+        if self.system.cache.lines == 0 || self.system.cache.line_words == 0 {
+            return Err(ApiError::bad_request(
+                "config: cache \"lines\" and \"line_words\" must both be >= 1",
+            ));
+        }
+        if self.system.interconnect.latency == 0 {
+            return Err(ApiError::bad_request("config: interconnect \"latency\" must be >= 1"));
+        }
+        Ok(self.core.to_config()?.with_system(self.system))
+    }
+
+    /// The wire spelling of `config`, or `None` when the per-core machine
+    /// is not expressible (asymmetric replication).
+    pub fn from_config(config: &ArchConfig) -> Option<MachineSpec> {
+        let mut single = config.clone();
+        single.system = SystemConfig::single_core();
+        Some(MachineSpec { core: ConfigSpec::from_config(&single)?, system: config.system })
+    }
+
+    /// One-line JSON body: the flat [`ConfigSpec`] form for a default
+    /// system (pre-multicore bytes preserved), the nested `"core"`-keyed
+    /// form otherwise (fixed key order, every member explicit).
+    pub fn to_json(&self) -> String {
+        if self.system.is_default() {
+            return self.core.to_json();
+        }
+        format!(
+            "{{\"core\":{},\"cores\":{},\"cache\":{{\"lines\":{},\"line_words\":{}}},\
+             \"interconnect\":{{\"topology\":\"{}\",\"latency\":{}}},\"coherence\":\"{}\"}}",
+            self.core.to_json(),
+            self.system.cores,
+            self.system.cache.lines,
+            self.system.cache.line_words,
+            self.system.interconnect.topology,
+            self.system.interconnect.latency,
+            self.system.protocol,
+        )
+    }
+
+    /// Parses either wire form back into a spec: the flat [`ConfigSpec`]
+    /// object, or the nested `"core"`-keyed multicore form (the inverse of
+    /// [`MachineSpec::to_json`]).  Unknown fields and out-of-range values
+    /// are structured `bad_request` errors naming the field.
+    pub fn from_json(json: &str) -> Result<MachineSpec, ApiError> {
+        let value = Json::parse(json)
+            .map_err(|e| ApiError::bad_request(format!("config: invalid JSON: {e}")))?;
+        MachineSpec::from_value(&value)
+    }
+
+    pub(crate) fn from_value(value: &Json) -> Result<MachineSpec, ApiError> {
+        let nested = value.as_object().is_some_and(|m| m.iter().any(|(k, _)| k == "core"));
+        if !nested {
+            return Ok(MachineSpec::new(ConfigSpec::from_value(value)?));
+        }
+        let mut f = Fields::new("config", value)?;
+        let core = ConfigSpec::from_value(f.req("core")?)?;
+        let mut system = SystemConfig::single_core();
+        if let Some(v) = f.get_non_null("cores") {
+            system.cores = v
+                .as_u64()
+                .and_then(|n| u8::try_from(n).ok())
+                .ok_or_else(|| ApiError::bad_request("config: \"cores\" must fit in 8 bits"))?;
+        }
+        if let Some(v) = f.get_non_null("cache") {
+            let mut c = Fields::new("config cache", v)?;
+            system.cache =
+                CacheConfig { lines: c.req_u16("lines")?, line_words: c.req_u8("line_words")? };
+            c.finish()?;
+        }
+        if let Some(v) = f.get_non_null("interconnect") {
+            let mut i = Fields::new("config interconnect", v)?;
+            let name = i.req_str("topology")?;
+            system.interconnect = InterconnectConfig {
+                topology: Topology::by_name(name).ok_or_else(|| unknown_topology(name))?,
+                latency: i.req_u8("latency")?,
+            };
+            i.finish()?;
+        }
+        if let Some(v) = f.get_non_null("coherence") {
+            let name = v
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("config: \"coherence\" must be a string"))?;
+            system.protocol =
+                CoherenceProtocol::by_name(name).ok_or_else(|| unknown_protocol(name))?;
+        }
+        f.finish()?;
+        let spec = MachineSpec { core, system };
+        spec.to_config()?; // validate ranges eagerly
+        Ok(spec)
+    }
+}
+
+/// The structured error for an unknown interconnect topology, listing the
+/// accepted names (generated from [`Topology::ALL`], so it cannot drift).
+fn unknown_topology(name: &str) -> ApiError {
+    let names: Vec<&str> = Topology::ALL.iter().map(|t| t.name()).collect();
+    ApiError::bad_request(format!(
+        "config: unknown topology {name:?}; expected one of: {} (alias: bus)",
+        names.join(", ")
+    ))
+}
+
+/// The structured error for an unknown coherence protocol, listing the
+/// accepted names (generated from [`CoherenceProtocol::ALL`]).
+fn unknown_protocol(name: &str) -> ApiError {
+    let names: Vec<&str> = CoherenceProtocol::ALL.iter().map(|p| p.name()).collect();
+    ApiError::bad_request(format!(
+        "config: unknown coherence protocol {name:?}; expected one of: {}",
+        names.join(", ")
+    ))
+}
+
+/// The spec features this build supports — the `"features"` member every
+/// `status_result` carries: the core-count ceiling and the known
+/// interconnect topologies and coherence protocols, generated from the
+/// same constants the [`MachineSpec`] parser accepts.
+pub fn supported_features_json() -> String {
+    let quoted =
+        |xs: Vec<&str>| xs.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(",");
+    format!(
+        "{{\"max_cores\":{MAX_CORES},\"topologies\":[{}],\"protocols\":[{}]}}",
+        quoted(Topology::ALL.iter().map(|t| t.name()).collect()),
+        quoted(CoherenceProtocol::ALL.iter().map(|p| p.name()).collect()),
+    )
 }
 
 pub(crate) fn rate_to_json(rate: &LineRate) -> String {
@@ -766,8 +996,9 @@ impl TraceRef {
 /// replays verbatim.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalSpec {
-    /// The architecture instance.
-    pub config: ConfigSpec,
+    /// The machine under evaluation: per-core shape plus the multi-core
+    /// system built from it.
+    pub config: MachineSpec,
     /// Line-rate target.
     pub rate: LineRate,
     /// Routing-table size (≥ 1).
@@ -793,10 +1024,11 @@ pub struct EvalSpec {
 
 impl EvalSpec {
     /// A spec for `config` with the paper's defaults (10 GbE, 100 entries,
-    /// no workload, no faults, compiled step loop).
-    pub fn new(config: ConfigSpec) -> Self {
+    /// no workload, no faults, compiled step loop).  Accepts a bare
+    /// [`ConfigSpec`] (single-core) or a full [`MachineSpec`].
+    pub fn new(config: impl Into<MachineSpec>) -> Self {
         EvalSpec {
-            config,
+            config: config.into(),
             rate: LineRate::TEN_GBE,
             entries: EvalRequest::DEFAULT_ENTRIES,
             workload: None,
@@ -843,7 +1075,7 @@ impl EvalSpec {
     /// expressible on the wire.
     pub fn from_request(request: &EvalRequest) -> Option<EvalSpec> {
         Some(EvalSpec {
-            config: ConfigSpec::from_config(&request.config)?,
+            config: MachineSpec::from_config(&request.config)?,
             rate: request.line_rate,
             entries: request.entries,
             workload: request.workload,
@@ -903,7 +1135,7 @@ impl EvalSpec {
 
     fn from_fields(f: &mut Fields<'_>) -> Result<EvalSpec, ApiError> {
         let spec = EvalSpec {
-            config: ConfigSpec::from_value(f.req("config")?)?,
+            config: MachineSpec::from_value(f.req("config")?)?,
             rate: rate_from_value(f.req("rate")?)?,
             entries: f.req_usize("entries")?,
             workload: f.get_non_null("workload").map(workload_from_value).transpose()?,
@@ -941,6 +1173,21 @@ pub(crate) fn sweep_spec_to_json(spec: &SweepSpec) -> String {
         kinds,
         spec.entries
     );
+    // The multicore axes are omitted at their single-core defaults so
+    // pre-multicore sweep requests keep their exact bytes (and their
+    // cache keys).
+    if spec.cores != [1] {
+        s.push_str(&format!(",\"cores\":[{}]", ints(&spec.cores)));
+    }
+    if spec.topologies != [Topology::SharedBus] {
+        let names =
+            spec.topologies.iter().map(|t| format!("\"{t}\"")).collect::<Vec<_>>().join(",");
+        s.push_str(&format!(",\"topologies\":[{names}]"));
+    }
+    if spec.protocols != [CoherenceProtocol::Mesi] {
+        let names = spec.protocols.iter().map(|p| format!("\"{p}\"")).collect::<Vec<_>>().join(",");
+        s.push_str(&format!(",\"protocols\":[{names}]"));
+    }
     if let Some(w) = &spec.workload {
         s.push_str(",\"workload\":");
         s.push_str(&workload_to_json(w));
@@ -988,6 +1235,49 @@ pub(crate) fn sweep_spec_from_value(value: &Json) -> Result<SweepSpec, ApiError>
                 .and_then(|s| parse_table_kind(s).map_err(ApiError::bad_request))
         })
         .collect::<Result<Vec<_>, _>>()?;
+    // The multicore axes are optional (absent = the single-core default
+    // grid).  Core counts are range-checked here, at the wire boundary:
+    // `grid()` feeds them to `SystemConfig::with_cores`, which panics on
+    // out-of-range values, so a bad request must die as a structured
+    // error long before it can reach the sweep.
+    let cores = match f.get_non_null("cores") {
+        None => vec![1],
+        Some(v) => {
+            let cores = u8_list("sweep spec", "cores", v)?;
+            if let Some(&bad) = cores.iter().find(|&&n| n > MAX_CORES) {
+                return Err(ApiError::bad_request(format!(
+                    "sweep spec: \"cores\" entries must be 1..={MAX_CORES}, got {bad}"
+                )));
+            }
+            cores
+        }
+    };
+    let name_list = |name: &'static str, value: &Json| -> Result<Vec<String>, ApiError> {
+        value
+            .as_array()
+            .ok_or_else(|| ApiError::bad_request(format!("sweep spec: {name:?} must be an array")))?
+            .iter()
+            .map(|v| {
+                v.as_str().map(str::to_owned).ok_or_else(|| {
+                    ApiError::bad_request(format!("sweep spec: {name} entries must be strings"))
+                })
+            })
+            .collect()
+    };
+    let topologies = match f.get_non_null("topologies") {
+        None => vec![Topology::SharedBus],
+        Some(v) => name_list("topologies", v)?
+            .iter()
+            .map(|name| Topology::by_name(name).ok_or_else(|| unknown_topology(name)))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let protocols = match f.get_non_null("protocols") {
+        None => vec![CoherenceProtocol::Mesi],
+        Some(v) => name_list("protocols", v)?
+            .iter()
+            .map(|name| CoherenceProtocol::by_name(name).ok_or_else(|| unknown_protocol(name)))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
     let spec = SweepSpec {
         buses: u8_list("sweep spec", "buses", f.req("buses")?)?,
         replication: u8_list("sweep spec", "replication", f.req("replication")?)?,
@@ -999,6 +1289,9 @@ pub(crate) fn sweep_spec_from_value(value: &Json) -> Result<SweepSpec, ApiError>
             .get_non_null("trace")
             .map(|v| TraceRef::from_value(v)?.resolve().map(Arc::new))
             .transpose()?,
+        cores,
+        topologies,
+        protocols,
     };
     if spec.entries == 0 {
         return Err(ApiError::bad_request("sweep spec: entries must be >= 1"));
@@ -1414,7 +1707,8 @@ impl ApiResponse {
             }
             ApiResponse::Status(s) => format!(
                 "\"kind\":\"status_result\",\"in_flight\":{},\"queued\":{},\"max_pending\":{},\
-                 \"draining\":{},\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}",
+                 \"draining\":{},\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},\
+                 \"features\":{}",
                 s.in_flight,
                 s.queued,
                 s.max_pending,
@@ -1422,6 +1716,7 @@ impl ApiResponse {
                 s.cache_entries,
                 s.cache_hits,
                 s.cache_misses,
+                supported_features_json(),
             ),
             ApiResponse::ShutdownAck { persisted } => format!(
                 "\"kind\":\"shutdown_ack\",\"persisted\":{}",
@@ -1534,6 +1829,29 @@ impl ApiResponse {
                     cache_misses: cache.req_u64("misses")?,
                 };
                 cache.finish()?;
+                // The feature record is advisory (what specs this build
+                // accepts); it is regenerated on re-serialisation, so the
+                // strict parse validates and consumes it without storing
+                // it.  Absent in pre-multicore lines — still accepted.
+                if let Some(v) = f.get_non_null("features") {
+                    let mut feat = Fields::new("status features", v)?;
+                    feat.req_u64("max_cores")?;
+                    for list in ["topologies", "protocols"] {
+                        let items = feat.req(list)?.as_array().ok_or_else(|| {
+                            ApiError::bad_request(format!(
+                                "status features: {list:?} must be an array"
+                            ))
+                        })?;
+                        for item in items {
+                            item.as_str().ok_or_else(|| {
+                                ApiError::bad_request(format!(
+                                    "status features: {list:?} entries must be strings"
+                                ))
+                            })?;
+                        }
+                    }
+                    feat.finish()?;
+                }
                 ApiResponse::Status(info)
             }
             "shutdown_ack" => ApiResponse::ShutdownAck {
@@ -1689,6 +2007,7 @@ mod tests {
                 workload: Some(Workload::steady_forward()),
                 faults: None,
                 trace: None,
+                ..SweepSpec::default()
             },
             rate: LineRate::GIGE,
             constraints: Constraints {
@@ -1703,6 +2022,75 @@ mod tests {
         assert!(!line.contains("shard"), "unsharded sweeps keep their v1 bytes: {line}");
         assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
         assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+    }
+
+    #[test]
+    fn multicore_sweep_requests_round_trip_and_default_axes_stay_silent() {
+        // Default multicore axes leave the wire bytes exactly as v1 wrote
+        // them — no "cores"/"topologies"/"protocols" members appear.
+        let default_axes = ApiRequest::Sweep {
+            spec: SweepSpec { entries: 8, ..SweepSpec::default() },
+            rate: LineRate::TEN_GBE,
+            constraints: Constraints::default(),
+            shard: None,
+        };
+        let line = default_axes.to_json();
+        for silent in ["\"cores\"", "\"topologies\"", "\"protocols\""] {
+            assert!(!line.contains(silent), "{silent} must be omitted at default: {line}");
+        }
+        assert_eq!(ApiRequest::from_json(&line).unwrap(), default_axes);
+
+        // Non-default axes round-trip as a fixed point.
+        let request = ApiRequest::Sweep {
+            spec: SweepSpec {
+                buses: vec![3],
+                replication: vec![1],
+                kinds: vec![TableKind::Cam],
+                entries: 8,
+                cores: vec![1, 2, 4],
+                topologies: vec![Topology::Mesh, Topology::SharedBus],
+                protocols: vec![CoherenceProtocol::Msi],
+                ..SweepSpec::default()
+            },
+            rate: LineRate::TEN_GBE,
+            constraints: Constraints::default(),
+            shard: None,
+        };
+        let line = request.to_json();
+        assert!(
+            line.contains(
+                "\"cores\":[1,2,4],\"topologies\":[\"mesh\",\"shared-bus\"],\
+                 \"protocols\":[\"msi\"]"
+            ),
+            "{line}"
+        );
+        assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
+        assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+    }
+
+    #[test]
+    fn sweep_multicore_axes_reject_bad_values_structurally() {
+        let sweep = |axes: &str| {
+            let json = format!(
+                "{{\"api_version\":\"v1\",\"kind\":\"sweep\",\"spec\":{{\"buses\":[3],\
+                 \"replication\":[1],\"kinds\":[\"cam\"],\"entries\":8{axes}}},\
+                 \"rate\":{{\"bits_per_second\":10000000000,\"packet_bytes\":1500}}}}"
+            );
+            ApiRequest::from_json(&json)
+        };
+        // A core count past the ceiling must be a structured bad_request
+        // naming the field — never the `with_cores` panic inside `grid()`.
+        let err = sweep(",\"cores\":[2,9]").expect_err("9 cores must be rejected");
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+        assert!(err.message.contains("\"cores\""), "{}", err.message);
+        assert!(err.message.contains("got 9"), "{}", err.message);
+        let err = sweep(",\"cores\":[0]").expect_err("0 cores must be rejected");
+        assert_eq!(err.code, ApiErrorCode::BadRequest);
+        // Unknown topology and protocol names list the accepted spellings.
+        let err = sweep(",\"topologies\":[\"ring\"]").expect_err("ring must be rejected");
+        assert!(err.message.contains("shared-bus, mesh"), "{}", err.message);
+        let err = sweep(",\"protocols\":[\"moesi\"]").expect_err("moesi must be rejected");
+        assert!(err.message.contains("msi, mesi"), "{}", err.message);
     }
 
     #[test]
@@ -1733,6 +2121,7 @@ mod tests {
                 workload: None,
                 faults: None,
                 trace: Some(std::sync::Arc::new(trace)),
+                ..SweepSpec::default()
             },
             rate: LineRate::TEN_GBE,
             constraints: Constraints::default(),
@@ -1869,8 +2258,152 @@ mod tests {
         assert!(parse_fault_plan_name("nope").unwrap_err().contains("storm"));
         assert_eq!(parse_workload_name("table-churn"), Ok(Workload::table_churn()));
         assert_eq!(parse_fault_plan_name("storm"), Ok(FaultPlan::storm()));
-        assert!(parse_machine_shape(TableKind::Cam, "3x1").is_ok());
-        assert!(parse_machine_shape(TableKind::Cam, "9x9").is_err());
+        // Every documented machine spelling parses to the shape it names,
+        // and the error message lists all of them (generated from the
+        // spelling table, so it cannot drift from the parser).
+        for (spelling, expected) in [
+            ("1x1", ArchConfig::one_bus_one_fu(TableKind::Cam)),
+            ("1BUS/1FU", ArchConfig::one_bus_one_fu(TableKind::Cam)),
+            ("3x1", ArchConfig::three_bus_one_fu(TableKind::Cam)),
+            ("3BUS/1FU", ArchConfig::three_bus_one_fu(TableKind::Cam)),
+            ("3x3", ArchConfig::three_bus_three_fu(TableKind::Cam)),
+            ("3bus/3CNT,3CMP,3M", ArchConfig::three_bus_three_fu(TableKind::Cam)),
+        ] {
+            let spec = parse_machine_spec(TableKind::Cam, spelling)
+                .unwrap_or_else(|e| panic!("{spelling}: {e}"));
+            assert_eq!(spec.to_config().unwrap(), expected, "{spelling}");
+        }
+        let err = parse_machine_spec(TableKind::Cam, "9x9").unwrap_err();
+        for &(names, _, _) in MACHINE_SPELLINGS {
+            for name in names {
+                assert!(err.contains(name), "{name} missing from {err}");
+            }
+        }
+        // The deprecated wrapper keeps working (the trace binary's old
+        // callers) and funnels through the same table.
+        #[allow(deprecated)]
+        {
+            assert!(parse_machine_shape(TableKind::Cam, "3x1").is_ok());
+            let err = parse_machine_shape(TableKind::Cam, "9x9").unwrap_err();
+            assert!(err.contains("3bus/3CNT,3CMP,3M"), "{err}");
+        }
+    }
+
+    #[test]
+    fn machine_spec_keeps_flat_bytes_for_default_systems() {
+        let spec = MachineSpec::new(ConfigSpec::new(TableKind::Cam, 3, 1));
+        assert_eq!(
+            spec.to_json(),
+            "{\"table\":\"cam\",\"buses\":3,\"replication\":1,\"memory_ports\":1}"
+        );
+        // The flat form parses back through the sniffing entry point.
+        let parsed = MachineSpec::from_value(&Json::parse(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn machine_spec_nested_form_round_trips() {
+        let spec = MachineSpec::new(ConfigSpec::new(TableKind::Trie, 2, 2)).with_system(
+            SystemConfig::with_cores(4)
+                .topology(taco_isa::Topology::Mesh)
+                .protocol(CoherenceProtocol::Msi)
+                .cache(128, 8),
+        );
+        let line = spec.to_json();
+        assert!(line.starts_with("{\"core\":{\"table\":\"trie\""), "{line}");
+        assert!(line.contains("\"cores\":4"), "{line}");
+        assert!(line.contains("\"topology\":\"mesh\""), "{line}");
+        assert!(line.contains("\"coherence\":\"msi\""), "{line}");
+        let parsed = MachineSpec::from_value(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_json(), line, "serialisation is a fixed point");
+        // And the built ArchConfig carries the system through.
+        assert_eq!(parsed.to_config().unwrap().system, spec.system);
+    }
+
+    #[test]
+    fn machine_spec_nested_members_default_when_omitted() {
+        let line = "{\"core\":{\"table\":\"cam\",\"buses\":3,\"replication\":1},\"cores\":2}";
+        let spec = MachineSpec::from_value(&Json::parse(line).unwrap()).unwrap();
+        assert_eq!(spec.system.cores, 2);
+        assert_eq!(spec.system.cache, taco_isa::CacheConfig::default());
+        assert_eq!(spec.system.interconnect, taco_isa::InterconnectConfig::default());
+        assert_eq!(spec.system.protocol, CoherenceProtocol::Mesi);
+    }
+
+    #[test]
+    fn machine_spec_rejections_name_the_field() {
+        let parse = |json: &str| MachineSpec::from_value(&Json::parse(json).unwrap());
+        let core = "\"core\":{\"table\":\"cam\",\"buses\":3,\"replication\":1}";
+        for (bad, needle) in [
+            (format!("{{{core},\"cores\":0}}"), "cores"),
+            (format!("{{{core},\"cores\":9}}"), "cores"),
+            (
+                format!("{{{core},\"interconnect\":{{\"topology\":\"ring\",\"latency\":2}}}}"),
+                "ring",
+            ),
+            (format!("{{{core},\"coherence\":\"moesi\"}}"), "moesi"),
+            (format!("{{{core},\"cache\":{{\"lines\":0,\"line_words\":4}}}}"), "lines"),
+            (
+                format!("{{{core},\"interconnect\":{{\"topology\":\"mesh\",\"latency\":0}}}}"),
+                "latency",
+            ),
+            (format!("{{{core},\"warp\":1}}"), "warp"),
+        ] {
+            let err = parse(&bad).expect_err(&bad);
+            assert_eq!(err.code, ApiErrorCode::BadRequest, "{bad}");
+            assert!(err.message.contains(needle), "{needle} missing from {err}");
+        }
+        // Unknown topologies and protocols list the accepted names.
+        let err =
+            parse(&format!("{{{core},\"interconnect\":{{\"topology\":\"ring\",\"latency\":2}}}}"))
+                .unwrap_err();
+        assert!(err.message.contains("shared-bus") && err.message.contains("mesh"), "{err}");
+        let err = parse(&format!("{{{core},\"coherence\":\"moesi\"}}")).unwrap_err();
+        assert!(err.message.contains("msi") && err.message.contains("mesi"), "{err}");
+    }
+
+    #[test]
+    fn multicore_eval_requests_round_trip() {
+        let mut spec = cam_spec();
+        spec.config =
+            spec.config.with_system(SystemConfig::with_cores(2).topology(taco_isa::Topology::Mesh));
+        spec.entries = 8;
+        let request = ApiRequest::Eval(spec);
+        let line = request.to_json();
+        assert!(line.contains("\"config\":{\"core\":{"), "{line}");
+        assert_eq!(ApiRequest::from_json(&line).unwrap(), request);
+        assert_eq!(ApiRequest::from_json(&line).unwrap().to_json(), line);
+    }
+
+    #[test]
+    fn status_reports_the_supported_spec_features() {
+        let response = ApiResponse::Status(StatusInfo {
+            in_flight: 0,
+            queued: 0,
+            max_pending: 4,
+            draining: false,
+            cache_entries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+        let line = response.to_json();
+        assert!(
+            line.contains(
+                "\"features\":{\"max_cores\":8,\"topologies\":[\"shared-bus\",\"mesh\"],\
+                 \"protocols\":[\"msi\",\"mesi\"]}"
+            ),
+            "{line}"
+        );
+        assert_eq!(ApiResponse::from_json(&line).unwrap(), response);
+        // Pre-multicore status lines (no features member) still parse.
+        let old = line.replace(
+            ",\"features\":{\"max_cores\":8,\"topologies\":[\"shared-bus\",\"mesh\"],\
+             \"protocols\":[\"msi\",\"mesi\"]}",
+            "",
+        );
+        assert_ne!(old, line);
+        assert_eq!(ApiResponse::from_json(&old).unwrap(), response);
     }
 
     #[test]

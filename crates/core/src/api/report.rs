@@ -22,12 +22,14 @@ use taco_estimate::{Estimate, ExternalCam, PhysicalEstimate};
 use taco_isa::{FuKind, FuRef};
 use taco_sim::SimStats;
 use taco_workload::{
-    FaultMetrics, FlowStats, LatencyHistogram, ScenarioMetrics, Workload, LATENCY_BUCKETS,
+    CoherenceStats, FaultMetrics, FlowStats, LatencyHistogram, ScenarioMetrics, Workload,
+    LATENCY_BUCKETS,
 };
 
 use super::json::Json;
 use super::{
     f64_json, parse_table_kind, rate_from_value, rate_to_json, ApiError, ConfigSpec, Fields,
+    MachineSpec,
 };
 use crate::evaluate::{EvalReport, TraceError};
 
@@ -243,6 +245,24 @@ fn fault_metrics_from_value(value: &Json) -> Result<FaultMetrics, ApiError> {
     Ok(metrics)
 }
 
+fn coherence_from_value(value: &Json) -> Result<CoherenceStats, ApiError> {
+    let mut f = Fields::new("coherence metrics", value)?;
+    let stats = CoherenceStats {
+        reads: f.req_u64("reads")?,
+        writes: f.req_u64("writes")?,
+        hits: f.req_u64("hits")?,
+        misses: f.req_u64("misses")?,
+        invalidations: f.req_u64("invalidations")?,
+        upgrade_stalls: f.req_u64("upgrade_stalls")?,
+        writebacks: f.req_u64("writebacks")?,
+        stall_cycles: f.req_u64("stall_cycles")?,
+        transactions: f.req_u64("transactions")?,
+        busy_cycles: f.req_u64("busy_cycles")?,
+    };
+    f.finish()?;
+    Ok(stats)
+}
+
 /// Scenario names are `&'static str` on [`ScenarioMetrics`]; resolve a
 /// parsed name back to the builtin's static string.
 fn static_scenario_name(name: &str) -> Result<&'static str, ApiError> {
@@ -275,6 +295,7 @@ fn scenario_from_value(value: &Json) -> Result<ScenarioMetrics, ApiError> {
         table_memory_words: f.req_u64("table_memory_words")?,
         flows: f.get_non_null("flows").map(flow_stats_from_value).transpose()?,
         faults: f.get_non_null("faults").map(fault_metrics_from_value).transpose()?,
+        coherence: f.get_non_null("coherence").map(coherence_from_value).transpose()?,
     };
     f.finish()?;
     Ok(metrics)
@@ -284,15 +305,19 @@ fn scenario_from_value(value: &Json) -> Result<ScenarioMetrics, ApiError> {
 ///
 /// `scenario`, `sim_error` and `trace_error` are omitted when absent, so
 /// plain reports stay byte-identical as features accrete.  The machine
-/// configuration is emitted as its [`ConfigSpec`] wire form; for the
+/// configuration is emitted as its [`MachineSpec`] wire form (flat for
+/// single-core systems, nested for multi-core); for the
 /// (in-tree-unreachable) case of a hand-built machine outside that family,
 /// the nearest spec is emitted and the round trip is lossy.
 pub fn report_to_json(report: &EvalReport) -> String {
-    let config_spec = ConfigSpec::from_config(&report.config).unwrap_or(ConfigSpec {
-        table: report.config.table,
-        buses: report.config.machine.buses(),
-        replication: report.config.machine.fu_count(FuKind::Matcher),
-        memory_ports: report.config.machine.fu_count(FuKind::Mmu),
+    let config_spec = MachineSpec::from_config(&report.config).unwrap_or(MachineSpec {
+        core: ConfigSpec {
+            table: report.config.table,
+            buses: report.config.machine.buses(),
+            replication: report.config.machine.fu_count(FuKind::Matcher),
+            memory_ports: report.config.machine.fu_count(FuKind::Mmu),
+        },
+        system: report.config.system,
     });
     let mut s = format!(
         "{{\"label\":{},\"config\":{},\"rate\":{},\"entries\":{},\
@@ -338,7 +363,7 @@ pub(crate) fn report_from_value(value: &Json) -> Result<EvalReport, ApiError> {
         ));
     }
     let label = f.req_str("label")?;
-    let config_spec = ConfigSpec::from_value(f.req("config")?)?;
+    let config_spec = MachineSpec::from_value(f.req("config")?)?;
     let config = config_spec.to_config()?;
     if config.label() != label {
         return Err(ApiError::bad_request(format!(
@@ -429,6 +454,18 @@ mod tests {
             .faults(FaultPlan::storm())
             .run();
         assert!(report.scenario.as_ref().is_some_and(|s| s.faults.is_some()));
+        roundtrip(&report);
+    }
+
+    #[test]
+    fn multicore_report_round_trips_with_a_nested_config() {
+        let config = ArchConfig::three_bus_one_fu(TableKind::Cam)
+            .with_system(taco_isa::SystemConfig::with_cores(4).topology(taco_isa::Topology::Mesh));
+        let report = EvalRequest::new(config).entries(8).workload(Workload::table_churn()).run();
+        let line = report_to_json(&report);
+        assert!(line.contains("\"label\":\"cam 3BUS/1FU 4c-mesh-mesi\""), "{line}");
+        assert!(line.contains("\"config\":{\"core\":{"), "{line}");
+        assert!(line.contains("\"coherence\":{\"reads\":"), "{line}");
         roundtrip(&report);
     }
 

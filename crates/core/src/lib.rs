@@ -51,8 +51,9 @@ pub mod request;
 pub mod table1;
 
 pub use api::{
-    parse_step_mode, salvage_request_id, step_mode_name, ApiError, ApiErrorCode, ApiRequest,
-    ApiResponse, ConfigSpec, EvalSpec, StatusInfo, SweepShard, TraceRef, WireRequest, WireResponse,
+    parse_machine_spec, parse_step_mode, salvage_request_id, step_mode_name,
+    supported_features_json, ApiError, ApiErrorCode, ApiRequest, ApiResponse, ConfigSpec, EvalSpec,
+    MachineSpec, StatusInfo, SweepShard, TraceRef, WireRequest, WireResponse,
 };
 pub use arch::{ArchConfig, RoutingTableKind};
 pub use cache::{EvalCache, SnapshotError, SnapshotStats};

@@ -59,6 +59,7 @@ pub fn render(reports: &[EvalReport]) -> String {
             r.config.table.to_string()
         };
         let speed = format_frequency(r.required_frequency_hz);
+        let machine = format!("{}{}", r.config.machine.label(), r.config.system.label_suffix());
         let (area, power) = match &r.estimate {
             Estimate::Feasible(e) => (format!("{:.2}", e.area_mm2), format!("{:.3}", e.power_w)),
             Estimate::Infeasible { .. } => ("NA".to_string(), "NA".to_string()),
@@ -67,7 +68,7 @@ pub fn render(reports: &[EvalReport]) -> String {
             out,
             "{:<15} {:<20} {:>12} {:>10.0} {:>9} {:>12}",
             kind,
-            r.config.machine.label(),
+            machine,
             speed,
             r.bus_utilization * 100.0,
             area,
@@ -85,6 +86,7 @@ pub fn to_csv(reports: &[EvalReport]) -> String {
 ",
     );
     for r in reports {
+        let machine = format!("{}{}", r.config.machine.label(), r.config.system.label_suffix());
         let (feasible, area, power) = match &r.estimate {
             Estimate::Feasible(e) => (true, e.area_mm2.to_string(), e.power_w.to_string()),
             Estimate::Infeasible { .. } => (false, String::new(), String::new()),
@@ -93,7 +95,7 @@ pub fn to_csv(reports: &[EvalReport]) -> String {
             out,
             "{},{},{},{},{},{},{},{}",
             r.config.table,
-            r.config.machine.label(),
+            machine,
             r.cycles_per_datagram,
             r.bus_utilization,
             r.required_frequency_hz,

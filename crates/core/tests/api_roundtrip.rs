@@ -11,10 +11,11 @@
 //! stays cheap.  (The `crates/proptests` package runs the same property
 //! over *randomised* specs, registry-gated.)
 
-use taco_core::api::{ApiRequest, ConfigSpec, EvalSpec, SweepShard, WireRequest};
+use taco_core::api::{ApiRequest, ConfigSpec, EvalSpec, MachineSpec, SweepShard, WireRequest};
 use taco_core::{
     Constraints, FaultPlan, LineRate, RoutingTableKind, StepMode, SweepSpec, Workload,
 };
+use taco_isa::{CacheConfig, CoherenceProtocol, SystemConfig, Topology, MAX_CORES};
 
 const KINDS: [RoutingTableKind; 5] = [
     RoutingTableKind::Sequential,
@@ -83,6 +84,81 @@ fn every_builtin_eval_combination_round_trips() {
         * (1 + FaultPlan::builtin().len());
     assert_eq!(combinations, expected);
     assert!(combinations >= 5 * 4 * 3 * 5 * 6, "builtin lists shrank: {combinations}");
+}
+
+#[test]
+fn every_machine_spec_combination_round_trips() {
+    // The full multicore cross product: every core count the schema
+    // accepts × topology × protocol × table kind × Table-1 shape, each
+    // through MachineSpec → JSON → MachineSpec and a full eval request
+    // cycle.  Non-default cache geometry rides one corner of the grid so
+    // the optional "cache" member is exercised without squaring the size.
+    let mut combinations = 0usize;
+    for cores in 1..=MAX_CORES {
+        for topology in Topology::ALL {
+            for protocol in CoherenceProtocol::ALL {
+                for kind in KINDS {
+                    for (buses, replication) in SHAPES {
+                        let mut system =
+                            SystemConfig::with_cores(cores).topology(topology).protocol(protocol);
+                        if cores == MAX_CORES {
+                            system.cache = CacheConfig { lines: 128, line_words: 8 };
+                            system.interconnect.latency = 5;
+                        }
+                        let spec = MachineSpec::new(ConfigSpec::new(kind, buses, replication))
+                            .with_system(system);
+                        // Spec-level identity: encode → parse → re-encode.
+                        let json = spec.to_json();
+                        let parsed = MachineSpec::from_json(&json)
+                            .unwrap_or_else(|e| panic!("own form must validate: {e}\n{json}"));
+                        assert_eq!(parsed, spec, "{json}");
+                        assert_eq!(parsed.to_json(), json, "re-encode must be byte-identical");
+                        // Request-level identity: the spec embedded in a
+                        // full eval line survives the wire unchanged.
+                        let mut eval = EvalSpec::new(spec);
+                        eval.entries = 32;
+                        assert_round_trip(&ApiRequest::Eval(eval));
+                        combinations += 1;
+                    }
+                }
+            }
+        }
+    }
+    let expected = usize::from(MAX_CORES)
+        * Topology::ALL.len()
+        * CoherenceProtocol::ALL.len()
+        * KINDS.len()
+        * SHAPES.len();
+    assert_eq!(combinations, expected);
+    assert!(combinations >= 8 * 2 * 2 * 5 * 4, "the spec grid shrank: {combinations}");
+}
+
+#[test]
+fn single_core_machine_specs_keep_the_flat_wire_form() {
+    // N=1 equivalence: a single-core MachineSpec must serialise to the
+    // exact flat ConfigSpec bytes the pre-multicore schema wrote, so every
+    // v1/v2 golden fixture (and every cache key derived from request
+    // bytes) is untouched by the redesign.
+    for kind in KINDS {
+        for (buses, replication) in SHAPES {
+            let core = ConfigSpec::new(kind, buses, replication);
+            let flat = MachineSpec::new(core);
+            assert_eq!(flat.to_json(), core.to_json(), "single-core must stay flat");
+            assert!(!flat.to_json().contains("\"core\""), "{}", flat.to_json());
+            // An explicit single-core system is the same machine, bytes
+            // included.
+            let explicit = MachineSpec::new(core).with_system(SystemConfig::single_core());
+            assert_eq!(explicit.to_json(), core.to_json());
+            // And the eval request around it writes the pre-multicore
+            // line verbatim.
+            let mut old = EvalSpec::new(core);
+            old.entries = 32;
+            let mut new = EvalSpec::new(MachineSpec::new(core));
+            new.entries = 32;
+            assert_eq!(ApiRequest::Eval(new).to_json(), ApiRequest::Eval(old.clone()).to_json());
+            assert_round_trip(&ApiRequest::Eval(old));
+        }
+    }
 }
 
 #[test]

@@ -23,6 +23,7 @@ fn faulted_spec() -> SweepSpec {
         workload: Some(small_workload()),
         faults: Some(FaultPlan::storm()),
         trace: None,
+        ..SweepSpec::default()
     }
 }
 

@@ -21,6 +21,7 @@ fn scenario_spec() -> SweepSpec {
         workload: Some(Workload::burst_overload()),
         faults: None,
         trace: None,
+        ..SweepSpec::default()
     }
 }
 

@@ -112,7 +112,8 @@ proptest! {
         rate in arb_rate(),
         constraints in arb_constraints(),
     ) {
-        let spec = SweepSpec { buses, replication, kinds, entries, workload, faults };
+        let spec =
+            SweepSpec { buses, replication, kinds, entries, workload, faults, ..SweepSpec::default() };
         assert_identity(&ApiRequest::Sweep { spec, rate, constraints })?;
     }
 

@@ -223,6 +223,7 @@ fn over_capacity_submissions_get_a_structured_busy_error() {
             workload: None,
             faults: None,
             trace: None,
+            ..SweepSpec::default()
         },
         rate: LineRate::TEN_GBE,
         constraints: Constraints::default(),
@@ -310,6 +311,7 @@ fn shutdown_drains_in_flight_work_before_acknowledging() {
             workload: None,
             faults: None,
             trace: None,
+            ..SweepSpec::default()
         },
         rate: LineRate::TEN_GBE,
         constraints: Constraints::default(),

@@ -49,6 +49,7 @@ fn tiny_sweep() -> SweepSpec {
         workload: None,
         faults: None,
         trace: None,
+        ..SweepSpec::default()
     }
 }
 
@@ -425,6 +426,7 @@ fn sharded_patricia_sweep_is_byte_identical_to_the_local_explorer() {
         workload: None,
         faults: None,
         trace: None,
+        ..SweepSpec::default()
     };
     let constraints = Constraints::default();
     let local = explore(&spec, LineRate::TEN_GBE, &constraints);
@@ -533,6 +535,7 @@ fn more_workers_than_grid_points_merges_empty_stripes_cleanly() {
         workload: None,
         faults: None,
         trace: None,
+        ..SweepSpec::default()
     };
     let constraints = Constraints::default();
     let local = explore(&spec, LineRate::TEN_GBE, &constraints);

@@ -62,6 +62,7 @@ pub mod machine;
 pub mod opt;
 pub mod program;
 pub mod sched;
+pub mod system;
 pub mod verify;
 
 pub use builder::{CodeBuilder, FuHandle};
@@ -71,4 +72,7 @@ pub use machine::MachineConfig;
 pub use opt::{bypass, eliminate_dead_moves, eliminate_dead_moves_with, optimize, optimize_with};
 pub use program::{Guard, Instruction, Move, MoveSeq, PortRef, Program, Source};
 pub use sched::schedule;
+pub use system::{
+    CacheConfig, CoherenceProtocol, InterconnectConfig, SystemConfig, Topology, MAX_CORES,
+};
 pub use verify::{validate_schedule, ScheduleViolation};

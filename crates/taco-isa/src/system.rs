@@ -1,0 +1,304 @@
+//! System-level configuration: how many cores, and what holds them
+//! together.
+//!
+//! A [`MachineConfig`](crate::MachineConfig) describes one TACO core; a
+//! [`SystemConfig`] describes the *system* built from N such cores sharing
+//! the routing table through private per-core caches kept consistent by a
+//! snooping coherence protocol over an on-chip interconnect.  Every field
+//! is a small integer or a closed enum so a system configuration hashes,
+//! compares, and serialises byte-stably — the same contract
+//! `MachineConfig` honours.
+//!
+//! The default system is a single core with no sharing at all, and every
+//! consumer treats that case as the pre-multicore evaluation path:
+//! evaluating a single-core system is byte-identical to evaluating the
+//! bare `MachineConfig`.
+//!
+//! # Examples
+//!
+//! ```
+//! use taco_isa::{CoherenceProtocol, SystemConfig, Topology};
+//!
+//! let sys = SystemConfig::default();
+//! assert!(sys.is_single_core());
+//!
+//! let quad = SystemConfig::with_cores(4)
+//!     .topology(Topology::Mesh)
+//!     .protocol(CoherenceProtocol::Mesi);
+//! assert_eq!(quad.cores, 4);
+//! assert!(!quad.is_single_core());
+//! ```
+
+use std::fmt;
+
+/// Most cores any system configuration may carry (and the ceiling the
+/// evaluation daemon advertises in its feature record).
+pub const MAX_CORES: u8 = 8;
+
+/// On-chip interconnect topology connecting the cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Topology {
+    /// One shared snooping bus: every coherence transaction arbitrates for
+    /// the single bus and stalls while it is busy.
+    SharedBus,
+    /// A switched 2D mesh NoC: transactions pay Manhattan hop latency but
+    /// do not serialise against each other.
+    Mesh,
+}
+
+impl Topology {
+    /// Every topology, in wire order.
+    pub const ALL: [Topology; 2] = [Topology::SharedBus, Topology::Mesh];
+
+    /// The wire name (`shared-bus`, `mesh`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::SharedBus => "shared-bus",
+            Topology::Mesh => "mesh",
+        }
+    }
+
+    /// Looks a topology up by [`Topology::name`] (the `bus` shorthand is
+    /// accepted for `shared-bus`).
+    pub fn by_name(name: &str) -> Option<Topology> {
+        match name {
+            "shared-bus" | "bus" => Some(Topology::SharedBus),
+            "mesh" => Some(Topology::Mesh),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cache-coherence protocol run by the private table caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoherenceProtocol {
+    /// Modified/Shared/Invalid: every read miss fills Shared, so the first
+    /// write to any line always pays an upgrade transaction.
+    Msi,
+    /// MSI plus an Exclusive state: a read miss nobody else holds fills
+    /// Exclusive, and the first write upgrades silently.
+    Mesi,
+}
+
+impl CoherenceProtocol {
+    /// Every protocol, in wire order.
+    pub const ALL: [CoherenceProtocol; 2] = [CoherenceProtocol::Msi, CoherenceProtocol::Mesi];
+
+    /// The wire name (`msi`, `mesi`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoherenceProtocol::Msi => "msi",
+            CoherenceProtocol::Mesi => "mesi",
+        }
+    }
+
+    /// Looks a protocol up by [`CoherenceProtocol::name`].
+    pub fn by_name(name: &str) -> Option<CoherenceProtocol> {
+        CoherenceProtocol::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl fmt::Display for CoherenceProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shape of each core's private table-line cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Direct-mapped line slots per core.
+    pub lines: u16,
+    /// Table words per cache line.
+    pub line_words: u8,
+}
+
+impl CacheConfig {
+    /// The default cache: 64 lines of 4 words each.
+    pub fn new() -> Self {
+        CacheConfig { lines: 64, line_words: 4 }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Interconnect shape and speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InterconnectConfig {
+    /// How the cores are wired together.
+    pub topology: Topology,
+    /// Cycles per bus transaction ([`Topology::SharedBus`]) or per mesh
+    /// hop ([`Topology::Mesh`]).
+    pub latency: u8,
+}
+
+impl InterconnectConfig {
+    /// The default interconnect: a shared bus, 2 cycles per transaction.
+    pub fn new() -> Self {
+        InterconnectConfig { topology: Topology::SharedBus, latency: 2 }
+    }
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A multi-core TACO system: N identical cores, each with a private
+/// [`CacheConfig`] cache over the shared routing table, kept coherent by
+/// `protocol` over `interconnect`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemConfig {
+    /// Core count (1..=[`MAX_CORES`]).
+    pub cores: u8,
+    /// Private per-core table cache shape.
+    pub cache: CacheConfig,
+    /// On-chip interconnect.
+    pub interconnect: InterconnectConfig,
+    /// Coherence protocol.
+    pub protocol: CoherenceProtocol,
+}
+
+impl SystemConfig {
+    /// The single-core system: no sharing, no coherence traffic.  This is
+    /// `Default`, and evaluating it is byte-identical to evaluating the
+    /// bare per-core machine.
+    pub fn single_core() -> Self {
+        SystemConfig {
+            cores: 1,
+            cache: CacheConfig::default(),
+            interconnect: InterconnectConfig::default(),
+            protocol: CoherenceProtocol::Mesi,
+        }
+    }
+
+    /// A `cores`-core system with the default cache, interconnect and
+    /// protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or above [`MAX_CORES`].
+    pub fn with_cores(cores: u8) -> Self {
+        assert!((1..=MAX_CORES).contains(&cores), "cores must be 1..={MAX_CORES}");
+        SystemConfig { cores, ..Self::single_core() }
+    }
+
+    /// Returns a copy with `topology` (keeping the latency).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.interconnect.topology = topology;
+        self
+    }
+
+    /// Returns a copy with `protocol`.
+    pub fn protocol(mut self, protocol: CoherenceProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Returns a copy with the given cache shape.
+    pub fn cache(mut self, lines: u16, line_words: u8) -> Self {
+        self.cache = CacheConfig { lines, line_words };
+        self
+    }
+
+    /// Whether this system has exactly one core (no coherence traffic is
+    /// possible, whatever the other fields say).
+    pub fn is_single_core(&self) -> bool {
+        self.cores == 1
+    }
+
+    /// Whether this is exactly the default system — the predicate the wire
+    /// codec uses to keep single-core configurations in the flat
+    /// (pre-multicore) JSON form.
+    pub fn is_default(&self) -> bool {
+        *self == Self::single_core()
+    }
+
+    /// A short suffix such as `4c-mesh-mesi` appended to labels of
+    /// multi-core systems; empty for the default system.
+    pub fn label_suffix(&self) -> String {
+        if self.is_default() {
+            String::new()
+        } else {
+            format!(" {}c-{}-{}", self.cores, self.interconnect.topology, self.protocol)
+        }
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::single_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_core() {
+        let sys = SystemConfig::default();
+        assert!(sys.is_single_core());
+        assert!(sys.is_default());
+        assert_eq!(sys.cores, 1);
+        assert_eq!(sys.label_suffix(), "");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let sys = SystemConfig::with_cores(4)
+            .topology(Topology::Mesh)
+            .protocol(CoherenceProtocol::Msi)
+            .cache(128, 8);
+        assert_eq!(sys.cores, 4);
+        assert_eq!(sys.interconnect.topology, Topology::Mesh);
+        assert_eq!(sys.protocol, CoherenceProtocol::Msi);
+        assert_eq!(sys.cache.lines, 128);
+        assert_eq!(sys.cache.line_words, 8);
+        assert!(!sys.is_default());
+        assert_eq!(sys.label_suffix(), " 4c-mesh-msi");
+    }
+
+    #[test]
+    fn single_core_with_explicit_fields_is_not_default() {
+        let sys = SystemConfig::with_cores(1).topology(Topology::Mesh);
+        assert!(sys.is_single_core());
+        assert!(!sys.is_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be")]
+    fn zero_cores_rejected() {
+        let _ = SystemConfig::with_cores(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be")]
+    fn too_many_cores_rejected() {
+        let _ = SystemConfig::with_cores(MAX_CORES + 1);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for t in Topology::ALL {
+            assert_eq!(Topology::by_name(t.name()), Some(t));
+        }
+        assert_eq!(Topology::by_name("bus"), Some(Topology::SharedBus));
+        assert_eq!(Topology::by_name("ring"), None);
+        for p in CoherenceProtocol::ALL {
+            assert_eq!(CoherenceProtocol::by_name(p.name()), Some(p));
+        }
+        assert_eq!(CoherenceProtocol::by_name("moesi"), None);
+    }
+}

@@ -43,8 +43,10 @@
 //! # }
 //! ```
 
+pub mod coherence;
 pub mod error;
 pub mod memory;
+pub mod multicore;
 pub mod processor;
 pub mod rtu;
 pub mod sched;
@@ -52,8 +54,10 @@ pub mod stats;
 pub mod trace;
 pub mod units;
 
+pub use coherence::{CoherenceStats, LineState};
 pub use error::SimError;
 pub use memory::DataMemory;
+pub use multicore::MulticoreSim;
 pub use processor::{
     FaultInjector, NoFaults, PeriodicStall, Processor, StepOutcome, Trace, DEFAULT_MEMORY_WORDS,
 };

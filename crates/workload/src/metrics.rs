@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 
 use taco_routing::TableKind;
+use taco_sim::CoherenceStats;
 
 /// Number of latency buckets: bucket 0 holds zero-tick latencies, bucket
 /// `i ≥ 1` holds latencies in `[2^(i-1), 2^i)` ticks, and the last bucket
@@ -271,6 +272,30 @@ pub struct ScenarioMetrics {
     /// [`FaultPlan`](crate::FaultPlan), so fault-free JSON stays byte
     /// identical to what it was before faults existed.
     pub faults: Option<crate::fault::FaultMetrics>,
+    /// Cache-coherence record — `None` unless the run modelled a
+    /// multi-core system (two or more cores), so single-core JSON stays
+    /// byte identical to what it was before multicore existed.
+    pub coherence: Option<CoherenceStats>,
+}
+
+/// Serialises a [`CoherenceStats`] record with a fixed key order (the
+/// `coherence` section of the scenario JSON).
+pub fn coherence_to_json(c: &CoherenceStats) -> String {
+    format!(
+        "{{\"reads\":{},\"writes\":{},\"hits\":{},\"misses\":{},\
+         \"invalidations\":{},\"upgrade_stalls\":{},\"writebacks\":{},\
+         \"stall_cycles\":{},\"transactions\":{},\"busy_cycles\":{}}}",
+        c.reads,
+        c.writes,
+        c.hits,
+        c.misses,
+        c.invalidations,
+        c.upgrade_stalls,
+        c.writebacks,
+        c.stall_cycles,
+        c.transactions,
+        c.busy_cycles,
+    )
 }
 
 impl ScenarioMetrics {
@@ -308,6 +333,9 @@ impl ScenarioMetrics {
         }
         if let Some(f) = &self.faults {
             let _ = write!(s, ",\"faults\":{}", f.to_json());
+        }
+        if let Some(c) = &self.coherence {
+            let _ = write!(s, ",\"coherence\":{}", coherence_to_json(c));
         }
         s.push('}');
         s
@@ -472,6 +500,7 @@ mod tests {
             table_memory_words: 1040,
             flows: None,
             faults: None,
+            coherence: None,
         };
         let j = m.to_json();
         assert!(!j.contains('\n'));
@@ -525,12 +554,60 @@ mod tests {
                 large: 15,
             }),
             faults: Some(crate::fault::FaultMetrics::default()),
+            coherence: None,
         };
         let j = m.to_json();
         assert!(
             j.contains(
                 "\"table_memory_words\":1040,\"flows\":{\"flows\":12,\"packets\":100,\
                  \"max_flow_len\":40,\"small\":60,\"medium\":25,\"large\":15},\"faults\":{"
+            ),
+            "{j}"
+        );
+        assert!(!j.contains('.'), "integers only: {j}");
+    }
+
+    #[test]
+    fn coherence_section_appears_last_and_is_all_integer() {
+        let m = ScenarioMetrics {
+            scenario: "table-churn",
+            kind: TableKind::Cam,
+            seed: 7,
+            ticks: 10,
+            offered: 100,
+            forwarded: 90,
+            delivered: 2,
+            dropped_no_route: 8,
+            dropped_overflow: 0,
+            max_queue_depth: 5,
+            final_backlog: 0,
+            latency: LatencyHistogram::new(),
+            table_updates: 1,
+            update_latency: LatencyHistogram::new(),
+            ripng_sent: 4,
+            throughput_milli: 9000,
+            table_memory_words: 1040,
+            flows: None,
+            faults: None,
+            coherence: Some(CoherenceStats {
+                reads: 90,
+                writes: 10,
+                hits: 80,
+                misses: 20,
+                invalidations: 6,
+                upgrade_stalls: 2,
+                writebacks: 1,
+                stall_cycles: 44,
+                transactions: 22,
+                busy_cycles: 44,
+            }),
+        };
+        let j = m.to_json();
+        assert!(
+            j.ends_with(
+                ",\"coherence\":{\"reads\":90,\"writes\":10,\"hits\":80,\"misses\":20,\
+                 \"invalidations\":6,\"upgrade_stalls\":2,\"writebacks\":1,\
+                 \"stall_cycles\":44,\"transactions\":22,\"busy_cycles\":44}}"
             ),
             "{j}"
         );

@@ -17,11 +17,13 @@
 use std::collections::VecDeque;
 
 use taco_ipv6::{Datagram, Ipv6Address, NextHeader};
+use taco_isa::SystemConfig;
 use taco_router::router::Router;
 use taco_router::traffic::{ripng_datagram, TrafficGen};
 use taco_router::SplitMix64;
 use taco_routing::ripng::InterfaceConfig;
 use taco_routing::{LpmTable, PortId, Route, SimTime, TableKind};
+use taco_sim::MulticoreSim;
 
 use crate::fault::{FaultMetrics, FaultPlan};
 use crate::metrics::{FlowStats, LatencyHistogram, ScenarioMetrics};
@@ -295,18 +297,29 @@ impl Workload {
 pub struct ScenarioConfig {
     /// Routing-table organisation.
     pub kind: TableKind,
-    /// Datagrams the forwarding core services per tick — the processor's
-    /// speed expressed in the engine's time base.
+    /// Datagrams *one* forwarding core services per tick — the
+    /// processor's speed expressed in the engine's time base.  A
+    /// multi-core [`ScenarioConfig::system`] multiplies this by its core
+    /// count, minus whatever the coherence stalls cost.
     pub service_per_tick: u32,
     /// Input-buffer bound per line card, in datagrams.
     pub queue_capacity: u32,
+    /// The multi-core system sharing the routing table.  Single-core
+    /// (the default) runs byte-identically to the pre-multicore engine
+    /// and carries no `coherence` section.
+    pub system: SystemConfig,
 }
 
 impl ScenarioConfig {
-    /// A config for `kind` with the default service rate (32/tick) and
-    /// queue bound (64).
+    /// A config for `kind` with the default service rate (32/tick), queue
+    /// bound (64) and a single core.
     pub fn new(kind: TableKind) -> Self {
-        ScenarioConfig { kind, service_per_tick: 32, queue_capacity: 64 }
+        ScenarioConfig {
+            kind,
+            service_per_tick: 32,
+            queue_capacity: 64,
+            system: SystemConfig::default(),
+        }
     }
 
     /// Sets the service rate.
@@ -319,6 +332,69 @@ impl ScenarioConfig {
     pub fn queue_capacity(mut self, capacity: u32) -> Self {
         self.queue_capacity = capacity;
         self
+    }
+
+    /// Sets the multi-core system configuration.
+    pub fn system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+}
+
+/// Coherence stall cycles that cost one datagram of service budget (the
+/// integer exchange rate between the coherence model's cycle domain and
+/// the engine's datagrams-per-tick domain).
+const STALL_CYCLES_PER_SLOT: u64 = 32;
+
+/// Drives the [`MulticoreSim`] from the serviced traffic: every serviced
+/// data datagram is a table lookup on the next core (round-robin fan-out
+/// across the cores), every serviced table update is a table write by
+/// core 0 (the control plane), and the accumulated stall cycles are paid
+/// back as service-budget debt on subsequent ticks.
+struct CoherenceDriver {
+    sim: MulticoreSim,
+    /// Seeded stream choosing which table line each access touches.
+    rng: SplitMix64,
+    next_core: u64,
+    /// Stall cycles not yet charged against the service budget.
+    debt: u64,
+}
+
+impl CoherenceDriver {
+    fn new(system: SystemConfig, seed: u64) -> Self {
+        CoherenceDriver {
+            sim: MulticoreSim::new(system),
+            rng: SplitMix64::new(seed ^ 0xC0DE_C0FE),
+            next_core: 0,
+            debt: 0,
+        }
+    }
+
+    /// A serviced data datagram: one table-line read, fanned round-robin
+    /// over the cores.  `words` is the current table footprint, bounding
+    /// the line space the seeded stream draws from.
+    fn data(&mut self, words: u64) {
+        let core = (self.next_core % self.sim.cores() as u64) as usize;
+        self.next_core += 1;
+        let addr = self.rng.below(words.max(1));
+        self.debt += self.sim.read(core, addr);
+    }
+
+    /// A serviced table update: one table-line write by core 0,
+    /// invalidating whatever the other cores have cached of that line.
+    fn update(&mut self, words: u64) {
+        let addr = self.rng.below(words.max(1));
+        self.debt += self.sim.write(0, addr);
+    }
+
+    /// The tick's service budget after paying down stall debt.  At least
+    /// one datagram is always serviced, so debt can defer but never
+    /// deadlock progress.
+    fn budget(&mut self, base: usize) -> usize {
+        let cap = base.saturating_sub(1) as u64;
+        let penalty = (self.debt / STALL_CYCLES_PER_SLOT).min(cap);
+        self.debt -= penalty * STALL_CYCLES_PER_SLOT;
+        base - penalty as usize
     }
 }
 
@@ -415,6 +491,7 @@ struct Harness {
     overflow_baseline: u64,
     metrics: ScenarioMetrics,
     faults: Option<FaultDriver>,
+    coherence: Option<CoherenceDriver>,
     /// Routes advertised per seeding batch ([`Harness::seed_table`]):
     /// half the card's queue in advertisement frames, so seeding never
     /// tail-drops no matter how large the table is.
@@ -456,6 +533,15 @@ impl Harness {
             table_memory_words: 0,
             flows: None,
             faults: None,
+            coherence: None,
+        };
+        // N cores service N datagrams where one serviced one; the
+        // coherence stalls then claw some of that back as budget debt.
+        let multicore = cfg.system.cores > 1;
+        let service = if multicore {
+            cfg.service_per_tick as usize * usize::from(cfg.system.cores)
+        } else {
+            cfg.service_per_tick as usize
         };
         Harness {
             router,
@@ -463,10 +549,11 @@ impl Harness {
             fifos: vec![ArrivalFifo::new(); usize::from(PORTS)],
             last_polled: vec![0; usize::from(PORTS)],
             tick: 0,
-            service: cfg.service_per_tick as usize,
+            service,
             overflow_baseline: 0,
             metrics,
             faults: faults.map(FaultDriver::new),
+            coherence: multicore.then(|| CoherenceDriver::new(cfg.system, w.seed())),
             seed_batch: ADVERT_CHUNK * (cfg.queue_capacity as usize / 2).max(1),
         }
     }
@@ -510,7 +597,14 @@ impl Harness {
             table_memory_words: 0,
             flows: None,
             faults: None,
+            coherence: None,
         };
+        // Seeding traffic warmed the caches; the measured record starts
+        // from zeroed counters over that warm state.
+        if let Some(c) = &mut self.coherence {
+            c.sim.reset_stats();
+            c.debt = 0;
+        }
         self.overflow_baseline = self.router.cards().iter().map(|c| c.dropped_overflow()).sum();
     }
 
@@ -757,11 +851,17 @@ impl Harness {
     /// metrics.
     fn service_tick(&mut self) {
         let now = SimTime::from_millis(self.tick * TICK_MILLIS);
-        let report = self.router.tick_budgeted(now, self.service);
+        // Coherence stalls from earlier ticks are paid here, as a reduced
+        // service budget.
+        let budget = match &mut self.coherence {
+            Some(c) => c.budget(self.service),
+            None => self.service,
+        };
+        let report = self.router.tick_budgeted(now, budget);
         // Footprint high-water mark: under churn the arena-backed engines
         // must stay bounded, and this is the metric that proves it.
-        self.metrics.table_memory_words =
-            self.metrics.table_memory_words.max(self.router.core().table().memory_words() as u64);
+        let table_words = self.router.core().table().memory_words() as u64;
+        self.metrics.table_memory_words = self.metrics.table_memory_words.max(table_words);
         self.metrics.forwarded += report.forwarded;
         self.metrics.delivered += report.delivered;
         self.metrics.dropped_no_route += report.dropped;
@@ -782,17 +882,32 @@ impl Harness {
                 };
                 let latency = self.tick - arrived;
                 match kind {
-                    ArrivalKind::Data => self.metrics.latency.record(latency),
+                    ArrivalKind::Data => {
+                        self.metrics.latency.record(latency);
+                        if let Some(c) = &mut self.coherence {
+                            c.data(table_words);
+                        }
+                    }
                     ArrivalKind::Update => {
                         self.metrics.table_updates += 1;
                         self.metrics.update_latency.record(latency);
+                        if let Some(c) = &mut self.coherence {
+                            c.update(table_words);
+                        }
                     }
                     // Injected noise is serviced (it costs budget) but is
-                    // not a latency sample.
-                    ArrivalKind::FaultNoise => {}
+                    // not a latency sample.  It still probes the table.
+                    ArrivalKind::FaultNoise => {
+                        if let Some(c) = &mut self.coherence {
+                            c.data(table_words);
+                        }
+                    }
                     ArrivalKind::Repair { injected } => {
                         self.metrics.table_updates += 1;
                         self.metrics.update_latency.record(latency);
+                        if let Some(c) = &mut self.coherence {
+                            c.update(table_words);
+                        }
                         if let Some(f) = &mut self.faults {
                             f.metrics.recovered += 1;
                             f.metrics.recovery.record(self.tick - injected);
@@ -841,6 +956,9 @@ impl Harness {
             }
             m.dropped_link_down = self.router.cards().iter().map(|c| c.dropped_link_down()).sum();
             self.metrics.faults = Some(m);
+        }
+        if let Some(c) = self.coherence.take() {
+            self.metrics.coherence = Some(*c.sim.stats());
         }
         self.metrics
     }
@@ -1262,6 +1380,82 @@ mod tests {
         let b = run_trace_replay(&trace, &cfg, Some(&FaultPlan::malformed()));
         assert_eq!(a.to_json(), b.to_json());
         assert!(a.faults.is_some() && a.flows.is_some());
+    }
+
+    #[test]
+    fn explicit_single_core_system_is_byte_identical_to_the_default() {
+        let base = ScenarioConfig::new(TableKind::Cam);
+        let explicit = base.system(SystemConfig::with_cores(1));
+        let a = run_scenario(&small_steady(), &base);
+        let b = run_scenario(&small_steady(), &explicit);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.coherence.is_none(), "single-core runs carry no coherence section");
+    }
+
+    fn churny() -> Workload {
+        Workload::TableChurn {
+            seed: 4,
+            ticks: 200,
+            packets_per_tick: 16,
+            entries: 40,
+            churn_every: 20,
+            churn_size: 20,
+        }
+    }
+
+    #[test]
+    fn multicore_churn_generates_coherence_traffic() {
+        let cfg = ScenarioConfig::new(TableKind::Cam).system(SystemConfig::with_cores(4));
+        let m = run_scenario(&churny(), &cfg);
+        let c = m.coherence.expect("multicore runs carry a coherence section");
+        assert!(c.reads > 0 && c.writes > 0, "{}", m.to_json());
+        assert!(c.invalidations > 0, "table writes must invalidate: {}", m.to_json());
+        assert!(c.stall_cycles > 0, "{}", m.to_json());
+        assert_eq!(c.hits + c.misses, c.reads + c.writes);
+        // Byte determinism, including the coherence section.
+        assert_eq!(m.to_json(), run_scenario(&churny(), &cfg).to_json());
+    }
+
+    #[test]
+    fn mesh_and_bus_interconnects_measure_differently() {
+        use taco_isa::Topology;
+        let bus = ScenarioConfig::new(TableKind::Cam).system(SystemConfig::with_cores(4));
+        let mesh = ScenarioConfig::new(TableKind::Cam)
+            .system(SystemConfig::with_cores(4).topology(Topology::Mesh));
+        let a = run_scenario(&churny(), &bus);
+        let b = run_scenario(&churny(), &mesh);
+        let (ca, cb) = (a.coherence.unwrap(), b.coherence.unwrap());
+        assert_ne!(
+            (ca.stall_cycles, ca.busy_cycles),
+            (cb.stall_cycles, cb.busy_cycles),
+            "topology must shape the stall profile"
+        );
+    }
+
+    #[test]
+    fn mesi_never_pays_more_upgrades_than_msi() {
+        use taco_isa::CoherenceProtocol;
+        let mesi = ScenarioConfig::new(TableKind::Cam)
+            .system(SystemConfig::with_cores(2).protocol(CoherenceProtocol::Mesi));
+        let msi = ScenarioConfig::new(TableKind::Cam)
+            .system(SystemConfig::with_cores(2).protocol(CoherenceProtocol::Msi));
+        let a = run_scenario(&churny(), &mesi).coherence.unwrap();
+        let b = run_scenario(&churny(), &msi).coherence.unwrap();
+        assert!(
+            a.upgrade_stalls <= b.upgrade_stalls,
+            "{} vs {}",
+            a.upgrade_stalls,
+            b.upgrade_stalls
+        );
+    }
+
+    #[test]
+    fn mixed_plane_is_a_coherence_scenario() {
+        let cfg = ScenarioConfig::new(TableKind::Cam).system(SystemConfig::with_cores(2));
+        let m = run_scenario(&Workload::mixed_plane(), &cfg);
+        let c = m.coherence.expect("coherence section");
+        assert!(c.invalidations > 0, "withdraw/re-advertise storms invalidate: {}", m.to_json());
+        assert!(m.forwarded > 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn main() {
         workload: None,
         faults: None,
         trace: None,
+        ..SweepSpec::default()
     };
     let constraints =
         Constraints { max_power_w: 0.5, max_area_mm2: 10.0, ..Constraints::default() };

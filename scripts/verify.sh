@@ -67,6 +67,27 @@ cargo test -q --offline -p taco-workload --lib trace
 cargo test -q --offline -p taco-core --test scenario_determinism trace_replay
 
 echo
+echo "== tier-1: multicore determinism (explicit) =="
+# The coherent multicore layer must be as deterministic as the rest of
+# the simulator: a multicore sweep (cores x topology x protocol, with
+# coherence traffic from table churn) is byte-identical across worker
+# counts and step loops, the MachineSpec wire grid round-trips
+# exhaustively, and a single-core request keeps the exact pre-multicore
+# bytes.  The release-built `scenarios` bin then re-measures 2- and
+# 4-core cells under its hard wall-clock timeout, so a coherence
+# livelock fails loudly here instead of hanging a later job.
+cargo test -q --offline -p taco-core --test parallel_equivalence \
+    multicore_sweep_is_byte_identical_across_threads_and_step_modes
+cargo test -q --offline -p taco-core --test api_roundtrip every_machine_spec_combination_round_trips
+cargo test -q --offline -p taco-core --test api_roundtrip single_core_machine_specs_keep_the_flat_wire_form
+cargo build --release --offline -q -p taco-bench --bin scenarios
+if ! timeout 180 ./target/release/scenarios > /dev/null; then
+    echo "multicore scenarios smoke FAILED (non-zero exit or 180 s timeout)"
+    exit 1
+fi
+echo "multicore determinism ok"
+
+echo
 echo "== tier-1: wire API round-trip + daemon loopback suites (explicit) =="
 # The wire schema's identity property over every builtin combination,
 # the daemon's golden-fixture/admission/persistence contract, and the
